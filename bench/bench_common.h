@@ -1,0 +1,60 @@
+// Shared configuration for the table/figure harnesses.
+//
+// Default profile is "quick": large datasets are scaled down and sample
+// budgets trimmed so the full harness suite finishes in minutes. Set
+// VULNDS_BENCH_FULL=1 to run the paper-scale configuration (Table 2 sizes,
+// 20 000-world ground truth, 10 000-sample method N).
+
+#ifndef VULNDS_BENCH_BENCH_COMMON_H_
+#define VULNDS_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/env.h"
+#include "gen/datasets.h"
+
+namespace vulnds::bench {
+
+/// Resolved benchmark profile.
+struct BenchProfile {
+  bool full = false;
+  std::size_t ground_truth_samples = 3000;
+  std::size_t naive_samples = 2000;
+  std::vector<int> k_percents = {2, 6, 10};
+  std::size_t max_quick_nodes = 3000;
+
+  /// Scale for a dataset: 1.0 in full mode, shrunk to ~max_quick_nodes
+  /// nodes in quick mode.
+  double DatasetScale(DatasetId id) const {
+    if (full) return 1.0;
+    const DatasetSpec spec = GetDatasetSpec(id);
+    if (spec.num_nodes <= max_quick_nodes) return 1.0;
+    return static_cast<double>(max_quick_nodes) /
+           static_cast<double>(spec.num_nodes);
+  }
+};
+
+/// Reads the profile from the environment.
+inline BenchProfile GetProfile() {
+  BenchProfile p;
+  p.full = BenchFullScale();
+  if (p.full) {
+    p.ground_truth_samples = 20000;  // the paper's ground-truth convention
+    p.naive_samples = 10000;
+    p.k_percents = {2, 4, 6, 8, 10};
+  }
+  return p;
+}
+
+/// Prints the standard profile banner.
+inline void PrintProfileBanner(const BenchProfile& profile, const char* what) {
+  std::printf("=== %s ===\n", what);
+  std::printf("profile: %s (set VULNDS_BENCH_FULL=1 for paper scale)\n\n",
+              profile.full ? "FULL / paper scale" : "quick");
+}
+
+}  // namespace vulnds::bench
+
+#endif  // VULNDS_BENCH_BENCH_COMMON_H_

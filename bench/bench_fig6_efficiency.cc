@@ -1,0 +1,64 @@
+// Figure 6: efficiency evaluation.
+//
+// For every registry dataset and every method (N, SN, SR, BSR, BSRBK),
+// reports wall-clock detection time while k sweeps over the profile's
+// percentages. Expected shape per the paper: N slowest (fixed large sample
+// size), each added optimization strictly faster, BSRBK fastest with up to
+// two orders of magnitude over N on the larger graphs.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "vulnds/detector.h"
+
+int main() {
+  using namespace vulnds;
+  using namespace vulnds::bench;
+
+  const BenchProfile profile = GetProfile();
+  PrintProfileBanner(profile, "Figure 6: efficiency (seconds per detection)");
+  ThreadPool pool;
+
+  for (const DatasetId id : AllDatasets()) {
+    Result<UncertainGraph> graph = MakeDataset(id, profile.DatasetScale(id), 42);
+    if (!graph.ok()) return 1;
+
+    TextTable table;
+    std::vector<std::string> header = {"k(%)"};
+    for (const Method m : AllMethods()) header.push_back(MethodName(m));
+    header.push_back("N/BSRBK speedup");
+    table.SetHeader(header);
+
+    for (const int kp : profile.k_percents) {
+      const std::size_t k = std::max<std::size_t>(
+          1, graph->num_nodes() * static_cast<std::size_t>(kp) / 100);
+      std::vector<std::string> row = {std::to_string(kp)};
+      double time_n = 0.0;
+      double time_bsrbk = 0.0;
+      for (const Method m : AllMethods()) {
+        DetectorOptions options;
+        options.method = m;
+        options.k = k;
+        options.naive_samples = profile.naive_samples;
+        options.pool = &pool;
+        WallTimer timer;
+        Result<DetectionResult> result = DetectTopK(*graph, options);
+        if (!result.ok()) return 1;
+        const double seconds = timer.Seconds();
+        if (m == Method::kNaive) time_n = seconds;
+        if (m == Method::kBsrbk) time_bsrbk = seconds;
+        row.push_back(TextTable::Num(seconds, 4));
+      }
+      row.push_back(TextTable::Num(time_n / std::max(1e-9, time_bsrbk), 1) + "x");
+      table.AddRow(row);
+    }
+    std::printf("[%s]  n = %zu, m = %zu\n%s\n", DatasetName(id).c_str(),
+                graph->num_nodes(), graph->num_edges(),
+                table.ToString().c_str());
+  }
+  return 0;
+}

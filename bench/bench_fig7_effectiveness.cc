@@ -1,0 +1,58 @@
+// Figure 7: effectiveness evaluation.
+//
+// Precision@k against the Monte-Carlo ground truth for all five methods on
+// the four effectiveness datasets, k sweeping the profile percentages.
+// Expected shape: all methods close together; N marginally best (largest
+// sample size); BSRBK within a few points of N.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "vulnds/detector.h"
+#include "vulnds/ground_truth.h"
+#include "vulnds/precision.h"
+
+int main() {
+  using namespace vulnds;
+  using namespace vulnds::bench;
+
+  const BenchProfile profile = GetProfile();
+  PrintProfileBanner(profile, "Figure 7: effectiveness (precision@k)");
+  ThreadPool pool;
+
+  for (const DatasetId id : EffectivenessDatasets()) {
+    Result<UncertainGraph> graph = MakeDataset(id, profile.DatasetScale(id), 42);
+    if (!graph.ok()) return 1;
+    const GroundTruth gt =
+        ComputeGroundTruth(*graph, profile.ground_truth_samples, 777, &pool);
+
+    TextTable table;
+    std::vector<std::string> header = {"k(%)"};
+    for (const Method m : AllMethods()) header.push_back(MethodName(m));
+    table.SetHeader(header);
+
+    for (const int kp : profile.k_percents) {
+      const std::size_t k = std::max<std::size_t>(
+          1, graph->num_nodes() * static_cast<std::size_t>(kp) / 100);
+      const std::vector<NodeId> truth = gt.TopK(k);
+      std::vector<std::string> row = {std::to_string(kp)};
+      for (const Method m : AllMethods()) {
+        DetectorOptions options;
+        options.method = m;
+        options.k = k;
+        options.naive_samples = profile.naive_samples;
+        options.pool = &pool;
+        Result<DetectionResult> result = DetectTopK(*graph, options);
+        if (!result.ok()) return 1;
+        row.push_back(TextTable::Num(PrecisionAtK(result->topk, truth), 3));
+      }
+      table.AddRow(row);
+    }
+    std::printf("[%s]  n = %zu\n%s\n", DatasetName(id).c_str(),
+                graph->num_nodes(), table.ToString().c_str());
+  }
+  return 0;
+}

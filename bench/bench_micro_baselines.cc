@@ -1,0 +1,101 @@
+// Micro-benchmarks for the baseline substrates: centralities, k-core,
+// RIS sketches and the ML kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gen/datasets.h"
+#include "ml/linear.h"
+#include "ml/matrix.h"
+#include "ml/metrics.h"
+#include "rank/centrality.h"
+#include "rank/inf_max.h"
+#include "rank/kcore.h"
+
+namespace {
+
+using namespace vulnds;
+
+const UncertainGraph& InterbankGraph() {
+  static const UncertainGraph graph =
+      MakeDataset(DatasetId::kInterbank, 1.0, 42).MoveValue();
+  return graph;
+}
+
+const UncertainGraph& CitationGraph() {
+  static const UncertainGraph graph =
+      MakeDataset(DatasetId::kCitation, 1.0, 42).MoveValue();
+  return graph;
+}
+
+void BM_Betweenness(benchmark::State& state) {
+  const UncertainGraph& graph =
+      state.range(0) == 0 ? InterbankGraph() : CitationGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BetweennessCentrality(graph));
+  }
+}
+BENCHMARK(BM_Betweenness)->Arg(0)->Arg(1);
+
+void BM_PageRank(benchmark::State& state) {
+  const UncertainGraph& graph = CitationGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PageRank(graph));
+  }
+}
+BENCHMARK(BM_PageRank);
+
+void BM_KCore(benchmark::State& state) {
+  const UncertainGraph& graph = CitationGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoreNumbers(graph));
+  }
+}
+BENCHMARK(BM_KCore);
+
+void BM_RisSketchBuild(benchmark::State& state) {
+  const UncertainGraph& graph = CitationGraph();
+  const std::size_t sets = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    RisSketches ris(graph, sets, 5);
+    benchmark::DoNotOptimize(ris.num_sets());
+  }
+}
+BENCHMARK(BM_RisSketchBuild)->Arg(500)->Arg(2000);
+
+void BM_LogisticFit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Matrix x(n, 16);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) x.At(i, j) = rng.NextGaussian();
+    y[i] = rng.Bernoulli(0.3) ? 1.0 : 0.0;
+  }
+  TrainOptions o;
+  o.epochs = 10;
+  for (auto _ : state) {
+    LogisticRegression model(o);
+    benchmark::DoNotOptimize(model.Fit(x, y));
+  }
+}
+BENCHMARK(BM_LogisticFit)->Arg(500)->Arg(2000);
+
+void BM_Auc(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<double> scores(n);
+  std::vector<double> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = rng.NextDouble();
+    labels[i] = rng.Bernoulli(0.2) ? 1.0 : 0.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AreaUnderRoc(scores, labels));
+  }
+}
+BENCHMARK(BM_Auc)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

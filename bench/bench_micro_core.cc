@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark) for the core sampling machinery:
+// per-world cost of forward vs reverse sampling, the bound iterations,
+// candidate reduction and the bottom-k sketch.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "gen/datasets.h"
+#include "sketch/bottom_k.h"
+#include "vulnds/basic_sampler.h"
+#include "vulnds/bounds.h"
+#include "vulnds/candidate_reduction.h"
+#include "vulnds/reverse_sampler.h"
+
+namespace {
+
+using namespace vulnds;
+
+const UncertainGraph& CitationGraph() {
+  static const UncertainGraph graph =
+      MakeDataset(DatasetId::kCitation, 1.0, 42).MoveValue();
+  return graph;
+}
+
+const UncertainGraph& BitcoinGraph() {
+  static const UncertainGraph graph =
+      MakeDataset(DatasetId::kBitcoin, 1.0, 42).MoveValue();
+  return graph;
+}
+
+void BM_ForwardSampleWorld(benchmark::State& state) {
+  const UncertainGraph& graph =
+      state.range(0) == 0 ? CitationGraph() : BitcoinGraph();
+  ForwardWorldSampler sampler(graph);
+  Rng rng(1);
+  std::vector<char> defaulted;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.SampleWorld(rng, &defaulted));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardSampleWorld)->Arg(0)->Arg(1);
+
+void BM_ReverseSampleWorld(benchmark::State& state) {
+  const UncertainGraph& graph =
+      state.range(0) == 0 ? CitationGraph() : BitcoinGraph();
+  // Candidates: the top 5% by upper bound, the realistic BSR workload.
+  const auto upper = UpperBounds(graph, 2);
+  const auto lower = LowerBounds(graph, 2);
+  const auto reduced =
+      ReduceCandidates(*lower, *upper, graph.num_nodes() / 20);
+  ReverseSampler sampler(graph, reduced->candidates);
+  std::vector<char> defaulted;
+  uint64_t world = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.SampleWorld(WorldSeed(7, world++), &defaulted));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReverseSampleWorld)->Arg(0)->Arg(1);
+
+void BM_LowerBounds(benchmark::State& state) {
+  const UncertainGraph& graph = BitcoinGraph();
+  const int order = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LowerBounds(graph, order));
+  }
+}
+BENCHMARK(BM_LowerBounds)->Arg(1)->Arg(2)->Arg(5);
+
+void BM_UpperBounds(benchmark::State& state) {
+  const UncertainGraph& graph = BitcoinGraph();
+  const int order = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UpperBounds(graph, order));
+  }
+}
+BENCHMARK(BM_UpperBounds)->Arg(1)->Arg(2)->Arg(5);
+
+void BM_CandidateReduction(benchmark::State& state) {
+  const UncertainGraph& graph = BitcoinGraph();
+  const auto lower = LowerBounds(graph, 2);
+  const auto upper = UpperBounds(graph, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ReduceCandidates(*lower, *upper, graph.num_nodes() / 20));
+  }
+}
+BENCHMARK(BM_CandidateReduction);
+
+void BM_BottomKSketchAdd(benchmark::State& state) {
+  const int bk = static_cast<int>(state.range(0));
+  BottomKSketch sketch(bk, 99);
+  uint64_t id = 0;
+  for (auto _ : state) {
+    sketch.Add(id++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BottomKSketchAdd)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Interbank stress testing on a maximum-entropy network.
+//
+// Reproduces the workflow a regulator would run on the paper's Interbank
+// dataset: generate the ME core-periphery network, then sweep the systemic
+// stress level (scaling diffusion probabilities) and watch how the set of
+// top-k vulnerable banks grows more concentrated around the core.
+//
+//   $ ./interbank_stress
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "gen/interbank.h"
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "vulnds/detector.h"
+#include "vulnds/precision.h"
+
+namespace {
+
+// Returns a copy of `graph` with every diffusion probability scaled by
+// `factor` (clamped to 1).
+vulnds::UncertainGraph ScaleStress(const vulnds::UncertainGraph& graph,
+                                   double factor) {
+  using namespace vulnds;
+  UncertainGraphBuilder builder(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    (void)builder.SetSelfRisk(v, graph.self_risk(v));
+  }
+  for (const UncertainEdge& e : graph.edges()) {
+    (void)builder.AddEdge(e.src, e.dst, std::min(1.0, e.prob * factor));
+  }
+  return builder.Build().MoveValue();
+}
+
+}  // namespace
+
+int main() {
+  using namespace vulnds;
+
+  InterbankOptions options;  // the paper's 125-bank / 249-loan network
+  options.probs.self_risk = ProbabilityModel::Beta(1.5, 12.0);
+  options.probs.diffusion = ProbabilityModel::Beta(2.0, 5.0);
+  Result<UncertainGraph> network = GenerateInterbank(options, 17);
+  if (!network.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+  const GraphStats stats = ComputeStats(*network);
+  std::printf("Interbank network: %zu banks, %zu loans, max degree %zu\n",
+              stats.num_nodes, stats.num_edges, stats.max_degree);
+
+  const std::size_t k = 10;
+  DetectorOptions detect;
+  detect.method = Method::kBsr;  // BSR reports calibrated probabilities
+  detect.k = k;
+
+  // Baseline (stress 1.0) watch list for overlap comparison.
+  Result<DetectionResult> base = DetectTopK(*network, detect);
+  if (!base.ok()) return 1;
+
+  TextTable table;
+  table.SetHeader({"stress", "mean top-k p(default)", "overlap with baseline",
+                   "verified k'", "|B|"});
+  for (const double stress : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+    const UncertainGraph stressed = ScaleStress(*network, stress);
+    Result<DetectionResult> result = DetectTopK(stressed, detect);
+    if (!result.ok()) return 1;
+    double mean_p = 0.0;
+    for (const double s : result->scores) mean_p += s;
+    mean_p /= static_cast<double>(result->scores.size());
+    table.AddRow({TextTable::Num(stress, 1), TextTable::Num(mean_p, 4),
+                  TextTable::Num(PrecisionAtK(result->topk, base->topk), 2),
+                  std::to_string(result->verified_count),
+                  std::to_string(result->candidate_count)});
+  }
+  std::printf("\nStress sweep (diffusion probabilities scaled):\n%s",
+              table.ToString().c_str());
+  std::printf("\nAs stress rises, default probabilities climb and the "
+              "vulnerable set shifts toward\nbanks exposed to the "
+              "money-center core - the contagion channel dominates.\n");
+  return 0;
+}

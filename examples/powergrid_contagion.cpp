@@ -1,0 +1,93 @@
+// Power-grid cascading failure: the paper's second motivating domain.
+//
+// A transmission grid is modeled as a small-world uncertain graph:
+// stations fail on their own (weather, equipment: ps) and failures
+// propagate to neighbors with line-dependent probability. The example
+// finds the k most vulnerable stations, shows the pruning statistics of
+// the bound machinery, and validates the result against a long
+// Monte-Carlo run.
+//
+//   $ ./powergrid_contagion [num_stations]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "gen/generators.h"
+#include "vulnds/bounds.h"
+#include "vulnds/candidate_reduction.h"
+#include "vulnds/detector.h"
+#include "vulnds/ground_truth.h"
+#include "vulnds/precision.h"
+
+int main(int argc, char** argv) {
+  using namespace vulnds;
+
+  const std::size_t stations =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 5000;
+  // Small-world grid: local ring wiring with some long-range ties. Station
+  // self-failure is rare; line propagation is moderately likely.
+  GraphProbOptions probs;
+  probs.self_risk = ProbabilityModel::Beta(1.2, 20.0);   // mean ~5.7%
+  probs.diffusion = ProbabilityModel::Beta(2.0, 4.0);    // mean ~33%
+  Result<UncertainGraph> grid = WattsStrogatz(stations, 3, 0.1, probs, 7);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Grid: %zu stations, %zu lines\n", grid->num_nodes(),
+              grid->num_edges());
+
+  const std::size_t k = std::max<std::size_t>(1, stations / 100);  // top 1%
+
+  // Show what the bound machinery prunes before any sampling happens.
+  const auto lower = LowerBounds(*grid, 2);
+  const auto upper = UpperBounds(*grid, 2);
+  if (!lower.ok() || !upper.ok()) return 1;
+  const auto reduced = ReduceCandidates(*lower, *upper, k);
+  if (!reduced.ok()) return 1;
+  std::printf("\nOrder-2 bounds for k = %zu:\n", k);
+  std::printf("  verified without sampling (k'): %zu\n", reduced->num_verified());
+  std::printf("  candidate set |B|:              %zu of %zu nodes (%.1f%%)\n",
+              reduced->candidates.size(), grid->num_nodes(),
+              100.0 * static_cast<double>(reduced->candidates.size()) /
+                  static_cast<double>(grid->num_nodes()));
+
+  // Detect with BSRBK and time it.
+  ThreadPool pool;
+  DetectorOptions options;
+  options.method = Method::kBsr;  // calibrated probability estimates
+  options.k = k;
+  options.pool = &pool;
+  WallTimer timer;
+  Result<DetectionResult> result = DetectTopK(*grid, options);
+  if (!result.ok()) return 1;
+  const double detect_seconds = timer.Seconds();
+  std::printf("\nBSR found the top-%zu in %.3f s (%zu of %zu budgeted "
+              "samples, early stop: %s)\n",
+              k, detect_seconds, result->samples_processed,
+              result->samples_budget, result->early_stopped ? "yes" : "no");
+
+  // Validate against a 20000-world Monte-Carlo reference.
+  timer.Reset();
+  const GroundTruth gt = ComputeGroundTruth(*grid, 20000, 99, &pool);
+  const double gt_seconds = timer.Seconds();
+  const double precision = PrecisionAtK(result->topk, gt.TopK(k));
+  std::printf("Reference run: %.3f s for 20000 worlds; precision@%zu = %.3f "
+              "(%.0fx faster)\n",
+              gt_seconds, k, precision, gt_seconds / std::max(1e-9, detect_seconds));
+
+  TextTable table;
+  table.SetHeader({"rank", "station", "estimated p(fail)", "reference p(fail)"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, result->topk.size()); ++i) {
+    const NodeId v = result->topk[i];
+    table.AddRow({std::to_string(i + 1), std::to_string(v),
+                  TextTable::Num(result->scores[i], 4),
+                  TextTable::Num(gt.probabilities[v], 4)});
+  }
+  std::printf("\nMost vulnerable stations:\n%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: build the paper's running example (Figure 3), compute exact
+// default probabilities, and ask the detector for the top-2 vulnerable
+// nodes with each of the five methods.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "exact/possible_world.h"
+#include "graph/builder.h"
+#include "vulnds/detector.h"
+
+int main() {
+  using namespace vulnds;
+
+  // Figure 3's graph: nodes A..E, all self-risk and diffusion probabilities
+  // 0.2 (Example 1 of the paper).
+  const double p = 0.2;
+  UncertainGraphBuilder builder(5);
+  const char* names = "ABCDE";
+  for (NodeId v = 0; v < 5; ++v) {
+    if (!builder.SetSelfRisk(v, p).ok()) return 1;
+  }
+  const std::pair<NodeId, NodeId> edges[] = {{0, 1}, {0, 2}, {1, 3},
+                                             {1, 4}, {2, 4}, {3, 4}};
+  for (const auto& [src, dst] : edges) {
+    if (!builder.AddEdge(src, dst, p).ok()) return 1;
+  }
+  Result<UncertainGraph> graph = builder.Build();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // This graph is tiny, so the exact oracle is available.
+  Result<std::vector<double>> exact = ExactDefaultProbabilities(*graph);
+  if (!exact.ok()) return 1;
+  std::printf("Exact default probabilities (possible-world semantics):\n");
+  for (NodeId v = 0; v < 5; ++v) {
+    std::printf("  p(%c) = %.6f\n", names[v], (*exact)[v]);
+  }
+
+  // Run all five detection methods for the top-2 vulnerable nodes.
+  std::printf("\nTop-2 vulnerable nodes per method (eps=0.3, delta=0.1):\n");
+  for (const Method method : AllMethods()) {
+    DetectorOptions options;
+    options.method = method;
+    options.k = 2;
+    options.naive_samples = 20000;
+    Result<DetectionResult> result = DetectTopK(*graph, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", MethodName(method).c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-5s -> {%c, %c}   (samples used: %zu, verified: %zu, "
+                "candidates: %zu)\n",
+                MethodName(method).c_str(), names[result->topk[0]],
+                names[result->topk[1]], result->samples_processed,
+                result->verified_count, result->candidate_count);
+  }
+  std::printf("\nE and D are the most vulnerable: E collects contagion from "
+              "every other node,\nD sits one hop behind B. This matches the "
+              "paper's Example 2.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Environment-variable configuration helpers for benchmarks and examples.
+
+#ifndef VULNDS_COMMON_ENV_H_
+#define VULNDS_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vulnds {
+
+/// Returns the value of environment variable `name`, or `def` if unset/empty.
+std::string GetEnvString(const char* name, const std::string& def);
+
+/// Returns `name` parsed as int64, or `def` if unset or unparsable.
+int64_t GetEnvInt(const char* name, int64_t def);
+
+/// Returns `name` parsed as double, or `def` if unset or unparsable.
+double GetEnvDouble(const char* name, double def);
+
+/// True iff VULNDS_BENCH_FULL is set to a non-zero value. Benchmarks use the
+/// paper-scale configuration when true and a quick profile otherwise.
+bool BenchFullScale();
+
+}  // namespace vulnds
+
+#endif  // VULNDS_COMMON_ENV_H_

@@ -1,0 +1,17 @@
+#include "common/hash.h"
+
+#include "common/rng.h"
+
+namespace vulnds {
+
+uint64_t UniformHash::Hash64(uint64_t id) const {
+  // Two mixing rounds with seed injection between them; passes basic
+  // avalanche checks (see tests/common/hash_test.cc).
+  return Mix64(Mix64(id + 0x9E3779B97F4A7C15ULL) ^ seed_);
+}
+
+double UniformHash::HashUnit(uint64_t id) const {
+  return (static_cast<double>(Hash64(id) >> 11) + 0.5) * 0x1.0p-53;
+}
+
+}  // namespace vulnds

@@ -1,0 +1,39 @@
+// Stateless hashing utilities for sketches.
+//
+// The bottom-k sketch (Cohen & Kaplan) requires a "truly random" hash mapping
+// item identifiers into (0, 1). UniformHash provides a seeded, stateless,
+// collision-negligible approximation built on the splitmix64 finalizer.
+
+#ifndef VULNDS_COMMON_HASH_H_
+#define VULNDS_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace vulnds {
+
+/// Seeded stateless hash family: item id -> uniform double in (0, 1).
+///
+/// Two UniformHash instances with different seeds behave as independent
+/// members of the family; the same (seed, id) pair always maps to the same
+/// value.
+class UniformHash {
+ public:
+  /// Creates a member of the hash family identified by `seed`.
+  explicit UniformHash(uint64_t seed) : seed_(seed) {}
+
+  /// Hashes `id` to a 64-bit value.
+  uint64_t Hash64(uint64_t id) const;
+
+  /// Hashes `id` to a double strictly inside (0, 1).
+  double HashUnit(uint64_t id) const;
+
+  /// The seed identifying this family member.
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_COMMON_HASH_H_

@@ -1,0 +1,42 @@
+// Plain-text and CSV table rendering for benchmark harnesses.
+//
+// Every table/figure harness in bench/ prints its rows through TextTable so
+// the output matches the row/column structure the paper reports.
+
+#ifndef VULNDS_COMMON_TABLE_H_
+#define VULNDS_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace vulnds {
+
+/// Column-aligned text table with an optional CSV rendering.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row (may have fewer cells than the header).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `precision` digits.
+  static std::string Num(double value, int precision = 5);
+
+  /// Renders the table with aligned columns and a rule under the header.
+  std::string ToString() const;
+
+  /// Renders the table as RFC-4180-ish CSV (quotes cells containing commas).
+  std::string ToCsv() const;
+
+  /// Number of data rows.
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_COMMON_TABLE_H_

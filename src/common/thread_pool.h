@@ -1,0 +1,61 @@
+// Minimal thread pool with a deterministic parallel-for.
+//
+// ParallelFor partitions [0, n) into static chunks, so the set of indices
+// each worker receives is a pure function of (n, num_threads). Combined with
+// Rng::Fork(index) per item, parallel sampling runs produce bit-identical
+// results to serial runs.
+
+#ifndef VULNDS_COMMON_THREAD_POOL_H_
+#define VULNDS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vulnds {
+
+/// Fixed-size worker pool.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 means hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; tasks may run in any order.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for every i in [0, n) across the pool and blocks until done.
+  /// Chunking is static, so work assignment is deterministic in n.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (created on first use).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signals workers
+  std::condition_variable done_cv_;   // signals Wait()
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_COMMON_THREAD_POOL_H_

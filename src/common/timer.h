@@ -1,0 +1,33 @@
+// Wall-clock timing for benchmarks and harnesses.
+
+#ifndef VULNDS_COMMON_TIMER_H_
+#define VULNDS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace vulnds {
+
+/// Monotonic wall-clock stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_COMMON_TIMER_H_

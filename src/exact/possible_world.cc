@@ -1,0 +1,115 @@
+#include "exact/possible_world.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+namespace vulnds {
+
+std::vector<char> EvaluateWorld(const UncertainGraph& graph,
+                                const std::vector<char>& self_defaults,
+                                const std::vector<char>& edge_survives) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<char> defaulted(n, 0);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (self_defaults[v]) {
+      defaulted[v] = 1;
+      queue.push_back(v);
+    }
+  }
+  // BFS over surviving edges.
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (const Arc& arc : graph.OutArcs(u)) {
+      if (!edge_survives[arc.edge]) continue;
+      if (defaulted[arc.neighbor]) continue;
+      defaulted[arc.neighbor] = 1;
+      queue.push_back(arc.neighbor);
+    }
+  }
+  return defaulted;
+}
+
+Result<std::vector<double>> ExactDefaultProbabilities(const UncertainGraph& graph) {
+  const std::size_t n = graph.num_nodes();
+  const std::size_t m = graph.num_edges();
+
+  // Collect uncertain entities; deterministic ones are fixed up-front.
+  std::vector<NodeId> random_nodes;
+  std::vector<EdgeId> random_edges;
+  std::vector<char> self_defaults(n, 0);
+  std::vector<char> edge_survives(m, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const double p = graph.self_risk(v);
+    if (p <= 0.0) {
+      self_defaults[v] = 0;
+    } else if (p >= 1.0) {
+      self_defaults[v] = 1;
+    } else {
+      random_nodes.push_back(v);
+    }
+  }
+  const auto& edges = graph.edges();
+  for (EdgeId e = 0; e < m; ++e) {
+    const double p = edges[e].prob;
+    if (p <= 0.0) {
+      edge_survives[e] = 0;
+    } else if (p >= 1.0) {
+      edge_survives[e] = 1;
+    } else {
+      random_edges.push_back(e);
+    }
+  }
+
+  const int bits = static_cast<int>(random_nodes.size() + random_edges.size());
+  if (bits > kMaxUncertainBits) {
+    return Status::InvalidArgument(
+        "graph has " + std::to_string(bits) + " uncertain entities; exact " +
+        "enumeration is capped at " + std::to_string(kMaxUncertainBits));
+  }
+
+  std::vector<double> acc(n, 0.0);
+  const uint64_t worlds = 1ULL << bits;
+  const int node_bits = static_cast<int>(random_nodes.size());
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    double world_prob = 1.0;
+    for (int i = 0; i < node_bits; ++i) {
+      const NodeId v = random_nodes[i];
+      const bool on = (mask >> i) & 1ULL;
+      self_defaults[v] = on ? 1 : 0;
+      world_prob *= on ? graph.self_risk(v) : 1.0 - graph.self_risk(v);
+    }
+    for (std::size_t i = 0; i < random_edges.size(); ++i) {
+      const EdgeId e = random_edges[i];
+      const bool on = (mask >> (node_bits + i)) & 1ULL;
+      edge_survives[e] = on ? 1 : 0;
+      world_prob *= on ? edges[e].prob : 1.0 - edges[e].prob;
+    }
+    if (world_prob == 0.0) continue;
+    const std::vector<char> defaulted = EvaluateWorld(graph, self_defaults, edge_survives);
+    for (NodeId v = 0; v < n; ++v) {
+      if (defaulted[v]) acc[v] += world_prob;
+    }
+  }
+  return acc;
+}
+
+Result<std::vector<NodeId>> ExactTopK(const UncertainGraph& graph, std::size_t k) {
+  if (k > graph.num_nodes()) {
+    return Status::InvalidArgument("k exceeds node count");
+  }
+  Result<std::vector<double>> probs = ExactDefaultProbabilities(graph);
+  if (!probs.ok()) return probs.status();
+  std::vector<NodeId> order(graph.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if ((*probs)[a] != (*probs)[b]) return (*probs)[a] > (*probs)[b];
+    return a < b;
+  });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace vulnds

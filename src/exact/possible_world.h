@@ -1,0 +1,46 @@
+// Exact default probabilities by full possible-world enumeration.
+//
+// A possible world fixes, for every node, whether it self-defaults and, for
+// every edge, whether it survives. A node defaults in the world iff it
+// self-defaults or is reachable from a self-defaulted node over surviving
+// edges. p(v) is the probability-weighted fraction of worlds in which v
+// defaults (the paper's Definition 1 aggregated over worlds).
+//
+// Enumeration is exponential in the number of *uncertain* entities (nodes
+// with 0 < ps < 1 plus edges with 0 < p < 1); deterministic entities cost no
+// bits. This module is the test oracle for every sampler and bound in the
+// library — it is intentionally simple and obviously correct.
+
+#ifndef VULNDS_EXACT_POSSIBLE_WORLD_H_
+#define VULNDS_EXACT_POSSIBLE_WORLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Hard cap on the number of uncertain entities (2^26 worlds ~ 67M).
+inline constexpr int kMaxUncertainBits = 26;
+
+/// Computes the exact default probability of every node. Fails with
+/// InvalidArgument if the graph has more than kMaxUncertainBits uncertain
+/// entities.
+Result<std::vector<double>> ExactDefaultProbabilities(const UncertainGraph& graph);
+
+/// Exact top-k node ids, ordered by decreasing default probability (ties
+/// broken by node id for determinism). Requires k <= num_nodes.
+Result<std::vector<NodeId>> ExactTopK(const UncertainGraph& graph, std::size_t k);
+
+/// Deterministic world evaluation helper: given which nodes self-default and
+/// which edges survive, marks every defaulted node (forward reachability).
+/// Exposed so tests can cross-check samplers world-by-world.
+std::vector<char> EvaluateWorld(const UncertainGraph& graph,
+                                const std::vector<char>& self_defaults,
+                                const std::vector<char>& edge_survives);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_EXACT_POSSIBLE_WORLD_H_

@@ -1,0 +1,118 @@
+#include "gen/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/financial.h"
+#include "gen/generators.h"
+#include "gen/interbank.h"
+
+namespace vulnds {
+
+const std::vector<DatasetId>& AllDatasets() {
+  static const std::vector<DatasetId> kAll = {
+      DatasetId::kBitcoin, DatasetId::kFacebook, DatasetId::kWiki,
+      DatasetId::kP2P,     DatasetId::kCitation, DatasetId::kInterbank,
+      DatasetId::kGuarantee, DatasetId::kFraud};
+  return kAll;
+}
+
+const std::vector<DatasetId>& EffectivenessDatasets() {
+  static const std::vector<DatasetId> kFour = {
+      DatasetId::kFraud, DatasetId::kGuarantee, DatasetId::kInterbank,
+      DatasetId::kCitation};
+  return kFour;
+}
+
+std::string DatasetName(DatasetId id) { return GetDatasetSpec(id).name; }
+
+DatasetSpec GetDatasetSpec(DatasetId id) {
+  switch (id) {
+    case DatasetId::kBitcoin:
+      return {"Bitcoin", 3783, 24186, 6.39, 888};
+    case DatasetId::kFacebook:
+      return {"Facebook", 4039, 88234, 21.85, 1045};
+    case DatasetId::kWiki:
+      return {"Wiki", 7115, 103689, 14.57, 1167};
+    case DatasetId::kP2P:
+      return {"P2P", 62586, 147892, 2.36, 95};
+    case DatasetId::kCitation:
+      return {"Citation", 2617, 2985, 1.14, 44};
+    case DatasetId::kInterbank:
+      return {"Interbank", 125, 249, 1.99, 47};
+    case DatasetId::kGuarantee:
+      return {"Guarantee", 31309, 35987, 1.15, 14362};
+    case DatasetId::kFraud:
+      return {"Fraud", 14242, 236706, 16.62, 85074};
+  }
+  return {"Unknown", 0, 0, 0.0, 0};
+}
+
+Result<UncertainGraph> MakeDataset(DatasetId id, double scale, uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  const DatasetSpec spec = GetDatasetSpec(id);
+  const auto scaled = [scale](std::size_t x, std::size_t lo) {
+    return std::max<std::size_t>(lo, static_cast<std::size_t>(
+                                         std::llround(static_cast<double>(x) * scale)));
+  };
+  const std::size_t n = scaled(spec.num_nodes, 16);
+  const std::size_t m = scaled(spec.num_edges, 24);
+
+  GraphProbOptions uniform_probs;  // the paper's benchmark setting
+  GraphProbOptions financial_probs;
+  financial_probs.self_risk = ProbabilityModel::Beta(1.2, 4.0);
+  financial_probs.diffusion = ProbabilityModel::Beta(1.5, 3.0);
+
+  switch (id) {
+    case DatasetId::kBitcoin:
+      // trust network: heavy-tailed degrees.
+      return PowerLawConfiguration(n, m, 2.1, scaled(spec.max_degree, 8),
+                                   uniform_probs, seed);
+    case DatasetId::kFacebook:
+      // social network: dense preferential attachment.
+      return BarabasiAlbert(n, std::max<std::size_t>(1, m / n), uniform_probs, seed);
+    case DatasetId::kWiki:
+      // who-votes-on-whom: heavy-tailed, directed.
+      return PowerLawConfiguration(n, m, 2.0, scaled(spec.max_degree, 8),
+                                   uniform_probs, seed);
+    case DatasetId::kP2P: {
+      // Gnutella: narrow degree spread, low clustering; a small-world ring
+      // with heavy rewiring matches avg degree ~2.4 and max degree ~95.
+      const std::size_t ring = std::max<std::size_t>(1, m / n);
+      return WattsStrogatz(n, ring, 0.7, uniform_probs, seed);
+    }
+    case DatasetId::kCitation:
+      // very sparse, near-tree citation graph.
+      return ErdosRenyi(n, m, uniform_probs, seed);
+    case DatasetId::kInterbank: {
+      InterbankOptions opt;
+      opt.num_banks = n;
+      opt.num_loans = m;
+      opt.probs = financial_probs;
+      return GenerateInterbank(opt, seed);
+    }
+    case DatasetId::kGuarantee: {
+      GuaranteeOptions opt;
+      opt.num_firms = n;
+      opt.num_guarantees = m;
+      opt.hub_fraction =
+          static_cast<double>(spec.max_degree) / static_cast<double>(spec.num_edges);
+      opt.probs = financial_probs;
+      return GenerateGuarantee(opt, seed);
+    }
+    case DatasetId::kFraud: {
+      FraudOptions opt;
+      // ~84% consumers / 16% merchants keeps the bipartite shape at any scale.
+      opt.num_consumers = std::max<std::size_t>(8, n * 84 / 100);
+      opt.num_merchants = std::max<std::size_t>(8, n - opt.num_consumers);
+      opt.num_trades = m;
+      opt.probs = financial_probs;
+      return GenerateFraud(opt, seed);
+    }
+  }
+  return Status::InvalidArgument("unknown dataset id");
+}
+
+}  // namespace vulnds

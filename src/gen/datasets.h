@@ -1,0 +1,59 @@
+// Dataset registry reproducing the 8 networks of Table 2.
+//
+// The real downloads (SNAP / network repository) and the proprietary bank
+// data are unavailable offline, so each dataset is a seeded synthetic graph
+// whose node count, edge count and degree shape match the published
+// statistics (DESIGN.md documents the substitution). `scale` shrinks node
+// and edge counts proportionally so benchmarks have a quick profile.
+
+#ifndef VULNDS_GEN_DATASETS_H_
+#define VULNDS_GEN_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// The 8 networks of Table 2.
+enum class DatasetId {
+  kBitcoin = 0,
+  kFacebook,
+  kWiki,
+  kP2P,
+  kCitation,
+  kInterbank,
+  kGuarantee,
+  kFraud,
+};
+
+/// All dataset ids, in Table 2 row order.
+const std::vector<DatasetId>& AllDatasets();
+
+/// The four datasets used in the parameter-tuning / effectiveness figures.
+const std::vector<DatasetId>& EffectivenessDatasets();
+
+/// Printable dataset name ("Bitcoin", ...).
+std::string DatasetName(DatasetId id);
+
+/// Published statistics of a dataset (the target the generator aims for).
+struct DatasetSpec {
+  std::string name;
+  std::size_t num_nodes;
+  std::size_t num_edges;
+  double avg_degree;       ///< Table 2's Avg Deg column
+  std::size_t max_degree;  ///< Table 2's Max Deg column
+};
+
+/// The Table 2 row for `id`.
+DatasetSpec GetDatasetSpec(DatasetId id);
+
+/// Instantiates dataset `id` at the given scale in (0, 1]; `seed` controls
+/// topology and probabilities. scale = 1 reproduces Table 2's size.
+Result<UncertainGraph> MakeDataset(DatasetId id, double scale, uint64_t seed);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_GEN_DATASETS_H_

@@ -1,0 +1,99 @@
+#include "gen/financial.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace vulnds {
+
+Result<UncertainGraph> GenerateGuarantee(const GuaranteeOptions& options,
+                                         uint64_t seed) {
+  const std::size_t n = options.num_firms;
+  const std::size_t m = options.num_guarantees;
+  if (n < 3) return Status::InvalidArgument("need at least 3 firms");
+  if (options.hub_fraction < 0.0 || options.hub_fraction > 1.0) {
+    return Status::InvalidArgument("hub_fraction outside [0, 1]");
+  }
+  Rng rng(seed);
+  UncertainGraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) {
+    VULNDS_RETURN_NOT_OK(builder.SetSelfRisk(v, options.probs.self_risk.Sample(rng)));
+  }
+
+  const NodeId hub = 0;  // the mega-guarantor
+  std::unordered_set<uint64_t> seen;
+  std::size_t added = 0;
+  // chain_tail[i] is the current tail of chain i; extending a chain models
+  // the guarantee chains the paper's case studies describe.
+  std::vector<NodeId> chain_tails;
+  std::size_t guard = 0;
+  while (added < m && guard < 100 * m) {
+    ++guard;
+    NodeId src;
+    NodeId dst;
+    if (rng.Bernoulli(options.hub_fraction)) {
+      // Hub guarantees a random firm.
+      src = hub;
+      dst = static_cast<NodeId>(1 + rng.NextBounded(n - 1));
+    } else if (!chain_tails.empty() && rng.Bernoulli(options.chain_bias)) {
+      // Extend an existing guarantee chain: tail guarantees a new firm.
+      const std::size_t c = rng.NextBounded(chain_tails.size());
+      src = chain_tails[c];
+      dst = static_cast<NodeId>(1 + rng.NextBounded(n - 1));
+      if (src != dst) chain_tails[c] = dst;
+    } else {
+      // Start a new chain between random firms.
+      src = static_cast<NodeId>(1 + rng.NextBounded(n - 1));
+      dst = static_cast<NodeId>(1 + rng.NextBounded(n - 1));
+      if (src != dst) chain_tails.push_back(dst);
+    }
+    if (src == dst) continue;
+    const uint64_t key = (static_cast<uint64_t>(src) << 32) | dst;
+    if (!seen.insert(key).second) continue;
+    VULNDS_RETURN_NOT_OK(builder.AddEdge(src, dst, options.probs.diffusion.Sample(rng)));
+    ++added;
+  }
+  return builder.Build();
+}
+
+Result<UncertainGraph> GenerateFraud(const FraudOptions& options, uint64_t seed) {
+  const std::size_t consumers = options.num_consumers;
+  const std::size_t merchants = options.num_merchants;
+  if (consumers == 0 || merchants == 0) {
+    return Status::InvalidArgument("need consumers and merchants");
+  }
+  Rng rng(seed);
+  const std::size_t n = consumers + merchants;
+  UncertainGraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) {
+    VULNDS_RETURN_NOT_OK(builder.SetSelfRisk(v, options.probs.self_risk.Sample(rng)));
+  }
+
+  // Zipf-like merchant popularity: merchant rank r gets weight r^-skew.
+  std::vector<double> cumulative(merchants);
+  double total = 0.0;
+  for (std::size_t r = 0; r < merchants; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -options.merchant_skew);
+    cumulative[r] = total;
+  }
+  auto sample_merchant = [&]() -> NodeId {
+    const double u = rng.NextDouble() * total;
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    const auto idx = static_cast<std::size_t>(it - cumulative.begin());
+    return static_cast<NodeId>(consumers + std::min(idx, merchants - 1));
+  };
+
+  // Trades are parallel-edge friendly (a consumer can trade with the same
+  // merchant repeatedly), matching the multi-edge degree Table 2 reports.
+  for (std::size_t i = 0; i < options.num_trades; ++i) {
+    const auto consumer = static_cast<NodeId>(rng.NextBounded(consumers));
+    const NodeId merchant = sample_merchant();
+    VULNDS_RETURN_NOT_OK(
+        builder.AddEdge(consumer, merchant, options.probs.diffusion.Sample(rng)));
+  }
+  return builder.Build();
+}
+
+}  // namespace vulnds

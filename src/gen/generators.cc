@@ -1,0 +1,215 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace vulnds {
+
+namespace {
+
+// Dedup key for a directed edge; assumes node ids fit in 32 bits.
+inline uint64_t EdgeKey(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+Status AnnotateAndAdd(UncertainGraphBuilder& builder,
+                      const std::vector<std::pair<NodeId, NodeId>>& edges,
+                      const GraphProbOptions& probs, Rng& rng) {
+  for (NodeId v = 0; v < builder.num_nodes(); ++v) {
+    VULNDS_RETURN_NOT_OK(builder.SetSelfRisk(v, probs.self_risk.Sample(rng)));
+  }
+  for (const auto& [src, dst] : edges) {
+    VULNDS_RETURN_NOT_OK(builder.AddEdge(src, dst, probs.diffusion.Sample(rng)));
+  }
+  return Status::OK();
+}
+
+Status ValidateSimpleGraphRequest(std::size_t n, std::size_t m) {
+  if (n < 2) return Status::InvalidArgument("need at least 2 nodes");
+  const double max_edges = static_cast<double>(n) * (static_cast<double>(n) - 1);
+  if (static_cast<double>(m) > max_edges) {
+    return Status::InvalidArgument("too many edges for a simple digraph of " +
+                                   std::to_string(n) + " nodes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<UncertainGraph> ErdosRenyi(std::size_t num_nodes, std::size_t num_edges,
+                                  const GraphProbOptions& probs, uint64_t seed) {
+  VULNDS_RETURN_NOT_OK(ValidateSimpleGraphRequest(num_nodes, num_edges));
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    const auto src = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    const auto dst = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (src == dst) continue;
+    if (!seen.insert(EdgeKey(src, dst)).second) continue;
+    edges.emplace_back(src, dst);
+  }
+  UncertainGraphBuilder builder(num_nodes);
+  VULNDS_RETURN_NOT_OK(AnnotateAndAdd(builder, edges, probs, rng));
+  return builder.Build();
+}
+
+Result<UncertainGraph> BarabasiAlbert(std::size_t num_nodes,
+                                      std::size_t edges_per_node,
+                                      const GraphProbOptions& probs, uint64_t seed) {
+  if (edges_per_node == 0) return Status::InvalidArgument("edges_per_node must be > 0");
+  if (num_nodes < edges_per_node + 1) {
+    return Status::InvalidArgument("need more nodes than edges_per_node");
+  }
+  Rng rng(seed);
+  // repeated-node list: each endpoint occurrence is one entry, so uniform
+  // sampling from the list is degree-proportional sampling.
+  std::vector<NodeId> endpoint_pool;
+  endpoint_pool.reserve(2 * num_nodes * edges_per_node);
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+
+  // Seed clique-ish core: chain the first (edges_per_node + 1) nodes.
+  const std::size_t core = edges_per_node + 1;
+  for (NodeId v = 1; v < core; ++v) {
+    const NodeId u = v - 1;
+    edges.emplace_back(u, v);
+    seen.insert(EdgeKey(u, v));
+    endpoint_pool.push_back(u);
+    endpoint_pool.push_back(v);
+  }
+  for (NodeId v = static_cast<NodeId>(core); v < num_nodes; ++v) {
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < edges_per_node && attempts < 50 * edges_per_node) {
+      ++attempts;
+      const NodeId target = endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+      if (target == v) continue;
+      // Randomize direction so diffusion can flow into and out of hubs.
+      const bool forward = rng.Bernoulli(0.5);
+      const NodeId src = forward ? v : target;
+      const NodeId dst = forward ? target : v;
+      if (!seen.insert(EdgeKey(src, dst)).second) continue;
+      edges.emplace_back(src, dst);
+      endpoint_pool.push_back(src);
+      endpoint_pool.push_back(dst);
+      ++added;
+    }
+  }
+  UncertainGraphBuilder builder(num_nodes);
+  VULNDS_RETURN_NOT_OK(AnnotateAndAdd(builder, edges, probs, rng));
+  return builder.Build();
+}
+
+Result<UncertainGraph> WattsStrogatz(std::size_t num_nodes, std::size_t ring_degree,
+                                     double rewire_prob,
+                                     const GraphProbOptions& probs, uint64_t seed) {
+  if (ring_degree == 0 || ring_degree >= num_nodes) {
+    return Status::InvalidArgument("ring_degree must be in [1, num_nodes)");
+  }
+  if (rewire_prob < 0.0 || rewire_prob > 1.0) {
+    return Status::InvalidArgument("rewire_prob outside [0, 1]");
+  }
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    for (std::size_t j = 1; j <= ring_degree; ++j) {
+      NodeId dst = static_cast<NodeId>((v + j) % num_nodes);
+      if (rng.Bernoulli(rewire_prob)) {
+        // Rewire to a uniform non-loop, non-duplicate target; keep the
+        // lattice edge if we fail to find one quickly.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          const auto candidate = static_cast<NodeId>(rng.NextBounded(num_nodes));
+          if (candidate == v) continue;
+          if (seen.count(EdgeKey(v, candidate)) != 0) continue;
+          dst = candidate;
+          break;
+        }
+      }
+      if (dst == v) continue;
+      if (!seen.insert(EdgeKey(v, dst)).second) continue;
+      edges.emplace_back(v, dst);
+    }
+  }
+  UncertainGraphBuilder builder(num_nodes);
+  VULNDS_RETURN_NOT_OK(AnnotateAndAdd(builder, edges, probs, rng));
+  return builder.Build();
+}
+
+Result<UncertainGraph> PowerLawConfiguration(std::size_t num_nodes,
+                                             std::size_t num_edges, double exponent,
+                                             std::size_t max_degree,
+                                             const GraphProbOptions& probs,
+                                             uint64_t seed) {
+  VULNDS_RETURN_NOT_OK(ValidateSimpleGraphRequest(num_nodes, num_edges));
+  if (exponent <= 1.0) return Status::InvalidArgument("exponent must exceed 1");
+  if (max_degree == 0) max_degree = num_nodes - 1;
+  Rng rng(seed);
+
+  // Draw a power-law weight per node; the stub pool repeats each node
+  // proportionally to its weight so matching approximates the target
+  // degree distribution.
+  auto build_pool = [&](uint64_t salt) {
+    Rng local = rng.Fork(salt);
+    std::vector<double> weight(num_nodes);
+    double total = 0.0;
+    for (std::size_t v = 0; v < num_nodes; ++v) {
+      // Inverse-CDF of a Pareto-like tail, truncated at max_degree.
+      const double u = local.NextDoubleOpen();
+      double w = std::pow(u, -1.0 / (exponent - 1.0));
+      w = std::min(w, static_cast<double>(max_degree));
+      weight[v] = w;
+      total += w;
+    }
+    std::vector<NodeId> pool;
+    pool.reserve(num_edges * 2);
+    for (std::size_t v = 0; v < num_nodes; ++v) {
+      const double expected = weight[v] / total * static_cast<double>(num_edges);
+      auto copies = static_cast<std::size_t>(expected);
+      if (local.NextDouble() < expected - static_cast<double>(copies)) ++copies;
+      copies = std::min(copies, max_degree);
+      for (std::size_t c = 0; c < std::max<std::size_t>(copies, 1); ++c) {
+        pool.push_back(static_cast<NodeId>(v));
+      }
+    }
+    return pool;
+  };
+  const std::vector<NodeId> out_pool = build_pool(1);
+  const std::vector<NodeId> in_pool = build_pool(2);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 100 * num_edges + 1000;
+  while (edges.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    const NodeId src = out_pool[rng.NextBounded(out_pool.size())];
+    const NodeId dst = in_pool[rng.NextBounded(in_pool.size())];
+    if (src == dst) continue;
+    if (!seen.insert(EdgeKey(src, dst)).second) continue;
+    edges.emplace_back(src, dst);
+  }
+  // Fill any shortfall (heavy dedup near saturation) with uniform edges.
+  while (edges.size() < num_edges) {
+    const auto src = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    const auto dst = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (src == dst) continue;
+    if (!seen.insert(EdgeKey(src, dst)).second) continue;
+    edges.emplace_back(src, dst);
+  }
+  UncertainGraphBuilder builder(num_nodes);
+  VULNDS_RETURN_NOT_OK(AnnotateAndAdd(builder, edges, probs, rng));
+  return builder.Build();
+}
+
+}  // namespace vulnds

@@ -1,0 +1,53 @@
+// Random-topology generators for benchmark networks.
+//
+// All generators are deterministic in their seed, reject self-loops, and
+// de-duplicate edges (parallel edges are legal in UncertainGraph but the
+// benchmark networks in Table 2 report simple-graph edge counts).
+
+#ifndef VULNDS_GEN_GENERATORS_H_
+#define VULNDS_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "gen/probability_model.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Probability annotation shared by all generators.
+struct GraphProbOptions {
+  ProbabilityModel self_risk = ProbabilityModel::Uniform01();
+  ProbabilityModel diffusion = ProbabilityModel::Uniform01();
+};
+
+/// Directed G(n, m): exactly `num_edges` distinct directed non-loop edges.
+Result<UncertainGraph> ErdosRenyi(std::size_t num_nodes, std::size_t num_edges,
+                                  const GraphProbOptions& probs, uint64_t seed);
+
+/// Directed Barabási–Albert preferential attachment. Each new node emits
+/// `edges_per_node` edges toward targets chosen proportionally to current
+/// (in + out) degree; direction of each edge is randomized so the result
+/// has both forward and backward diffusion paths.
+Result<UncertainGraph> BarabasiAlbert(std::size_t num_nodes,
+                                      std::size_t edges_per_node,
+                                      const GraphProbOptions& probs, uint64_t seed);
+
+/// Directed Watts–Strogatz small world: ring lattice with `ring_degree`
+/// successors per node, each edge rewired with probability `rewire_prob`.
+Result<UncertainGraph> WattsStrogatz(std::size_t num_nodes, std::size_t ring_degree,
+                                     double rewire_prob,
+                                     const GraphProbOptions& probs, uint64_t seed);
+
+/// Directed power-law configuration model: out- and in-degrees drawn from a
+/// Zipf-like distribution with the given exponent, capped at `max_degree`,
+/// then randomly matched until ~`num_edges` distinct edges exist.
+Result<UncertainGraph> PowerLawConfiguration(std::size_t num_nodes,
+                                             std::size_t num_edges, double exponent,
+                                             std::size_t max_degree,
+                                             const GraphProbOptions& probs,
+                                             uint64_t seed);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_GEN_GENERATORS_H_

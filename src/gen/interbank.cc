@@ -1,0 +1,79 @@
+#include "gen/interbank.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace vulnds {
+
+Result<UncertainGraph> GenerateInterbank(const InterbankOptions& options,
+                                         uint64_t seed) {
+  const std::size_t n = options.num_banks;
+  const std::size_t m = options.num_loans;
+  if (n < 2) return Status::InvalidArgument("need at least 2 banks");
+  const double max_edges = static_cast<double>(n) * (static_cast<double>(n) - 1);
+  if (static_cast<double>(m) > max_edges) {
+    return Status::InvalidArgument("too many loans for the bank count");
+  }
+
+  Rng rng(seed);
+  // Log-normal bank sizes.
+  std::vector<double> size(n);
+  double total = 0.0;
+  for (auto& s : size) {
+    s = std::exp(options.size_sigma * rng.NextGaussian());
+    total += s;
+  }
+  // Gravity sampling: endpoint picked proportionally to size. Rejection by
+  // dedup keeps the realized edge count exact.
+  std::vector<double> cumulative(n);
+  double run = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    run += size[v] / total;
+    cumulative[v] = run;
+  }
+  auto sample_bank = [&]() -> NodeId {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    const auto idx = static_cast<std::size_t>(it - cumulative.begin());
+    return static_cast<NodeId>(std::min(idx, n - 1));
+  };
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(m);
+  std::size_t stalls = 0;
+  while (edges.size() < m) {
+    const NodeId lender = sample_bank();
+    const NodeId borrower = sample_bank();
+    if (lender == borrower) continue;
+    const uint64_t key = (static_cast<uint64_t>(lender) << 32) | borrower;
+    if (!seen.insert(key).second) {
+      // Dense core saturates quickly; occasionally fall back to uniform
+      // sampling so generation terminates for any feasible edge count.
+      if (++stalls > 16 * m) {
+        const auto src = static_cast<NodeId>(rng.NextBounded(n));
+        const auto dst = static_cast<NodeId>(rng.NextBounded(n));
+        if (src == dst) continue;
+        const uint64_t k2 = (static_cast<uint64_t>(src) << 32) | dst;
+        if (!seen.insert(k2).second) continue;
+        edges.emplace_back(src, dst);
+      }
+      continue;
+    }
+    edges.emplace_back(lender, borrower);
+  }
+
+  UncertainGraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) {
+    VULNDS_RETURN_NOT_OK(builder.SetSelfRisk(v, options.probs.self_risk.Sample(rng)));
+  }
+  for (const auto& [src, dst] : edges) {
+    VULNDS_RETURN_NOT_OK(builder.AddEdge(src, dst, options.probs.diffusion.Sample(rng)));
+  }
+  return builder.Build();
+}
+
+}  // namespace vulnds

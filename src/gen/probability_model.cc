@@ -1,0 +1,49 @@
+#include "gen/probability_model.h"
+
+#include <cmath>
+
+namespace vulnds {
+
+namespace {
+
+// Marsaglia-Tsang gamma sampling for shape >= 1; boosting for shape < 1.
+double SampleGamma(Rng& rng, double shape) {
+  if (shape < 1.0) {
+    const double u = rng.NextDoubleOpen();
+    return SampleGamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = rng.NextGaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.NextDoubleOpen();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+}  // namespace
+
+double ProbabilityModel::Sample(Rng& rng) const {
+  switch (kind) {
+    case ProbKind::kConstant:
+      return lo;
+    case ProbKind::kUniform:
+      return rng.NextRange(lo, hi);
+    case ProbKind::kBeta: {
+      const double x = SampleGamma(rng, alpha);
+      const double y = SampleGamma(rng, beta);
+      const double b = x / (x + y);
+      return lo + (hi - lo) * b;
+    }
+  }
+  return lo;
+}
+
+}  // namespace vulnds

@@ -1,0 +1,52 @@
+// Probability annotators: how self-risk and diffusion probabilities are
+// drawn when a topology generator produces an uncertain graph.
+//
+// The paper's benchmark datasets use probabilities "randomly selected from
+// [0, 1]"; the financial datasets use model-derived probabilities, which we
+// substitute with beta-distributed draws (skewed toward small risks, the
+// shape such models produce in practice).
+
+#ifndef VULNDS_GEN_PROBABILITY_MODEL_H_
+#define VULNDS_GEN_PROBABILITY_MODEL_H_
+
+#include "common/rng.h"
+
+namespace vulnds {
+
+/// Family of distributions over [0, 1] used to annotate graphs.
+enum class ProbKind {
+  kUniform,   ///< Uniform(lo, hi)
+  kBeta,      ///< Beta(alpha, beta) scaled into [lo, hi]
+  kConstant,  ///< Always `lo`
+};
+
+/// A sampleable distribution over [0, 1].
+struct ProbabilityModel {
+  ProbKind kind = ProbKind::kUniform;
+  double lo = 0.0;     ///< lower endpoint (or the constant)
+  double hi = 1.0;     ///< upper endpoint
+  double alpha = 1.0;  ///< Beta shape alpha
+  double beta = 1.0;   ///< Beta shape beta
+
+  /// Uniform over the whole unit interval (paper's benchmark setting).
+  static ProbabilityModel Uniform01() { return {ProbKind::kUniform, 0, 1, 1, 1}; }
+  /// Uniform over [lo, hi].
+  static ProbabilityModel Uniform(double lo, double hi) {
+    return {ProbKind::kUniform, lo, hi, 1, 1};
+  }
+  /// Beta(alpha, beta) in [0, 1].
+  static ProbabilityModel Beta(double alpha, double beta) {
+    return {ProbKind::kBeta, 0, 1, alpha, beta};
+  }
+  /// The constant `p`.
+  static ProbabilityModel Constant(double p) {
+    return {ProbKind::kConstant, p, p, 1, 1};
+  }
+
+  /// Draws one value from the model.
+  double Sample(Rng& rng) const;
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_GEN_PROBABILITY_MODEL_H_

@@ -1,0 +1,85 @@
+#include "graph/builder.h"
+
+#include <string>
+
+namespace vulnds {
+
+namespace {
+bool ValidProb(double p) { return p >= 0.0 && p <= 1.0; }
+}  // namespace
+
+UncertainGraphBuilder::UncertainGraphBuilder(std::size_t num_nodes)
+    : self_risk_(num_nodes, 0.0) {}
+
+Status UncertainGraphBuilder::SetSelfRisk(NodeId v, double p) {
+  if (v >= self_risk_.size()) {
+    return Status::OutOfRange("node " + std::to_string(v) + " >= " +
+                              std::to_string(self_risk_.size()));
+  }
+  if (!ValidProb(p)) {
+    return Status::InvalidArgument("self-risk probability " + std::to_string(p) +
+                                   " outside [0,1]");
+  }
+  self_risk_[v] = p;
+  return Status::OK();
+}
+
+Status UncertainGraphBuilder::SetAllSelfRisks(const std::vector<double>& ps) {
+  if (ps.size() != self_risk_.size()) {
+    return Status::InvalidArgument("expected " + std::to_string(self_risk_.size()) +
+                                   " self-risks, got " + std::to_string(ps.size()));
+  }
+  for (std::size_t v = 0; v < ps.size(); ++v) {
+    VULNDS_RETURN_NOT_OK(SetSelfRisk(static_cast<NodeId>(v), ps[v]));
+  }
+  return Status::OK();
+}
+
+Status UncertainGraphBuilder::AddEdge(NodeId src, NodeId dst, double p) {
+  if (src >= self_risk_.size() || dst >= self_risk_.size()) {
+    return Status::OutOfRange("edge (" + std::to_string(src) + "," +
+                              std::to_string(dst) + ") outside graph of " +
+                              std::to_string(self_risk_.size()) + " nodes");
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("self-loop on node " + std::to_string(src));
+  }
+  if (!ValidProb(p)) {
+    return Status::InvalidArgument("diffusion probability " + std::to_string(p) +
+                                   " outside [0,1]");
+  }
+  edges_.push_back({src, dst, p});
+  return Status::OK();
+}
+
+Result<UncertainGraph> UncertainGraphBuilder::Build() const {
+  UncertainGraph g;
+  const std::size_t n = self_risk_.size();
+  const std::size_t m = edges_.size();
+  g.self_risk_ = self_risk_;
+  g.edge_list_ = edges_;
+
+  // Counting sort into CSR, both directions; edge id == position in edges_.
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (const UncertainEdge& e : edges_) {
+    ++g.out_offsets_[e.src + 1];
+    ++g.in_offsets_[e.dst + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.out_arcs_.resize(m);
+  g.in_arcs_.resize(m);
+  std::vector<std::size_t> out_pos(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+  std::vector<std::size_t> in_pos(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (EdgeId id = 0; id < m; ++id) {
+    const UncertainEdge& e = edges_[id];
+    g.out_arcs_[out_pos[e.src]++] = {e.dst, e.prob, id};
+    g.in_arcs_[in_pos[e.dst]++] = {e.src, e.prob, id};
+  }
+  return g;
+}
+
+}  // namespace vulnds

@@ -1,0 +1,49 @@
+// UncertainGraphBuilder: validated construction of UncertainGraph.
+
+#ifndef VULNDS_GRAPH_BUILDER_H_
+#define VULNDS_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Accumulates nodes and edges, validates them, and assembles the dual-CSR
+/// representation. Parallel edges are allowed (they act as independent
+/// diffusion channels); self-loops are rejected because a node's own default
+/// cannot re-cause it.
+class UncertainGraphBuilder {
+ public:
+  /// Creates a builder for a graph with `num_nodes` nodes, all with
+  /// self-risk 0 until SetSelfRisk is called.
+  explicit UncertainGraphBuilder(std::size_t num_nodes);
+
+  /// Number of nodes the graph will have.
+  std::size_t num_nodes() const { return self_risk_.size(); }
+  /// Number of edges added so far.
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Sets ps(v); fails if v is out of range or p is not in [0, 1].
+  Status SetSelfRisk(NodeId v, double p);
+
+  /// Sets every node's self-risk; `ps` must have num_nodes() entries in [0,1].
+  Status SetAllSelfRisks(const std::vector<double>& ps);
+
+  /// Adds a directed edge src -> dst with diffusion probability `p`.
+  /// Fails on out-of-range endpoints, self-loops, or p outside [0, 1].
+  Status AddEdge(NodeId src, NodeId dst, double p);
+
+  /// Assembles the graph. The builder remains usable afterwards (Build can
+  /// be called repeatedly while adding more edges, e.g. in generator tests).
+  Result<UncertainGraph> Build() const;
+
+ private:
+  std::vector<double> self_risk_;
+  std::vector<UncertainEdge> edges_;
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_GRAPH_BUILDER_H_

@@ -1,0 +1,99 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "graph/builder.h"
+
+namespace vulnds {
+
+namespace {
+
+// Skips whitespace and '#'-to-end-of-line comments.
+void SkipCommentsAndSpace(std::istream& in) {
+  for (;;) {
+    const int c = in.peek();
+    if (c == '#') {
+      in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    } else if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+template <typename T>
+Status ReadToken(std::istream& in, T* out, const char* what) {
+  SkipCommentsAndSpace(in);
+  if (!(in >> *out)) {
+    return Status::IOError(std::string("failed to read ") + what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteGraph(const UncertainGraph& graph, std::ostream& out) {
+  out << "vulnds-graph 1\n";
+  out << graph.num_nodes() << ' ' << graph.num_edges() << '\n';
+  out.precision(17);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out << graph.self_risk(v) << (v + 1 == graph.num_nodes() ? '\n' : ' ');
+  }
+  if (graph.num_nodes() == 0) out << '\n';
+  for (const UncertainEdge& e : graph.edges()) {
+    out << e.src << ' ' << e.dst << ' ' << e.prob << '\n';
+  }
+  if (!out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteGraphFile(const UncertainGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return WriteGraph(graph, out);
+}
+
+Result<UncertainGraph> ReadGraph(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  VULNDS_RETURN_NOT_OK(ReadToken(in, &magic, "magic"));
+  if (magic != "vulnds-graph") {
+    return Status::InvalidArgument("bad magic '" + magic + "'");
+  }
+  VULNDS_RETURN_NOT_OK(ReadToken(in, &version, "version"));
+  if (version != 1) {
+    return Status::InvalidArgument("unsupported version " + std::to_string(version));
+  }
+  std::size_t n = 0;
+  std::size_t m = 0;
+  VULNDS_RETURN_NOT_OK(ReadToken(in, &n, "node count"));
+  VULNDS_RETURN_NOT_OK(ReadToken(in, &m, "edge count"));
+  UncertainGraphBuilder builder(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    double p = 0.0;
+    VULNDS_RETURN_NOT_OK(ReadToken(in, &p, "self-risk"));
+    VULNDS_RETURN_NOT_OK(builder.SetSelfRisk(static_cast<NodeId>(v), p));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    NodeId src = 0;
+    NodeId dst = 0;
+    double p = 0.0;
+    VULNDS_RETURN_NOT_OK(ReadToken(in, &src, "edge src"));
+    VULNDS_RETURN_NOT_OK(ReadToken(in, &dst, "edge dst"));
+    VULNDS_RETURN_NOT_OK(ReadToken(in, &p, "edge prob"));
+    VULNDS_RETURN_NOT_OK(builder.AddEdge(src, dst, p));
+  }
+  return builder.Build();
+}
+
+Result<UncertainGraph> ReadGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadGraph(in);
+}
+
+}  // namespace vulnds

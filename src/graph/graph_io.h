@@ -1,0 +1,34 @@
+// Text serialization of uncertain graphs.
+//
+// Format (whitespace separated, '#' comments allowed):
+//   vulnds-graph 1
+//   <num_nodes> <num_edges>
+//   <ps(0)> <ps(1)> ... <ps(n-1)>        (may span multiple lines)
+//   <src> <dst> <prob>                    (num_edges lines)
+
+#ifndef VULNDS_GRAPH_GRAPH_IO_H_
+#define VULNDS_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Writes `graph` in the vulnds-graph text format.
+Status WriteGraph(const UncertainGraph& graph, std::ostream& out);
+
+/// Writes `graph` to `path`; overwrites existing content.
+Status WriteGraphFile(const UncertainGraph& graph, const std::string& path);
+
+/// Parses a graph from the vulnds-graph text format.
+Result<UncertainGraph> ReadGraph(std::istream& in);
+
+/// Reads a graph from `path`.
+Result<UncertainGraph> ReadGraphFile(const std::string& path);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,24 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+
+namespace vulnds {
+
+GraphStats ComputeStats(const UncertainGraph& graph) {
+  GraphStats s;
+  s.num_nodes = graph.num_nodes();
+  s.num_edges = graph.num_edges();
+  s.avg_degree = s.num_nodes == 0
+                     ? 0.0
+                     : static_cast<double>(s.num_edges) / static_cast<double>(s.num_nodes);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const std::size_t out = graph.OutDegree(v);
+    const std::size_t in = graph.InDegree(v);
+    s.max_out_degree = std::max(s.max_out_degree, out);
+    s.max_in_degree = std::max(s.max_in_degree, in);
+    s.max_degree = std::max(s.max_degree, in + out);
+  }
+  return s;
+}
+
+}  // namespace vulnds

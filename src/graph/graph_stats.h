@@ -1,0 +1,28 @@
+// Degree statistics matching the columns of Table 2.
+
+#ifndef VULNDS_GRAPH_GRAPH_STATS_H_
+#define VULNDS_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Summary statistics of a graph (the paper reports avg and max degree,
+/// where degree counts both directions).
+struct GraphStats {
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  double avg_degree = 0.0;      ///< m / n (directed edges per node)
+  std::size_t max_degree = 0;   ///< max over v of in(v) + out(v)
+  std::size_t max_out_degree = 0;
+  std::size_t max_in_degree = 0;
+};
+
+/// Computes GraphStats in O(n).
+GraphStats ComputeStats(const UncertainGraph& graph);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,18 @@
+#include "graph/uncertain_graph.h"
+
+#include "graph/builder.h"
+
+namespace vulnds {
+
+UncertainGraph UncertainGraph::Transposed() const {
+  UncertainGraphBuilder builder(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    builder.SetSelfRisk(v, self_risk_[v]);
+  }
+  for (const UncertainEdge& e : edge_list_) {
+    builder.AddEdge(e.dst, e.src, e.prob);
+  }
+  return builder.Build().MoveValue();
+}
+
+}  // namespace vulnds

@@ -1,0 +1,138 @@
+#include "ml/conv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace vulnds {
+
+CnnMax::CnnMax(CnnMaxOptions options) : options_(options) {}
+
+double CnnMax::Forward(std::span<const double> x,
+                       std::vector<std::size_t>* pool_argmax,
+                       std::vector<double>* pooled) const {
+  const std::size_t channels = options_.channels;
+  const std::size_t time = options_.time_steps;
+  const std::size_t kernel = options_.kernel;
+  const std::size_t positions = time - kernel + 1;
+  double logit = dense_bias_;
+  for (std::size_t f = 0; f < options_.filters; ++f) {
+    double best = 0.0;  // ReLU floor: max(0, .) over positions
+    std::size_t best_t = 0;
+    const double* wf = conv_weights_.data() + f * channels * kernel;
+    for (std::size_t t = 0; t < positions; ++t) {
+      double sum = conv_bias_[f];
+      for (std::size_t c = 0; c < channels; ++c) {
+        const double* xc = x.data() + c * time;
+        const double* wc = wf + c * kernel;
+        for (std::size_t k = 0; k < kernel; ++k) sum += wc[k] * xc[t + k];
+      }
+      const double activated = std::max(0.0, sum);
+      if (activated > best) {
+        best = activated;
+        best_t = t;
+      }
+    }
+    if (pool_argmax != nullptr) (*pool_argmax)[f] = best_t;
+    if (pooled != nullptr) (*pooled)[f] = best;
+    logit += dense_weights_[f] * best;
+  }
+  return logit;
+}
+
+Status CnnMax::Fit(const Matrix& features, const std::vector<double>& labels) {
+  const std::size_t n = features.rows();
+  const std::size_t expected = options_.channels * options_.time_steps;
+  if (features.cols() != expected) {
+    return Status::InvalidArgument("feature width " + std::to_string(features.cols()) +
+                                   " != channels*time " + std::to_string(expected));
+  }
+  if (labels.size() != n || n == 0) {
+    return Status::InvalidArgument("bad label count");
+  }
+  if (options_.kernel == 0 || options_.kernel > options_.time_steps) {
+    return Status::InvalidArgument("kernel must be in [1, time_steps]");
+  }
+
+  const std::size_t channels = options_.channels;
+  const std::size_t time = options_.time_steps;
+  const std::size_t kernel = options_.kernel;
+  const std::size_t filters = options_.filters;
+
+  Rng rng(options_.train.seed);
+  conv_weights_.resize(filters * channels * kernel);
+  const double conv_scale = std::sqrt(2.0 / static_cast<double>(channels * kernel));
+  for (auto& w : conv_weights_) w = rng.NextGaussian() * conv_scale;
+  conv_bias_.assign(filters, 0.0);
+  dense_weights_.resize(filters);
+  const double dense_scale = std::sqrt(2.0 / static_cast<double>(filters));
+  for (auto& w : dense_weights_) w = rng.NextGaussian() * dense_scale;
+  dense_bias_ = 0.0;
+
+  // Plain SGD with momentum is sufficient for this tiny net.
+  const double lr = options_.train.learning_rate;
+  std::vector<double> conv_grad(conv_weights_.size());
+  std::vector<double> bias_grad(filters);
+  std::vector<double> dense_grad(filters);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::size_t> argmax(filters);
+  std::vector<double> pooled(filters);
+
+  for (int epoch = 0; epoch < options_.train.epochs; ++epoch) {
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    for (std::size_t start = 0; start < n; start += options_.train.batch_size) {
+      const std::size_t end = std::min(n, start + options_.train.batch_size);
+      std::fill(conv_grad.begin(), conv_grad.end(), 0.0);
+      std::fill(bias_grad.begin(), bias_grad.end(), 0.0);
+      std::fill(dense_grad.begin(), dense_grad.end(), 0.0);
+      double dense_bias_grad = 0.0;
+      for (std::size_t b = start; b < end; ++b) {
+        const std::size_t row = order[b];
+        const auto x = features.Row(row);
+        const double logit = Forward(x, &argmax, &pooled);
+        const double g = Sigmoid(logit) - labels[row];
+        dense_bias_grad += g;
+        for (std::size_t f = 0; f < filters; ++f) {
+          dense_grad[f] += g * pooled[f];
+          if (pooled[f] <= 0.0) continue;  // ReLU / empty-pool gate
+          const double gf = g * dense_weights_[f];
+          const std::size_t t = argmax[f];
+          double* cg = conv_grad.data() + f * channels * kernel;
+          for (std::size_t c = 0; c < channels; ++c) {
+            const double* xc = x.data() + c * time;
+            double* cgc = cg + c * kernel;
+            for (std::size_t k = 0; k < kernel; ++k) cgc[k] += gf * xc[t + k];
+          }
+          bias_grad[f] += gf;
+        }
+      }
+      const double scale = lr / static_cast<double>(end - start);
+      for (std::size_t i = 0; i < conv_weights_.size(); ++i) {
+        conv_weights_[i] -= scale * (conv_grad[i] +
+                                     options_.train.l2 * conv_weights_[i]);
+      }
+      for (std::size_t f = 0; f < filters; ++f) {
+        conv_bias_[f] -= scale * bias_grad[f];
+        dense_weights_[f] -= scale * (dense_grad[f] +
+                                      options_.train.l2 * dense_weights_[f]);
+      }
+      dense_bias_ -= scale * dense_bias_grad;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> CnnMax::PredictProba(const Matrix& features) const {
+  std::vector<double> out(features.rows(), 0.0);
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    out[i] = Sigmoid(Forward(features.Row(i), nullptr, nullptr));
+  }
+  return out;
+}
+
+}  // namespace vulnds

@@ -1,0 +1,55 @@
+// CNN-max [27]: 1-D convolution over a monthly behavior sequence, ReLU,
+// global max pooling, and a dense sigmoid head.
+//
+// Input rows are flattened (channels x time) tensors: feature index
+// c * time_steps + t holds channel c at month t.
+
+#ifndef VULNDS_ML_CONV_H_
+#define VULNDS_ML_CONV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/linear.h"
+#include "ml/matrix.h"
+
+namespace vulnds {
+
+/// Configuration of the small temporal CNN.
+struct CnnMaxOptions {
+  std::size_t channels = 4;     ///< input channels per time step
+  std::size_t time_steps = 12;  ///< sequence length (months)
+  std::size_t filters = 8;      ///< convolution filters
+  std::size_t kernel = 3;       ///< temporal kernel width
+  TrainOptions train;
+};
+
+/// Conv1D -> ReLU -> global max pool -> dense -> sigmoid.
+class CnnMax {
+ public:
+  explicit CnnMax(CnnMaxOptions options);
+
+  /// Trains on rows of flattened (channels x time_steps) sequences.
+  /// Fails if the feature width is not channels * time_steps.
+  Status Fit(const Matrix& features, const std::vector<double>& labels);
+
+  /// P(y = 1 | x) per row.
+  std::vector<double> PredictProba(const Matrix& features) const;
+
+ private:
+  // Forward pass; if `pool_argmax` is non-null it receives, per filter, the
+  // time index attaining the max (needed for backprop through the pool).
+  double Forward(std::span<const double> x, std::vector<std::size_t>* pool_argmax,
+                 std::vector<double>* pooled) const;
+
+  CnnMaxOptions options_;
+  std::vector<double> conv_weights_;  // filters x channels x kernel
+  std::vector<double> conv_bias_;     // filters
+  std::vector<double> dense_weights_; // filters
+  double dense_bias_ = 0.0;
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_ML_CONV_H_

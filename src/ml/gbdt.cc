@@ -1,0 +1,148 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/linear.h"
+
+namespace vulnds {
+
+namespace {
+constexpr double kHessianFloor = 1e-9;
+}
+
+int Gbdt::BuildNode(const Matrix& features, const std::vector<double>& gradients,
+                    const std::vector<double>& hessians,
+                    std::vector<std::size_t>& rows, int depth, Tree* tree) {
+  double grad_sum = 0.0;
+  double hess_sum = 0.0;
+  for (const std::size_t r : rows) {
+    grad_sum += gradients[r];
+    hess_sum += hessians[r];
+  }
+  const int node_id = static_cast<int>(tree->size());
+  tree->push_back({});
+  // Newton step for the leaf value: -G / H.
+  (*tree)[node_id].value = -grad_sum / (hess_sum + kHessianFloor);
+
+  if (depth >= options_.max_depth || rows.size() < 2 * options_.min_leaf) {
+    return node_id;
+  }
+
+  // Exact greedy split: maximize gain = GL^2/HL + GR^2/HR - G^2/H.
+  const double parent_score = grad_sum * grad_sum / (hess_sum + kHessianFloor);
+  double best_gain = options_.min_gain;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::size_t> sorted = rows;
+  for (std::size_t f = 0; f < features.cols(); ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return features.At(a, f) < features.At(b, f);
+    });
+    double gl = 0.0;
+    double hl = 0.0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      gl += gradients[sorted[i]];
+      hl += hessians[sorted[i]];
+      const double x_here = features.At(sorted[i], f);
+      const double x_next = features.At(sorted[i + 1], f);
+      if (x_here == x_next) continue;  // cannot split inside a tie group
+      const std::size_t left_count = i + 1;
+      const std::size_t right_count = sorted.size() - left_count;
+      if (left_count < options_.min_leaf || right_count < options_.min_leaf) {
+        continue;
+      }
+      const double gr = grad_sum - gl;
+      const double hr = hess_sum - hl;
+      const double gain = gl * gl / (hl + kHessianFloor) +
+                          gr * gr / (hr + kHessianFloor) - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (x_here + x_next) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (const std::size_t r : rows) {
+    if (features.At(r, static_cast<std::size_t>(best_feature)) <= best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  (*tree)[node_id].feature = best_feature;
+  (*tree)[node_id].threshold = best_threshold;
+  const int left = BuildNode(features, gradients, hessians, left_rows, depth + 1, tree);
+  (*tree)[node_id].left = left;
+  const int right =
+      BuildNode(features, gradients, hessians, right_rows, depth + 1, tree);
+  (*tree)[node_id].right = right;
+  return node_id;
+}
+
+double Gbdt::Predict(const Tree& tree, std::span<const double> x) {
+  int node = 0;
+  while (tree[node].feature >= 0) {
+    node = x[static_cast<std::size_t>(tree[node].feature)] <= tree[node].threshold
+               ? tree[node].left
+               : tree[node].right;
+  }
+  return tree[node].value;
+}
+
+Status Gbdt::Fit(const Matrix& features, const std::vector<double>& labels) {
+  const std::size_t n = features.rows();
+  if (n == 0 || features.cols() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  if (labels.size() != n) {
+    return Status::InvalidArgument("labels/features row mismatch");
+  }
+  trees_.clear();
+  const double positives = std::accumulate(labels.begin(), labels.end(), 0.0);
+  const double prior = std::clamp(positives / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
+  base_score_ = std::log(prior / (1.0 - prior));
+
+  std::vector<double> margin(n, base_score_);
+  std::vector<double> gradients(n, 0.0);
+  std::vector<double> hessians(n, 0.0);
+  for (int round = 0; round < options_.num_trees; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = Sigmoid(margin[i]);
+      gradients[i] = p - labels[i];
+      hessians[i] = std::max(p * (1.0 - p), kHessianFloor);
+    }
+    std::vector<std::size_t> rows(n);
+    std::iota(rows.begin(), rows.end(), 0);
+    Tree tree;
+    BuildNode(features, gradients, hessians, rows, 0, &tree);
+    for (std::size_t i = 0; i < n; ++i) {
+      margin[i] += options_.learning_rate * Predict(tree, features.Row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+std::vector<double> Gbdt::PredictProba(const Matrix& features) const {
+  std::vector<double> out(features.rows(), 0.0);
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    double margin = base_score_;
+    for (const Tree& tree : trees_) {
+      margin += options_.learning_rate * Predict(tree, features.Row(i));
+    }
+    out[i] = Sigmoid(margin);
+  }
+  return out;
+}
+
+}  // namespace vulnds

@@ -1,0 +1,63 @@
+// Gradient-boosted decision trees ("GBDT" [28]) with logistic loss.
+//
+// Classic Friedman boosting: each round fits a depth-limited regression
+// tree to the negative gradient (residual) and applies a Newton leaf
+// update. Exact greedy splits over sorted feature values.
+
+#ifndef VULNDS_ML_GBDT_H_
+#define VULNDS_ML_GBDT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace vulnds {
+
+/// GBDT hyper-parameters.
+struct GbdtOptions {
+  int num_trees = 60;
+  int max_depth = 3;
+  std::size_t min_leaf = 8;     ///< minimum samples per leaf
+  double learning_rate = 0.1;
+  double min_gain = 1e-7;       ///< minimum variance-reduction to split
+};
+
+/// Boosted binary classifier.
+class Gbdt {
+ public:
+  explicit Gbdt(GbdtOptions options = {}) : options_(options) {}
+
+  /// Trains on X (n x d), y in {0, 1}.
+  Status Fit(const Matrix& features, const std::vector<double>& labels);
+
+  /// P(y = 1 | x) per row.
+  std::vector<double> PredictProba(const Matrix& features) const;
+
+  /// Number of trees actually grown.
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 for leaf
+    double threshold = 0.0;  // go left if x[feature] <= threshold
+    double value = 0.0;      // leaf output
+    int left = -1;
+    int right = -1;
+  };
+  using Tree = std::vector<Node>;
+
+  int BuildNode(const Matrix& features, const std::vector<double>& gradients,
+                const std::vector<double>& hessians,
+                std::vector<std::size_t>& rows, int depth, Tree* tree);
+  static double Predict(const Tree& tree, std::span<const double> x);
+
+  GbdtOptions options_;
+  double base_score_ = 0.0;  // initial log-odds
+  std::vector<Tree> trees_;
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_ML_GBDT_H_

@@ -1,0 +1,92 @@
+#include "ml/graph_features.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace vulnds {
+
+namespace {
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(std::span<const double> a) { return std::sqrt(Dot(a, a)) + 1e-12; }
+
+}  // namespace
+
+Matrix NeighborMeanFeatures(const UncertainGraph& graph, const Matrix& features) {
+  assert(features.rows() == graph.num_nodes());
+  const std::size_t d = features.cols();
+  Matrix out(graph.num_nodes(), d + 2);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto in = graph.InArcs(v);
+    if (!in.empty()) {
+      for (const Arc& arc : in) {
+        const auto row = features.Row(arc.neighbor);
+        for (std::size_t j = 0; j < d; ++j) out.At(v, j) += row[j];
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        out.At(v, j) /= static_cast<double>(in.size());
+      }
+    }
+    out.At(v, d) = static_cast<double>(graph.InDegree(v));
+    out.At(v, d + 1) = static_cast<double>(graph.OutDegree(v));
+  }
+  return out;
+}
+
+Matrix HighOrderFeatures(const UncertainGraph& graph, const Matrix& features,
+                         int hops) {
+  assert(features.rows() == graph.num_nodes());
+  assert(hops >= 1);
+  const std::size_t n = graph.num_nodes();
+  const std::size_t d = features.cols();
+  Matrix out(n, d * static_cast<std::size_t>(hops + 1));
+  // Column block 0: the node's own features.
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t j = 0; j < d; ++j) out.At(v, j) = features.At(v, j);
+  }
+  // Hop h aggregates the previous hop's representation over in-neighbors
+  // with attention-like weights: softmax over cosine similarity to self.
+  Matrix current = features;  // representation being propagated
+  std::vector<double> weights;
+  for (int h = 1; h <= hops; ++h) {
+    Matrix next(n, d);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto in = graph.InArcs(v);
+      if (in.empty()) continue;
+      const auto self = features.Row(v);
+      weights.assign(in.size(), 0.0);
+      double max_sim = -1e300;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        const auto nb = current.Row(in[i].neighbor);
+        const double sim = Dot(self, nb) / (Norm(self) * Norm(nb));
+        weights[i] = sim;
+        max_sim = std::max(max_sim, sim);
+      }
+      double total = 0.0;
+      for (auto& w : weights) {
+        w = std::exp(w - max_sim);
+        total += w;
+      }
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        const double a = weights[i] / total;
+        const auto nb = current.Row(in[i].neighbor);
+        for (std::size_t j = 0; j < d; ++j) next.At(v, j) += a * nb[j];
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::size_t j = 0; j < d; ++j) {
+        out.At(v, static_cast<std::size_t>(h) * d + j) = next.At(v, j);
+      }
+    }
+    current = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace vulnds

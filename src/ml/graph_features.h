@@ -1,0 +1,34 @@
+// Graph-aware feature construction for the network baselines.
+//
+// INDDP [15] augments node features with neighborhood information; HGAR [10]
+// builds a high-order attention-weighted representation. We reproduce both
+// as deterministic feature transforms feeding standard classifiers:
+//   * NeighborMeanFeatures  — mean over in-neighbors (1 hop), the INDDP-style
+//     smoothing;
+//   * HighOrderFeatures     — concatenation of degree-normalized aggregates
+//     over 1..hops in-neighborhoods with attention-like softmax weighting by
+//     feature similarity, the HGAR-style representation.
+// DESIGN.md documents the substitution (TensorFlow GAT -> C++ transform +
+// MLP head).
+
+#ifndef VULNDS_ML_GRAPH_FEATURES_H_
+#define VULNDS_ML_GRAPH_FEATURES_H_
+
+#include "graph/uncertain_graph.h"
+#include "ml/matrix.h"
+
+namespace vulnds {
+
+/// Mean of in-neighbor feature rows (zeros when no in-neighbors), plus the
+/// node's own in/out degree appended as two extra columns.
+Matrix NeighborMeanFeatures(const UncertainGraph& graph, const Matrix& features);
+
+/// Multi-hop attention-weighted aggregation: for each hop h in [1, hops],
+/// aggregates in-neighbor features with weights softmax(cosine similarity),
+/// then concatenates [self | hop1 | ... | hopH]. `hops` >= 1.
+Matrix HighOrderFeatures(const UncertainGraph& graph, const Matrix& features,
+                         int hops);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_ML_GRAPH_FEATURES_H_

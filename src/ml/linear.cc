@@ -1,0 +1,112 @@
+#include "ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace vulnds {
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+namespace {
+
+// Adam state for a flat parameter vector.
+struct Adam {
+  explicit Adam(std::size_t size) : m(size, 0.0), v(size, 0.0) {}
+  std::vector<double> m;
+  std::vector<double> v;
+  int t = 0;
+  static constexpr double kBeta1 = 0.9;
+  static constexpr double kBeta2 = 0.999;
+  static constexpr double kEps = 1e-8;
+
+  void Step(std::vector<double>* params, const std::vector<double>& grads,
+            double lr) {
+    ++t;
+    const double correction1 = 1.0 - std::pow(kBeta1, t);
+    const double correction2 = 1.0 - std::pow(kBeta2, t);
+    for (std::size_t i = 0; i < params->size(); ++i) {
+      m[i] = kBeta1 * m[i] + (1.0 - kBeta1) * grads[i];
+      v[i] = kBeta2 * v[i] + (1.0 - kBeta2) * grads[i] * grads[i];
+      const double mhat = m[i] / correction1;
+      const double vhat = v[i] / correction2;
+      (*params)[i] -= lr * mhat / (std::sqrt(vhat) + kEps);
+    }
+  }
+};
+
+}  // namespace
+
+Status LogisticRegression::Fit(const Matrix& features,
+                               const std::vector<double>& labels) {
+  const std::size_t n = features.rows();
+  const std::size_t d = features.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  if (labels.size() != n) {
+    return Status::InvalidArgument("labels/features row mismatch");
+  }
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  // Parameters flattened as [w..., b].
+  std::vector<double> params(d + 1, 0.0);
+  std::vector<double> grads(d + 1, 0.0);
+  Adam adam(d + 1);
+  Rng rng(options_.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    for (std::size_t start = 0; start < n; start += options_.batch_size) {
+      const std::size_t end = std::min(n, start + options_.batch_size);
+      std::fill(grads.begin(), grads.end(), 0.0);
+      for (std::size_t b = start; b < end; ++b) {
+        const std::size_t row = order[b];
+        double logit = params[d];
+        const auto x = features.Row(row);
+        for (std::size_t j = 0; j < d; ++j) logit += params[j] * x[j];
+        const double err = Sigmoid(logit) - labels[row];
+        for (std::size_t j = 0; j < d; ++j) grads[j] += err * x[j];
+        grads[d] += err;
+      }
+      const double scale = 1.0 / static_cast<double>(end - start);
+      for (std::size_t j = 0; j < d; ++j) {
+        grads[j] = grads[j] * scale + options_.l2 * params[j];
+      }
+      grads[d] *= scale;
+      adam.Step(&params, grads, options_.learning_rate);
+    }
+  }
+  weights_.assign(params.begin(), params.begin() + static_cast<std::ptrdiff_t>(d));
+  bias_ = params[d];
+  return Status::OK();
+}
+
+std::vector<double> LogisticRegression::PredictProba(const Matrix& features) const {
+  std::vector<double> out(features.rows(), 0.0);
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    double logit = bias_;
+    const auto x = features.Row(i);
+    for (std::size_t j = 0; j < weights_.size() && j < x.size(); ++j) {
+      logit += weights_[j] * x[j];
+    }
+    out[i] = Sigmoid(logit);
+  }
+  return out;
+}
+
+}  // namespace vulnds

@@ -1,0 +1,56 @@
+// Logistic regression ("Wide" [25] in the case study).
+//
+// Trained with mini-batch Adam on binary cross-entropy with optional L2.
+// Also the self-risk / diffusion probability estimator feeding the
+// detectors in the Table 3 pipeline (the paper obtains these probabilities
+// from previously-published models; a calibrated linear model is the
+// standard stand-in).
+
+#ifndef VULNDS_ML_LINEAR_H_
+#define VULNDS_ML_LINEAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace vulnds {
+
+/// Hyper-parameters shared by the gradient-trained models.
+struct TrainOptions {
+  int epochs = 60;
+  std::size_t batch_size = 64;
+  double learning_rate = 0.01;
+  double l2 = 1e-4;
+  uint64_t seed = 1;
+};
+
+/// Binary logistic regression.
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(TrainOptions options = {}) : options_(options) {}
+
+  /// Fits on features X (n x d) and labels y in {0, 1}. Fails on size
+  /// mismatch or empty input.
+  Status Fit(const Matrix& features, const std::vector<double>& labels);
+
+  /// P(y = 1 | x) per row; requires a prior successful Fit.
+  std::vector<double> PredictProba(const Matrix& features) const;
+
+  /// Learned weights (d entries) and bias.
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  TrainOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Numerically-stable logistic function.
+double Sigmoid(double x);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_ML_LINEAR_H_

@@ -1,0 +1,65 @@
+#include "ml/matrix.h"
+
+#include <cassert>
+
+namespace vulnds {
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows());
+  Matrix out(rows_, other.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = At(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols(); ++j) {
+        out.At(i, j) += a * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.At(j, i) = At(i, j);
+    }
+  }
+  return out;
+}
+
+void Matrix::AppendRows(const Matrix& other) {
+  if (rows_ == 0 && cols_ == 0) {
+    *this = other;
+    return;
+  }
+  assert(cols_ == other.cols());
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows();
+}
+
+Matrix Matrix::ConcatColumns(const Matrix& other) const {
+  assert(rows_ == other.rows());
+  Matrix out(rows_, cols_ + other.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out.At(i, j) = At(i, j);
+    for (std::size_t j = 0; j < other.cols(); ++j) {
+      out.At(i, cols_ + j) = other.At(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SelectRows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < rows_);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.At(i, j) = At(indices[i], j);
+    }
+  }
+  return out;
+}
+
+}  // namespace vulnds

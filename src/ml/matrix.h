@@ -1,0 +1,68 @@
+// Minimal dense row-major matrix used by the ML baselines.
+//
+// This is intentionally a small, obviously-correct kernel library: the
+// baselines train on thousands of rows with tens of features, so cache
+// blocking and SIMD dispatch would be noise.
+
+#ifndef VULNDS_ML_MATRIX_H_
+#define VULNDS_ML_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vulnds {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Row r as a span of cols() doubles.
+  std::span<const double> Row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> MutableRow(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Raw storage (row-major).
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// this * other; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transpose copy.
+  Matrix Transposed() const;
+
+  /// Appends the rows of `other` (must match cols(); empty *this adopts).
+  void AppendRows(const Matrix& other);
+
+  /// Horizontal concatenation [this | other]; requires equal row counts.
+  Matrix ConcatColumns(const Matrix& other) const;
+
+  /// Selects a subset of rows by index.
+  Matrix SelectRows(std::span<const std::size_t> indices) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_ML_MATRIX_H_

@@ -1,0 +1,65 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace vulnds {
+
+double AreaUnderRoc(std::span<const double> scores, std::span<const double> labels) {
+  assert(scores.size() == labels.size());
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  // Average ranks over tie groups, then apply the Mann-Whitney identity.
+  std::vector<double> rank(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t t = i; t <= j; ++t) rank[order[t]] = avg_rank;
+    i = j + 1;
+  }
+  double positive = 0.0;
+  double rank_sum = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (labels[t] > 0.5) {
+      positive += 1.0;
+      rank_sum += rank[t];
+    }
+  }
+  const double negative = static_cast<double>(n) - positive;
+  if (positive == 0.0 || negative == 0.0) return 0.5;
+  return (rank_sum - positive * (positive + 1.0) / 2.0) / (positive * negative);
+}
+
+double LogLoss(std::span<const double> probs, std::span<const double> labels) {
+  assert(probs.size() == labels.size());
+  if (probs.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t t = 0; t < probs.size(); ++t) {
+    const double p = std::clamp(probs[t], 1e-12, 1.0 - 1e-12);
+    total += labels[t] > 0.5 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / static_cast<double>(probs.size());
+}
+
+double Accuracy(std::span<const double> probs, std::span<const double> labels) {
+  assert(probs.size() == labels.size());
+  if (probs.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t t = 0; t < probs.size(); ++t) {
+    const bool predicted = probs[t] >= 0.5;
+    const bool actual = labels[t] > 0.5;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(probs.size());
+}
+
+}  // namespace vulnds

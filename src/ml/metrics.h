@@ -1,0 +1,23 @@
+// Evaluation metrics for the case study; AUC is the Table 3 metric.
+
+#ifndef VULNDS_ML_METRICS_H_
+#define VULNDS_ML_METRICS_H_
+
+#include <span>
+
+namespace vulnds {
+
+/// Area under the ROC curve via the rank statistic (Mann–Whitney U), with
+/// the standard 0.5 credit for score ties. Labels are interpreted as
+/// positive when > 0.5. Returns 0.5 when either class is empty.
+double AreaUnderRoc(std::span<const double> scores, std::span<const double> labels);
+
+/// Binary log loss at probability clamp 1e-12.
+double LogLoss(std::span<const double> probs, std::span<const double> labels);
+
+/// Fraction of correct predictions at threshold 0.5.
+double Accuracy(std::span<const double> probs, std::span<const double> labels);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_ML_METRICS_H_

@@ -1,0 +1,184 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace vulnds {
+
+namespace {
+
+// Adam over a collection of parameter blocks (one per layer tensor).
+struct BlockAdam {
+  std::vector<std::vector<double>> m;
+  std::vector<std::vector<double>> v;
+  int t = 0;
+
+  void Register(std::size_t size) {
+    m.emplace_back(size, 0.0);
+    v.emplace_back(size, 0.0);
+  }
+
+  void Step(std::size_t block, std::vector<double>* params,
+            const std::vector<double>& grads, double lr) {
+    const double c1 = 1.0 - std::pow(0.9, t);
+    const double c2 = 1.0 - std::pow(0.999, t);
+    auto& mb = m[block];
+    auto& vb = v[block];
+    for (std::size_t i = 0; i < params->size(); ++i) {
+      mb[i] = 0.9 * mb[i] + 0.1 * grads[i];
+      vb[i] = 0.999 * vb[i] + 0.001 * grads[i] * grads[i];
+      (*params)[i] -= lr * (mb[i] / c1) / (std::sqrt(vb[i] / c2) + 1e-8);
+    }
+  }
+};
+
+}  // namespace
+
+Mlp::Mlp(std::vector<std::size_t> hidden_dims, TrainOptions options)
+    : hidden_dims_(std::move(hidden_dims)), options_(options) {}
+
+void Mlp::InitLayers(std::size_t input_dim, uint64_t seed) {
+  layers_.clear();
+  Rng rng(seed);
+  std::size_t in = input_dim;
+  auto make_layer = [&rng](std::size_t in_dim, std::size_t out_dim) {
+    Layer layer;
+    layer.in = in_dim;
+    layer.out = out_dim;
+    layer.weights.resize(in_dim * out_dim);
+    layer.bias.assign(out_dim, 0.0);
+    // He initialization for ReLU layers (also fine for the linear head).
+    const double scale = std::sqrt(2.0 / static_cast<double>(in_dim));
+    for (auto& w : layer.weights) w = rng.NextGaussian() * scale;
+    return layer;
+  };
+  for (const std::size_t width : hidden_dims_) {
+    layers_.push_back(make_layer(in, width));
+    in = width;
+  }
+  layers_.push_back(make_layer(in, 1));  // logit head
+}
+
+double Mlp::Forward(std::span<const double> x,
+                    std::vector<std::vector<double>>* activations) const {
+  std::vector<double> current(x.begin(), x.end());
+  if (activations != nullptr) {
+    activations->clear();
+    activations->push_back(current);
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(layer.out, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double sum = layer.bias[o];
+      const double* w = layer.weights.data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) sum += w[i] * current[i];
+      // ReLU on hidden layers, identity on the head.
+      next[o] = (l + 1 < layers_.size()) ? std::max(0.0, sum) : sum;
+    }
+    current.swap(next);
+    if (activations != nullptr) activations->push_back(current);
+  }
+  return current[0];
+}
+
+Status Mlp::Fit(const Matrix& features, const std::vector<double>& labels) {
+  const std::size_t n = features.rows();
+  const std::size_t d = features.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("empty training data");
+  if (labels.size() != n) {
+    return Status::InvalidArgument("labels/features row mismatch");
+  }
+  InitLayers(d, options_.seed);
+
+  BlockAdam adam;
+  for (const Layer& layer : layers_) {
+    adam.Register(layer.weights.size());
+    adam.Register(layer.bias.size());
+  }
+
+  std::vector<std::vector<double>> weight_grads(layers_.size());
+  std::vector<std::vector<double>> bias_grads(layers_.size());
+  Rng rng(options_.seed ^ 0xD1B54A32D192ED03ULL);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::vector<double>> activations;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    for (std::size_t start = 0; start < n; start += options_.batch_size) {
+      const std::size_t end = std::min(n, start + options_.batch_size);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        weight_grads[l].assign(layers_[l].weights.size(), 0.0);
+        bias_grads[l].assign(layers_[l].bias.size(), 0.0);
+      }
+      for (std::size_t b = start; b < end; ++b) {
+        const std::size_t row = order[b];
+        const double logit = Forward(features.Row(row), &activations);
+        // dL/dlogit for BCE on sigmoid(logit).
+        double upstream_scalar = Sigmoid(logit) - labels[row];
+        std::vector<double> upstream = {upstream_scalar};
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+          const Layer& layer = layers_[l];
+          const std::vector<double>& input = activations[l];
+          std::vector<double> downstream(layer.in, 0.0);
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            const double g = upstream[o];
+            if (g == 0.0) continue;
+            double* wg = weight_grads[l].data() + o * layer.in;
+            const double* w = layer.weights.data() + o * layer.in;
+            for (std::size_t i2 = 0; i2 < layer.in; ++i2) {
+              wg[i2] += g * input[i2];
+              downstream[i2] += g * w[i2];
+            }
+            bias_grads[l][o] += g;
+          }
+          if (l > 0) {
+            // ReLU derivative gates the gradient flowing into layer l-1.
+            const std::vector<double>& act = activations[l];
+            (void)act;
+            for (std::size_t i2 = 0; i2 < layer.in; ++i2) {
+              if (activations[l][i2] <= 0.0) downstream[i2] = 0.0;
+            }
+          }
+          upstream.swap(downstream);
+        }
+      }
+      const double scale = 1.0 / static_cast<double>(end - start);
+      ++adam.t;
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        for (std::size_t i = 0; i < weight_grads[l].size(); ++i) {
+          weight_grads[l][i] =
+              weight_grads[l][i] * scale + options_.l2 * layers_[l].weights[i];
+        }
+        for (auto& g : bias_grads[l]) g *= scale;
+        adam.Step(2 * l, &layers_[l].weights, weight_grads[l],
+                  options_.learning_rate);
+        adam.Step(2 * l + 1, &layers_[l].bias, bias_grads[l],
+                  options_.learning_rate);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> Mlp::PredictLogit(const Matrix& features) const {
+  std::vector<double> out(features.rows(), 0.0);
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    out[i] = Forward(features.Row(i), nullptr);
+  }
+  return out;
+}
+
+std::vector<double> Mlp::PredictProba(const Matrix& features) const {
+  std::vector<double> logits = PredictLogit(features);
+  for (auto& v : logits) v = Sigmoid(v);
+  return logits;
+}
+
+}  // namespace vulnds

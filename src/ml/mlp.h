@@ -1,0 +1,58 @@
+// Multi-layer perceptron with ReLU hidden layers and a sigmoid output.
+//
+// Serves two case-study baselines: "crDNN" [29] (a deep feed-forward risk
+// network) and the deep half of "Wide & Deep" [26]. Manual backprop, Adam,
+// mini-batches, deterministic initialization.
+
+#ifndef VULNDS_ML_MLP_H_
+#define VULNDS_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/linear.h"
+#include "ml/matrix.h"
+
+namespace vulnds {
+
+/// Feed-forward binary classifier.
+class Mlp {
+ public:
+  /// `hidden_dims` lists hidden-layer widths (e.g. {32, 16}); empty means
+  /// logistic regression expressed as a 0-hidden-layer network.
+  Mlp(std::vector<std::size_t> hidden_dims, TrainOptions options = {});
+
+  /// Trains on X (n x d), y in {0, 1}.
+  Status Fit(const Matrix& features, const std::vector<double>& labels);
+
+  /// P(y = 1 | x) per row.
+  std::vector<double> PredictProba(const Matrix& features) const;
+
+  /// Forward pass returning raw logits (used by WideDeep to combine).
+  std::vector<double> PredictLogit(const Matrix& features) const;
+
+ private:
+  friend class WideDeep;
+
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::vector<double> weights;  // out x in, row-major
+    std::vector<double> bias;     // out
+  };
+
+  void InitLayers(std::size_t input_dim, uint64_t seed);
+  // Forward through hidden layers; returns activations per layer
+  // (activations[0] is the input row).
+  double Forward(std::span<const double> x,
+                 std::vector<std::vector<double>>* activations) const;
+
+  std::vector<std::size_t> hidden_dims_;
+  TrainOptions options_;
+  std::vector<Layer> layers_;  // hidden layers + final 1-unit layer
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_ML_MLP_H_

@@ -1,0 +1,46 @@
+#include "ml/scaler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vulnds {
+
+void StandardScaler::Fit(const Matrix& features) {
+  const std::size_t n = features.rows();
+  const std::size_t d = features.cols();
+  means_.assign(d, 0.0);
+  stds_.assign(d, 1.0);
+  if (n == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) means_[j] += features.At(i, j);
+  }
+  for (std::size_t j = 0; j < d; ++j) means_[j] /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = features.At(i, j) - means_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    stds_[j] = std::max(std::sqrt(var[j] / static_cast<double>(n)), 1e-12);
+  }
+}
+
+Matrix StandardScaler::Transform(const Matrix& features) const {
+  assert(features.cols() == means_.size());
+  Matrix out = features;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      out.At(i, j) = (out.At(i, j) - means_[j]) / stds_[j];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::FitTransform(const Matrix& features) {
+  Fit(features);
+  return Transform(features);
+}
+
+}  // namespace vulnds

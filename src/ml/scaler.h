@@ -1,0 +1,34 @@
+// Feature standardization (zero mean, unit variance per column).
+
+#ifndef VULNDS_ML_SCALER_H_
+#define VULNDS_ML_SCALER_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace vulnds {
+
+/// Per-column standardizer fit on training data and applied to any split.
+class StandardScaler {
+ public:
+  /// Learns column means and standard deviations (std floor 1e-12).
+  void Fit(const Matrix& features);
+
+  /// Returns (features - mean) / std using the fitted statistics.
+  Matrix Transform(const Matrix& features) const;
+
+  /// Fit followed by Transform on the same data.
+  Matrix FitTransform(const Matrix& features);
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_ML_SCALER_H_

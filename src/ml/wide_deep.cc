@@ -1,0 +1,39 @@
+#include "ml/wide_deep.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vulnds {
+
+WideDeep::WideDeep(std::vector<std::size_t> hidden_dims, TrainOptions options)
+    : options_(options), wide_(options), deep_(std::move(hidden_dims), options),
+      combiner_(TrainOptions{40, 64, 0.05, 1e-4, options.seed ^ 0x51}) {}
+
+Status WideDeep::Fit(const Matrix& features, const std::vector<double>& labels) {
+  VULNDS_RETURN_NOT_OK(wide_.Fit(features, labels));
+  VULNDS_RETURN_NOT_OK(deep_.Fit(features, labels));
+  // Stack the two halves: logistic calibration over their logits.
+  const std::vector<double> wide_p = wide_.PredictProba(features);
+  const std::vector<double> deep_logit = deep_.PredictLogit(features);
+  Matrix stacked(features.rows(), 2);
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    const double p = std::clamp(wide_p[i], 1e-9, 1.0 - 1e-9);
+    stacked.At(i, 0) = std::log(p / (1.0 - p));
+    stacked.At(i, 1) = deep_logit[i];
+  }
+  return combiner_.Fit(stacked, labels);
+}
+
+std::vector<double> WideDeep::PredictProba(const Matrix& features) const {
+  const std::vector<double> wide_p = wide_.PredictProba(features);
+  const std::vector<double> deep_logit = deep_.PredictLogit(features);
+  Matrix stacked(features.rows(), 2);
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    const double p = std::clamp(wide_p[i], 1e-9, 1.0 - 1e-9);
+    stacked.At(i, 0) = std::log(p / (1.0 - p));
+    stacked.At(i, 1) = deep_logit[i];
+  }
+  return combiner_.PredictProba(stacked);
+}
+
+}  // namespace vulnds

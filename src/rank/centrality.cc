@@ -1,0 +1,97 @@
+#include "rank/centrality.h"
+
+#include <cmath>
+#include <vector>
+
+namespace vulnds {
+
+std::vector<double> BetweennessCentrality(const UncertainGraph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+  if (n == 0) return centrality;
+
+  // Brandes (2001): one BFS + dependency accumulation per source.
+  std::vector<NodeId> stack_order;
+  stack_order.reserve(n);
+  std::vector<std::vector<NodeId>> predecessors(n);
+  std::vector<double> sigma(n, 0.0);  // shortest-path counts
+  std::vector<int64_t> dist(n, -1);
+  std::vector<double> delta(n, 0.0);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+
+  for (NodeId s = 0; s < n; ++s) {
+    stack_order.clear();
+    queue.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      predecessors[v].clear();
+      sigma[v] = 0.0;
+      dist[v] = -1;
+      delta[v] = 0.0;
+    }
+    sigma[s] = 1.0;
+    dist[s] = 0;
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId v = queue[head];
+      stack_order.push_back(v);
+      for (const Arc& arc : graph.OutArcs(v)) {
+        const NodeId w = arc.neighbor;
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          predecessors[w].push_back(v);
+        }
+      }
+    }
+    // Accumulate dependencies in reverse BFS order.
+    for (auto it = stack_order.rbegin(); it != stack_order.rend(); ++it) {
+      const NodeId w = *it;
+      for (const NodeId v : predecessors[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) centrality[w] += delta[w];
+    }
+  }
+  return centrality;
+}
+
+std::vector<double> PageRank(const UncertainGraph& graph,
+                             const PageRankOptions& options) {
+  const std::size_t n = graph.num_nodes();
+  if (n == 0) return {};
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (graph.OutDegree(v) == 0) dangling += rank[v];
+      next[v] = 0.0;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      const std::size_t out = graph.OutDegree(v);
+      if (out == 0) continue;
+      const double share = rank[v] / static_cast<double>(out);
+      for (const Arc& arc : graph.OutArcs(v)) {
+        next[arc.neighbor] += share;
+      }
+    }
+    const double base = (1.0 - options.damping) * uniform +
+                        options.damping * dangling * uniform;
+    double change = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] = base + options.damping * next[v];
+      change += std::fabs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (change < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace vulnds

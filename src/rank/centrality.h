@@ -1,0 +1,33 @@
+// Classical centrality baselines used in the paper's case study (Table 3):
+// betweenness [30] and PageRank [31]. Both treat the uncertain graph as a
+// plain directed graph (probabilities ignored), matching how the baselines
+// were applied in the paper.
+
+#ifndef VULNDS_RANK_CENTRALITY_H_
+#define VULNDS_RANK_CENTRALITY_H_
+
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Exact betweenness centrality (Brandes' algorithm, unweighted, directed).
+/// O(n m) time, O(n + m) memory.
+std::vector<double> BetweennessCentrality(const UncertainGraph& graph);
+
+/// PageRank options.
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 100;
+  double tolerance = 1e-10;  ///< L1 change that counts as converged
+};
+
+/// Power-iteration PageRank with uniform teleport; dangling mass is
+/// redistributed uniformly. Scores sum to 1.
+std::vector<double> PageRank(const UncertainGraph& graph,
+                             const PageRankOptions& options = {});
+
+}  // namespace vulnds
+
+#endif  // VULNDS_RANK_CENTRALITY_H_

@@ -1,0 +1,101 @@
+#include "rank/inf_max.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace vulnds {
+
+RisSketches::RisSketches(const UncertainGraph& graph, std::size_t num_sets,
+                         uint64_t seed)
+    : graph_(graph), covers_(graph.num_nodes()) {
+  const std::size_t n = graph.num_nodes();
+  sets_.reserve(num_sets);
+  if (n == 0) return;
+  Rng base(seed);
+  std::vector<uint64_t> visited_stamp(n, 0);
+  uint64_t stamp = 0;
+  std::vector<NodeId> queue;
+  for (std::size_t s = 0; s < num_sets; ++s) {
+    Rng rng = base.Fork(s);
+    const auto target = static_cast<NodeId>(rng.NextBounded(n));
+    ++stamp;
+    queue.clear();
+    queue.push_back(target);
+    visited_stamp[target] = stamp;
+    std::vector<NodeId> members;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId v = queue[head];
+      members.push_back(v);
+      for (const Arc& arc : graph.InArcs(v)) {
+        if (visited_stamp[arc.neighbor] == stamp) continue;
+        if (!rng.Bernoulli(arc.prob)) continue;
+        visited_stamp[arc.neighbor] = stamp;
+        queue.push_back(arc.neighbor);
+      }
+    }
+    const auto set_id = static_cast<uint32_t>(sets_.size());
+    for (const NodeId v : members) covers_[v].push_back(set_id);
+    sets_.push_back(std::move(members));
+  }
+}
+
+double RisSketches::EstimateInfluence(NodeId v) const {
+  if (sets_.empty()) return 0.0;
+  return static_cast<double>(graph_.num_nodes()) *
+         static_cast<double>(covers_[v].size()) /
+         static_cast<double>(sets_.size());
+}
+
+std::vector<double> RisSketches::InfluenceScores() const {
+  std::vector<double> scores(graph_.num_nodes(), 0.0);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    scores[v] = EstimateInfluence(v);
+  }
+  return scores;
+}
+
+std::vector<NodeId> RisSketches::SelectSeeds(std::size_t k) const {
+  const std::size_t n = graph_.num_nodes();
+  k = std::min(k, n);
+  std::vector<NodeId> seeds;
+  std::vector<char> set_covered(sets_.size(), 0);
+
+  // CELF-style lazy greedy: priority queue of (stale gain, node, round).
+  struct Entry {
+    std::size_t gain;
+    NodeId node;
+    std::size_t round;
+    bool operator<(const Entry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return node > other.node;  // deterministic tie-break: smaller id wins
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (NodeId v = 0; v < n; ++v) {
+    heap.push({covers_[v].size(), v, 0});
+  }
+  auto current_gain = [&](NodeId v) {
+    std::size_t gain = 0;
+    for (const uint32_t s : covers_[v]) {
+      if (!set_covered[s]) ++gain;
+    }
+    return gain;
+  };
+  while (seeds.size() < k && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.round == seeds.size()) {
+      seeds.push_back(top.node);
+      for (const uint32_t s : covers_[top.node]) set_covered[s] = 1;
+    } else {
+      top.gain = current_gain(top.node);
+      top.round = seeds.size();
+      heap.push(top);
+    }
+  }
+  return seeds;
+}
+
+}  // namespace vulnds

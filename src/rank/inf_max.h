@@ -1,0 +1,48 @@
+// Influence maximization baseline [14, 18] under the independent-cascade
+// model, via reverse-influence sampling (RIS).
+//
+// An RR (reverse-reachable) set is produced by picking a uniform target node
+// and walking the transpose over edges that survive their diffusion coin;
+// a node's influence is proportional to the fraction of RR sets containing
+// it. Seeds are selected by lazy greedy maximum coverage (CELF-style).
+// The per-node coverage count doubles as the "InfMax" risk score in the
+// Table 3 case study.
+
+#ifndef VULNDS_RANK_INF_MAX_H_
+#define VULNDS_RANK_INF_MAX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Collection of RR sets plus the inverted index used for greedy coverage.
+class RisSketches {
+ public:
+  /// Draws `num_sets` RR sets; deterministic in `seed`.
+  RisSketches(const UncertainGraph& graph, std::size_t num_sets, uint64_t seed);
+
+  /// Number of RR sets drawn.
+  std::size_t num_sets() const { return sets_.size(); }
+
+  /// Estimated influence spread of a single node: n * coverage / num_sets.
+  double EstimateInfluence(NodeId v) const;
+
+  /// Per-node influence scores (same scale as EstimateInfluence).
+  std::vector<double> InfluenceScores() const;
+
+  /// Greedy max-coverage seed selection; returns k node ids in pick order.
+  std::vector<NodeId> SelectSeeds(std::size_t k) const;
+
+ private:
+  const UncertainGraph& graph_;
+  std::vector<std::vector<NodeId>> sets_;        // RR set -> members
+  std::vector<std::vector<uint32_t>> covers_;    // node -> RR set ids
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_RANK_INF_MAX_H_

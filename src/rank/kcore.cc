@@ -1,0 +1,61 @@
+#include "rank/kcore.h"
+
+#include <algorithm>
+
+namespace vulnds {
+
+std::vector<std::size_t> CoreNumbers(const UncertainGraph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::size_t> degree(n, 0);
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = graph.OutDegree(v) + graph.InDegree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort nodes by degree (Batagelj-Zaversnik).
+  std::vector<std::size_t> bin(max_degree + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bin[degree[v]];
+  std::size_t start = 0;
+  for (std::size_t d = 0; d <= max_degree; ++d) {
+    const std::size_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<NodeId> order(n);           // nodes sorted by current degree
+  std::vector<std::size_t> position(n);   // node -> index in `order`
+  for (NodeId v = 0; v < n; ++v) {
+    position[v] = bin[degree[v]];
+    order[position[v]] = v;
+    ++bin[degree[v]];
+  }
+  for (std::size_t d = max_degree; d >= 1; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  std::vector<std::size_t> core = degree;
+  auto decrease = [&](NodeId u, NodeId v) {
+    // Peel v's effect on u if u is still unprocessed with higher degree.
+    if (core[u] > core[v]) {
+      const std::size_t du = core[u];
+      const std::size_t pu = position[u];
+      const std::size_t pw = bin[du];
+      const NodeId w = order[pw];
+      if (u != w) {
+        std::swap(order[pu], order[pw]);
+        position[u] = pw;
+        position[w] = pu;
+      }
+      ++bin[du];
+      --core[u];
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v = order[i];
+    for (const Arc& arc : graph.OutArcs(v)) decrease(arc.neighbor, v);
+    for (const Arc& arc : graph.InArcs(v)) decrease(arc.neighbor, v);
+  }
+  return core;
+}
+
+}  // namespace vulnds

@@ -1,0 +1,18 @@
+// k-core decomposition baseline [32] for the case study.
+
+#ifndef VULNDS_RANK_KCORE_H_
+#define VULNDS_RANK_KCORE_H_
+
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Core number per node on the underlying undirected multigraph (degree =
+/// in + out). Batagelj–Zaveršnik bucket algorithm, O(n + m).
+std::vector<std::size_t> CoreNumbers(const UncertainGraph& graph);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_RANK_KCORE_H_

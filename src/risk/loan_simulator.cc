@@ -1,0 +1,189 @@
+#include "risk/loan_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "exact/possible_world.h"
+#include "graph/builder.h"
+#include "ml/linear.h"
+
+namespace vulnds {
+
+Result<UncertainGraph> TemporalLoanData::TrueYearGraph(std::size_t year_index) const {
+  if (year_index >= true_self_risk.size()) {
+    return Status::OutOfRange("year index " + std::to_string(year_index));
+  }
+  UncertainGraphBuilder builder(graph.num_nodes());
+  VULNDS_RETURN_NOT_OK(builder.SetAllSelfRisks(true_self_risk[year_index]));
+  const auto& edges = graph.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    VULNDS_RETURN_NOT_OK(
+        builder.AddEdge(edges[e].src, edges[e].dst, true_diffusion[e]));
+  }
+  return builder.Build();
+}
+
+Result<TemporalLoanData> SimulateLoanNetwork(const LoanSimOptions& options) {
+  const std::size_t n = options.num_firms;
+  if (n < 10) return Status::InvalidArgument("need at least 10 firms");
+  if (options.num_years < 1) return Status::InvalidArgument("need >= 1 year");
+  const auto m = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * options.edges_per_firm));
+
+  Rng rng(options.seed);
+  TemporalLoanData data;
+  for (int y = 0; y < options.num_years; ++y) {
+    data.years.push_back(options.first_year + y);
+  }
+
+  // --- Static features and the latent risk factor ------------------------
+  constexpr std::size_t kStaticDim = 6;
+  data.static_features = Matrix(n, kStaticDim);
+  std::vector<double> latent_risk(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scale = std::exp(0.9 * rng.NextGaussian());       // firm size
+    const double capital = scale * std::exp(0.4 * rng.NextGaussian());
+    const double sector = rng.NextDouble();                        // sector risk
+    const double age = 1.0 + rng.NextBounded(30);                  // years
+    const double leverage = std::clamp(0.5 + 0.25 * rng.NextGaussian(), 0.0, 2.0);
+    const double rating = std::clamp(0.6 - 0.15 * leverage + 0.2 * rng.NextGaussian(),
+                                     0.0, 1.0);
+    data.static_features.At(i, 0) = std::log(scale);
+    data.static_features.At(i, 1) = std::log(capital);
+    data.static_features.At(i, 2) = sector;
+    data.static_features.At(i, 3) = age;
+    data.static_features.At(i, 4) = leverage;
+    data.static_features.At(i, 5) = rating;
+    // Latent risk: leveraged, low-rated, risky-sector firms default more.
+    // Deliberately nonlinear — interaction and *non-monotone* terms (both
+    // very small and very large firms are fragile) — so the deep/boosted
+    // baselines have genuine headroom over the linear model, as they do on
+    // the paper's real data.
+    const double log_scale = std::log(scale);
+    latent_risk[i] = 1.0 * leverage - 1.3 * rating + 0.6 * sector +
+                     1.4 * leverage * sector +
+                     0.9 * std::fabs(log_scale - 0.7) - 0.45 * log_scale +
+                     (sector > 0.65 ? 0.5 : 0.0) + 0.3 * rng.NextGaussian();
+  }
+
+  // --- Guarantee topology (hub + chains, as in gen/financial) ------------
+  // Borrowers are risk-weighted: riskier firms need more guarantees, which
+  // is what makes structural centralities informative on real guarantee
+  // networks (a firm's in-degree correlates with its fragility).
+  std::vector<double> borrower_cdf(n);
+  {
+    double run = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      run += std::exp(0.5 * latent_risk[i]);
+      borrower_cdf[i] = run;
+    }
+  }
+  auto sample_borrower = [&]() -> NodeId {
+    const double u = rng.NextDouble() * borrower_cdf.back();
+    const auto it = std::lower_bound(borrower_cdf.begin(), borrower_cdf.end(), u);
+    const auto idx = static_cast<std::size_t>(it - borrower_cdf.begin());
+    return static_cast<NodeId>(std::min(idx, n - 1));
+  };
+
+  UncertainGraphBuilder builder(n);
+  std::unordered_set<uint64_t> seen;
+  std::vector<double> diffusion;
+  std::vector<NodeId> chain_tails;  // last borrower of each guarantee chain
+  std::size_t added = 0;
+  std::size_t guard = 0;
+  while (added < m && guard < 200 * m) {
+    ++guard;
+    NodeId src;
+    NodeId dst;
+    if (rng.Bernoulli(options.hub_fraction)) {
+      src = 0;
+      dst = sample_borrower();
+    } else if (!chain_tails.empty() && rng.Bernoulli(0.5)) {
+      // Extend a guarantee chain: the previous borrower guarantees the next
+      // firm. Chains are the paper's motivating structure and what gives
+      // multi-hop contagion its reach.
+      const std::size_t c = rng.NextBounded(chain_tails.size());
+      src = chain_tails[c];
+      dst = sample_borrower();
+      if (src != dst) chain_tails[c] = dst;
+    } else {
+      src = static_cast<NodeId>(1 + rng.NextBounded(n - 1));
+      dst = sample_borrower();
+      if (src != dst) chain_tails.push_back(dst);
+    }
+    if (src == dst) continue;
+    if (!seen.insert((static_cast<uint64_t>(src) << 32) | dst).second) continue;
+    // True diffusion probability: a guarantee from a small guarantor to a
+    // large borrower transmits more stress; exposure noise on top.
+    const double size_gap =
+        data.static_features.At(dst, 0) - data.static_features.At(src, 0);
+    const double p = std::clamp(
+        options.diffusion_scale * Sigmoid(0.6 * size_gap + 0.8 * rng.NextGaussian()),
+        0.02, 0.95);
+    VULNDS_RETURN_NOT_OK(builder.AddEdge(src, dst, p));
+    diffusion.push_back(p);
+    ++added;
+  }
+  data.true_diffusion = diffusion;
+
+  // --- Per-year risk, behavior and labels ---------------------------------
+  const auto channels = options.behavior_channels;
+  const auto months = static_cast<std::size_t>(options.months);
+  for (int y = 0; y < options.num_years; ++y) {
+    const double drift = 0.1 * y + 0.2 * std::sin(1.7 * y);
+    std::vector<double> self_risk(n, 0.0);
+    Matrix behavior(n, channels * months);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double year_risk = latent_risk[i] + drift + 0.25 * rng.NextGaussian();
+      self_risk[i] = std::clamp(
+          Sigmoid(options.base_default_logit + options.risk_slope * year_risk),
+          0.001, 0.98);
+      // Monthly channels correlated with year_risk:
+      //   0: repayment ratio (falls with risk), 1: delinquency count,
+      //   2: credit utilization, 3: balance volatility.
+      for (std::size_t t = 0; t < months; ++t) {
+        const double season = 0.1 * std::sin(2.0 * M_PI * t / months);
+        const double noise = 0.15 * rng.NextGaussian();
+        behavior.At(i, 0 * months + t) =
+            std::clamp(1.0 - 0.25 * year_risk + season + noise, 0.0, 1.5);
+        behavior.At(i, 1 * months + t) =
+            std::max(0.0, 0.8 * year_risk + noise + 0.2 * rng.NextGaussian());
+        behavior.At(i, 2 * months + t) =
+            std::clamp(0.4 + 0.2 * year_risk + season + noise, 0.0, 1.5);
+        behavior.At(i, 3 * months + t) = std::fabs(0.5 * year_risk + noise);
+      }
+    }
+    data.true_self_risk.push_back(self_risk);
+    data.behavior.push_back(std::move(behavior));
+  }
+
+  data.graph = builder.Build().MoveValue();
+
+  // Labels: one contagion world per year under the true probabilities.
+  for (int y = 0; y < options.num_years; ++y) {
+    Rng world_rng = rng.Fork(1000 + static_cast<uint64_t>(y));
+    std::vector<char> self(n, 0);
+    std::vector<char> edge_up(data.graph.num_edges(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      self[i] = world_rng.Bernoulli(data.true_self_risk[static_cast<std::size_t>(y)][i]);
+    }
+    for (std::size_t e = 0; e < data.graph.num_edges(); ++e) {
+      edge_up[e] = world_rng.Bernoulli(data.true_diffusion[e]);
+    }
+    const std::vector<char> defaulted = EvaluateWorld(data.graph, self, edge_up);
+    std::vector<double> labels(n, 0.0);
+    std::vector<char> contagion(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      labels[i] = defaulted[i] ? 1.0 : 0.0;
+      contagion[i] = (defaulted[i] && !self[i]) ? 1 : 0;
+    }
+    data.labels.push_back(std::move(labels));
+    data.contagion_caused.push_back(std::move(contagion));
+  }
+  return data;
+}
+
+}  // namespace vulnds

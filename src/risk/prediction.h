@@ -1,0 +1,83 @@
+// The Table 3 case-study harness: trains every baseline on the first
+// simulated year and reports per-year AUC on the later years.
+//
+// Methods (paper's Table 3 rows):
+//   Wide, Wide&Deep, GBDT, CNN-max, crDNN     feature classifiers (src/ml)
+//   INDDP, HGAR                               graph-feature classifiers
+//   Betweenness, PageRank, K-core, InfMax     structural scores (src/rank)
+//   BSRBK, BSR                                uncertain-graph detectors with
+//                                             *estimated* probabilities: a
+//                                             logistic self-risk model and a
+//                                             contagion-rate estimate fit on
+//                                             the training year.
+
+#ifndef VULNDS_RISK_PREDICTION_H_
+#define VULNDS_RISK_PREDICTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "risk/loan_simulator.h"
+
+namespace vulnds {
+
+/// Table 3 rows.
+enum class RiskMethod {
+  kWide = 0,
+  kWideDeep,
+  kGbdt,
+  kCnnMax,
+  kCrDnn,
+  kInddp,
+  kHgar,
+  kBetweenness,
+  kPageRank,
+  kKcore,
+  kInfMax,
+  kBsrbk,
+  kBsr,
+};
+
+/// All rows in the paper's table order.
+const std::vector<RiskMethod>& AllRiskMethods();
+
+/// Printable method name ("Wide", "Wide & Deep", ..., "BSR").
+std::string RiskMethodName(RiskMethod method);
+
+/// Case-study configuration.
+struct CaseStudyOptions {
+  std::size_t train_year_index = 0;            ///< 2012
+  std::vector<std::size_t> test_year_indices = {2, 3, 4};  ///< 2014..2016
+  std::size_t detector_samples = 2000;  ///< Monte-Carlo budget for BSR scores
+  std::size_t bsrbk_budget = 600;       ///< smaller budget for BSRBK scores
+  int bsrbk_bk = 16;                    ///< sketch parameter
+  std::size_t ris_sets = 5000;          ///< RR sets for InfMax scores
+  uint64_t seed = 7;
+};
+
+/// One row of the result: AUC per test year.
+struct CaseStudyRow {
+  RiskMethod method;
+  std::vector<double> auc;  ///< aligned with options.test_year_indices
+};
+
+/// Full case-study result.
+struct CaseStudyResult {
+  std::vector<CaseStudyRow> rows;  ///< one per method, table order
+  std::vector<int> test_years;     ///< calendar years of the AUC columns
+};
+
+/// Computes risk scores for one method on one test year (exposed for tests).
+Result<std::vector<double>> ScoreYear(const TemporalLoanData& data,
+                                      RiskMethod method,
+                                      const CaseStudyOptions& options,
+                                      std::size_t test_year_index);
+
+/// Runs every method over every test year.
+Result<CaseStudyResult> RunCaseStudy(const TemporalLoanData& data,
+                                     const CaseStudyOptions& options);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_RISK_PREDICTION_H_

@@ -1,0 +1,55 @@
+#include "sketch/bottom_k.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vulnds {
+
+BottomKSketch::BottomKSketch(int bk, uint64_t hash_seed)
+    : bk_(bk), hash_(hash_seed) {
+  assert(bk >= 3 && "bottom-k estimator requires bk >= 3");
+}
+
+void BottomKSketch::Add(uint64_t id) { AddHashed(hash_.HashUnit(id)); }
+
+void BottomKSketch::AddHashed(double unit_hash) {
+  // KMV keeps the bk smallest *distinct* hash values; a re-inserted item
+  // hashes to an already-retained value and must be ignored, otherwise
+  // duplicates would crowd out genuine minima and bias the estimate.
+  if (static_cast<int>(values_.size()) < bk_) {
+    values_.insert(unit_hash);  // set semantics reject exact duplicates
+    return;
+  }
+  const double threshold = *values_.rbegin();
+  if (unit_hash >= threshold) return;
+  if (values_.insert(unit_hash).second) {
+    values_.erase(std::prev(values_.end()));
+  }
+}
+
+double BottomKSketch::KthSmallest() const {
+  assert(Saturated());
+  return *values_.rbegin();
+}
+
+double BottomKSketch::EstimateDistinct() const {
+  if (!Saturated()) return static_cast<double>(size());
+  return static_cast<double>(bk_ - 1) / KthSmallest();
+}
+
+double BottomKSketch::ExpectedRelativeError(int bk) {
+  assert(bk > 2);
+  return std::sqrt(2.0 / (M_PI * (bk - 2)));
+}
+
+double BottomKSketch::CoefficientOfVariationBound(int bk) {
+  assert(bk > 2);
+  return 1.0 / std::sqrt(static_cast<double>(bk - 2));
+}
+
+std::vector<double> BottomKSketch::RetainedHashes() const {
+  return {values_.begin(), values_.end()};
+}
+
+}  // namespace vulnds

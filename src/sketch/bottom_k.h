@@ -1,0 +1,77 @@
+// Bottom-k (KMV) sketch for distinct-value estimation (paper §2.2, [17]).
+//
+// Items are hashed into (0, 1) by a seeded UniformHash; the sketch keeps the
+// bk smallest hash values. With L(A, bk) the bk-th smallest value, the
+// number of distinct items is estimated by (bk - 1) / L(A, bk), with
+// expected relative error sqrt(2 / (pi * (bk - 2))) and coefficient of
+// variation at most 1 / sqrt(bk - 2).
+//
+// BSRBK (src/vulnds/bsrbk.*) uses the *threshold* form of this sketch: it
+// assigns each sample id a hash, processes samples in ascending hash order,
+// and reads a node's default-probability estimate off the hash value of the
+// bk-th sample in which the node defaulted.
+
+#ifndef VULNDS_SKETCH_BOTTOM_K_H_
+#define VULNDS_SKETCH_BOTTOM_K_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace vulnds {
+
+/// Streaming bottom-k sketch over 64-bit item identifiers.
+class BottomKSketch {
+ public:
+  /// Creates a sketch keeping the `bk` smallest hashes; `bk` must be >= 3
+  /// for the estimator to be defined. Hashing is seeded by `hash_seed`.
+  BottomKSketch(int bk, uint64_t hash_seed);
+
+  /// Number of retained minima (the sketch parameter bk).
+  int bk() const { return bk_; }
+
+  /// Inserts an item; duplicate ids hash identically and are rejected, so
+  /// re-inserting an item never changes the sketch (multiset semantics of
+  /// the original bottom-k construction).
+  void Add(uint64_t id);
+
+  /// Inserts a pre-hashed value in (0, 1); exposed for callers that manage
+  /// their own hashing (e.g. sample-id streams in BSRBK).
+  void AddHashed(double unit_hash);
+
+  /// Number of items currently retained (min(bk, #distinct inserted)).
+  int size() const { return static_cast<int>(values_.size()); }
+
+  /// True once bk values are retained, i.e. L(A, bk) is defined.
+  bool Saturated() const { return size() >= bk_; }
+
+  /// The bk-th smallest hash L(A, bk); requires Saturated().
+  double KthSmallest() const;
+
+  /// Distinct-count estimate (bk - 1) / L(A, bk); requires Saturated().
+  /// When not saturated the exact retained count is the answer and
+  /// EstimateDistinct returns it.
+  double EstimateDistinct() const;
+
+  /// Expected relative error of the estimator for a given bk.
+  static double ExpectedRelativeError(int bk);
+
+  /// Upper bound on the coefficient of variation for a given bk.
+  static double CoefficientOfVariationBound(int bk);
+
+  /// The retained hash values in ascending order (copies; O(bk)).
+  std::vector<double> RetainedHashes() const;
+
+ private:
+  int bk_;
+  UniformHash hash_;
+  // The bk smallest distinct values; *rbegin() is the current threshold.
+  std::set<double> values_;
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_SKETCH_BOTTOM_K_H_

@@ -1,0 +1,99 @@
+#include "vulnds/basic_sampler.h"
+
+#include <algorithm>
+
+namespace vulnds {
+
+ForwardWorldSampler::ForwardWorldSampler(const UncertainGraph& graph)
+    : graph_(graph) {
+  queue_.reserve(graph.num_nodes());
+}
+
+std::size_t ForwardWorldSampler::SampleWorld(Rng& rng, std::vector<char>* defaulted) {
+  const std::size_t n = graph_.num_nodes();
+  defaulted->assign(n, 0);
+  queue_.clear();
+
+  // Lines 4-8: self-risk coin per node seeds the BFS frontier.
+  for (NodeId v = 0; v < n; ++v) {
+    if (rng.Bernoulli(graph_.self_risk(v))) {
+      (*defaulted)[v] = 1;
+      queue_.push_back(v);
+    }
+  }
+  std::size_t touched = queue_.size();
+
+  // Lines 10-19: propagate along out-edges; each edge's diffusion coin is
+  // flipped at most once (its head is marked defaulted on success, and a
+  // defaulted head is never re-tested for that edge because the BFS pops
+  // each node once).
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const NodeId u = queue_[head];
+    for (const Arc& arc : graph_.OutArcs(u)) {
+      if ((*defaulted)[arc.neighbor]) continue;
+      if (!rng.Bernoulli(arc.prob)) continue;
+      (*defaulted)[arc.neighbor] = 1;
+      queue_.push_back(arc.neighbor);
+      ++touched;
+    }
+  }
+  return touched;
+}
+
+namespace {
+
+// Serial chunk: samples [begin, end) accumulated into counts/touched.
+void RunChunk(const UncertainGraph& graph, const Rng& base, std::size_t begin,
+              std::size_t end, std::vector<uint32_t>* counts, std::size_t* touched) {
+  ForwardWorldSampler sampler(graph);
+  std::vector<char> defaulted;
+  for (std::size_t i = begin; i < end; ++i) {
+    Rng rng = base.Fork(i);
+    *touched += sampler.SampleWorld(rng, &defaulted);
+    for (std::size_t v = 0; v < defaulted.size(); ++v) {
+      (*counts)[v] += defaulted[v];
+    }
+  }
+}
+
+}  // namespace
+
+BasicSampleStats RunBasicSampling(const UncertainGraph& graph, std::size_t t,
+                                  uint64_t seed, ThreadPool* pool) {
+  const std::size_t n = graph.num_nodes();
+  BasicSampleStats stats;
+  stats.samples = t;
+  stats.estimates.assign(n, 0.0);
+  if (t == 0 || n == 0) return stats;
+
+  const Rng base(seed);
+  std::vector<uint32_t> counts(n, 0);
+
+  if (pool == nullptr || pool->num_threads() <= 1 || t < 16) {
+    RunChunk(graph, base, 0, t, &counts, &stats.nodes_touched);
+  } else {
+    const std::size_t workers = std::min<std::size_t>(pool->num_threads(), t);
+    std::vector<std::vector<uint32_t>> partial(workers,
+                                               std::vector<uint32_t>(n, 0));
+    std::vector<std::size_t> partial_touched(workers, 0);
+    const std::size_t chunk = (t + workers - 1) / workers;
+    pool->ParallelFor(workers, [&](std::size_t w) {
+      const std::size_t begin = w * chunk;
+      const std::size_t end = std::min(t, begin + chunk);
+      if (begin < end) {
+        RunChunk(graph, base, begin, end, &partial[w], &partial_touched[w]);
+      }
+    });
+    for (std::size_t w = 0; w < workers; ++w) {
+      stats.nodes_touched += partial_touched[w];
+      for (std::size_t v = 0; v < n; ++v) counts[v] += partial[w][v];
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    stats.estimates[v] = static_cast<double>(counts[v]) / static_cast<double>(t);
+  }
+  return stats;
+}
+
+}  // namespace vulnds

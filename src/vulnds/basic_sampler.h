@@ -1,0 +1,53 @@
+// Algorithm 1: the basic forward Monte-Carlo sampler.
+//
+// One sample materializes a possible world lazily: every node flips its
+// self-risk coin, then a forward BFS from the self-defaulted seeds flips
+// each encountered edge's diffusion coin once. A node's default indicator is
+// accumulated over samples; the estimate p̂(v) = defaults(v) / t is unbiased.
+//
+// Sampling is embarrassingly parallel. Each sample i draws from an
+// Rng forked at index i from the caller's seed, so results are identical
+// for any thread count (including the serial path).
+
+#ifndef VULNDS_VULNDS_BASIC_SAMPLER_H_
+#define VULNDS_VULNDS_BASIC_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Output of a basic sampling run.
+struct BasicSampleStats {
+  std::vector<double> estimates;  ///< p̂(v) per node
+  std::size_t samples = 0;        ///< number of worlds generated (t)
+  std::size_t nodes_touched = 0;  ///< total BFS work, for cost accounting
+};
+
+/// Workspace for drawing single worlds with Algorithm 1's forward process.
+/// Reusable across samples; not thread-safe (one instance per thread).
+class ForwardWorldSampler {
+ public:
+  explicit ForwardWorldSampler(const UncertainGraph& graph);
+
+  /// Draws one world with `rng` and marks each defaulted node in
+  /// `defaulted` (resized to n). Returns the number of nodes touched.
+  std::size_t SampleWorld(Rng& rng, std::vector<char>* defaulted);
+
+ private:
+  const UncertainGraph& graph_;
+  std::vector<NodeId> queue_;
+};
+
+/// Runs Algorithm 1 with `t` samples. If `pool` is non-null the samples are
+/// distributed across its workers (deterministically; see file comment).
+BasicSampleStats RunBasicSampling(const UncertainGraph& graph, std::size_t t,
+                                  uint64_t seed, ThreadPool* pool = nullptr);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_VULNDS_BASIC_SAMPLER_H_

@@ -1,0 +1,92 @@
+#include "vulnds/bounds.h"
+
+#include <cmath>
+#include <string>
+
+namespace vulnds {
+
+namespace {
+
+// Change threshold below which a value counts as "not updated"; keeps the
+// change-propagation sparse on converged regions.
+constexpr double kChangeEps = 1e-12;
+
+Status ValidateOrder(int order) {
+  if (order < 1) {
+    return Status::InvalidArgument("bound order must be >= 1, got " +
+                                   std::to_string(order));
+  }
+  return Status::OK();
+}
+
+// Runs iterations 2..order of either bound; `probs` holds the order-1
+// values on entry and the order-z values on exit.
+void IterateEquationOne(const UncertainGraph& graph, int order,
+                        std::vector<double>* probs) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<char> changed(n, 1);  // everything counts as updated at order 1
+  std::vector<char> next_changed(n, 0);
+  std::vector<double> next(n, 0.0);
+  for (int i = 2; i <= order; ++i) {
+    bool any = false;
+    for (NodeId v = 0; v < n; ++v) {
+      bool in_changed = false;
+      for (const Arc& arc : graph.InArcs(v)) {
+        if (changed[arc.neighbor]) {
+          in_changed = true;
+          break;
+        }
+      }
+      if (!in_changed) {
+        next[v] = (*probs)[v];
+        next_changed[v] = 0;
+        continue;
+      }
+      const double updated = EquationOne(graph, v, *probs);
+      next_changed[v] = std::fabs(updated - (*probs)[v]) > kChangeEps ? 1 : 0;
+      any = any || next_changed[v];
+      next[v] = updated;
+    }
+    probs->swap(next);
+    changed.swap(next_changed);
+    if (!any) break;  // fixpoint reached before the requested order
+  }
+}
+
+}  // namespace
+
+double EquationOne(const UncertainGraph& graph, NodeId v,
+                   const std::vector<double>& probs) {
+  double survive = 1.0;
+  for (const Arc& arc : graph.InArcs(v)) {
+    survive *= 1.0 - arc.prob * probs[arc.neighbor];
+  }
+  return 1.0 - (1.0 - graph.self_risk(v)) * survive;
+}
+
+Result<std::vector<double>> LowerBounds(const UncertainGraph& graph, int order) {
+  VULNDS_RETURN_NOT_OK(ValidateOrder(order));
+  // Order 1 (Algorithm 2, lines 2-4): the self-risk alone.
+  std::vector<double> probs(graph.self_risks().begin(), graph.self_risks().end());
+  IterateEquationOne(graph, order, &probs);
+  return probs;
+}
+
+Result<std::vector<double>> UpperBounds(const UncertainGraph& graph, int order) {
+  VULNDS_RETURN_NOT_OK(ValidateOrder(order));
+  // Order 1 (Algorithm 3, lines 3-4): every in-neighbor treated as
+  // defaulted with probability 1.
+  const std::size_t n = graph.num_nodes();
+  std::vector<double> probs(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    double survive = 1.0;
+    for (const Arc& arc : graph.InArcs(v)) {
+      survive *= 1.0 - arc.prob;
+    }
+    probs[v] = 1.0 - (1.0 - graph.self_risk(v)) * survive;
+  }
+  IterateEquationOne(graph, order, &probs);
+  return probs;
+}
+
+}  // namespace vulnds

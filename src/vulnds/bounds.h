@@ -1,0 +1,40 @@
+// Algorithms 2 and 3: iterative lower / upper bounds on default probability.
+//
+// Both algorithms iterate Equation 1,
+//   p(v) = 1 - (1 - ps(v)) * prod_{x in N(v)} (1 - p(v|x) p(x)),
+// Jacobi style: iteration i reads iteration i-1's values. The lower bound
+// starts from p(v) = ps(v) (order 1) and grows monotonically; the upper
+// bound starts from Equation 1 with every in-neighbor treated as certainly
+// defaulted (order 1) and shrinks monotonically. A node is re-evaluated only
+// if one of its in-neighbors changed in the previous iteration, exactly as
+// the pseudo-code prescribes.
+//
+// Soundness note (also in DESIGN.md): the upper bound is sound on every
+// graph; the lower bound is exact on in-trees and can over-count slightly
+// when distinct in-paths share an ancestor, because Equation 1 assumes
+// independent in-neighbor events. This matches the paper.
+
+#ifndef VULNDS_VULNDS_BOUNDS_H_
+#define VULNDS_VULNDS_BOUNDS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Equation 1 evaluated at node v with in-neighbor probabilities taken from
+/// `probs` (indexed by node id).
+double EquationOne(const UncertainGraph& graph, NodeId v,
+                   const std::vector<double>& probs);
+
+/// Algorithm 2: order-z lower bounds pl(v). Requires order >= 1.
+Result<std::vector<double>> LowerBounds(const UncertainGraph& graph, int order);
+
+/// Algorithm 3: order-z upper bounds pu(v). Requires order >= 1.
+Result<std::vector<double>> UpperBounds(const UncertainGraph& graph, int order);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_VULNDS_BOUNDS_H_

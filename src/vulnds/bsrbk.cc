@@ -1,0 +1,83 @@
+#include "vulnds/bsrbk.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "vulnds/reverse_sampler.h"
+
+namespace vulnds {
+
+namespace {
+constexpr uint64_t kSampleHashSalt = 0x27220A95FE1D83D5ULL;
+}  // namespace
+
+Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
+                                           const std::vector<NodeId>& candidates,
+                                           std::size_t t, std::size_t needed,
+                                           int bk, uint64_t seed) {
+  if (bk < 3) {
+    return Status::InvalidArgument("bk must be >= 3, got " + std::to_string(bk));
+  }
+  if (needed == 0) {
+    return Status::InvalidArgument("needed must be >= 1");
+  }
+  BottomKRunStats stats;
+  stats.total_samples = t;
+  stats.estimates.assign(candidates.size(), 0.0);
+  stats.reached_bk.assign(candidates.size(), 0);
+  if (t == 0 || candidates.empty()) return stats;
+  needed = std::min(needed, candidates.size());
+
+  // Hash every sample id without materializing the worlds (O(t)), then
+  // process in ascending hash order.
+  const UniformHash sample_hash(Mix64(seed ^ kSampleHashSalt));
+  std::vector<uint32_t> order(t);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> hash_of(t);
+  for (std::size_t i = 0; i < t; ++i) hash_of[i] = sample_hash.HashUnit(i);
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return hash_of[a] < hash_of[b]; });
+
+  ReverseSampler sampler(graph, candidates);
+  std::vector<uint32_t> counts(candidates.size(), 0);
+  std::vector<double> kth_hash(candidates.size(), 0.0);
+  std::vector<char> defaulted;
+  std::size_t reached = 0;
+
+  for (std::size_t pos = 0; pos < t; ++pos) {
+    const uint32_t sample_id = order[pos];
+    stats.nodes_touched += sampler.SampleWorld(WorldSeed(seed, sample_id), &defaulted);
+    ++stats.samples_processed;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (!defaulted[c] || stats.reached_bk[c]) continue;
+      if (++counts[c] == static_cast<uint32_t>(bk)) {
+        stats.reached_bk[c] = 1;
+        kth_hash[c] = hash_of[sample_id];
+        ++reached;
+      }
+    }
+    if (reached >= needed) {
+      stats.early_stopped = true;
+      break;
+    }
+  }
+
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (stats.reached_bk[c]) {
+      // Raw sketch estimate, deliberately NOT clamped to 1: the ordering of
+      // Theorem 6 is "smaller L(A, bk) first", and clamping would collapse
+      // every strong candidate into a tie. Callers clamp for reporting.
+      stats.estimates[c] =
+          static_cast<double>(bk - 1) / (kth_hash[c] * static_cast<double>(t));
+    } else {
+      stats.estimates[c] = static_cast<double>(counts[c]) /
+                           static_cast<double>(stats.samples_processed);
+    }
+  }
+  return stats;
+}
+
+}  // namespace vulnds

@@ -1,0 +1,51 @@
+// Bottom-k early-stopped reverse sampling (paper §3.3, Theorem 6).
+//
+// Every sample id in [0, t) is hashed into (0, 1); samples are materialized
+// in ascending hash order. Each candidate counts the samples in which it
+// defaulted; the hash value of its bk-th such sample is L(A, bk) of the
+// bottom-k sketch over "samples where v defaults", giving the estimate
+//   p̂(v) = (bk - 1) / (L(A, bk) * t).
+// Because samples arrive in ascending hash order, the first candidate to
+// reach bk has the smallest L and hence the largest estimate (Theorem 6);
+// processing stops once `needed` candidates have reached bk. If the stream
+// is exhausted first, the run degrades to plain reverse sampling and the
+// prefix estimates count / processed are used (the prefix in hash order is
+// a uniformly random subset of worlds, so these remain unbiased).
+
+#ifndef VULNDS_VULNDS_BSRBK_H_
+#define VULNDS_VULNDS_BSRBK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Result of a bottom-k sampling run.
+struct BottomKRunStats {
+  /// Score per candidate (candidate order): the raw sketch estimate
+  /// (bk-1)/(L * t) for candidates that reached bk — which may exceed 1 and
+  /// must not be clamped before ranking, or Theorem 6's order collapses
+  /// into ties — and the prefix frequency for the rest.
+  std::vector<double> estimates;
+  /// Flag per candidate: did its counter reach bk?
+  std::vector<char> reached_bk;
+  std::size_t samples_processed = 0;  ///< worlds actually materialized
+  std::size_t total_samples = 0;      ///< the budget t
+  std::size_t nodes_touched = 0;
+  bool early_stopped = false;  ///< true iff `needed` candidates reached bk
+};
+
+/// Runs bottom-k early-stopped reverse sampling over `candidates` with a
+/// budget of `t` worlds, stopping once `needed` candidates reach `bk`
+/// defaults. Requires bk >= 3 (sketch estimator) and needed >= 1.
+Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
+                                           const std::vector<NodeId>& candidates,
+                                           std::size_t t, std::size_t needed,
+                                           int bk, uint64_t seed);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_VULNDS_BSRBK_H_

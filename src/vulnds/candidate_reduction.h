@@ -1,0 +1,42 @@
+// Algorithm 4 / Lemma 1: candidate verification and pruning.
+//
+// With Tl / Tu the k-th largest lower / upper bound:
+//   rule 1: pl(v) >= Tu  =>  v is certainly in the top-k (verified),
+//   rule 2: pu(v) <  Tl  =>  v is certainly outside the top-k (pruned).
+// The survivors form the candidate set B; the remaining problem is a
+// top-(k - k') selection over B.
+
+#ifndef VULNDS_VULNDS_CANDIDATE_REDUCTION_H_
+#define VULNDS_VULNDS_CANDIDATE_REDUCTION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Result of Algorithm 4.
+struct CandidateReduction {
+  std::vector<NodeId> verified;    ///< rule-1 nodes, by decreasing pl
+  std::vector<NodeId> candidates;  ///< the set B, ascending node id
+  double threshold_lower = 0.0;    ///< Tl, the k-th largest pl
+  double threshold_upper = 0.0;    ///< Tu, the k-th largest pu
+
+  /// k' in the paper.
+  std::size_t num_verified() const { return verified.size(); }
+};
+
+/// Runs Algorithm 4 on the given bounds. Requires equally sized bound
+/// vectors and 1 <= k <= n. Ties: if more than k nodes satisfy rule 1
+/// (possible only when bounds tie exactly), the k with the largest pl
+/// (then smallest id) are verified and the rest stay candidates, keeping
+/// |verified| <= k.
+Result<CandidateReduction> ReduceCandidates(std::span<const double> lower,
+                                            std::span<const double> upper,
+                                            std::size_t k);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_VULNDS_CANDIDATE_REDUCTION_H_

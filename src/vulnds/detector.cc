@@ -1,0 +1,188 @@
+#include "vulnds/detector.h"
+
+#include <algorithm>
+#include <string>
+
+#include "vulnds/basic_sampler.h"
+#include "vulnds/bounds.h"
+#include "vulnds/bsrbk.h"
+#include "vulnds/candidate_reduction.h"
+#include "vulnds/reverse_sampler.h"
+#include "vulnds/sample_size.h"
+#include "vulnds/topk.h"
+
+namespace vulnds {
+
+const std::vector<Method>& AllMethods() {
+  static const std::vector<Method> kMethods = {
+      Method::kNaive, Method::kSampleNaive, Method::kSampleReverse, Method::kBsr,
+      Method::kBsrbk};
+  return kMethods;
+}
+
+std::string MethodName(Method method) {
+  switch (method) {
+    case Method::kNaive:
+      return "N";
+    case Method::kSampleNaive:
+      return "SN";
+    case Method::kSampleReverse:
+      return "SR";
+    case Method::kBsr:
+      return "BSR";
+    case Method::kBsrbk:
+      return "BSRBK";
+  }
+  return "?";
+}
+
+namespace {
+
+Status ValidateOptions(const UncertainGraph& graph, const DetectorOptions& o) {
+  if (o.k == 0 || o.k > graph.num_nodes()) {
+    return Status::InvalidArgument("k must be in [1, n], got " + std::to_string(o.k));
+  }
+  if (o.eps <= 0.0 || o.eps >= 1.0) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  if (o.delta <= 0.0 || o.delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (o.bound_order < 1) {
+    return Status::InvalidArgument("bound_order must be >= 1");
+  }
+  if (o.bk < 3) {
+    return Status::InvalidArgument("bk must be >= 3");
+  }
+  return Status::OK();
+}
+
+// N / SN: full-graph forward sampling, then a global top-k.
+DetectionResult DetectByBasicSampling(const UncertainGraph& graph,
+                                      const DetectorOptions& o, std::size_t t) {
+  DetectionResult result;
+  result.samples_budget = t;
+  const BasicSampleStats stats = RunBasicSampling(graph, t, o.seed, o.pool);
+  result.samples_processed = stats.samples;
+  result.nodes_touched = stats.nodes_touched;
+  result.topk = TopKByScore(stats.estimates, o.k);
+  result.scores.reserve(result.topk.size());
+  for (const NodeId v : result.topk) result.scores.push_back(stats.estimates[v]);
+  return result;
+}
+
+// Appends (node, score) pairs ordered by decreasing score, id tiebreak.
+void AppendRanked(const std::vector<NodeId>& nodes, const std::vector<double>& score,
+                  std::size_t limit, DetectionResult* result) {
+  std::vector<std::size_t> idx(nodes.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return nodes[a] < nodes[b];
+  });
+  for (std::size_t i = 0; i < idx.size() && i < limit; ++i) {
+    result->topk.push_back(nodes[idx[i]]);
+    result->scores.push_back(score[idx[i]]);
+  }
+}
+
+}  // namespace
+
+Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
+                                   const DetectorOptions& o) {
+  VULNDS_RETURN_NOT_OK(ValidateOptions(graph, o));
+  const std::size_t n = graph.num_nodes();
+
+  switch (o.method) {
+    case Method::kNaive:
+      return DetectByBasicSampling(graph, o, o.naive_samples);
+    case Method::kSampleNaive:
+      return DetectByBasicSampling(graph, o,
+                                   BasicSampleSize(o.eps, o.delta, o.k, n));
+    default:
+      break;
+  }
+
+  // SR / BSR / BSRBK all start from the order-z bounds.
+  Result<std::vector<double>> lower = LowerBounds(graph, o.bound_order);
+  if (!lower.ok()) return lower.status();
+  Result<std::vector<double>> upper = UpperBounds(graph, o.bound_order);
+  if (!upper.ok()) return upper.status();
+
+  DetectionResult result;
+
+  if (o.method == Method::kSampleReverse) {
+    // Rule 2 of Lemma 1 only: prune nodes with pu(v) < Tl; no verification,
+    // sample size still Equation 3.
+    const double tl = KthLargest(*lower, o.k);
+    std::vector<NodeId> candidates;
+    for (NodeId v = 0; v < n; ++v) {
+      if ((*upper)[v] >= tl) candidates.push_back(v);
+    }
+    result.candidate_count = candidates.size();
+    const std::size_t t = BasicSampleSize(o.eps, o.delta, o.k, n);
+    result.samples_budget = t;
+    const ReverseSampleStats stats =
+        RunReverseSampling(graph, candidates, t, o.seed, o.pool);
+    result.samples_processed = stats.samples;
+    result.nodes_touched = stats.nodes_touched;
+    AppendRanked(candidates, stats.estimates, o.k, &result);
+    return result;
+  }
+
+  // BSR / BSRBK: full Algorithm 4 reduction.
+  Result<CandidateReduction> reduced = ReduceCandidates(*lower, *upper, o.k);
+  if (!reduced.ok()) return reduced.status();
+  result.verified_count = reduced->num_verified();
+  result.candidate_count = reduced->candidates.size();
+
+  // Verified nodes enter the result immediately, scored by their lower
+  // bound (they were never sampled).
+  for (const NodeId v : reduced->verified) {
+    result.topk.push_back(v);
+    result.scores.push_back((*lower)[v]);
+  }
+  const std::size_t needed = o.k - reduced->num_verified();
+  if (needed == 0) return result;
+
+  if (reduced->candidates.size() <= needed) {
+    // Every candidate is selected; no ordering problem remains.
+    AppendRanked(reduced->candidates,
+                 std::vector<double>(reduced->candidates.size(), 0.0), needed,
+                 &result);
+    // Score them by their lower bound for reporting.
+    for (std::size_t i = result.topk.size() - reduced->candidates.size();
+         i < result.topk.size(); ++i) {
+      result.scores[i] = (*lower)[result.topk[i]];
+    }
+    return result;
+  }
+
+  const std::size_t t = ReducedSampleSize(o.eps, o.delta, o.k,
+                                          reduced->num_verified(),
+                                          reduced->candidates.size());
+  result.samples_budget = t;
+
+  if (o.method == Method::kBsr) {
+    const ReverseSampleStats stats =
+        RunReverseSampling(graph, reduced->candidates, t, o.seed, o.pool);
+    result.samples_processed = stats.samples;
+    result.nodes_touched = stats.nodes_touched;
+    AppendRanked(reduced->candidates, stats.estimates, needed, &result);
+    return result;
+  }
+
+  // BSRBK.
+  Result<BottomKRunStats> run =
+      RunBottomKSampling(graph, reduced->candidates, t, needed, o.bk, o.seed);
+  if (!run.ok()) return run.status();
+  result.samples_processed = run->samples_processed;
+  result.nodes_touched = run->nodes_touched;
+  result.early_stopped = run->early_stopped;
+  AppendRanked(reduced->candidates, run->estimates, needed, &result);
+  // Sketch scores can exceed 1; clamp for reporting (ranking is done).
+  for (double& score : result.scores) score = std::min(score, 1.0);
+  return result;
+}
+
+}  // namespace vulnds

@@ -1,0 +1,77 @@
+// TopKDetector: the unified facade over the five methods the paper
+// evaluates (§4.1): N, SN, SR, BSR and BSRBK.
+//
+//   N      Algorithm 1 with a fixed sample size.
+//   SN     Algorithm 1 with the (eps, delta) sample size of Equation 3.
+//   SR     reverse sampling (Algorithm 5) over the candidate set obtained
+//          from rule 2 of Lemma 1 only; sample size from Equation 3.
+//   BSR    bounds + full candidate reduction (verify k', prune to B) +
+//          reverse sampling with the reduced size of Equation 4.
+//   BSRBK  BSR with the bottom-k early-stopping condition (Theorem 6).
+
+#ifndef VULNDS_VULNDS_DETECTOR_H_
+#define VULNDS_VULNDS_DETECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// The five evaluated methods.
+enum class Method {
+  kNaive = 0,       ///< N
+  kSampleNaive,     ///< SN
+  kSampleReverse,   ///< SR
+  kBsr,             ///< BSR
+  kBsrbk,           ///< BSRBK
+};
+
+/// All methods in the paper's legend order.
+const std::vector<Method>& AllMethods();
+
+/// Printable method name ("N", "SN", "SR", "BSR", "BSRBK").
+std::string MethodName(Method method);
+
+/// Detector configuration; the defaults are the paper's experiment settings
+/// (eps = 0.3, delta = 0.1, bound order 2, bk = 16).
+struct DetectorOptions {
+  Method method = Method::kBsrbk;
+  std::size_t k = 1;                 ///< how many vulnerable nodes to return
+  double eps = 0.3;                  ///< (eps, delta)-approximation epsilon
+  double delta = 0.1;                ///< (eps, delta)-approximation delta
+  std::size_t naive_samples = 10000; ///< fixed sample size of method N
+  int bound_order = 2;               ///< z of Algorithms 2 and 3
+  int bk = 16;                       ///< bottom-k parameter of BSRBK
+  uint64_t seed = 42;                ///< RNG seed (worlds and hashes)
+  ThreadPool* pool = nullptr;        ///< optional sampling parallelism
+};
+
+/// Outcome of a detection run.
+struct DetectionResult {
+  /// The k selected nodes, strongest first (verified nodes precede sampled
+  /// ones; within each group ordered by decreasing score).
+  std::vector<NodeId> topk;
+  /// Score aligned with `topk`: sampled estimate for sampled nodes, the
+  /// lower bound for nodes verified without sampling.
+  std::vector<double> scores;
+
+  std::size_t samples_budget = 0;     ///< t given by the method's formula
+  std::size_t samples_processed = 0;  ///< worlds actually materialized
+  std::size_t verified_count = 0;     ///< k' (BSR/BSRBK only)
+  std::size_t candidate_count = 0;    ///< |B| (SR/BSR/BSRBK only)
+  std::size_t nodes_touched = 0;      ///< total BFS expansions
+  bool early_stopped = false;         ///< BSRBK stop condition fired
+};
+
+/// Runs the configured method on `graph`. Fails on invalid k / parameters.
+Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
+                                   const DetectorOptions& options);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_VULNDS_DETECTOR_H_

@@ -1,0 +1,21 @@
+#include "vulnds/ground_truth.h"
+
+#include "vulnds/basic_sampler.h"
+#include "vulnds/topk.h"
+
+namespace vulnds {
+
+std::vector<NodeId> GroundTruth::TopK(std::size_t k) const {
+  return TopKByScore(probabilities, k);
+}
+
+GroundTruth ComputeGroundTruth(const UncertainGraph& graph, std::size_t samples,
+                               uint64_t seed, ThreadPool* pool) {
+  GroundTruth gt;
+  BasicSampleStats stats = RunBasicSampling(graph, samples, seed, pool);
+  gt.probabilities = std::move(stats.estimates);
+  gt.samples = samples;
+  return gt;
+}
+
+}  // namespace vulnds

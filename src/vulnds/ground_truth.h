@@ -1,0 +1,33 @@
+// Ground truth for precision evaluation: the paper uses the top-k of 20 000
+// sampled possible worlds as the reference ranking (§4.1).
+
+#ifndef VULNDS_VULNDS_GROUND_TRUTH_H_
+#define VULNDS_VULNDS_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// The paper's reference sample count.
+inline constexpr std::size_t kPaperGroundTruthSamples = 20000;
+
+/// Reference default probabilities and the ranking they induce.
+struct GroundTruth {
+  std::vector<double> probabilities;  ///< per node
+  std::size_t samples = 0;
+
+  /// Top-k node ids under the reference probabilities.
+  std::vector<NodeId> TopK(std::size_t k) const;
+};
+
+/// Estimates ground truth with `samples` forward Monte-Carlo worlds.
+GroundTruth ComputeGroundTruth(const UncertainGraph& graph, std::size_t samples,
+                               uint64_t seed, ThreadPool* pool = nullptr);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_VULNDS_GROUND_TRUTH_H_

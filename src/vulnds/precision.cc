@@ -1,0 +1,20 @@
+#include "vulnds/precision.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace vulnds {
+
+double PrecisionAtK(std::span<const NodeId> result, std::span<const NodeId> truth) {
+  if (truth.empty()) return 1.0;
+  std::vector<NodeId> a(result.begin(), result.end());
+  std::vector<NodeId> b(truth.begin(), truth.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<NodeId> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) / static_cast<double>(truth.size());
+}
+
+}  // namespace vulnds

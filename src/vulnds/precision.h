@@ -1,0 +1,18 @@
+// Precision@k: the effectiveness metric of Figures 4 and 7.
+
+#ifndef VULNDS_VULNDS_PRECISION_H_
+#define VULNDS_VULNDS_PRECISION_H_
+
+#include <span>
+
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// |result ∩ truth| / |truth|; order inside the sets is irrelevant.
+/// Returns 1.0 for an empty truth set (nothing to find).
+double PrecisionAtK(std::span<const NodeId> result, std::span<const NodeId> truth);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_VULNDS_PRECISION_H_

@@ -1,0 +1,182 @@
+#include "vulnds/reverse_sampler.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace vulnds {
+
+namespace {
+// Domain separators so node coins, edge coins and world seeds never collide.
+constexpr uint64_t kNodeSalt = 0x9AE16A3B2F90404FULL;
+constexpr uint64_t kEdgeSalt = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kWorldSalt = 0x165667B19E3779F9ULL;
+}  // namespace
+
+uint64_t WorldSeed(uint64_t seed, uint64_t sample_index) {
+  return Mix64(seed ^ Mix64(sample_index + kWorldSalt));
+}
+
+bool WorldNodeSelfDefaults(uint64_t world_seed, NodeId v, double self_risk) {
+  if (self_risk <= 0.0) return false;
+  if (self_risk >= 1.0) return true;
+  return UniformHash(world_seed ^ kNodeSalt).HashUnit(v) < self_risk;
+}
+
+bool WorldEdgeSurvives(uint64_t world_seed, EdgeId e, double prob) {
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  return UniformHash(world_seed ^ kEdgeSalt).HashUnit(e) < prob;
+}
+
+ReverseSampler::ReverseSampler(const UncertainGraph& graph,
+                               std::vector<NodeId> candidates)
+    : graph_(graph),
+      candidates_(std::move(candidates)),
+      conclusion_stamp_(graph.num_nodes(), 0),
+      conclusion_(graph.num_nodes(), 0),
+      visited_stamp_(graph.num_nodes(), 0) {
+  queue_.reserve(graph.num_nodes());
+  explored_.reserve(graph.num_nodes());
+}
+
+bool ReverseSampler::EdgeSurvives(EdgeId e) {
+  return WorldEdgeSurvives(world_seed_, e, graph_.edges()[e].prob);
+}
+
+bool ReverseSampler::NodeSelfDefaults(NodeId v) {
+  return WorldNodeSelfDefaults(world_seed_, v, graph_.self_risk(v));
+}
+
+ReverseSampler::Conclusion ReverseSampler::GetConclusion(NodeId v) const {
+  if (conclusion_stamp_[v] != sample_stamp_) return Conclusion::kUnknown;
+  return static_cast<Conclusion>(conclusion_[v]);
+}
+
+void ReverseSampler::SetConclusion(NodeId v, Conclusion c) {
+  conclusion_stamp_[v] = sample_stamp_;
+  conclusion_[v] = static_cast<char>(c);
+}
+
+bool ReverseSampler::EvaluateCandidate(NodeId v, std::size_t* touched) {
+  // Algorithm 5 lines 2-20, one candidate.
+  switch (GetConclusion(v)) {
+    case Conclusion::kDefaulted:
+      return true;
+    case Conclusion::kSafe:
+      return false;
+    case Conclusion::kUnknown:
+      break;
+  }
+  ++visit_stamp_;
+  queue_.clear();
+  explored_.clear();
+  queue_.push_back(v);
+  visited_stamp_[v] = visit_stamp_;
+
+  bool found_default = false;
+  for (std::size_t head = 0; head < queue_.size() && !found_default; ++head) {
+    const NodeId u = queue_[head];
+    ++*touched;
+    // Line 7: reuse a previous conclusion about u in this sample.
+    const Conclusion known = GetConclusion(u);
+    if (known == Conclusion::kDefaulted) {
+      found_default = true;
+      break;
+    }
+    if (known == Conclusion::kSafe) continue;  // dead region; do not expand
+    explored_.push_back(u);
+    // Lines 9-13: flip u's self-risk coin (memoized by world purity).
+    if (NodeSelfDefaults(u)) {
+      SetConclusion(u, Conclusion::kDefaulted);
+      found_default = true;
+      break;
+    }
+    // Lines 14-20: expand along surviving in-edges.
+    for (const Arc& arc : graph_.InArcs(u)) {
+      if (visited_stamp_[arc.neighbor] == visit_stamp_) continue;
+      if (!EdgeSurvives(arc.edge)) continue;
+      visited_stamp_[arc.neighbor] = visit_stamp_;
+      queue_.push_back(arc.neighbor);
+    }
+  }
+
+  if (found_default) {
+    SetConclusion(v, Conclusion::kDefaulted);
+    return true;
+  }
+  // Exhausted without a default: the whole explored region is reverse-
+  // unreachable from any defaulted node in this world.
+  for (const NodeId u : explored_) SetConclusion(u, Conclusion::kSafe);
+  SetConclusion(v, Conclusion::kSafe);
+  return false;
+}
+
+std::size_t ReverseSampler::SampleWorld(uint64_t world_seed,
+                                        std::vector<char>* defaulted) {
+  world_seed_ = world_seed;
+  ++sample_stamp_;
+  defaulted->assign(candidates_.size(), 0);
+  std::size_t touched = 0;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    (*defaulted)[i] = EvaluateCandidate(candidates_[i], &touched) ? 1 : 0;
+  }
+  return touched;
+}
+
+namespace {
+
+void RunChunk(const UncertainGraph& graph, const std::vector<NodeId>& candidates,
+              uint64_t seed, std::size_t begin, std::size_t end,
+              std::vector<uint32_t>* counts, std::size_t* touched) {
+  ReverseSampler sampler(graph, candidates);
+  std::vector<char> defaulted;
+  for (std::size_t i = begin; i < end; ++i) {
+    *touched += sampler.SampleWorld(WorldSeed(seed, i), &defaulted);
+    for (std::size_t c = 0; c < defaulted.size(); ++c) {
+      (*counts)[c] += defaulted[c];
+    }
+  }
+}
+
+}  // namespace
+
+ReverseSampleStats RunReverseSampling(const UncertainGraph& graph,
+                                      const std::vector<NodeId>& candidates,
+                                      std::size_t t, uint64_t seed,
+                                      ThreadPool* pool) {
+  ReverseSampleStats stats;
+  stats.samples = t;
+  stats.estimates.assign(candidates.size(), 0.0);
+  if (t == 0 || candidates.empty()) return stats;
+
+  std::vector<uint32_t> counts(candidates.size(), 0);
+  if (pool == nullptr || pool->num_threads() <= 1 || t < 16) {
+    RunChunk(graph, candidates, seed, 0, t, &counts, &stats.nodes_touched);
+  } else {
+    const std::size_t workers = std::min<std::size_t>(pool->num_threads(), t);
+    std::vector<std::vector<uint32_t>> partial(
+        workers, std::vector<uint32_t>(candidates.size(), 0));
+    std::vector<std::size_t> partial_touched(workers, 0);
+    const std::size_t chunk = (t + workers - 1) / workers;
+    pool->ParallelFor(workers, [&](std::size_t w) {
+      const std::size_t begin = w * chunk;
+      const std::size_t end = std::min(t, begin + chunk);
+      if (begin < end) {
+        RunChunk(graph, candidates, seed, begin, end, &partial[w],
+                 &partial_touched[w]);
+      }
+    });
+    for (std::size_t w = 0; w < workers; ++w) {
+      stats.nodes_touched += partial_touched[w];
+      for (std::size_t c = 0; c < candidates.size(); ++c) counts[c] += partial[w][c];
+    }
+  }
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    stats.estimates[c] = static_cast<double>(counts[c]) / static_cast<double>(t);
+  }
+  return stats;
+}
+
+}  // namespace vulnds

@@ -1,0 +1,101 @@
+// Algorithm 5: reverse sampling over the transposed graph.
+//
+// Instead of materializing a whole world forward, each candidate runs a
+// reverse BFS asking "can a self-defaulted node reach me through surviving
+// edges?". Coin flips for nodes (self-risk) and edges (diffusion) are
+// memoized per sample, so every candidate observes the same world and the
+// per-sample work is proportional to the explored region, not the graph.
+//
+// Worlds are *pure functions* of (seed, sample index, entity id): an
+// entity's coin is the hash of its id under the world seed. The world a
+// sampler observes therefore does not depend on traversal order, which lets
+// tests verify that reverse evaluation equals forward evaluation of the
+// identical world (tests/vulnds/reverse_sampler_test.cc).
+//
+// Two forms of per-sample caching are applied, both conclusions that follow
+// deterministically from the coins (they change cost, never results):
+//  * a node whose self-risk coin came up "default" is recorded as defaulted
+//    (the paper's line 13);
+//  * when a candidate's BFS exhausts without finding a default, every node
+//    it fully explored is recorded as non-defaulted — any later traversal
+//    entering that region can stop immediately, since reverse-reachability
+//    is transitive. This generalizes the paper's line-7 reuse of h-values.
+
+#ifndef VULNDS_VULNDS_REVERSE_SAMPLER_H_
+#define VULNDS_VULNDS_REVERSE_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds {
+
+/// Seed identifying the world of sample `sample_index` under run seed `seed`.
+uint64_t WorldSeed(uint64_t seed, uint64_t sample_index);
+
+/// True iff node v self-defaults in the world (pure in its arguments).
+bool WorldNodeSelfDefaults(uint64_t world_seed, NodeId v, double self_risk);
+
+/// True iff edge e survives in the world (pure in its arguments).
+bool WorldEdgeSurvives(uint64_t world_seed, EdgeId e, double prob);
+
+/// Evaluates candidate default indicators world-by-world. One instance per
+/// thread; reusable across samples.
+class ReverseSampler {
+ public:
+  /// Prepares a sampler for the given candidate set (node ids into `graph`).
+  ReverseSampler(const UncertainGraph& graph, std::vector<NodeId> candidates);
+
+  /// The candidate set, in the order `defaulted` entries are reported.
+  const std::vector<NodeId>& candidates() const { return candidates_; }
+
+  /// Evaluates all candidates in the world identified by `world_seed`.
+  /// Writes one flag per candidate into `defaulted` (resized to the
+  /// candidate count) and returns the number of node expansions performed.
+  std::size_t SampleWorld(uint64_t world_seed, std::vector<char>* defaulted);
+
+ private:
+  enum class Conclusion : char { kUnknown = 0, kDefaulted, kSafe };
+
+  // Evaluates one candidate in the current sample; assumes stamps are set.
+  bool EvaluateCandidate(NodeId v, std::size_t* touched);
+
+  bool EdgeSurvives(EdgeId e);
+  bool NodeSelfDefaults(NodeId v);
+  Conclusion GetConclusion(NodeId v) const;
+  void SetConclusion(NodeId v, Conclusion c);
+
+  const UncertainGraph& graph_;
+  std::vector<NodeId> candidates_;
+
+  uint64_t world_seed_ = 0;
+  uint64_t sample_stamp_ = 0;  // bumped per SampleWorld
+  uint64_t visit_stamp_ = 0;   // bumped per candidate BFS
+
+  std::vector<uint64_t> conclusion_stamp_;
+  std::vector<char> conclusion_;
+  std::vector<uint64_t> visited_stamp_;
+  std::vector<NodeId> queue_;
+  std::vector<NodeId> explored_;
+};
+
+/// Aggregate estimates from `t` reverse samples.
+struct ReverseSampleStats {
+  std::vector<double> estimates;  ///< p̂(v) per candidate (candidate order)
+  std::size_t samples = 0;
+  std::size_t nodes_touched = 0;
+};
+
+/// Runs Algorithm 5 for `t` samples; parallel over samples when `pool` is
+/// provided (deterministic: worlds are indexed, partial counts are reduced
+/// in worker order).
+ReverseSampleStats RunReverseSampling(const UncertainGraph& graph,
+                                      const std::vector<NodeId>& candidates,
+                                      std::size_t t, uint64_t seed,
+                                      ThreadPool* pool = nullptr);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_VULNDS_REVERSE_SAMPLER_H_

@@ -1,0 +1,48 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace vulnds {
+namespace {
+
+TEST(EnvTest, StringDefaultWhenUnset) {
+  ::unsetenv("VULNDS_TEST_VAR");
+  EXPECT_EQ(GetEnvString("VULNDS_TEST_VAR", "fallback"), "fallback");
+}
+
+TEST(EnvTest, StringReadsValue) {
+  ::setenv("VULNDS_TEST_VAR", "hello", 1);
+  EXPECT_EQ(GetEnvString("VULNDS_TEST_VAR", "fallback"), "hello");
+  ::unsetenv("VULNDS_TEST_VAR");
+}
+
+TEST(EnvTest, IntParsesAndDefaults) {
+  ::setenv("VULNDS_TEST_INT", "42", 1);
+  EXPECT_EQ(GetEnvInt("VULNDS_TEST_INT", 7), 42);
+  ::setenv("VULNDS_TEST_INT", "not-a-number", 1);
+  EXPECT_EQ(GetEnvInt("VULNDS_TEST_INT", 7), 7);
+  ::unsetenv("VULNDS_TEST_INT");
+  EXPECT_EQ(GetEnvInt("VULNDS_TEST_INT", 7), 7);
+}
+
+TEST(EnvTest, DoubleParsesAndDefaults) {
+  ::setenv("VULNDS_TEST_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("VULNDS_TEST_DBL", 1.0), 0.25);
+  ::unsetenv("VULNDS_TEST_DBL");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("VULNDS_TEST_DBL", 1.0), 1.0);
+}
+
+TEST(EnvTest, BenchFullScaleFollowsVariable) {
+  ::unsetenv("VULNDS_BENCH_FULL");
+  EXPECT_FALSE(BenchFullScale());
+  ::setenv("VULNDS_BENCH_FULL", "1", 1);
+  EXPECT_TRUE(BenchFullScale());
+  ::setenv("VULNDS_BENCH_FULL", "0", 1);
+  EXPECT_FALSE(BenchFullScale());
+  ::unsetenv("VULNDS_BENCH_FULL");
+}
+
+}  // namespace
+}  // namespace vulnds

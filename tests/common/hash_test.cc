@@ -1,0 +1,78 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace vulnds {
+namespace {
+
+TEST(UniformHashTest, DeterministicPerSeed) {
+  UniformHash h(5);
+  EXPECT_EQ(h.Hash64(100), UniformHash(5).Hash64(100));
+  EXPECT_DOUBLE_EQ(h.HashUnit(100), UniformHash(5).HashUnit(100));
+}
+
+TEST(UniformHashTest, SeedsActAsIndependentFunctions) {
+  UniformHash a(1);
+  UniformHash b(2);
+  int equal = 0;
+  for (uint64_t i = 0; i < 256; ++i) {
+    if (a.Hash64(i) == b.Hash64(i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(UniformHashTest, UnitRangeIsOpen) {
+  UniformHash h(7);
+  for (uint64_t i = 0; i < 100000; ++i) {
+    const double x = h.HashUnit(i);
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(UniformHashTest, UnitValuesLookUniform) {
+  UniformHash h(11);
+  const int n = 100000;
+  const int buckets = 20;
+  std::vector<int> hist(buckets, 0);
+  for (int i = 0; i < n; ++i) {
+    ++hist[static_cast<int>(h.HashUnit(i) * buckets)];
+  }
+  // Chi-square against uniform with generous slack.
+  double chi = 0.0;
+  const double expected = static_cast<double>(n) / buckets;
+  for (int b = 0; b < buckets; ++b) {
+    const double d = hist[b] - expected;
+    chi += d * d / expected;
+  }
+  // 19 dof; > 60 would be wildly non-uniform.
+  EXPECT_LT(chi, 60.0);
+}
+
+TEST(UniformHashTest, AvalancheOnAdjacentInputs) {
+  UniformHash h(13);
+  double total_flips = 0.0;
+  const int n = 1000;
+  for (uint64_t i = 0; i < n; ++i) {
+    total_flips += std::popcount(h.Hash64(i) ^ h.Hash64(i + 1));
+  }
+  // Ideal avalanche flips 32 of 64 bits on average.
+  EXPECT_NEAR(total_flips / n, 32.0, 2.0);
+}
+
+TEST(UniformHashTest, NoCollisionsOnSmallDomain) {
+  UniformHash h(17);
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    seen.insert(h.Hash64(i));
+  }
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,154 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace vulnds {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleOpenNeverZero) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDoubleOpen();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  const int n = 200000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(23);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t x = rng.NextInt(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.NextInt(5, 5), 5);
+  }
+}
+
+TEST(RngTest, GaussianMomentsSane) {
+  Rng rng(31);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkIsHistoryIndependent) {
+  Rng a(77);
+  Rng b(77);
+  (void)b.NextU64();  // advance b's state
+  (void)b.NextU64();
+  Rng fa = a.Fork(5);
+  Rng fb = b.Fork(5);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(fa.NextU64(), fb.NextU64());
+  }
+}
+
+TEST(RngTest, ForkIndicesAreIndependentStreams) {
+  Rng base(99);
+  Rng f0 = base.Fork(0);
+  Rng f1 = base.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f0.NextU64() == f1.NextU64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(SplitMixTest, KnownFixedPointFreeAndDeterministic) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, 42u);  // state advanced
+}
+
+TEST(SplitMixTest, Mix64IsStateless) {
+  EXPECT_EQ(Mix64(123), Mix64(123));
+  EXPECT_NE(Mix64(123), Mix64(124));
+}
+
+}  // namespace
+}  // namespace vulnds

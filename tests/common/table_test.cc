@@ -1,0 +1,50 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace vulnds {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "2"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("longer  2"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(0.123456, 3), "0.123");
+  EXPECT_EQ(TextTable::Num(2.0, 1), "2.0");
+}
+
+TEST(TextTableTest, CsvEscapesCommasAndQuotes) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"x,y", "he said \"hi\""});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTableTest, RowCountTracksAdds) {
+  TextTable t;
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, RaggedRowsTolerated) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,159 @@
+#include "exact/possible_world.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "testing/test_graphs.h"
+
+namespace vulnds {
+namespace {
+
+TEST(EvaluateWorldTest, NoDefaultsNoEdges) {
+  UncertainGraph g = testing::ChainGraph(0.5, 0.5);
+  const std::vector<char> none(3, 0);
+  const std::vector<char> edges(2, 1);
+  const std::vector<char> out = EvaluateWorld(g, none, edges);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 1), 0);
+}
+
+TEST(EvaluateWorldTest, PropagatesAlongSurvivingChain) {
+  UncertainGraph g = testing::ChainGraph(0.5, 0.5);
+  std::vector<char> self = {1, 0, 0};
+  std::vector<char> edges = {1, 1};
+  std::vector<char> out = EvaluateWorld(g, self, edges);
+  EXPECT_EQ(out, (std::vector<char>{1, 1, 1}));
+  edges = {1, 0};  // second hop dead
+  out = EvaluateWorld(g, self, edges);
+  EXPECT_EQ(out, (std::vector<char>{1, 1, 0}));
+}
+
+TEST(EvaluateWorldTest, NoBackwardPropagation) {
+  UncertainGraph g = testing::ChainGraph(0.5, 0.5);
+  const std::vector<char> self = {0, 0, 1};
+  const std::vector<char> edges = {1, 1};
+  const std::vector<char> out = EvaluateWorld(g, self, edges);
+  EXPECT_EQ(out, (std::vector<char>{0, 0, 1}));
+}
+
+TEST(ExactTest, SingleNode) {
+  UncertainGraphBuilder b(1);
+  ASSERT_TRUE(b.SetSelfRisk(0, 0.37).ok());
+  const auto probs = ExactDefaultProbabilities(b.Build().MoveValue());
+  ASSERT_TRUE(probs.ok());
+  EXPECT_NEAR((*probs)[0], 0.37, 1e-12);
+}
+
+TEST(ExactTest, ChainHandComputed) {
+  // a -> b -> c, all probabilities 0.2.
+  UncertainGraph g = testing::ChainGraph(0.2, 0.2);
+  const auto probs = ExactDefaultProbabilities(g);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_NEAR((*probs)[0], 0.2, 1e-12);
+  // p(b) = 1 - 0.8 * (1 - 0.2*0.2) = 0.232 (paper Example 1 structure).
+  EXPECT_NEAR((*probs)[1], 0.232, 1e-12);
+  // p(c) = 1 - 0.8 * (1 - p(b)*0.2); independence holds on a chain.
+  EXPECT_NEAR((*probs)[2], 1.0 - 0.8 * (1.0 - 0.232 * 0.2), 1e-12);
+}
+
+TEST(ExactTest, PaperExampleNodeAandB) {
+  // Figure 3 graph with every probability 0.2; Example 1 gives p(A) = 0.2
+  // and p(B) = 0.232.
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  const auto probs = ExactDefaultProbabilities(g);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_NEAR((*probs)[0], 0.2, 1e-12);
+  EXPECT_NEAR((*probs)[1], 0.232, 1e-12);
+  // E is downstream of everything, so it must be the most vulnerable node.
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_GT((*probs)[4], (*probs)[v]);
+  }
+}
+
+TEST(ExactTest, DeterministicEntitiesCostNoBits) {
+  // 30 nodes with ps in {0, 1} and certain edges: enumerable despite size.
+  UncertainGraphBuilder b(30);
+  ASSERT_TRUE(b.SetSelfRisk(0, 1.0).ok());
+  for (NodeId v = 0; v + 1 < 30; ++v) {
+    ASSERT_TRUE(b.AddEdge(v, v + 1, 1.0).ok());
+  }
+  const auto probs = ExactDefaultProbabilities(b.Build().MoveValue());
+  ASSERT_TRUE(probs.ok());
+  for (NodeId v = 0; v < 30; ++v) {
+    EXPECT_NEAR((*probs)[v], 1.0, 1e-12);
+  }
+}
+
+TEST(ExactTest, ReliabilityReduction) {
+  // The #P-hardness construction: ps(v)=1 for the source only; p(u) is then
+  // the s-t reliability. For a single edge with survival 0.6 that is 0.6.
+  UncertainGraphBuilder b(2);
+  ASSERT_TRUE(b.SetSelfRisk(0, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.6).ok());
+  const auto probs = ExactDefaultProbabilities(b.Build().MoveValue());
+  ASSERT_TRUE(probs.ok());
+  EXPECT_NEAR((*probs)[1], 0.6, 1e-12);
+}
+
+TEST(ExactTest, DiamondCorrelationHandled) {
+  // s -> a -> t, s -> b -> t with all edges 0.5, ps(s) = 1, others 0.
+  // Reliability(t) = P(path via a or via b) = 1 - (1 - 0.25)^2 = 0.4375.
+  UncertainGraphBuilder b(4);
+  ASSERT_TRUE(b.SetSelfRisk(0, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(1, 3, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 0.5).ok());
+  const auto probs = ExactDefaultProbabilities(b.Build().MoveValue());
+  ASSERT_TRUE(probs.ok());
+  EXPECT_NEAR((*probs)[3], 0.4375, 1e-12);
+}
+
+TEST(ExactTest, TooManyUncertainBitsRejected) {
+  UncertainGraph g = ErdosRenyi(30, 40, GraphProbOptions{}, 5).MoveValue();
+  // 30 uncertain nodes + 40 uncertain edges = 70 bits > cap.
+  EXPECT_EQ(ExactDefaultProbabilities(g).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExactTest, ProbabilitiesAreProbabilities) {
+  UncertainGraph g = testing::RandomSmallGraph(5, 0.3, 17);
+  const auto probs = ExactDefaultProbabilities(g);
+  ASSERT_TRUE(probs.ok());
+  double mass_check = 0.0;
+  for (const double p : *probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    mass_check += p;
+  }
+  EXPECT_GE(mass_check, 0.0);
+}
+
+TEST(ExactTest, SelfRiskIsLowerBoundOfDefaultProbability) {
+  UncertainGraph g = testing::RandomSmallGraph(5, 0.4, 23);
+  const auto probs = ExactDefaultProbabilities(g);
+  ASSERT_TRUE(probs.ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE((*probs)[v], g.self_risk(v) - 1e-12);
+  }
+}
+
+TEST(ExactTopKTest, OrderAndTieBreak) {
+  UncertainGraphBuilder b(3);
+  ASSERT_TRUE(b.SetSelfRisk(0, 0.5).ok());
+  ASSERT_TRUE(b.SetSelfRisk(1, 0.9).ok());
+  ASSERT_TRUE(b.SetSelfRisk(2, 0.5).ok());
+  const auto topk = ExactTopK(b.Build().MoveValue(), 3);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(*topk, (std::vector<NodeId>{1, 0, 2}));  // tie 0 vs 2 -> id order
+}
+
+TEST(ExactTopKTest, KValidation) {
+  UncertainGraph g = testing::ChainGraph(0.2, 0.2);
+  EXPECT_FALSE(ExactTopK(g, 4).ok());
+  const auto top0 = ExactTopK(g, 0);
+  ASSERT_TRUE(top0.ok());
+  EXPECT_TRUE(top0->empty());
+}
+
+}  // namespace
+}  // namespace vulnds

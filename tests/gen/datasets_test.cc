@@ -1,0 +1,95 @@
+#include "gen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+
+namespace vulnds {
+namespace {
+
+TEST(DatasetsTest, RegistryHasEightEntries) {
+  EXPECT_EQ(AllDatasets().size(), 8u);
+  EXPECT_EQ(EffectivenessDatasets().size(), 4u);
+}
+
+TEST(DatasetsTest, SpecsMatchTable2) {
+  const DatasetSpec bitcoin = GetDatasetSpec(DatasetId::kBitcoin);
+  EXPECT_EQ(bitcoin.name, "Bitcoin");
+  EXPECT_EQ(bitcoin.num_nodes, 3783u);
+  EXPECT_EQ(bitcoin.num_edges, 24186u);
+  const DatasetSpec guarantee = GetDatasetSpec(DatasetId::kGuarantee);
+  EXPECT_EQ(guarantee.num_nodes, 31309u);
+  EXPECT_EQ(guarantee.num_edges, 35987u);
+  EXPECT_EQ(guarantee.max_degree, 14362u);
+  const DatasetSpec p2p = GetDatasetSpec(DatasetId::kP2P);
+  EXPECT_EQ(p2p.num_nodes, 62586u);
+}
+
+TEST(DatasetsTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const DatasetId id : AllDatasets()) {
+    EXPECT_TRUE(names.insert(DatasetName(id)).second);
+  }
+}
+
+TEST(DatasetsTest, ScaleValidation) {
+  EXPECT_FALSE(MakeDataset(DatasetId::kCitation, 0.0, 1).ok());
+  EXPECT_FALSE(MakeDataset(DatasetId::kCitation, 1.5, 1).ok());
+  EXPECT_TRUE(MakeDataset(DatasetId::kCitation, 0.5, 1).ok());
+}
+
+TEST(DatasetsTest, DeterministicInSeed) {
+  UncertainGraph a = MakeDataset(DatasetId::kInterbank, 1.0, 3).MoveValue();
+  UncertainGraph b = MakeDataset(DatasetId::kInterbank, 1.0, 3).MoveValue();
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edges()[e].src, b.edges()[e].src);
+    EXPECT_DOUBLE_EQ(a.edges()[e].prob, b.edges()[e].prob);
+  }
+}
+
+// Parameterized sweep: every dataset at small scale is well formed and
+// roughly matches the scaled Table 2 row.
+class DatasetSweep : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetSweep, ScaledInstanceMatchesSpecShape) {
+  const DatasetId id = GetParam();
+  const double scale = 0.05;
+  Result<UncertainGraph> g = MakeDataset(id, scale, 42);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  const DatasetSpec spec = GetDatasetSpec(id);
+  const GraphStats s = ComputeStats(*g);
+  // Node/edge counts within 35% of the scaled target (generators take
+  // liberties on tiny instances; the floor of 16/24 dominates at 5%).
+  const double target_nodes =
+      std::max(16.0, static_cast<double>(spec.num_nodes) * scale);
+  EXPECT_GT(static_cast<double>(s.num_nodes), 0.5 * target_nodes);
+  EXPECT_LT(static_cast<double>(s.num_nodes), 2.0 * target_nodes + 32);
+  EXPECT_GT(s.num_edges, 0u);
+  // All probabilities valid.
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    ASSERT_GE(g->self_risk(v), 0.0);
+    ASSERT_LE(g->self_risk(v), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSweep,
+                         ::testing::ValuesIn(AllDatasets()),
+                         [](const ::testing::TestParamInfo<DatasetId>& info) {
+                           return DatasetName(info.param);
+                         });
+
+TEST(DatasetsTest, FullScaleInterbankMatchesTable2Exactly) {
+  UncertainGraph g = MakeDataset(DatasetId::kInterbank, 1.0, 1).MoveValue();
+  EXPECT_EQ(g.num_nodes(), 125u);
+  EXPECT_EQ(g.num_edges(), 249u);
+}
+
+TEST(DatasetsTest, FullScaleCitationMatchesTable2Exactly) {
+  UncertainGraph g = MakeDataset(DatasetId::kCitation, 1.0, 1).MoveValue();
+  EXPECT_EQ(g.num_nodes(), 2617u);
+  EXPECT_EQ(g.num_edges(), 2985u);
+}
+
+}  // namespace
+}  // namespace vulnds

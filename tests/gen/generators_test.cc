@@ -1,0 +1,217 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/financial.h"
+#include "gen/interbank.h"
+#include "graph/graph_stats.h"
+
+namespace vulnds {
+namespace {
+
+GraphProbOptions UniformProbs() { return GraphProbOptions{}; }
+
+TEST(ErdosRenyiTest, ExactCounts) {
+  Result<UncertainGraph> g = ErdosRenyi(100, 500, UniformProbs(), 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 100u);
+  EXPECT_EQ(g->num_edges(), 500u);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoopsNoDuplicates) {
+  UncertainGraph g = ErdosRenyi(50, 600, UniformProbs(), 2).MoveValue();
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const UncertainEdge& e : g.edges()) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_TRUE(seen.emplace(e.src, e.dst).second) << "duplicate edge";
+  }
+}
+
+TEST(ErdosRenyiTest, DeterministicInSeed) {
+  UncertainGraph a = ErdosRenyi(40, 100, UniformProbs(), 7).MoveValue();
+  UncertainGraph b = ErdosRenyi(40, 100, UniformProbs(), 7).MoveValue();
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edges()[e].src, b.edges()[e].src);
+    EXPECT_EQ(a.edges()[e].dst, b.edges()[e].dst);
+    EXPECT_DOUBLE_EQ(a.edges()[e].prob, b.edges()[e].prob);
+  }
+}
+
+TEST(ErdosRenyiTest, SeedChangesTopology) {
+  UncertainGraph a = ErdosRenyi(40, 100, UniformProbs(), 7).MoveValue();
+  UncertainGraph b = ErdosRenyi(40, 100, UniformProbs(), 8).MoveValue();
+  int diff = 0;
+  for (std::size_t e = 0; e < a.num_edges(); ++e) {
+    if (a.edges()[e].src != b.edges()[e].src ||
+        a.edges()[e].dst != b.edges()[e].dst) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(ErdosRenyiTest, RejectsInfeasibleRequests) {
+  EXPECT_FALSE(ErdosRenyi(1, 1, UniformProbs(), 1).ok());
+  EXPECT_FALSE(ErdosRenyi(3, 7, UniformProbs(), 1).ok());  // > n(n-1) = 6
+}
+
+TEST(ErdosRenyiTest, ProbabilitiesInRange) {
+  UncertainGraph g = ErdosRenyi(30, 200, UniformProbs(), 3).MoveValue();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.self_risk(v), 0.0);
+    EXPECT_LE(g.self_risk(v), 1.0);
+  }
+  for (const UncertainEdge& e : g.edges()) {
+    EXPECT_GE(e.prob, 0.0);
+    EXPECT_LE(e.prob, 1.0);
+  }
+}
+
+TEST(BarabasiAlbertTest, ProducesHeavyTail) {
+  UncertainGraph g = BarabasiAlbert(2000, 4, UniformProbs(), 5).MoveValue();
+  const GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 2000u);
+  // Hubs should far exceed the average degree.
+  EXPECT_GT(static_cast<double>(s.max_degree), 6.0 * s.avg_degree);
+}
+
+TEST(BarabasiAlbertTest, ValidatesParameters) {
+  EXPECT_FALSE(BarabasiAlbert(10, 0, UniformProbs(), 1).ok());
+  EXPECT_FALSE(BarabasiAlbert(3, 5, UniformProbs(), 1).ok());
+}
+
+TEST(BarabasiAlbertTest, Deterministic) {
+  UncertainGraph a = BarabasiAlbert(200, 3, UniformProbs(), 11).MoveValue();
+  UncertainGraph b = BarabasiAlbert(200, 3, UniformProbs(), 11).MoveValue();
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(WattsStrogatzTest, RingWithoutRewiring) {
+  UncertainGraph g = WattsStrogatz(20, 2, 0.0, UniformProbs(), 1).MoveValue();
+  EXPECT_EQ(g.num_edges(), 40u);  // each node -> 2 successors
+  // Node 0 connects to 1 and 2.
+  auto arcs = g.OutArcs(0);
+  ASSERT_EQ(arcs.size(), 2u);
+  EXPECT_EQ(arcs[0].neighbor, 1u);
+  EXPECT_EQ(arcs[1].neighbor, 2u);
+}
+
+TEST(WattsStrogatzTest, RewiringKeepsGraphSimple) {
+  UncertainGraph g = WattsStrogatz(100, 3, 0.5, UniformProbs(), 2).MoveValue();
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const UncertainEdge& e : g.edges()) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_TRUE(seen.emplace(e.src, e.dst).second);
+  }
+}
+
+TEST(WattsStrogatzTest, ValidatesParameters) {
+  EXPECT_FALSE(WattsStrogatz(10, 0, 0.1, UniformProbs(), 1).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 10, 0.1, UniformProbs(), 1).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 2, 1.5, UniformProbs(), 1).ok());
+}
+
+TEST(PowerLawTest, HitsRequestedEdgeCount) {
+  UncertainGraph g =
+      PowerLawConfiguration(500, 3000, 2.1, 200, UniformProbs(), 3).MoveValue();
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_EQ(g.num_edges(), 3000u);
+}
+
+TEST(PowerLawTest, HeavyTailEmerges) {
+  UncertainGraph g =
+      PowerLawConfiguration(3000, 20000, 2.0, 1500, UniformProbs(), 4).MoveValue();
+  const GraphStats s = ComputeStats(g);
+  EXPECT_GT(static_cast<double>(s.max_degree), 4.0 * s.avg_degree);
+}
+
+TEST(PowerLawTest, ValidatesExponent) {
+  EXPECT_FALSE(PowerLawConfiguration(10, 20, 1.0, 5, UniformProbs(), 1).ok());
+}
+
+TEST(InterbankTest, MatchesRequestedSize) {
+  InterbankOptions opt;
+  opt.num_banks = 125;
+  opt.num_loans = 249;
+  UncertainGraph g = GenerateInterbank(opt, 6).MoveValue();
+  EXPECT_EQ(g.num_nodes(), 125u);
+  EXPECT_EQ(g.num_edges(), 249u);
+}
+
+TEST(InterbankTest, CorePeripheryShape) {
+  InterbankOptions opt;
+  opt.num_banks = 125;
+  opt.num_loans = 249;
+  UncertainGraph g = GenerateInterbank(opt, 7).MoveValue();
+  const GraphStats s = ComputeStats(g);
+  // A money-center bank touches many counterparties.
+  EXPECT_GT(static_cast<double>(s.max_degree), 5.0 * s.avg_degree);
+}
+
+TEST(InterbankTest, RejectsInfeasible) {
+  InterbankOptions opt;
+  opt.num_banks = 1;
+  EXPECT_FALSE(GenerateInterbank(opt, 1).ok());
+}
+
+TEST(GuaranteeTest, SparseWithMegaHub) {
+  GuaranteeOptions opt;
+  opt.num_firms = 3000;
+  opt.num_guarantees = 3450;
+  opt.hub_fraction = 0.4;
+  UncertainGraph g = GenerateGuarantee(opt, 8).MoveValue();
+  EXPECT_EQ(g.num_edges(), 3450u);
+  const GraphStats s = ComputeStats(g);
+  // The hub absorbs roughly hub_fraction of all edges.
+  EXPECT_GT(s.max_degree, 1000u);
+  EXPECT_LT(s.avg_degree, 1.5);
+}
+
+TEST(GuaranteeTest, HubIsNodeZero) {
+  GuaranteeOptions opt;
+  opt.num_firms = 500;
+  opt.num_guarantees = 600;
+  UncertainGraph g = GenerateGuarantee(opt, 9).MoveValue();
+  std::size_t best = 0;
+  NodeId best_node = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t deg = g.OutDegree(v) + g.InDegree(v);
+    if (deg > best) {
+      best = deg;
+      best_node = v;
+    }
+  }
+  EXPECT_EQ(best_node, 0u);
+}
+
+TEST(FraudTest, BipartiteDirection) {
+  FraudOptions opt;
+  opt.num_consumers = 300;
+  opt.num_merchants = 50;
+  opt.num_trades = 2000;
+  UncertainGraph g = GenerateFraud(opt, 10).MoveValue();
+  EXPECT_EQ(g.num_nodes(), 350u);
+  EXPECT_EQ(g.num_edges(), 2000u);
+  for (const UncertainEdge& e : g.edges()) {
+    EXPECT_LT(e.src, 300u);   // consumers
+    EXPECT_GE(e.dst, 300u);   // merchants
+  }
+}
+
+TEST(FraudTest, MerchantPopularitySkewed) {
+  FraudOptions opt;
+  opt.num_consumers = 500;
+  opt.num_merchants = 100;
+  opt.num_trades = 10000;
+  UncertainGraph g = GenerateFraud(opt, 11).MoveValue();
+  // The most popular merchant should take a large share of trades.
+  std::size_t max_in = 0;
+  for (NodeId v = 500; v < 600; ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  EXPECT_GT(max_in, 10000u / 20);
+}
+
+}  // namespace
+}  // namespace vulnds

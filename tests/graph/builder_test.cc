@@ -1,0 +1,148 @@
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace vulnds {
+namespace {
+
+TEST(BuilderTest, EmptyGraph) {
+  UncertainGraphBuilder b(0);
+  Result<UncertainGraph> g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(BuilderTest, SelfRiskDefaultsToZero) {
+  UncertainGraphBuilder b(3);
+  UncertainGraph g = b.Build().MoveValue();
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(g.self_risk(v), 0.0);
+  }
+}
+
+TEST(BuilderTest, SetSelfRiskValidation) {
+  UncertainGraphBuilder b(2);
+  EXPECT_TRUE(b.SetSelfRisk(0, 0.5).ok());
+  EXPECT_TRUE(b.SetSelfRisk(1, 0.0).ok());
+  EXPECT_TRUE(b.SetSelfRisk(1, 1.0).ok());
+  EXPECT_EQ(b.SetSelfRisk(2, 0.5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(b.SetSelfRisk(0, -0.1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.SetSelfRisk(0, 1.1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, SetAllSelfRisksSizeChecked) {
+  UncertainGraphBuilder b(3);
+  EXPECT_EQ(b.SetAllSelfRisks({0.1, 0.2}).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(b.SetAllSelfRisks({0.1, 0.2, 0.3}).ok());
+  UncertainGraph g = b.Build().MoveValue();
+  EXPECT_DOUBLE_EQ(g.self_risk(1), 0.2);
+}
+
+TEST(BuilderTest, AddEdgeValidation) {
+  UncertainGraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  EXPECT_EQ(b.AddEdge(0, 0, 0.5).code(), StatusCode::kInvalidArgument);  // loop
+  EXPECT_EQ(b.AddEdge(0, 3, 0.5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(b.AddEdge(3, 0, 0.5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(b.AddEdge(0, 1, 1.5).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, ParallelEdgesAreKept) {
+  UncertainGraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.2).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.7).ok());
+  UncertainGraph g = b.Build().MoveValue();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+}
+
+TEST(BuilderTest, CsrAdjacencyMatchesEdgeList) {
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  // A(0) has out-arcs to B(1) and C(2).
+  auto out_a = g.OutArcs(0);
+  ASSERT_EQ(out_a.size(), 2u);
+  EXPECT_EQ(out_a[0].neighbor, 1u);
+  EXPECT_EQ(out_a[1].neighbor, 2u);
+  // E(4) has in-arcs from B(1), C(2), D(3).
+  auto in_e = g.InArcs(4);
+  ASSERT_EQ(in_e.size(), 3u);
+  EXPECT_EQ(in_e[0].neighbor, 1u);
+  EXPECT_EQ(in_e[1].neighbor, 2u);
+  EXPECT_EQ(in_e[2].neighbor, 3u);
+}
+
+TEST(BuilderTest, EdgeIdsSharedBetweenDirections) {
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  // For every out-arc, find the matching in-arc and compare edge ids.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Arc& out : g.OutArcs(u)) {
+      bool found = false;
+      for (const Arc& in : g.InArcs(out.neighbor)) {
+        if (in.edge == out.edge) {
+          EXPECT_EQ(in.neighbor, u);
+          EXPECT_DOUBLE_EQ(in.prob, out.prob);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(BuilderTest, DegreesConsistent) {
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  std::size_t total_out = 0;
+  std::size_t total_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    total_out += g.OutDegree(v);
+    total_in += g.InDegree(v);
+  }
+  EXPECT_EQ(total_out, g.num_edges());
+  EXPECT_EQ(total_in, g.num_edges());
+}
+
+TEST(BuilderTest, BuildIsRepeatable) {
+  UncertainGraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.3).ok());
+  UncertainGraph g1 = b.Build().MoveValue();
+  ASSERT_TRUE(b.AddEdge(1, 0, 0.4).ok());
+  UncertainGraph g2 = b.Build().MoveValue();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+TEST(TransposeTest, ReversesEveryEdge) {
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  UncertainGraph t = g.Transposed();
+  EXPECT_EQ(t.num_nodes(), g.num_nodes());
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  for (const UncertainEdge& e : g.edges()) {
+    bool found = false;
+    for (const Arc& arc : t.OutArcs(e.dst)) {
+      if (arc.neighbor == e.src && arc.prob == e.prob) found = true;
+    }
+    EXPECT_TRUE(found) << e.src << "->" << e.dst;
+  }
+  // Self-risks preserved.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(t.self_risk(v), g.self_risk(v));
+  }
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentityOnDegrees) {
+  UncertainGraph g = testing::RandomSmallGraph(6, 0.4, 123);
+  UncertainGraph tt = g.Transposed().Transposed();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(tt.OutDegree(v), g.OutDegree(v));
+    EXPECT_EQ(tt.InDegree(v), g.InDegree(v));
+  }
+}
+
+}  // namespace
+}  // namespace vulnds

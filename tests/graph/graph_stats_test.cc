@@ -1,0 +1,50 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace vulnds {
+namespace {
+
+TEST(GraphStatsTest, PaperExample) {
+  const GraphStats s = ComputeStats(testing::PaperExampleGraph(0.2));
+  EXPECT_EQ(s.num_nodes, 5u);
+  EXPECT_EQ(s.num_edges, 6u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 6.0 / 5.0);
+  // E has in-degree 3; A has out-degree 2; B has 1 in + 2 out = 3.
+  EXPECT_EQ(s.max_in_degree, 3u);
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_EQ(s.max_degree, 3u);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  UncertainGraphBuilder b(0);
+  const GraphStats s = ComputeStats(b.Build().MoveValue());
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+  EXPECT_EQ(s.max_degree, 0u);
+}
+
+TEST(GraphStatsTest, StarGraphMaxDegree) {
+  UncertainGraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) {
+    ASSERT_TRUE(b.AddEdge(0, v, 0.5).ok());
+  }
+  const GraphStats s = ComputeStats(b.Build().MoveValue());
+  EXPECT_EQ(s.max_out_degree, 4u);
+  EXPECT_EQ(s.max_in_degree, 1u);
+  EXPECT_EQ(s.max_degree, 4u);
+}
+
+TEST(GraphStatsTest, ParallelEdgesCount) {
+  UncertainGraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.2).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.3).ok());
+  const GraphStats s = ComputeStats(b.Build().MoveValue());
+  EXPECT_EQ(s.num_edges, 2u);
+  EXPECT_EQ(s.max_degree, 2u);
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,98 @@
+#include "ml/graph_features.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace vulnds {
+namespace {
+
+Matrix OneHotFeatures(std::size_t n) {
+  Matrix f(n, n);
+  for (std::size_t i = 0; i < n; ++i) f.At(i, i) = 1.0;
+  return f;
+}
+
+TEST(NeighborMeanTest, AveragesInNeighbors) {
+  UncertainGraph g = testing::ChainGraph(0.1, 0.5);  // 0 -> 1 -> 2
+  Matrix f(3, 1);
+  f.At(0, 0) = 6.0;
+  f.At(1, 0) = 4.0;
+  f.At(2, 0) = 2.0;
+  const Matrix out = NeighborMeanFeatures(g, f);
+  EXPECT_EQ(out.cols(), 3u);  // feature + in-degree + out-degree
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 0.0);  // no in-neighbors
+  EXPECT_DOUBLE_EQ(out.At(1, 0), 6.0);  // mean of {0}
+  EXPECT_DOUBLE_EQ(out.At(2, 0), 4.0);  // mean of {1}
+}
+
+TEST(NeighborMeanTest, DegreeColumnsCorrect) {
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  Matrix f(5, 1, 1.0);
+  const Matrix out = NeighborMeanFeatures(g, f);
+  // E (node 4) has in-degree 3, out-degree 0.
+  EXPECT_DOUBLE_EQ(out.At(4, 1), 3.0);
+  EXPECT_DOUBLE_EQ(out.At(4, 2), 0.0);
+  // A (node 0) has in-degree 0, out-degree 2.
+  EXPECT_DOUBLE_EQ(out.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(out.At(0, 2), 2.0);
+}
+
+TEST(NeighborMeanTest, MultipleInNeighborsAveraged) {
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  Matrix f(5, 1);
+  for (NodeId v = 0; v < 5; ++v) f.At(v, 0) = static_cast<double>(v);
+  const Matrix out = NeighborMeanFeatures(g, f);
+  // E's in-neighbors are B(1), C(2), D(3): mean 2.
+  EXPECT_DOUBLE_EQ(out.At(4, 0), 2.0);
+}
+
+TEST(HighOrderTest, OutputShape) {
+  UncertainGraph g = testing::ChainGraph(0.1, 0.5);
+  Matrix f(3, 2, 1.0);
+  const Matrix out = HighOrderFeatures(g, f, 3);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 2u * 4u);  // self + 3 hops
+}
+
+TEST(HighOrderTest, SelfBlockIsIdentityCopy) {
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  const Matrix f = OneHotFeatures(5);
+  const Matrix out = HighOrderFeatures(g, f, 1);
+  for (NodeId v = 0; v < 5; ++v) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(out.At(v, j), f.At(v, j));
+    }
+  }
+}
+
+TEST(HighOrderTest, HopOnePullsInNeighborMass) {
+  UncertainGraph g = testing::ChainGraph(0.1, 0.5);  // 0 -> 1 -> 2
+  const Matrix f = OneHotFeatures(3);
+  const Matrix out = HighOrderFeatures(g, f, 2);
+  const std::size_t d = 3;
+  // Node 1's hop-1 block is node 0's one-hot (its only in-neighbor).
+  EXPECT_DOUBLE_EQ(out.At(1, d + 0), 1.0);
+  EXPECT_DOUBLE_EQ(out.At(1, d + 1), 0.0);
+  // Node 2's hop-2 block reaches node 0 through node 1.
+  EXPECT_DOUBLE_EQ(out.At(2, 2 * d + 0), 1.0);
+  // Node 0 has no in-neighbors: hop blocks stay zero.
+  for (std::size_t j = d; j < 3 * d; ++j) {
+    EXPECT_DOUBLE_EQ(out.At(0, j), 0.0);
+  }
+}
+
+TEST(HighOrderTest, AttentionWeightsAreConvex) {
+  // With several in-neighbors, the aggregated one-hot mass sums to 1
+  // (softmax weights are a convex combination).
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  const Matrix f = OneHotFeatures(5);
+  const Matrix out = HighOrderFeatures(g, f, 1);
+  const std::size_t d = 5;
+  double mass = 0.0;
+  for (std::size_t j = 0; j < d; ++j) mass += out.At(4, d + j);  // node E
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vulnds

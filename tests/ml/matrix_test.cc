@@ -1,0 +1,87 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace vulnds {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 7.0);
+}
+
+TEST(MatrixTest, RowSpanViewsStorage) {
+  Matrix m(2, 2);
+  m.At(1, 0) = 3.0;
+  m.At(1, 1) = 4.0;
+  const auto row = m.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  double v = 1.0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a.At(i, j) = v++;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) b.At(i, j) = v++;
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m(2, 3);
+  m.At(0, 2) = 5.0;
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 5.0);
+}
+
+TEST(MatrixTest, AppendRows) {
+  Matrix a(1, 2);
+  a.At(0, 0) = 1.0;
+  Matrix b(2, 2);
+  b.At(1, 1) = 9.0;
+  a.AppendRows(b);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_DOUBLE_EQ(a.At(2, 1), 9.0);
+  // Appending into an empty matrix adopts the shape.
+  Matrix empty;
+  empty.AppendRows(b);
+  EXPECT_EQ(empty.rows(), 2u);
+  EXPECT_EQ(empty.cols(), 2u);
+}
+
+TEST(MatrixTest, ConcatColumns) {
+  Matrix a(2, 1, 1.0);
+  Matrix b(2, 2, 2.0);
+  const Matrix c = a.ConcatColumns(b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 2), 2.0);
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix m(3, 2);
+  m.At(0, 0) = 1.0;
+  m.At(2, 0) = 3.0;
+  const std::vector<std::size_t> idx = {2, 0};
+  const Matrix s = m.SelectRows(idx);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s.At(1, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace vulnds

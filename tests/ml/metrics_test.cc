@@ -1,0 +1,77 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vulnds {
+namespace {
+
+TEST(AucTest, PerfectRanking) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<double> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, labels), 1.0);
+}
+
+TEST(AucTest, InvertedRanking) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<double> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, labels), 0.0);
+}
+
+TEST(AucTest, HandComputedPartial) {
+  // positives at scores {0.4, 0.8}, negatives at {0.2, 0.6}:
+  // pairs won: (0.4>0.2)=1, (0.4>0.6)=0, (0.8>0.2)=1, (0.8>0.6)=1 -> 3/4.
+  const std::vector<double> scores = {0.4, 0.8, 0.2, 0.6};
+  const std::vector<double> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, labels), 0.75);
+}
+
+TEST(AucTest, TiesGetHalfCredit) {
+  const std::vector<double> scores = {0.5, 0.5};
+  const std::vector<double> labels = {1, 0};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, labels), 0.5);
+}
+
+TEST(AucTest, SingleClassIsHalf) {
+  const std::vector<double> scores = {0.1, 0.9};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, std::vector<double>{1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, std::vector<double>{0, 0}), 0.5);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  const std::vector<double> scores = {0.1, 0.7, 0.3, 0.9};
+  std::vector<double> scaled = scores;
+  for (auto& s : scaled) s = s * 100.0 - 5.0;
+  const std::vector<double> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, labels), AreaUnderRoc(scaled, labels));
+}
+
+TEST(LogLossTest, PerfectAndWorst) {
+  const std::vector<double> labels = {1, 0};
+  EXPECT_NEAR(LogLoss(std::vector<double>{1.0, 0.0}, labels), 0.0, 1e-9);
+  // Confidently wrong is heavily penalized but finite (clamped).
+  EXPECT_GT(LogLoss(std::vector<double>{0.0, 1.0}, labels), 20.0);
+}
+
+TEST(LogLossTest, UniformPrediction) {
+  const std::vector<double> labels = {1, 0, 1, 0};
+  const std::vector<double> half(4, 0.5);
+  EXPECT_NEAR(LogLoss(half, labels), std::log(2.0), 1e-12);
+}
+
+TEST(AccuracyTest, ThresholdAtHalf) {
+  const std::vector<double> probs = {0.6, 0.4, 0.5, 0.1};
+  const std::vector<double> labels = {1, 0, 1, 1};
+  // predictions: 1, 0, 1, 0 -> 3 correct of 4.
+  EXPECT_DOUBLE_EQ(Accuracy(probs, labels), 0.75);
+}
+
+TEST(AccuracyTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(LogLoss({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace vulnds

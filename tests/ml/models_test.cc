@@ -1,0 +1,219 @@
+// Model training tests: every classifier must learn its designated task
+// well above chance, deterministically.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/conv.h"
+#include "ml/gbdt.h"
+#include "ml/linear.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/scaler.h"
+#include "ml/wide_deep.h"
+
+namespace vulnds {
+namespace {
+
+// Linearly separable blob data in 2D.
+void MakeLinearData(std::size_t n, uint64_t seed, Matrix* x,
+                    std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = rng.Bernoulli(0.5);
+    x->At(i, 0) = rng.NextGaussian() + (positive ? 1.2 : -1.2);
+    x->At(i, 1) = rng.NextGaussian() + (positive ? 0.8 : -0.8);
+    (*y)[i] = positive ? 1.0 : 0.0;
+  }
+}
+
+// XOR-structured data: linearly inseparable, learnable by MLP/GBDT.
+void MakeXorData(std::size_t n, uint64_t seed, Matrix* x,
+                 std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.NextGaussian();
+    const double b = rng.NextGaussian();
+    x->At(i, 0) = a;
+    x->At(i, 1) = b;
+    (*y)[i] = (a * b > 0) ? 1.0 : 0.0;
+  }
+}
+
+TEST(LogisticTest, ValidatesInput) {
+  LogisticRegression model;
+  Matrix empty;
+  EXPECT_FALSE(model.Fit(empty, {}).ok());
+  Matrix x(2, 1);
+  EXPECT_FALSE(model.Fit(x, {1.0}).ok());  // label count mismatch
+}
+
+TEST(LogisticTest, LearnsSeparableData) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinearData(600, 1, &x, &y);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  const std::vector<double> p = model.PredictProba(x);
+  EXPECT_GT(AreaUnderRoc(p, y), 0.93);
+  EXPECT_GT(Accuracy(p, y), 0.85);
+}
+
+TEST(LogisticTest, DeterministicTraining) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinearData(200, 2, &x, &y);
+  LogisticRegression a;
+  LogisticRegression b;
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(LogisticTest, CannotLearnXor) {
+  // Sanity: a linear model stays near chance on XOR, proving the MLP test
+  // below is meaningful.
+  Matrix x;
+  std::vector<double> y;
+  MakeXorData(800, 3, &x, &y);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(AreaUnderRoc(model.PredictProba(x), y), 0.65);
+}
+
+TEST(SigmoidTest, StableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(Sigmoid(-1e308)));
+}
+
+TEST(MlpTest, LearnsXor) {
+  Matrix x;
+  std::vector<double> y;
+  MakeXorData(800, 4, &x, &y);
+  TrainOptions o;
+  o.epochs = 120;
+  o.learning_rate = 0.01;
+  o.seed = 5;
+  Mlp model({16, 8}, o);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_GT(AreaUnderRoc(model.PredictProba(x), y), 0.9);
+}
+
+TEST(MlpTest, EmptyHiddenActsLikeLogistic) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinearData(400, 6, &x, &y);
+  Mlp model({}, TrainOptions{});
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_GT(AreaUnderRoc(model.PredictProba(x), y), 0.9);
+}
+
+TEST(MlpTest, LogitMatchesProba) {
+  Matrix x;
+  std::vector<double> y;
+  MakeLinearData(100, 7, &x, &y);
+  Mlp model({8}, TrainOptions{});
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  const std::vector<double> logits = model.PredictLogit(x);
+  const std::vector<double> probs = model.PredictProba(x);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_NEAR(probs[i], Sigmoid(logits[i]), 1e-12);
+  }
+}
+
+TEST(WideDeepTest, BeatsChanceOnXorAndLinear) {
+  Matrix x;
+  std::vector<double> y;
+  MakeXorData(800, 8, &x, &y);
+  TrainOptions o;
+  o.epochs = 120;
+  o.learning_rate = 0.01;
+  WideDeep model({16, 8}, o);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_GT(AreaUnderRoc(model.PredictProba(x), y), 0.85);
+}
+
+TEST(GbdtTest, ValidatesInput) {
+  Gbdt model;
+  Matrix empty;
+  EXPECT_FALSE(model.Fit(empty, {}).ok());
+}
+
+TEST(GbdtTest, LearnsXor) {
+  Matrix x;
+  std::vector<double> y;
+  MakeXorData(800, 9, &x, &y);
+  Gbdt model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_EQ(model.num_trees(), 60u);
+  EXPECT_GT(AreaUnderRoc(model.PredictProba(x), y), 0.92);
+}
+
+TEST(GbdtTest, MonotoneStepFunction) {
+  // One feature, threshold rule: y = x > 0. A single stump suffices.
+  const std::size_t n = 200;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  Rng rng(10);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.NextGaussian();
+    y[i] = x.At(i, 0) > 0 ? 1.0 : 0.0;
+  }
+  GbdtOptions o;
+  o.num_trees = 20;
+  o.max_depth = 1;
+  Gbdt model(o);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_GT(Accuracy(model.PredictProba(x), y), 0.97);
+}
+
+TEST(CnnMaxTest, ValidatesShape) {
+  CnnMaxOptions o;
+  o.channels = 2;
+  o.time_steps = 6;
+  CnnMax model(o);
+  Matrix wrong(4, 5);
+  EXPECT_FALSE(model.Fit(wrong, {1, 0, 1, 0}).ok());
+}
+
+TEST(CnnMaxTest, DetectsTemporalSpike) {
+  // Class 1 sequences contain a 3-step spike somewhere; class 0 are noise.
+  // Max pooling over a conv filter is exactly the right inductive bias.
+  const std::size_t n = 600;
+  const std::size_t time = 12;
+  Rng rng(11);
+  Matrix x(n, time);  // single channel
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < time; ++t) {
+      x.At(i, t) = 0.3 * rng.NextGaussian();
+    }
+    if (rng.Bernoulli(0.5)) {
+      y[i] = 1.0;
+      const std::size_t at = rng.NextBounded(time - 2);
+      for (std::size_t d = 0; d < 3; ++d) x.At(i, at + d) += 2.0;
+    }
+  }
+  CnnMaxOptions o;
+  o.channels = 1;
+  o.time_steps = time;
+  o.filters = 4;
+  o.kernel = 3;
+  o.train.epochs = 60;
+  o.train.learning_rate = 0.05;
+  CnnMax model(o);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_GT(AreaUnderRoc(model.PredictProba(x), y), 0.9);
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,68 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vulnds {
+namespace {
+
+TEST(ScalerTest, ZeroMeanUnitVariance) {
+  Matrix x(4, 2);
+  const double col0[] = {1.0, 2.0, 3.0, 4.0};
+  const double col1[] = {10.0, 10.0, 20.0, 20.0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    x.At(i, 0) = col0[i];
+    x.At(i, 1) = col1[i];
+  }
+  StandardScaler scaler;
+  const Matrix t = scaler.FitTransform(x);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) mean += t.At(i, j);
+    mean /= 4.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      var += (t.At(i, j) - mean) * (t.At(i, j) - mean);
+    }
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(ScalerTest, ConstantColumnDoesNotExplode) {
+  Matrix x(3, 1, 5.0);
+  StandardScaler scaler;
+  const Matrix t = scaler.FitTransform(x);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(t.At(i, 0)));
+    EXPECT_NEAR(t.At(i, 0), 0.0, 1e-9);
+  }
+}
+
+TEST(ScalerTest, TransformUsesTrainStatistics) {
+  Matrix train(2, 1);
+  train.At(0, 0) = 0.0;
+  train.At(1, 0) = 2.0;  // mean 1, std 1
+  StandardScaler scaler;
+  scaler.Fit(train);
+  Matrix test(1, 1);
+  test.At(0, 0) = 3.0;
+  const Matrix t = scaler.Transform(test);
+  EXPECT_NEAR(t.At(0, 0), 2.0, 1e-12);  // (3 - 1) / 1
+}
+
+TEST(ScalerTest, ExposesFittedStats) {
+  Matrix x(2, 1);
+  x.At(0, 0) = 2.0;
+  x.At(1, 0) = 4.0;
+  StandardScaler scaler;
+  scaler.Fit(x);
+  ASSERT_EQ(scaler.means().size(), 1u);
+  EXPECT_DOUBLE_EQ(scaler.means()[0], 3.0);
+  EXPECT_DOUBLE_EQ(scaler.stds()[0], 1.0);
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,98 @@
+#include "rank/centrality.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "testing/test_graphs.h"
+
+namespace vulnds {
+namespace {
+
+TEST(BetweennessTest, DirectedPath) {
+  // a -> b -> c: only b lies on a shortest path (a to c).
+  UncertainGraph g = testing::ChainGraph(0.1, 0.5);
+  const std::vector<double> bc = BetweennessCentrality(g);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 1.0);
+  EXPECT_DOUBLE_EQ(bc[2], 0.0);
+}
+
+TEST(BetweennessTest, StarCenterDominates) {
+  // Edges in and out of the center: center sits on every periphery pair.
+  UncertainGraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) {
+    testing::CheckOk(b.AddEdge(v, 0, 0.5));
+    testing::CheckOk(b.AddEdge(0, v, 0.5));
+  }
+  const std::vector<double> bc = BetweennessCentrality(b.Build().MoveValue());
+  // 4 peripheries, 4*3 ordered pairs all through the center.
+  EXPECT_DOUBLE_EQ(bc[0], 12.0);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(BetweennessTest, SplitShortestPathsShareCredit) {
+  // s -> a -> t and s -> b -> t: a and b each carry half the s-t pair.
+  UncertainGraphBuilder b(4);
+  testing::CheckOk(b.AddEdge(0, 1, 0.5));
+  testing::CheckOk(b.AddEdge(0, 2, 0.5));
+  testing::CheckOk(b.AddEdge(1, 3, 0.5));
+  testing::CheckOk(b.AddEdge(2, 3, 0.5));
+  const std::vector<double> bc = BetweennessCentrality(b.Build().MoveValue());
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+  EXPECT_DOUBLE_EQ(bc[2], 0.5);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+TEST(BetweennessTest, EmptyGraph) {
+  UncertainGraphBuilder b(0);
+  EXPECT_TRUE(BetweennessCentrality(b.Build().MoveValue()).empty());
+}
+
+TEST(PageRankTest, SumsToOne) {
+  UncertainGraph g = testing::RandomSmallGraph(30, 0.1, 3);
+  const std::vector<double> pr = PageRank(g);
+  const double total = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, UniformOnDirectedCycle) {
+  UncertainGraphBuilder b(5);
+  for (NodeId v = 0; v < 5; ++v) {
+    testing::CheckOk(b.AddEdge(v, (v + 1) % 5, 0.5));
+  }
+  const std::vector<double> pr = PageRank(b.Build().MoveValue());
+  for (const double p : pr) EXPECT_NEAR(p, 0.2, 1e-9);
+}
+
+TEST(PageRankTest, SinkAttractsMass) {
+  // a -> c, b -> c: c must outrank a and b.
+  UncertainGraphBuilder b(3);
+  testing::CheckOk(b.AddEdge(0, 2, 0.5));
+  testing::CheckOk(b.AddEdge(1, 2, 0.5));
+  const std::vector<double> pr = PageRank(b.Build().MoveValue());
+  EXPECT_GT(pr[2], pr[0]);
+  EXPECT_GT(pr[2], pr[1]);
+  EXPECT_NEAR(pr[0], pr[1], 1e-9);
+}
+
+TEST(PageRankTest, DanglingMassRedistributed) {
+  // One dangling node must not leak probability mass.
+  UncertainGraphBuilder b(3);
+  testing::CheckOk(b.AddEdge(0, 1, 0.5));
+  testing::CheckOk(b.AddEdge(1, 2, 0.5));  // 2 dangles
+  const std::vector<double> pr = PageRank(b.Build().MoveValue());
+  EXPECT_NEAR(std::accumulate(pr.begin(), pr.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, DampingZeroIsUniform) {
+  UncertainGraph g = testing::RandomSmallGraph(10, 0.3, 5);
+  PageRankOptions o;
+  o.damping = 0.0;
+  const std::vector<double> pr = PageRank(g, o);
+  for (const double p : pr) EXPECT_NEAR(p, 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace vulnds

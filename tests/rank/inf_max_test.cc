@@ -1,0 +1,89 @@
+#include "rank/inf_max.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace vulnds {
+namespace {
+
+TEST(RisTest, CertainChainInfluence) {
+  // a -> b -> c with probability-1 edges: influence(a) = 3, influence(b) =
+  // 2, influence(c) = 1 (exactly, because every RR set is deterministic).
+  UncertainGraph g = testing::ChainGraph(0.0, 1.0);
+  RisSketches ris(g, 3000, 1);
+  EXPECT_NEAR(ris.EstimateInfluence(0), 3.0, 0.2);
+  EXPECT_NEAR(ris.EstimateInfluence(1), 2.0, 0.2);
+  EXPECT_NEAR(ris.EstimateInfluence(2), 1.0, 0.2);
+}
+
+TEST(RisTest, ZeroProbabilityEdgesIsolate) {
+  // Dead edges make every RR set a singleton {target}; the influence of
+  // every node is 1 in expectation (targets are sampled uniformly, so the
+  // estimate carries multinomial noise).
+  UncertainGraph g = testing::ChainGraph(0.0, 0.0);
+  RisSketches ris(g, 3000, 2);
+  double total = 0.0;
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_NEAR(ris.EstimateInfluence(v), 1.0, 0.15);
+    total += ris.EstimateInfluence(v);
+  }
+  EXPECT_NEAR(total, 3.0, 1e-9);  // singleton sets partition the draws
+}
+
+TEST(RisTest, ScoresVectorMatchesPerNodeCalls) {
+  UncertainGraph g = testing::RandomSmallGraph(15, 0.2, 3);
+  RisSketches ris(g, 500, 3);
+  const std::vector<double> scores = ris.InfluenceScores();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(scores[v], ris.EstimateInfluence(v));
+  }
+}
+
+TEST(RisTest, DeterministicInSeed) {
+  UncertainGraph g = testing::RandomSmallGraph(15, 0.2, 4);
+  RisSketches a(g, 400, 9);
+  RisSketches b(g, 400, 9);
+  EXPECT_EQ(a.InfluenceScores(), b.InfluenceScores());
+}
+
+TEST(RisTest, SeedSelectionPrefersSource) {
+  // Star with certain edges out of the hub: the hub is the best seed.
+  UncertainGraphBuilder b(6);
+  for (NodeId v = 1; v < 6; ++v) testing::CheckOk(b.AddEdge(0, v, 1.0));
+  UncertainGraph g = b.Build().MoveValue();
+  RisSketches ris(g, 2000, 5);
+  const std::vector<NodeId> seeds = ris.SelectSeeds(1);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(RisTest, GreedyCoversDisjointComponents) {
+  // Two disjoint certain chains: the two heads together dominate.
+  UncertainGraphBuilder b(6);
+  testing::CheckOk(b.AddEdge(0, 1, 1.0));
+  testing::CheckOk(b.AddEdge(1, 2, 1.0));
+  testing::CheckOk(b.AddEdge(3, 4, 1.0));
+  testing::CheckOk(b.AddEdge(4, 5, 1.0));
+  UncertainGraph g = b.Build().MoveValue();
+  RisSketches ris(g, 3000, 6);
+  std::vector<NodeId> seeds = ris.SelectSeeds(2);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(seeds, (std::vector<NodeId>{0, 3}));
+}
+
+TEST(RisTest, SelectSeedsClampsK) {
+  UncertainGraph g = testing::ChainGraph(0.0, 0.5);
+  RisSketches ris(g, 100, 7);
+  EXPECT_EQ(ris.SelectSeeds(10).size(), 3u);
+  EXPECT_TRUE(ris.SelectSeeds(0).empty());
+}
+
+TEST(RisTest, NumSetsReported) {
+  UncertainGraph g = testing::ChainGraph(0.0, 0.5);
+  RisSketches ris(g, 123, 8);
+  EXPECT_EQ(ris.num_sets(), 123u);
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,69 @@
+#include "rank/kcore.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace vulnds {
+namespace {
+
+TEST(KCoreTest, DirectedTriangle) {
+  // Each node has total degree 2 and the cycle is its own 2-core.
+  UncertainGraphBuilder b(3);
+  testing::CheckOk(b.AddEdge(0, 1, 0.5));
+  testing::CheckOk(b.AddEdge(1, 2, 0.5));
+  testing::CheckOk(b.AddEdge(2, 0, 0.5));
+  const std::vector<std::size_t> core = CoreNumbers(b.Build().MoveValue());
+  EXPECT_EQ(core, (std::vector<std::size_t>{2, 2, 2}));
+}
+
+TEST(KCoreTest, PathPeelsToOne) {
+  UncertainGraph g = testing::ChainGraph(0.1, 0.5);
+  const std::vector<std::size_t> core = CoreNumbers(g);
+  EXPECT_EQ(core, (std::vector<std::size_t>{1, 1, 1}));
+}
+
+TEST(KCoreTest, IsolatedNodesAreZeroCore) {
+  UncertainGraphBuilder b(4);
+  testing::CheckOk(b.AddEdge(0, 1, 0.5));
+  const std::vector<std::size_t> core = CoreNumbers(b.Build().MoveValue());
+  EXPECT_EQ(core[2], 0u);
+  EXPECT_EQ(core[3], 0u);
+  EXPECT_EQ(core[0], 1u);
+  EXPECT_EQ(core[1], 1u);
+}
+
+TEST(KCoreTest, CliquePlusTail) {
+  // Bidirectional 4-clique (degree 6 each) with a pendant tail.
+  UncertainGraphBuilder b(5);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) testing::CheckOk(b.AddEdge(u, v, 0.5));
+    }
+  }
+  testing::CheckOk(b.AddEdge(3, 4, 0.5));
+  const std::vector<std::size_t> core = CoreNumbers(b.Build().MoveValue());
+  // Clique nodes peel together well above the tail.
+  EXPECT_EQ(core[4], 1u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_GE(core[v], 6u) << "clique node " << v;
+  }
+  EXPECT_EQ(core[0], core[1]);
+  EXPECT_EQ(core[1], core[2]);
+}
+
+TEST(KCoreTest, CoreBoundedByDegree) {
+  UncertainGraph g = testing::RandomSmallGraph(20, 0.2, 9);
+  const std::vector<std::size_t> core = CoreNumbers(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(core[v], g.OutDegree(v) + g.InDegree(v));
+  }
+}
+
+TEST(KCoreTest, EmptyGraph) {
+  UncertainGraphBuilder b(0);
+  EXPECT_TRUE(CoreNumbers(b.Build().MoveValue()).empty());
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,130 @@
+#include "risk/loan_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace vulnds {
+namespace {
+
+LoanSimOptions SmallSim() {
+  LoanSimOptions o;
+  o.num_firms = 500;
+  o.seed = 99;
+  return o;
+}
+
+TEST(LoanSimTest, ValidatesOptions) {
+  LoanSimOptions o = SmallSim();
+  o.num_firms = 3;
+  EXPECT_FALSE(SimulateLoanNetwork(o).ok());
+  o = SmallSim();
+  o.num_years = 0;
+  EXPECT_FALSE(SimulateLoanNetwork(o).ok());
+}
+
+TEST(LoanSimTest, ShapesConsistent) {
+  const auto data = SimulateLoanNetwork(SmallSim());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->graph.num_nodes(), 500u);
+  EXPECT_EQ(data->years, (std::vector<int>{2012, 2013, 2014, 2015, 2016}));
+  EXPECT_EQ(data->behavior.size(), 5u);
+  EXPECT_EQ(data->labels.size(), 5u);
+  EXPECT_EQ(data->true_self_risk.size(), 5u);
+  EXPECT_EQ(data->static_features.rows(), 500u);
+  EXPECT_EQ(data->behavior[0].rows(), 500u);
+  EXPECT_EQ(data->behavior[0].cols(), 4u * 12u);
+  EXPECT_EQ(data->true_diffusion.size(), data->graph.num_edges());
+}
+
+TEST(LoanSimTest, DeterministicInSeed) {
+  const auto a = SimulateLoanNetwork(SmallSim());
+  const auto b = SimulateLoanNetwork(SmallSim());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+  EXPECT_EQ(a->true_self_risk, b->true_self_risk);
+  EXPECT_EQ(a->static_features, b->static_features);
+}
+
+TEST(LoanSimTest, DefaultRatesPlausible) {
+  const auto data = SimulateLoanNetwork(SmallSim());
+  ASSERT_TRUE(data.ok());
+  for (std::size_t y = 0; y < data->labels.size(); ++y) {
+    const double rate =
+        std::accumulate(data->labels[y].begin(), data->labels[y].end(), 0.0) /
+        static_cast<double>(data->labels[y].size());
+    EXPECT_GT(rate, 0.02) << "year " << y;
+    EXPECT_LT(rate, 0.6) << "year " << y;
+  }
+}
+
+TEST(LoanSimTest, ContagionContributesDefaults) {
+  const auto data = SimulateLoanNetwork(SmallSim());
+  ASSERT_TRUE(data.ok());
+  std::size_t contagion = 0;
+  std::size_t total = 0;
+  for (std::size_t y = 0; y < data->labels.size(); ++y) {
+    for (std::size_t i = 0; i < data->labels[y].size(); ++i) {
+      if (data->labels[y][i] > 0.5) {
+        ++total;
+        if (data->contagion_caused[y][i]) ++contagion;
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  const double share = static_cast<double>(contagion) / static_cast<double>(total);
+  // The contagion channel must matter (else Table 3's ordering is vacuous)
+  // without dominating everything.
+  EXPECT_GT(share, 0.05);
+  EXPECT_LT(share, 0.8);
+}
+
+TEST(LoanSimTest, ProbabilitiesValid) {
+  const auto data = SimulateLoanNetwork(SmallSim());
+  ASSERT_TRUE(data.ok());
+  for (const auto& year : data->true_self_risk) {
+    for (const double p : year) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+  for (const double p : data->true_diffusion) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LoanSimTest, TrueYearGraphMatchesData) {
+  const auto data = SimulateLoanNetwork(SmallSim());
+  ASSERT_TRUE(data.ok());
+  const auto g = data->TrueYearGraph(2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), data->graph.num_nodes());
+  EXPECT_EQ(g->num_edges(), data->graph.num_edges());
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(g->self_risk(v), data->true_self_risk[2][v]);
+  }
+  EXPECT_FALSE(data->TrueYearGraph(99).ok());
+}
+
+TEST(LoanSimTest, RiskDriftsAcrossYears) {
+  const auto data = SimulateLoanNetwork(SmallSim());
+  ASSERT_TRUE(data.ok());
+  // Mean self-risk must differ year to year (the drift term).
+  double mean0 = 0.0;
+  double mean4 = 0.0;
+  for (std::size_t i = 0; i < data->true_self_risk[0].size(); ++i) {
+    mean0 += data->true_self_risk[0][i];
+    mean4 += data->true_self_risk[4][i];
+  }
+  EXPECT_NE(mean0, mean4);
+}
+
+TEST(LoanSimTest, HubExists) {
+  const auto data = SimulateLoanNetwork(SmallSim());
+  ASSERT_TRUE(data.ok());
+  EXPECT_GT(data->graph.OutDegree(0) + data->graph.InDegree(0), 50u);
+}
+
+}  // namespace
+}  // namespace vulnds

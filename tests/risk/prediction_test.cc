@@ -1,0 +1,122 @@
+#include "risk/prediction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.h"
+
+namespace vulnds {
+namespace {
+
+// One small shared simulation for all harness tests (expensive to build).
+const TemporalLoanData& SharedData() {
+  static const TemporalLoanData data = [] {
+    LoanSimOptions o;
+    o.num_firms = 400;
+    o.seed = 404;
+    return SimulateLoanNetwork(o).MoveValue();
+  }();
+  return data;
+}
+
+CaseStudyOptions FastOptions() {
+  CaseStudyOptions o;
+  o.detector_samples = 500;
+  o.bsrbk_budget = 200;
+  o.ris_sets = 500;
+  return o;
+}
+
+TEST(RiskMethodTest, ThirteenRowsInTableOrder) {
+  EXPECT_EQ(AllRiskMethods().size(), 13u);
+  EXPECT_EQ(RiskMethodName(AllRiskMethods().front()), "Wide");
+  EXPECT_EQ(RiskMethodName(AllRiskMethods().back()), "BSR");
+}
+
+TEST(RiskMethodTest, NamesUnique) {
+  std::set<std::string> names;
+  for (const RiskMethod m : AllRiskMethods()) {
+    EXPECT_TRUE(names.insert(RiskMethodName(m)).second);
+  }
+}
+
+TEST(ScoreYearTest, ValidatesYearIndices) {
+  const auto& data = SharedData();
+  EXPECT_FALSE(ScoreYear(data, RiskMethod::kWide, FastOptions(), 99).ok());
+  CaseStudyOptions bad = FastOptions();
+  bad.train_year_index = 42;
+  EXPECT_FALSE(ScoreYear(data, RiskMethod::kWide, bad, 2).ok());
+}
+
+// Every method must emit one finite score per firm.
+class ScoreShapeSweep : public ::testing::TestWithParam<RiskMethod> {};
+
+TEST_P(ScoreShapeSweep, OneScorePerFirm) {
+  const auto& data = SharedData();
+  const auto scores = ScoreYear(data, GetParam(), FastOptions(), 2);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  EXPECT_EQ(scores->size(), data.graph.num_nodes());
+  for (const double s : *scores) {
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, ScoreShapeSweep,
+                         ::testing::ValuesIn(AllRiskMethods()),
+                         [](const ::testing::TestParamInfo<RiskMethod>& info) {
+                           std::string name = RiskMethodName(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(CaseStudyTest, FeatureModelsBeatChance) {
+  const auto& data = SharedData();
+  for (const RiskMethod m : {RiskMethod::kWide, RiskMethod::kGbdt}) {
+    const auto scores = ScoreYear(data, m, FastOptions(), 2);
+    ASSERT_TRUE(scores.ok());
+    EXPECT_GT(AreaUnderRoc(*scores, data.labels[2]), 0.6) << RiskMethodName(m);
+  }
+}
+
+TEST(CaseStudyTest, DetectorBeatsPureStructure) {
+  // The paper's headline: uncertainty-aware detection outperforms
+  // structural centralities on default prediction.
+  const auto& data = SharedData();
+  const auto bsr = ScoreYear(data, RiskMethod::kBsr, FastOptions(), 2);
+  const auto pagerank = ScoreYear(data, RiskMethod::kPageRank, FastOptions(), 2);
+  ASSERT_TRUE(bsr.ok() && pagerank.ok());
+  const double auc_bsr = AreaUnderRoc(*bsr, data.labels[2]);
+  const double auc_pr = AreaUnderRoc(*pagerank, data.labels[2]);
+  EXPECT_GT(auc_bsr, 0.65);
+  EXPECT_GT(auc_bsr, auc_pr);
+}
+
+TEST(CaseStudyTest, RunCaseStudyProducesFullTable) {
+  const auto& data = SharedData();
+  CaseStudyOptions o = FastOptions();
+  o.test_year_indices = {2, 4};
+  const auto result = RunCaseStudy(data, o);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 13u);
+  EXPECT_EQ(result->test_years, (std::vector<int>{2014, 2016}));
+  for (const CaseStudyRow& row : result->rows) {
+    ASSERT_EQ(row.auc.size(), 2u);
+    for (const double auc : row.auc) {
+      EXPECT_GE(auc, 0.0);
+      EXPECT_LE(auc, 1.0);
+    }
+  }
+}
+
+TEST(CaseStudyTest, RejectsBadTestYear) {
+  const auto& data = SharedData();
+  CaseStudyOptions o = FastOptions();
+  o.test_year_indices = {17};
+  EXPECT_FALSE(RunCaseStudy(data, o).ok());
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,102 @@
+#include "sketch/bottom_k.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace vulnds {
+namespace {
+
+TEST(BottomKTest, UnsaturatedReturnsExactCount) {
+  BottomKSketch sketch(8, 1);
+  for (uint64_t i = 0; i < 5; ++i) sketch.Add(i);
+  EXPECT_FALSE(sketch.Saturated());
+  EXPECT_DOUBLE_EQ(sketch.EstimateDistinct(), 5.0);
+}
+
+TEST(BottomKTest, SaturatesAtBk) {
+  BottomKSketch sketch(4, 2);
+  for (uint64_t i = 0; i < 4; ++i) sketch.Add(i);
+  EXPECT_TRUE(sketch.Saturated());
+  EXPECT_EQ(sketch.size(), 4);
+  sketch.Add(99);
+  EXPECT_EQ(sketch.size(), 4);  // never grows past bk
+}
+
+TEST(BottomKTest, KthSmallestIsMaxOfRetained) {
+  BottomKSketch sketch(3, 3);
+  sketch.AddHashed(0.9);
+  sketch.AddHashed(0.1);
+  sketch.AddHashed(0.5);
+  EXPECT_DOUBLE_EQ(sketch.KthSmallest(), 0.9);
+  sketch.AddHashed(0.3);  // evicts 0.9
+  EXPECT_DOUBLE_EQ(sketch.KthSmallest(), 0.5);
+}
+
+TEST(BottomKTest, RetainedHashesSortedAscending) {
+  BottomKSketch sketch(4, 4);
+  for (double h : {0.8, 0.2, 0.6, 0.4, 0.1}) sketch.AddHashed(h);
+  const std::vector<double> r = sketch.RetainedHashes();
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(r.begin(), r.end()));
+  EXPECT_DOUBLE_EQ(r.front(), 0.1);
+  EXPECT_DOUBLE_EQ(r.back(), 0.6);
+}
+
+TEST(BottomKTest, EstimateWithinExpectedErrorLargeSet) {
+  const int bk = 64;
+  const double n = 100000.0;
+  BottomKSketch sketch(bk, 7);
+  for (uint64_t i = 0; i < static_cast<uint64_t>(n); ++i) sketch.Add(i);
+  const double est = sketch.EstimateDistinct();
+  // CV <= 1/sqrt(bk-2); allow 5 sigma.
+  const double tolerance = 5.0 / std::sqrt(bk - 2.0);
+  EXPECT_NEAR(est / n, 1.0, tolerance);
+}
+
+TEST(BottomKTest, DuplicatesDoNotInflateEstimate) {
+  BottomKSketch a(16, 9);
+  BottomKSketch b(16, 9);
+  for (uint64_t i = 0; i < 1000; ++i) a.Add(i);
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t i = 0; i < 1000; ++i) b.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(a.EstimateDistinct(), b.EstimateDistinct());
+}
+
+TEST(BottomKTest, ErrorFormulaValues) {
+  EXPECT_NEAR(BottomKSketch::ExpectedRelativeError(4),
+              std::sqrt(2.0 / (M_PI * 2.0)), 1e-12);
+  EXPECT_NEAR(BottomKSketch::CoefficientOfVariationBound(18),
+              0.25, 1e-12);
+  // Error shrinks with bk.
+  EXPECT_LT(BottomKSketch::ExpectedRelativeError(64),
+            BottomKSketch::ExpectedRelativeError(8));
+}
+
+// Property sweep over bk: the estimator converges as bk grows.
+class BottomKAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(BottomKAccuracy, RelativeErrorShrinksWithBk) {
+  const int bk = GetParam();
+  const double truth = 50000.0;
+  // Average relative error across independent hash seeds.
+  double total_err = 0.0;
+  const int trials = 8;
+  for (int s = 0; s < trials; ++s) {
+    BottomKSketch sketch(bk, 1000 + s);
+    for (uint64_t i = 0; i < static_cast<uint64_t>(truth); ++i) sketch.Add(i);
+    total_err += std::fabs(sketch.EstimateDistinct() - truth) / truth;
+  }
+  const double mean_err = total_err / trials;
+  // Expected error is sqrt(2/(pi(bk-2))); allow 3x slack for 8 trials.
+  EXPECT_LT(mean_err, 3.0 * BottomKSketch::ExpectedRelativeError(bk));
+}
+
+INSTANTIATE_TEST_SUITE_P(BkSweep, BottomKAccuracy,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,110 @@
+#include "vulnds/basic_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/possible_world.h"
+#include "testing/test_graphs.h"
+
+namespace vulnds {
+namespace {
+
+TEST(BasicSamplerTest, ZeroSamplesGiveZeroEstimates) {
+  UncertainGraph g = testing::ChainGraph(0.5, 0.5);
+  const BasicSampleStats stats = RunBasicSampling(g, 0, 1);
+  EXPECT_EQ(stats.samples, 0u);
+  for (const double e : stats.estimates) EXPECT_DOUBLE_EQ(e, 0.0);
+}
+
+TEST(BasicSamplerTest, DeterministicNodesAreExact) {
+  UncertainGraphBuilder b(3);
+  ASSERT_TRUE(b.SetSelfRisk(0, 1.0).ok());
+  ASSERT_TRUE(b.SetSelfRisk(1, 0.0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2, 1.0).ok());
+  UncertainGraph g = b.Build().MoveValue();
+  const BasicSampleStats stats = RunBasicSampling(g, 200, 3);
+  EXPECT_DOUBLE_EQ(stats.estimates[0], 1.0);  // always self-defaults
+  EXPECT_DOUBLE_EQ(stats.estimates[1], 0.0);  // no risk, no in-edges
+  EXPECT_DOUBLE_EQ(stats.estimates[2], 1.0);  // certain diffusion from 0
+}
+
+TEST(BasicSamplerTest, NoBackwardDiffusion) {
+  // c's default must not infect b or a (edges point a -> b -> c).
+  UncertainGraphBuilder b(3);
+  ASSERT_TRUE(b.SetSelfRisk(2, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1.0).ok());
+  UncertainGraph g = b.Build().MoveValue();
+  const BasicSampleStats stats = RunBasicSampling(g, 500, 5);
+  EXPECT_DOUBLE_EQ(stats.estimates[0], 0.0);
+  EXPECT_DOUBLE_EQ(stats.estimates[1], 0.0);
+  EXPECT_DOUBLE_EQ(stats.estimates[2], 1.0);
+}
+
+TEST(BasicSamplerTest, SameSeedSameEstimates) {
+  UncertainGraph g = testing::RandomSmallGraph(10, 0.2, 7);
+  const BasicSampleStats a = RunBasicSampling(g, 1000, 42);
+  const BasicSampleStats b2 = RunBasicSampling(g, 1000, 42);
+  EXPECT_EQ(a.estimates, b2.estimates);
+}
+
+TEST(BasicSamplerTest, DifferentSeedsDiffer) {
+  UncertainGraph g = testing::RandomSmallGraph(10, 0.2, 7);
+  const BasicSampleStats a = RunBasicSampling(g, 1000, 42);
+  const BasicSampleStats b2 = RunBasicSampling(g, 1000, 43);
+  EXPECT_NE(a.estimates, b2.estimates);
+}
+
+TEST(BasicSamplerTest, ParallelEqualsSerial) {
+  UncertainGraph g = testing::RandomSmallGraph(12, 0.25, 9);
+  ThreadPool pool(8);
+  const BasicSampleStats serial = RunBasicSampling(g, 2000, 77, nullptr);
+  const BasicSampleStats parallel = RunBasicSampling(g, 2000, 77, &pool);
+  EXPECT_EQ(serial.estimates, parallel.estimates);
+  EXPECT_EQ(serial.nodes_touched, parallel.nodes_touched);
+}
+
+TEST(BasicSamplerTest, ConvergesToExactOnPaperExample) {
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  const auto exact = ExactDefaultProbabilities(g);
+  ASSERT_TRUE(exact.ok());
+  const std::size_t t = 40000;
+  const BasicSampleStats stats = RunBasicSampling(g, t, 2024);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // 5 sigma of a binomial proportion.
+    const double sigma = std::sqrt((*exact)[v] * (1 - (*exact)[v]) / t);
+    EXPECT_NEAR(stats.estimates[v], (*exact)[v], 5 * sigma + 1e-9) << "node " << v;
+  }
+}
+
+TEST(BasicSamplerTest, TouchedCountsAtLeastDefaults) {
+  UncertainGraph g = testing::PaperExampleGraph(0.5);
+  const BasicSampleStats stats = RunBasicSampling(g, 100, 5);
+  EXPECT_GT(stats.nodes_touched, 0u);
+}
+
+// Property sweep: unbiasedness against the exact oracle across random
+// graphs and seeds.
+class SamplerOracleSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SamplerOracleSweep, EstimatesWithinFiveSigmaOfExact) {
+  const uint64_t seed = GetParam();
+  UncertainGraph g = testing::RandomSmallGraph(5, 0.35, seed);
+  const auto exact = ExactDefaultProbabilities(g);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  const std::size_t t = 20000;
+  const BasicSampleStats stats = RunBasicSampling(g, t, seed ^ 0xABCDEF);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double p = (*exact)[v];
+    const double sigma = std::sqrt(p * (1 - p) / t);
+    EXPECT_NEAR(stats.estimates[v], p, 5 * sigma + 1e-9)
+        << "node " << v << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerOracleSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace vulnds

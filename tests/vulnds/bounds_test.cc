@@ -1,0 +1,163 @@
+#include "vulnds/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/possible_world.h"
+#include "testing/test_graphs.h"
+
+namespace vulnds {
+namespace {
+
+TEST(BoundsTest, OrderValidation) {
+  UncertainGraph g = testing::ChainGraph(0.2, 0.2);
+  EXPECT_FALSE(LowerBounds(g, 0).ok());
+  EXPECT_FALSE(UpperBounds(g, -1).ok());
+  EXPECT_TRUE(LowerBounds(g, 1).ok());
+}
+
+TEST(BoundsTest, LowerOrderOneIsSelfRisk) {
+  UncertainGraph g = testing::RandomSmallGraph(8, 0.3, 3);
+  const auto lower = LowerBounds(g, 1);
+  ASSERT_TRUE(lower.ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ((*lower)[v], g.self_risk(v));
+  }
+}
+
+TEST(BoundsTest, UpperOrderOneClosedForm) {
+  // Chain a->b->c with ps=0.2, pe=0.3:
+  // pu(a) = 0.2; pu(b) = pu(c) = 1 - 0.8 * (1 - 0.3) = 0.44.
+  UncertainGraph g = testing::ChainGraph(0.2, 0.3);
+  const auto upper = UpperBounds(g, 1);
+  ASSERT_TRUE(upper.ok());
+  EXPECT_NEAR((*upper)[0], 0.2, 1e-12);
+  EXPECT_NEAR((*upper)[1], 0.44, 1e-12);
+  EXPECT_NEAR((*upper)[2], 0.44, 1e-12);
+}
+
+TEST(BoundsTest, EquationOneMatchesPaperExample) {
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  std::vector<double> probs = {0.2, 0.0, 0.0, 0.0, 0.0};
+  // p(B) with p(A) = 0.2: 1 - 0.8 * (1 - 0.2 * 0.2) = 0.232.
+  EXPECT_NEAR(EquationOne(g, 1, probs), 0.232, 1e-12);
+}
+
+TEST(BoundsTest, LowerGrowsWithOrder) {
+  UncertainGraph g = testing::RandomSmallGraph(10, 0.3, 11);
+  const auto l1 = LowerBounds(g, 1);
+  const auto l2 = LowerBounds(g, 2);
+  const auto l4 = LowerBounds(g, 4);
+  ASSERT_TRUE(l1.ok() && l2.ok() && l4.ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE((*l2)[v], (*l1)[v] - 1e-12);
+    EXPECT_GE((*l4)[v], (*l2)[v] - 1e-12);
+  }
+}
+
+TEST(BoundsTest, UpperShrinksWithOrder) {
+  UncertainGraph g = testing::RandomSmallGraph(10, 0.3, 13);
+  const auto u1 = UpperBounds(g, 1);
+  const auto u2 = UpperBounds(g, 2);
+  const auto u4 = UpperBounds(g, 4);
+  ASSERT_TRUE(u1.ok() && u2.ok() && u4.ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE((*u2)[v], (*u1)[v] + 1e-12);
+    EXPECT_LE((*u4)[v], (*u2)[v] + 1e-12);
+  }
+}
+
+TEST(BoundsTest, LowerNeverExceedsUpper) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    UncertainGraph g = testing::RandomSmallGraph(12, 0.25, seed);
+    for (int order = 1; order <= 4; ++order) {
+      const auto lower = LowerBounds(g, order);
+      const auto upper = UpperBounds(g, order);
+      ASSERT_TRUE(lower.ok() && upper.ok());
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_LE((*lower)[v], (*upper)[v] + 1e-12)
+            << "seed " << seed << " order " << order << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(BoundsTest, ExactOnChainAtConvergence) {
+  // On an in-tree Equation 1 is exact; high order converges both bounds to
+  // the true probabilities.
+  UncertainGraph g = testing::ChainGraph(0.2, 0.3);
+  const auto exact = ExactDefaultProbabilities(g);
+  const auto lower = LowerBounds(g, 10);
+  const auto upper = UpperBounds(g, 10);
+  ASSERT_TRUE(exact.ok() && lower.ok() && upper.ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR((*lower)[v], (*exact)[v], 1e-9);
+    EXPECT_NEAR((*upper)[v], (*exact)[v], 1e-9);
+  }
+}
+
+TEST(BoundsTest, UpperBoundIsSoundOnRandomGraphs) {
+  // Equation 1 over-counts correlated unions, so the descending iteration
+  // stays above the true probability on every graph.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    UncertainGraph g = testing::RandomSmallGraph(5, 0.35, seed);
+    const auto exact = ExactDefaultProbabilities(g);
+    ASSERT_TRUE(exact.ok());
+    for (int order = 1; order <= 5; ++order) {
+      const auto upper = UpperBounds(g, order);
+      ASSERT_TRUE(upper.ok());
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_GE((*upper)[v], (*exact)[v] - 1e-9)
+            << "seed " << seed << " order " << order << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(BoundsTest, LowerBoundSoundOnTrees) {
+  // In-trees have no shared ancestors, so the lower bound is a true bound
+  // at every order.
+  UncertainGraphBuilder b(7);  // binary out-tree rooted at 0
+  for (NodeId v = 0; v < 7; ++v) ASSERT_TRUE(b.SetSelfRisk(v, 0.15).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.4).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2, 0.4).ok());
+  ASSERT_TRUE(b.AddEdge(1, 3, 0.4).ok());
+  ASSERT_TRUE(b.AddEdge(1, 4, 0.4).ok());
+  ASSERT_TRUE(b.AddEdge(2, 5, 0.4).ok());
+  ASSERT_TRUE(b.AddEdge(2, 6, 0.4).ok());
+  UncertainGraph g = b.Build().MoveValue();
+  const auto exact = ExactDefaultProbabilities(g);
+  ASSERT_TRUE(exact.ok());
+  for (int order = 1; order <= 6; ++order) {
+    const auto lower = LowerBounds(g, order);
+    ASSERT_TRUE(lower.ok());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_LE((*lower)[v], (*exact)[v] + 1e-9)
+          << "order " << order << " node " << v;
+    }
+  }
+}
+
+TEST(BoundsTest, FixpointEarlyExitMatchesHighOrder) {
+  // Once converged, higher orders change nothing.
+  UncertainGraph g = testing::ChainGraph(0.2, 0.3);
+  const auto a = LowerBounds(g, 10);
+  const auto b = LowerBounds(g, 50);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(BoundsTest, IsolatedNodesBoundedBySelfRisk) {
+  UncertainGraphBuilder b(4);
+  ASSERT_TRUE(b.SetAllSelfRisks({0.1, 0.4, 0.7, 0.0}).ok());
+  UncertainGraph g = b.Build().MoveValue();
+  const auto lower = LowerBounds(g, 3);
+  const auto upper = UpperBounds(g, 3);
+  ASSERT_TRUE(lower.ok() && upper.ok());
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ((*lower)[v], g.self_risk(v));
+    EXPECT_DOUBLE_EQ((*upper)[v], g.self_risk(v));
+  }
+}
+
+}  // namespace
+}  // namespace vulnds

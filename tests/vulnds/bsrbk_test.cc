@@ -1,0 +1,130 @@
+#include "vulnds/bsrbk.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "exact/possible_world.h"
+#include "testing/test_graphs.h"
+
+namespace vulnds {
+namespace {
+
+std::vector<NodeId> AllNodes(const UncertainGraph& g) {
+  std::vector<NodeId> ids(g.num_nodes());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+TEST(BsrbkTest, Validation) {
+  UncertainGraph g = testing::ChainGraph(0.5, 0.5);
+  EXPECT_FALSE(RunBottomKSampling(g, {0}, 100, 1, 2, 1).ok());  // bk < 3
+  EXPECT_FALSE(RunBottomKSampling(g, {0}, 100, 0, 16, 1).ok()); // needed = 0
+  EXPECT_TRUE(RunBottomKSampling(g, {0}, 100, 1, 16, 1).ok());
+}
+
+TEST(BsrbkTest, ZeroBudget) {
+  UncertainGraph g = testing::ChainGraph(0.5, 0.5);
+  const auto run = RunBottomKSampling(g, {0, 1}, 0, 1, 16, 1);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->samples_processed, 0u);
+  EXPECT_FALSE(run->early_stopped);
+}
+
+TEST(BsrbkTest, EarlyStopsOnHighProbabilityNode) {
+  // Node 0 defaults with probability 0.95: its counter reaches bk long
+  // before the full budget is consumed.
+  UncertainGraphBuilder b(5);
+  ASSERT_TRUE(b.SetSelfRisk(0, 0.95).ok());
+  for (NodeId v = 1; v < 5; ++v) ASSERT_TRUE(b.SetSelfRisk(v, 0.01).ok());
+  UncertainGraph g = b.Build().MoveValue();
+  const auto run = RunBottomKSampling(g, AllNodes(g), 5000, 1, 8, 7);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->early_stopped);
+  EXPECT_LT(run->samples_processed, 200u);
+  EXPECT_TRUE(run->reached_bk[0]);
+}
+
+TEST(BsrbkTest, NoEarlyStopWhenBudgetTooSmall) {
+  // All probabilities tiny: counters cannot reach bk within the budget.
+  UncertainGraphBuilder b(4);
+  for (NodeId v = 0; v < 4; ++v) ASSERT_TRUE(b.SetSelfRisk(v, 0.01).ok());
+  UncertainGraph g = b.Build().MoveValue();
+  const auto run = RunBottomKSampling(g, AllNodes(g), 50, 1, 16, 3);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->early_stopped);
+  EXPECT_EQ(run->samples_processed, 50u);
+  for (const char r : run->reached_bk) EXPECT_EQ(r, 0);
+}
+
+TEST(BsrbkTest, FallbackEstimatesAreFrequencies) {
+  UncertainGraphBuilder b(2);
+  ASSERT_TRUE(b.SetSelfRisk(0, 0.5).ok());
+  ASSERT_TRUE(b.SetSelfRisk(1, 0.01).ok());
+  UncertainGraph g = b.Build().MoveValue();
+  const auto run = RunBottomKSampling(g, AllNodes(g), 200, 2, 128, 5);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->early_stopped);
+  // Node 0 frequency should be near 0.5.
+  EXPECT_NEAR(run->estimates[0], 0.5, 0.15);
+  EXPECT_LT(run->estimates[1], 0.1);
+}
+
+TEST(BsrbkTest, RawSketchEstimatesPreserveReachOrder) {
+  // Estimates are deliberately unclamped: a candidate that reaches bk on an
+  // earlier sample (smaller L) must carry a strictly larger score than one
+  // that reaches it later — clamping at 1 would collapse strong candidates
+  // into id-ordered ties, breaking Theorem 6's ranking.
+  UncertainGraphBuilder b(2);
+  ASSERT_TRUE(b.SetSelfRisk(0, 0.95).ok());
+  ASSERT_TRUE(b.SetSelfRisk(1, 0.55).ok());
+  UncertainGraph g = b.Build().MoveValue();
+  const auto run = RunBottomKSampling(g, AllNodes(g), 2000, 2, 8, 11);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->reached_bk[0]);
+  ASSERT_TRUE(run->reached_bk[1]);
+  EXPECT_GE(run->estimates[0], 0.0);
+  EXPECT_GT(run->estimates[0], run->estimates[1]);
+}
+
+TEST(BsrbkTest, SketchEstimateTracksTruth) {
+  // Larger bk tightens the sketch estimate around the true probability.
+  UncertainGraphBuilder b(1);
+  ASSERT_TRUE(b.SetSelfRisk(0, 0.6).ok());
+  UncertainGraph g = b.Build().MoveValue();
+  const auto run = RunBottomKSampling(g, {0}, 4000, 1, 64, 13);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->reached_bk[0]);
+  EXPECT_NEAR(run->estimates[0], 0.6, 0.15);
+}
+
+// Theorem 6 property: the first node to reach bk is (statistically) the
+// top-1 node. Across seeds, BSRBK's top choice must usually match the
+// exact top-1.
+class BsrbkTop1Sweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BsrbkTop1Sweep, FirstToReachBkIsUsuallyTop1) {
+  const uint64_t seed = GetParam();
+  UncertainGraph g = testing::RandomSmallGraph(5, 0.3, seed);
+  const auto exact = ExactTopK(g, 1);
+  ASSERT_TRUE(exact.ok());
+  const auto run = RunBottomKSampling(g, AllNodes(g), 4000, 1, 64, seed);
+  ASSERT_TRUE(run.ok());
+  // The argmax estimate should be the exact top node (tolerate near-ties:
+  // accept if the probability gap to the true top is within ~1.5x the
+  // sketch's coefficient of variation at bk = 64).
+  NodeId best = 0;
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (run->estimates[v] > run->estimates[best]) best = v;
+  }
+  const auto probs = ExactDefaultProbabilities(g);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_NEAR((*probs)[best], (*probs)[(*exact)[0]], 0.2)
+      << "seed " << seed << " picked " << best;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BsrbkTop1Sweep,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace vulnds

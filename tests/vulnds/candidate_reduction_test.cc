@@ -1,0 +1,149 @@
+#include "vulnds/candidate_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exact/possible_world.h"
+#include "testing/test_graphs.h"
+#include "vulnds/bounds.h"
+
+namespace vulnds {
+namespace {
+
+TEST(CandidateReductionTest, Validation) {
+  const std::vector<double> l = {0.1, 0.2};
+  const std::vector<double> u = {0.3, 0.4};
+  const std::vector<double> short_u = {0.3};
+  EXPECT_FALSE(ReduceCandidates(l, short_u, 1).ok());  // size mismatch
+  EXPECT_FALSE(ReduceCandidates(l, u, 0).ok());
+  EXPECT_FALSE(ReduceCandidates(l, u, 3).ok());
+  EXPECT_TRUE(ReduceCandidates(l, u, 1).ok());
+}
+
+TEST(CandidateReductionTest, ThresholdsAreKthLargest) {
+  const std::vector<double> l = {0.1, 0.5, 0.3, 0.7};
+  const std::vector<double> u = {0.2, 0.9, 0.6, 0.8};
+  const auto r = ReduceCandidates(l, u, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->threshold_lower, 0.5);  // 2nd largest of l
+  EXPECT_DOUBLE_EQ(r->threshold_upper, 0.8);  // 2nd largest of u
+}
+
+TEST(CandidateReductionTest, RuleOneVerifies) {
+  // Node 3's lower bound (0.9) beats the 1st largest upper of others.
+  const std::vector<double> l = {0.1, 0.2, 0.3, 0.9};
+  const std::vector<double> u = {0.4, 0.5, 0.6, 0.95};
+  const auto r = ReduceCandidates(l, u, 1);
+  ASSERT_TRUE(r.ok());
+  // Tu = 0.95 (largest upper); pl(3)=0.9 < 0.95, so nothing verified.
+  EXPECT_TRUE(r->verified.empty());
+  // But with k = 1, Tl = 0.9 prunes everything with pu < 0.9 (nodes 0..2).
+  EXPECT_EQ(r->candidates, (std::vector<NodeId>{3}));
+}
+
+TEST(CandidateReductionTest, DisjointBoundsVerifyExactly) {
+  // Exact bounds (lower == upper) make the reduction fully decide the query.
+  const std::vector<double> exact = {0.1, 0.8, 0.3, 0.6};
+  const auto r = ReduceCandidates(exact, exact, 2);
+  ASSERT_TRUE(r.ok());
+  std::vector<NodeId> verified = r->verified;
+  std::sort(verified.begin(), verified.end());
+  EXPECT_EQ(verified, (std::vector<NodeId>{1, 3}));
+  EXPECT_TRUE(r->candidates.empty());
+}
+
+TEST(CandidateReductionTest, VerifiedOrderedByLowerBound) {
+  const std::vector<double> exact = {0.1, 0.8, 0.3, 0.6};
+  const auto r = ReduceCandidates(exact, exact, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->verified, (std::vector<NodeId>{1, 3}));  // 0.8 then 0.6
+}
+
+TEST(CandidateReductionTest, AllTiedCapsVerifiedAtK) {
+  const std::vector<double> same(5, 0.5);
+  const auto r = ReduceCandidates(same, same, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->verified.size(), 2u);
+  EXPECT_EQ(r->verified, (std::vector<NodeId>{0, 1}));  // id tiebreak
+  // Demoted ties stay candidates.
+  EXPECT_EQ(r->candidates, (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(CandidateReductionTest, RuleTwoPrunes) {
+  const std::vector<double> l = {0.6, 0.5, 0.1, 0.1};
+  const std::vector<double> u = {0.9, 0.8, 0.45, 0.2};
+  const auto r = ReduceCandidates(l, u, 2);
+  ASSERT_TRUE(r.ok());
+  // Tl = 0.5; nodes 2 (pu 0.45) and 3 (pu 0.2) are pruned.
+  for (const NodeId v : r->candidates) {
+    EXPECT_LT(v, 2u);
+  }
+}
+
+TEST(CandidateReductionTest, VerifiedNeverAlsoCandidate) {
+  const std::vector<double> l = {0.9, 0.85, 0.1};
+  const std::vector<double> u = {0.92, 0.87, 0.3};
+  const auto r = ReduceCandidates(l, u, 2);
+  ASSERT_TRUE(r.ok());
+  for (const NodeId v : r->verified) {
+    EXPECT_EQ(std::count(r->candidates.begin(), r->candidates.end(), v), 0);
+  }
+}
+
+// Safety property: with sound bounds, the exact top-k is always contained
+// in verified ∪ candidates.
+class ReductionSafetySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReductionSafetySweep, TrueTopKSurvivesReduction) {
+  const uint64_t seed = GetParam();
+  UncertainGraph g = testing::RandomSmallGraph(5, 0.35, seed);
+  const auto exact = ExactDefaultProbabilities(g);
+  ASSERT_TRUE(exact.ok());
+  // Sound bounds: exact value +/- 0.05, clamped.
+  std::vector<double> lower(g.num_nodes());
+  std::vector<double> upper(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    lower[v] = std::max(0.0, (*exact)[v] - 0.05);
+    upper[v] = std::min(1.0, (*exact)[v] + 0.05);
+  }
+  for (std::size_t k = 1; k <= g.num_nodes(); ++k) {
+    const auto r = ReduceCandidates(lower, upper, k);
+    ASSERT_TRUE(r.ok());
+    const auto truth = ExactTopK(g, k);
+    ASSERT_TRUE(truth.ok());
+    for (const NodeId v : *truth) {
+      const bool in_verified =
+          std::count(r->verified.begin(), r->verified.end(), v) > 0;
+      const bool in_candidates =
+          std::count(r->candidates.begin(), r->candidates.end(), v) > 0;
+      EXPECT_TRUE(in_verified || in_candidates)
+          << "seed " << seed << " k " << k << " lost node " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionSafetySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// Integration: reduction driven by the real bound algorithms never loses
+// the exact top-k (upper bound is sound; lower-bound diamond slack is
+// covered by the 0-tolerance of rule 2 only through pu, which is sound).
+TEST(CandidateReductionTest, WithRealBoundsKeepsTruthOnTrees) {
+  UncertainGraph g = testing::ChainGraph(0.3, 0.4);
+  const auto lower = LowerBounds(g, 2);
+  const auto upper = UpperBounds(g, 2);
+  ASSERT_TRUE(lower.ok() && upper.ok());
+  const auto r = ReduceCandidates(*lower, *upper, 1);
+  ASSERT_TRUE(r.ok());
+  const auto truth = ExactTopK(g, 1);
+  ASSERT_TRUE(truth.ok());
+  const NodeId top = (*truth)[0];
+  const bool kept = std::count(r->verified.begin(), r->verified.end(), top) +
+                        std::count(r->candidates.begin(), r->candidates.end(), top) >
+                    0;
+  EXPECT_TRUE(kept);
+}
+
+}  // namespace
+}  // namespace vulnds

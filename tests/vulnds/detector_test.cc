@@ -1,0 +1,212 @@
+#include "vulnds/detector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exact/possible_world.h"
+#include "gen/datasets.h"
+#include "testing/test_graphs.h"
+#include "vulnds/precision.h"
+
+namespace vulnds {
+namespace {
+
+DetectorOptions BaseOptions(Method m, std::size_t k) {
+  DetectorOptions o;
+  o.method = m;
+  o.k = k;
+  o.naive_samples = 4000;
+  o.seed = 42;
+  return o;
+}
+
+TEST(DetectorTest, ValidatesParameters) {
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  DetectorOptions o = BaseOptions(Method::kBsrbk, 2);
+  o.k = 0;
+  EXPECT_FALSE(DetectTopK(g, o).ok());
+  o.k = 6;
+  EXPECT_FALSE(DetectTopK(g, o).ok());
+  o = BaseOptions(Method::kBsrbk, 2);
+  o.eps = 0.0;
+  EXPECT_FALSE(DetectTopK(g, o).ok());
+  o = BaseOptions(Method::kBsrbk, 2);
+  o.delta = 1.0;
+  EXPECT_FALSE(DetectTopK(g, o).ok());
+  o = BaseOptions(Method::kBsrbk, 2);
+  o.bound_order = 0;
+  EXPECT_FALSE(DetectTopK(g, o).ok());
+  o = BaseOptions(Method::kBsrbk, 2);
+  o.bk = 2;
+  EXPECT_FALSE(DetectTopK(g, o).ok());
+}
+
+TEST(DetectorTest, MethodNamesMatchPaper) {
+  EXPECT_EQ(MethodName(Method::kNaive), "N");
+  EXPECT_EQ(MethodName(Method::kSampleNaive), "SN");
+  EXPECT_EQ(MethodName(Method::kSampleReverse), "SR");
+  EXPECT_EQ(MethodName(Method::kBsr), "BSR");
+  EXPECT_EQ(MethodName(Method::kBsrbk), "BSRBK");
+  EXPECT_EQ(AllMethods().size(), 5u);
+}
+
+TEST(DetectorTest, ResultHasKEntriesAlignedWithScores) {
+  UncertainGraph g = testing::RandomSmallGraph(20, 0.15, 5);
+  for (const Method m : AllMethods()) {
+    const auto r = DetectTopK(g, BaseOptions(m, 4));
+    ASSERT_TRUE(r.ok()) << MethodName(m);
+    EXPECT_EQ(r->topk.size(), 4u) << MethodName(m);
+    EXPECT_EQ(r->scores.size(), 4u) << MethodName(m);
+    // No duplicate nodes in the answer.
+    std::vector<NodeId> sorted = r->topk;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end())
+        << MethodName(m);
+  }
+}
+
+TEST(DetectorTest, DeterministicAcrossRuns) {
+  UncertainGraph g = testing::RandomSmallGraph(30, 0.1, 6);
+  for (const Method m : AllMethods()) {
+    const auto a = DetectTopK(g, BaseOptions(m, 5));
+    const auto b = DetectTopK(g, BaseOptions(m, 5));
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->topk, b->topk) << MethodName(m);
+    EXPECT_EQ(a->scores, b->scores) << MethodName(m);
+  }
+}
+
+TEST(DetectorTest, PoolDoesNotChangeResults) {
+  UncertainGraph g = testing::RandomSmallGraph(30, 0.1, 8);
+  ThreadPool pool(8);
+  for (const Method m : {Method::kNaive, Method::kSampleNaive,
+                         Method::kSampleReverse, Method::kBsr}) {
+    DetectorOptions serial = BaseOptions(m, 5);
+    DetectorOptions parallel = BaseOptions(m, 5);
+    parallel.pool = &pool;
+    const auto a = DetectTopK(g, serial);
+    const auto b = DetectTopK(g, parallel);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->topk, b->topk) << MethodName(m);
+  }
+}
+
+TEST(DetectorTest, PaperExampleTopIsNodeE) {
+  // In Figure 3's graph, E dominates every other node. With a large fixed
+  // sample size (method N) the detector must find it exactly; the
+  // size-optimized methods only promise the (eps, delta) contract, checked
+  // in ApproximationContractSweep, because the B/C/D/E probabilities are
+  // within eps of each other on this tiny example.
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  DetectorOptions o = BaseOptions(Method::kNaive, 1);
+  o.naive_samples = 20000;
+  const auto r = DetectTopK(g, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->topk[0], 4u);
+}
+
+TEST(DetectorTest, PaperExampleAllMethodsWithinEps) {
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  const auto exact = ExactDefaultProbabilities(g);
+  ASSERT_TRUE(exact.ok());
+  const double p_top = (*exact)[4];
+  for (const Method m : AllMethods()) {
+    const auto r = DetectTopK(g, BaseOptions(m, 1));
+    ASSERT_TRUE(r.ok()) << MethodName(m);
+    EXPECT_GE((*exact)[r->topk[0]], p_top - 0.3) << MethodName(m);
+  }
+}
+
+TEST(DetectorTest, VerifiedCountBoundedByK) {
+  UncertainGraph g = MakeDataset(DatasetId::kInterbank, 1.0, 4).MoveValue();
+  const auto r = DetectTopK(g, BaseOptions(Method::kBsr, 10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->verified_count, 10u);
+  EXPECT_LE(r->candidate_count, g.num_nodes());
+}
+
+TEST(DetectorTest, BudgetAccountingSane) {
+  UncertainGraph g = MakeDataset(DatasetId::kInterbank, 1.0, 4).MoveValue();
+  const auto naive = DetectTopK(g, BaseOptions(Method::kNaive, 5));
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->samples_budget, 4000u);
+  EXPECT_EQ(naive->samples_processed, 4000u);
+
+  const auto bsrbk = DetectTopK(g, BaseOptions(Method::kBsrbk, 5));
+  ASSERT_TRUE(bsrbk.ok());
+  EXPECT_LE(bsrbk->samples_processed, bsrbk->samples_budget);
+}
+
+TEST(DetectorTest, KEqualsNReturnsEveryNode) {
+  UncertainGraph g = testing::RandomSmallGraph(12, 0.2, 10);
+  const auto r = DetectTopK(g, BaseOptions(Method::kBsr, 12));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->topk.size(), 12u);
+}
+
+// The (eps, delta) contract, checked against the exact oracle:
+//   for v in R:     p(v) >= Pk - eps
+//   for v not in R: p(v) <  Pk + eps
+// With delta = 0.1 a rare failure is legal, so the sweep tolerates one
+// failing seed out of the set.
+class ApproximationContractSweep
+    : public ::testing::TestWithParam<std::tuple<Method, uint64_t>> {};
+
+TEST_P(ApproximationContractSweep, EpsDeltaContractHolds) {
+  const auto [method, seed] = GetParam();
+  UncertainGraph g = testing::RandomSmallGraph(5, 0.4, seed);
+  const auto exact = ExactDefaultProbabilities(g);
+  ASSERT_TRUE(exact.ok());
+  const std::size_t k = 2;
+  const auto truth = ExactTopK(g, k);
+  ASSERT_TRUE(truth.ok());
+  const double pk = (*exact)[truth->back()];
+
+  DetectorOptions o = BaseOptions(method, k);
+  o.eps = 0.3;
+  o.delta = 0.1;
+  o.seed = seed * 1000 + 7;
+  const auto r = DetectTopK(g, o);
+  ASSERT_TRUE(r.ok());
+  std::vector<char> in_result(g.num_nodes(), 0);
+  for (const NodeId v : r->topk) in_result[v] = 1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_result[v]) {
+      EXPECT_GE((*exact)[v], pk - o.eps - 1e-9) << "included " << v;
+    } else {
+      EXPECT_LT((*exact)[v], pk + o.eps + 1e-9) << "excluded " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsBySeeds, ApproximationContractSweep,
+    ::testing::Combine(::testing::ValuesIn(AllMethods()),
+                       ::testing::Values<uint64_t>(1, 2, 3, 4, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<Method, uint64_t>>& info) {
+      return MethodName(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Integration on a registry dataset: all methods should agree closely with
+// a high-sample ground truth.
+TEST(DetectorIntegrationTest, MethodsAgreeOnInterbank) {
+  UncertainGraph g = MakeDataset(DatasetId::kInterbank, 1.0, 2).MoveValue();
+  const std::size_t k = 6;  // ~5% of 125
+  DetectorOptions reference = BaseOptions(Method::kNaive, k);
+  reference.naive_samples = 20000;
+  const auto ref = DetectTopK(g, reference);
+  ASSERT_TRUE(ref.ok());
+  for (const Method m :
+       {Method::kSampleNaive, Method::kSampleReverse, Method::kBsr,
+        Method::kBsrbk}) {
+    const auto r = DetectTopK(g, BaseOptions(m, k));
+    ASSERT_TRUE(r.ok()) << MethodName(m);
+    const double precision = PrecisionAtK(r->topk, ref->topk);
+    EXPECT_GE(precision, 0.5) << MethodName(m);
+  }
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,43 @@
+#include "vulnds/precision.h"
+
+#include <gtest/gtest.h>
+
+namespace vulnds {
+namespace {
+
+TEST(PrecisionTest, PerfectMatch) {
+  const std::vector<NodeId> r = {3, 1, 2};
+  const std::vector<NodeId> t = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(r, t), 1.0);
+}
+
+TEST(PrecisionTest, NoOverlap) {
+  const std::vector<NodeId> r = {4, 5};
+  const std::vector<NodeId> t = {1, 2};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(r, t), 0.0);
+}
+
+TEST(PrecisionTest, PartialOverlap) {
+  const std::vector<NodeId> r = {1, 5, 2, 9};
+  const std::vector<NodeId> t = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(r, t), 0.5);
+}
+
+TEST(PrecisionTest, EmptyTruthIsOne) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK(std::vector<NodeId>{1}, {}), 1.0);
+}
+
+TEST(PrecisionTest, EmptyResultIsZero) {
+  const std::vector<NodeId> t = {1};
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, t), 0.0);
+}
+
+TEST(PrecisionTest, OrderIrrelevant) {
+  const std::vector<NodeId> a = {1, 2, 3};
+  const std::vector<NodeId> b = {3, 2, 1};
+  const std::vector<NodeId> t = {2, 3, 7};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(a, t), PrecisionAtK(b, t));
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,98 @@
+#include "vulnds/sample_size.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vulnds {
+namespace {
+
+TEST(PairMisorderTest, MatchesClosedForm) {
+  EXPECT_NEAR(PairMisorderBound(100, 0.3), std::exp(-100 * 0.09 / 2.0), 1e-15);
+  EXPECT_DOUBLE_EQ(PairMisorderBound(0, 0.3), 1.0);
+}
+
+TEST(PairMisorderTest, DecreasesWithSamples) {
+  EXPECT_GT(PairMisorderBound(10, 0.2), PairMisorderBound(100, 0.2));
+  EXPECT_GT(PairMisorderBound(100, 0.1), PairMisorderBound(100, 0.3));
+}
+
+TEST(BasicSampleSizeTest, MatchesEquation3) {
+  // t = 2/eps^2 * ln(k(n-k)/delta), rounded up.
+  const double expected =
+      2.0 / (0.3 * 0.3) * std::log(5.0 * (100.0 - 5.0) / 0.1);
+  EXPECT_EQ(BasicSampleSize(0.3, 0.1, 5, 100),
+            static_cast<std::size_t>(std::ceil(expected)));
+}
+
+TEST(BasicSampleSizeTest, PaperScaleValue) {
+  // Sanity for a Guarantee-sized run: n = 31309, k = 5%.
+  const std::size_t t = BasicSampleSize(0.3, 0.1, 1565, 31309);
+  EXPECT_GT(t, 300u);
+  EXPECT_LT(t, 600u);
+}
+
+TEST(BasicSampleSizeTest, DegenerateKGivesZero) {
+  EXPECT_EQ(BasicSampleSize(0.3, 0.1, 0, 100), 0u);
+  EXPECT_EQ(BasicSampleSize(0.3, 0.1, 100, 100), 0u);
+}
+
+TEST(BasicSampleSizeTest, MonotoneInParameters) {
+  EXPECT_GT(BasicSampleSize(0.1, 0.1, 5, 100), BasicSampleSize(0.3, 0.1, 5, 100));
+  EXPECT_GT(BasicSampleSize(0.3, 0.01, 5, 100), BasicSampleSize(0.3, 0.1, 5, 100));
+  EXPECT_GE(BasicSampleSize(0.3, 0.1, 5, 1000), BasicSampleSize(0.3, 0.1, 5, 100));
+}
+
+TEST(ReducedSampleSizeTest, MatchesEquation4) {
+  // k = 10, k' = 4, |B| = 50: pairs = 6 * 44.
+  const double expected = 2.0 / (0.3 * 0.3) * std::log(6.0 * 44.0 / 0.1);
+  EXPECT_EQ(ReducedSampleSize(0.3, 0.1, 10, 4, 50),
+            static_cast<std::size_t>(std::ceil(expected)));
+}
+
+TEST(ReducedSampleSizeTest, AllVerifiedNeedsNoSamples) {
+  EXPECT_EQ(ReducedSampleSize(0.3, 0.1, 10, 10, 50), 0u);
+  EXPECT_EQ(ReducedSampleSize(0.3, 0.1, 10, 12, 50), 0u);
+}
+
+TEST(ReducedSampleSizeTest, CandidatesEqualRemainingNeedsNoSamples) {
+  // |B| == k - k': zero "other" nodes to separate from.
+  EXPECT_EQ(ReducedSampleSize(0.3, 0.1, 10, 4, 6), 0u);
+}
+
+TEST(ReducedSampleSizeTest, NeverExceedsBasicSize) {
+  // Pruning can only reduce the pair count: (k-k')(|B|-k+k') <= k(n-k)
+  // whenever |B| <= n and k' >= 0.
+  const std::size_t n = 1000;
+  const std::size_t k = 50;
+  const std::size_t basic = BasicSampleSize(0.3, 0.1, k, n);
+  for (std::size_t kp : {0u, 10u, 49u}) {
+    for (std::size_t b : {60u, 200u, 999u}) {
+      EXPECT_LE(ReducedSampleSize(0.3, 0.1, k, kp, b), basic)
+          << "k'=" << kp << " |B|=" << b;
+    }
+  }
+}
+
+// Theorem 4's union bound: with t from Equation 3, the failure probability
+// k(n-k) * exp(-t eps^2 / 2) is at most delta.
+class UnionBoundSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(UnionBoundSweep, FailureMassAtMostDelta) {
+  const auto [k, n] = GetParam();
+  if (k >= n) GTEST_SKIP();
+  const double eps = 0.3;
+  const double delta = 0.1;
+  const std::size_t t = BasicSampleSize(eps, delta, k, n);
+  const double pairs = static_cast<double>(k) * static_cast<double>(n - k);
+  EXPECT_LE(pairs * PairMisorderBound(t, eps), delta + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UnionBoundSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 5, 50, 500),
+                       ::testing::Values<std::size_t>(10, 100, 10000, 62586)));
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,67 @@
+#include "vulnds/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace vulnds {
+namespace {
+
+TEST(TopKTest, OrdersByScoreDescending) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  EXPECT_EQ(TopKByScore(scores, 2), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(TopKByScore(scores, 4), (std::vector<NodeId>{1, 3, 2, 0}));
+}
+
+TEST(TopKTest, TiesBreakTowardSmallerId) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5};
+  EXPECT_EQ(TopKByScore(scores, 2), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(TopKTest, KClampedToSize) {
+  const std::vector<double> scores = {0.3, 0.1};
+  EXPECT_EQ(TopKByScore(scores, 10).size(), 2u);
+  EXPECT_TRUE(TopKByScore(scores, 0).empty());
+}
+
+TEST(TopKTest, EmptyInput) {
+  EXPECT_TRUE(TopKByScore({}, 3).empty());
+}
+
+TEST(TopKSubsetTest, RestrictsToSubset) {
+  const std::vector<double> scores = {0.9, 0.1, 0.8, 0.7};
+  const std::vector<NodeId> subset = {1, 2, 3};
+  EXPECT_EQ(TopKByScoreSubset(scores, subset, 2), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(TopKSubsetTest, SubsetSmallerThanK) {
+  const std::vector<double> scores = {0.9, 0.1};
+  const std::vector<NodeId> subset = {1};
+  EXPECT_EQ(TopKByScoreSubset(scores, subset, 5), (std::vector<NodeId>{1}));
+}
+
+TEST(KthLargestTest, BasicValues) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  EXPECT_DOUBLE_EQ(KthLargest(scores, 1), 0.9);
+  EXPECT_DOUBLE_EQ(KthLargest(scores, 2), 0.7);
+  EXPECT_DOUBLE_EQ(KthLargest(scores, 4), 0.1);
+}
+
+TEST(KthLargestTest, ClampsK) {
+  const std::vector<double> scores = {0.2, 0.4};
+  EXPECT_DOUBLE_EQ(KthLargest(scores, 0), 0.4);   // clamped to 1
+  EXPECT_DOUBLE_EQ(KthLargest(scores, 99), 0.2);  // clamped to size
+}
+
+TEST(KthLargestTest, EmptyIsMinusInfinity) {
+  EXPECT_EQ(KthLargest({}, 1), -std::numeric_limits<double>::infinity());
+}
+
+TEST(KthLargestTest, DuplicatesCounted) {
+  const std::vector<double> scores = {0.5, 0.5, 0.3};
+  EXPECT_DOUBLE_EQ(KthLargest(scores, 2), 0.5);
+  EXPECT_DOUBLE_EQ(KthLargest(scores, 3), 0.3);
+}
+
+}  // namespace
+}  // namespace vulnds

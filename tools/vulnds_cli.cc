@@ -1,0 +1,184 @@
+// vulnds_cli: command-line front end for the library.
+//
+//   vulnds_cli generate <dataset> <scale> <seed> <out.graph>
+//       Instantiates a registry dataset (Table 2 name, case-insensitive)
+//       and writes it in the vulnds-graph text format.
+//   vulnds_cli stats <graph>
+//       Prints node/edge counts and degree statistics.
+//   vulnds_cli detect <graph> <k> [method] [eps] [delta] [seed]
+//       Runs top-k detection (method one of N, SN, SR, BSR, BSRBK;
+//       default BSRBK) and prints the ranked nodes with scores.
+//   vulnds_cli truth <graph> <k> [samples] [seed]
+//       Prints the Monte-Carlo reference top-k (default 20000 worlds).
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "gen/datasets.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "vulnds/detector.h"
+#include "vulnds/ground_truth.h"
+
+namespace {
+
+using namespace vulnds;
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::optional<DatasetId> ParseDataset(const std::string& name) {
+  const std::string lower = Lower(name);
+  for (const DatasetId id : AllDatasets()) {
+    if (Lower(DatasetName(id)) == lower) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<Method> ParseMethod(const std::string& name) {
+  const std::string lower = Lower(name);
+  for (const Method m : AllMethods()) {
+    if (Lower(MethodName(m)) == lower) return m;
+  }
+  return std::nullopt;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  vulnds_cli generate <dataset> <scale> <seed> <out.graph>\n"
+               "  vulnds_cli stats <graph>\n"
+               "  vulnds_cli detect <graph> <k> [method] [eps] [delta] [seed]\n"
+               "  vulnds_cli truth <graph> <k> [samples] [seed]\n");
+  return 2;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc != 6) return Usage();
+  const std::optional<DatasetId> id = ParseDataset(argv[2]);
+  if (!id) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", argv[2]);
+    return 1;
+  }
+  const double scale = std::atof(argv[3]);
+  const auto seed = static_cast<uint64_t>(std::atoll(argv[4]));
+  Result<UncertainGraph> graph = MakeDataset(*id, scale, seed);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const Status st = WriteGraphFile(*graph, argv[5]);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu nodes / %zu edges to %s\n", graph->num_nodes(),
+              graph->num_edges(), argv[5]);
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  Result<UncertainGraph> graph = ReadGraphFile(argv[2]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "read failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const GraphStats s = ComputeStats(*graph);
+  std::printf("nodes:          %zu\n", s.num_nodes);
+  std::printf("edges:          %zu\n", s.num_edges);
+  std::printf("avg degree:     %.3f\n", s.avg_degree);
+  std::printf("max degree:     %zu\n", s.max_degree);
+  std::printf("max out-degree: %zu\n", s.max_out_degree);
+  std::printf("max in-degree:  %zu\n", s.max_in_degree);
+  return 0;
+}
+
+int CmdDetect(int argc, char** argv) {
+  if (argc < 4 || argc > 8) return Usage();
+  Result<UncertainGraph> graph = ReadGraphFile(argv[2]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "read failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  DetectorOptions options;
+  options.k = static_cast<std::size_t>(std::atoll(argv[3]));
+  if (argc > 4) {
+    const std::optional<Method> method = ParseMethod(argv[4]);
+    if (!method) {
+      std::fprintf(stderr, "unknown method '%s'\n", argv[4]);
+      return 1;
+    }
+    options.method = *method;
+  }
+  if (argc > 5) options.eps = std::atof(argv[5]);
+  if (argc > 6) options.delta = std::atof(argv[6]);
+  if (argc > 7) options.seed = static_cast<uint64_t>(std::atoll(argv[7]));
+  ThreadPool pool;
+  options.pool = &pool;
+
+  WallTimer timer;
+  Result<DetectionResult> result = DetectTopK(*graph, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "detect failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  TextTable table;
+  table.SetHeader({"rank", "node", "score"});
+  for (std::size_t i = 0; i < result->topk.size(); ++i) {
+    table.AddRow({std::to_string(i + 1), std::to_string(result->topk[i]),
+                  TextTable::Num(result->scores[i], 5)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("method=%s time=%.3fs samples=%zu/%zu verified=%zu |B|=%zu%s\n",
+              MethodName(options.method).c_str(), timer.Seconds(),
+              result->samples_processed, result->samples_budget,
+              result->verified_count, result->candidate_count,
+              result->early_stopped ? " (early stop)" : "");
+  return 0;
+}
+
+int CmdTruth(int argc, char** argv) {
+  if (argc < 4 || argc > 6) return Usage();
+  Result<UncertainGraph> graph = ReadGraphFile(argv[2]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "read failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const auto k = static_cast<std::size_t>(std::atoll(argv[3]));
+  const std::size_t samples =
+      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4]))
+               : kPaperGroundTruthSamples;
+  const uint64_t seed = argc > 5 ? static_cast<uint64_t>(std::atoll(argv[5])) : 777;
+  ThreadPool pool;
+  const GroundTruth gt = ComputeGroundTruth(*graph, samples, seed, &pool);
+  TextTable table;
+  table.SetHeader({"rank", "node", "p(default)"});
+  std::size_t rank = 1;
+  for (const NodeId v : gt.TopK(k)) {
+    table.AddRow({std::to_string(rank++), std::to_string(v),
+                  TextTable::Num(gt.probabilities[v], 5)});
+  }
+  std::printf("%s(%zu sampled worlds)\n", table.ToString().c_str(), samples);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  if (command == "detect") return CmdDetect(argc, argv);
+  if (command == "truth") return CmdTruth(argc, argv);
+  return Usage();
+}
