@@ -1,0 +1,53 @@
+#include "common/parse.h"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+
+namespace vulnds {
+
+namespace {
+
+template <typename T>
+Result<T> ParseWith(std::string_view token, const char* kind) {
+  T value{};
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::OutOfRange(std::string(kind) + " out of range: '" +
+                              std::string(token) + "'");
+  }
+  if (ec != std::errc() || ptr != last || token.empty()) {
+    return Status::InvalidArgument("not a valid " + std::string(kind) + ": '" +
+                                   std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<uint64_t> ParseUint64(std::string_view token) {
+  return ParseWith<uint64_t>(token, "non-negative integer");
+}
+
+Result<int64_t> ParseInt64(std::string_view token) {
+  return ParseWith<int64_t>(token, "integer");
+}
+
+Result<int> ParseInt32(std::string_view token) {
+  return ParseWith<int>(token, "integer");
+}
+
+Result<double> ParseDouble(std::string_view token) {
+  return ParseWith<double>(token, "number");
+}
+
+std::string AsciiLower(std::string token) {
+  for (char& c : token) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return token;
+}
+
+}  // namespace vulnds

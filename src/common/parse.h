@@ -1,0 +1,37 @@
+// Checked number parsing on std::from_chars.
+//
+// Unlike std::atof / std::atoll (which return 0 on garbage and therefore turn
+// typos into silently wrong runs), these helpers require the WHOLE token to
+// parse and return an InvalidArgument status otherwise. Used by the CLI and
+// the serve protocol.
+
+#ifndef VULNDS_COMMON_PARSE_H_
+#define VULNDS_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace vulnds {
+
+/// Parses a non-negative decimal integer; rejects signs, suffixes, overflow.
+Result<uint64_t> ParseUint64(std::string_view token);
+
+/// Parses a decimal integer with optional leading '-'.
+Result<int64_t> ParseInt64(std::string_view token);
+
+/// Parses a decimal integer that must fit in int (overflow is OutOfRange,
+/// never a silent truncation).
+Result<int> ParseInt32(std::string_view token);
+
+/// Parses a floating-point number (fixed or scientific).
+Result<double> ParseDouble(std::string_view token);
+
+/// ASCII-lowercases a token; used for case-insensitive command, method, and
+/// dataset-name matching.
+std::string AsciiLower(std::string token);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_COMMON_PARSE_H_

@@ -1,9 +1,16 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
 #include <fstream>
+#include <istream>
 #include <limits>
 #include <ostream>
+#include <span>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "graph/builder.h"
 
@@ -34,6 +41,64 @@ Status ReadToken(std::istream& in, T* out, const char* what) {
   return Status::OK();
 }
 
+// --- binary helpers --------------------------------------------------------
+
+constexpr char kBinaryMagic[8] = {'V', 'U', 'L', 'N', 'D', 'S', 'G', '\n'};
+constexpr uint32_t kBinaryVersion = 2;
+
+// The dump is defined as little-endian; on the (rare) big-endian host we
+// refuse rather than silently write a byte-swapped file.
+Status CheckLittleEndian() {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::NotImplemented("binary snapshots require a little-endian host");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+void PutPod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void PutArray(std::ostream& out, const std::vector<T>& values) {
+  if (values.empty()) return;
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+Status GetPod(std::istream& in, T* value, const char* what) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(T))) {
+    return Status::IOError(std::string("truncated snapshot: ") + what);
+  }
+  return Status::OK();
+}
+
+// Reads `count` elements in bounded chunks, so memory grows only as data
+// actually arrives: a forged element count on a non-seekable stream (where
+// the up-front size check cannot run) fails with IOError when the stream
+// ends, never by over-allocating first.
+template <typename T>
+Status GetArray(std::istream& in, std::vector<T>* values, std::size_t count,
+                const char* what) {
+  constexpr std::size_t kChunkElements = (std::size_t{1} << 20) / sizeof(T);
+  values->clear();
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t chunk = std::min(count - done, kChunkElements);
+    values->resize(done + chunk);
+    const auto bytes = static_cast<std::streamsize>(chunk * sizeof(T));
+    in.read(reinterpret_cast<char*>(values->data() + done), bytes);
+    if (in.gcount() != bytes) {
+      return Status::IOError(std::string("truncated snapshot: ") + what);
+    }
+    done += chunk;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status WriteGraph(const UncertainGraph& graph, std::ostream& out) {
@@ -51,10 +116,62 @@ Status WriteGraph(const UncertainGraph& graph, std::ostream& out) {
   return Status::OK();
 }
 
-Status WriteGraphFile(const UncertainGraph& graph, const std::string& path) {
-  std::ofstream out(path);
+Status WriteGraphBinary(const UncertainGraph& graph, std::ostream& out) {
+  VULNDS_RETURN_NOT_OK(CheckLittleEndian());
+  const std::size_t n = graph.num_nodes();
+  const std::size_t m = graph.num_edges();
+
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  PutPod(out, kBinaryVersion);
+  PutPod(out, static_cast<uint64_t>(n));
+  PutPod(out, static_cast<uint64_t>(m));
+
+  // Stream each column straight out of the CSR through a bounded buffer, so
+  // a save issued to a serving process never doubles the graph's footprint.
+  const std::span<const double> risks = graph.self_risks();
+  if (!risks.empty()) {
+    out.write(reinterpret_cast<const char*>(risks.data()),
+              static_cast<std::streamsize>(risks.size() * sizeof(double)));
+  }
+
+  const auto write_column = [&](auto project) {
+    using T = decltype(project(std::declval<const Arc&>()));
+    std::vector<T> buffer;
+    buffer.reserve(std::min<std::size_t>(m, std::size_t{1} << 16));
+    for (NodeId v = 0; v < n; ++v) {
+      for (const Arc& arc : graph.OutArcs(v)) {
+        buffer.push_back(project(arc));
+        if (buffer.size() == buffer.capacity()) {
+          PutArray(out, buffer);
+          buffer.clear();
+        }
+      }
+    }
+    PutArray(out, buffer);
+  };
+
+  uint64_t offset = 0;
+  PutPod(out, offset);
+  for (NodeId v = 0; v < n; ++v) {
+    offset += graph.OutDegree(v);
+    PutPod(out, offset);
+  }
+  write_column([](const Arc& arc) { return arc.neighbor; });
+  write_column([](const Arc& arc) { return arc.prob; });
+  write_column([](const Arc& arc) { return arc.edge; });
+
+  if (!out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteGraphFile(const UncertainGraph& graph, const std::string& path,
+                      GraphFileFormat format) {
+  std::ofstream out(path, format == GraphFileFormat::kBinary
+                              ? std::ios::out | std::ios::binary
+                              : std::ios::out);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
-  return WriteGraph(graph, out);
+  return format == GraphFileFormat::kBinary ? WriteGraphBinary(graph, out)
+                                            : WriteGraph(graph, out);
 }
 
 Result<UncertainGraph> ReadGraph(std::istream& in) {
@@ -90,10 +207,102 @@ Result<UncertainGraph> ReadGraph(std::istream& in) {
   return builder.Build();
 }
 
+Result<UncertainGraph> ReadGraphBinary(std::istream& in) {
+  VULNDS_RETURN_NOT_OK(CheckLittleEndian());
+  char magic[sizeof(kBinaryMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
+      std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("bad binary snapshot magic");
+  }
+  uint32_t version = 0;
+  VULNDS_RETURN_NOT_OK(GetPod(in, &version, "version"));
+  if (version != kBinaryVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  uint64_t n = 0;
+  uint64_t m = 0;
+  VULNDS_RETURN_NOT_OK(GetPod(in, &n, "node count"));
+  VULNDS_RETURN_NOT_OK(GetPod(in, &m, "edge count"));
+  if (n > std::numeric_limits<NodeId>::max() ||
+      m > std::numeric_limits<EdgeId>::max()) {
+    return Status::InvalidArgument("snapshot dimensions exceed id width");
+  }
+
+  // Bound the declared payload against the actual stream size before any
+  // allocation: a corrupt or hostile header must fail cleanly, not OOM the
+  // serving process. (n, m fit in 32 bits, so the sum cannot overflow.)
+  const uint64_t expected_bytes = n * sizeof(double) +                // risks
+                                  (n + 1) * sizeof(uint64_t) +       // offsets
+                                  m * (2 * sizeof(uint32_t) + sizeof(double));
+  const std::istream::pos_type data_pos = in.tellg();
+  if (data_pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end_pos = in.tellg();
+    in.seekg(data_pos);
+    if (end_pos == std::istream::pos_type(-1) ||
+        static_cast<uint64_t>(end_pos - data_pos) < expected_bytes) {
+      return Status::IOError("truncated snapshot: header declares " +
+                             std::to_string(expected_bytes) +
+                             " payload bytes, stream has fewer");
+    }
+  }
+
+  std::vector<double> risks;
+  std::vector<uint64_t> offsets;
+  std::vector<uint32_t> dsts;
+  std::vector<double> probs;
+  std::vector<uint32_t> edge_ids;
+  VULNDS_RETURN_NOT_OK(GetArray(in, &risks, n, "self risks"));
+  VULNDS_RETURN_NOT_OK(GetArray(in, &offsets, n + 1, "CSR offsets"));
+  VULNDS_RETURN_NOT_OK(GetArray(in, &dsts, m, "arc destinations"));
+  VULNDS_RETURN_NOT_OK(GetArray(in, &probs, m, "arc probabilities"));
+  VULNDS_RETURN_NOT_OK(GetArray(in, &edge_ids, m, "arc edge ids"));
+
+  if (offsets[0] != 0 || offsets[n] != m) {
+    return Status::InvalidArgument("corrupt snapshot: bad CSR offsets");
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::InvalidArgument("corrupt snapshot: non-monotonic offsets");
+    }
+  }
+
+  // Recover the insertion-order edge list through the edge-id column, then
+  // rebuild through the validated builder so a snapshot load yields exactly
+  // the graph the text loader would produce.
+  std::vector<UncertainEdge> edges(m);
+  std::vector<char> seen(m, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const uint32_t e = edge_ids[i];
+      if (e >= m || seen[e]) {
+        return Status::InvalidArgument("corrupt snapshot: edge ids not a permutation");
+      }
+      seen[e] = 1;
+      edges[e] = UncertainEdge{v, dsts[i], probs[i]};
+    }
+  }
+
+  UncertainGraphBuilder builder(n);
+  VULNDS_RETURN_NOT_OK(builder.SetAllSelfRisks(risks));
+  for (const UncertainEdge& e : edges) {
+    VULNDS_RETURN_NOT_OK(builder.AddEdge(e.src, e.dst, e.prob));
+  }
+  return builder.Build();
+}
+
 Result<UncertainGraph> ReadGraphFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::in | std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
-  return ReadGraph(in);
+  char magic[sizeof(kBinaryMagic)] = {};
+  in.read(magic, sizeof(magic));
+  const bool binary = in.gcount() == static_cast<std::streamsize>(sizeof(magic)) &&
+                      std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0;
+  in.clear();
+  in.seekg(0);
+  return binary ? ReadGraphBinary(in) : ReadGraph(in);
 }
 
 }  // namespace vulnds

@@ -1,0 +1,92 @@
+#include "serve/graph_catalog.h"
+
+#include <utility>
+
+#include "graph/graph_io.h"
+
+namespace vulnds::serve {
+
+GraphCatalog::GraphCatalog(std::size_t capacity) : capacity_(capacity) {}
+
+Status GraphCatalog::Load(const std::string& name, const std::string& path) {
+  if (name.empty()) return Status::InvalidArgument("graph name must not be empty");
+  Result<UncertainGraph> graph = ReadGraphFile(path);
+  if (!graph.ok()) return graph.status();
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->name = name;
+  entry->source = path;
+  entry->graph = graph.MoveValue();
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(std::move(entry));
+  return Status::OK();
+}
+
+Status GraphCatalog::Put(const std::string& name, UncertainGraph graph,
+                         const std::string& source) {
+  if (name.empty()) return Status::InvalidArgument("graph name must not be empty");
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->name = name;
+  entry->source = source;
+  entry->graph = std::move(graph);
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(std::move(entry));
+  return Status::OK();
+}
+
+void GraphCatalog::InsertLocked(std::shared_ptr<CatalogEntry> entry) {
+  ++stats_.loads;
+  entry->uid = next_uid_++;
+  const std::string name = entry->name;
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    ++stats_.reloads;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  lru_.push_front(name);
+  entries_[name] = Slot{std::move(entry), lru_.begin()};
+  while (capacity_ != 0 && entries_.size() > capacity_) {
+    ++stats_.evictions;
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+std::shared_ptr<CatalogEntry> GraphCatalog::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.entry;
+}
+
+bool GraphCatalog::Evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  ++stats_.evictions;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  return true;
+}
+
+std::vector<std::string> GraphCatalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {lru_.begin(), lru_.end()};
+}
+
+std::size_t GraphCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+CatalogStats GraphCatalog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace vulnds::serve

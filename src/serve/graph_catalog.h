@@ -1,0 +1,107 @@
+// GraphCatalog: named, immutable uncertain-graph snapshots for serving.
+//
+// The batch CLI re-reads and re-parses the graph on every invocation; the
+// catalog instead loads a snapshot once (text or binary, auto-detected) and
+// hands out shared references, so a query only pays graph I/O the first time
+// a name is touched. Each entry carries the per-graph DetectionContext the
+// query engine warms across requests (bounds, candidate reductions, bottom-k
+// sample orders); evicting or reloading a name drops that derived state with
+// the graph, which keeps the invariant "context belongs to exactly one
+// graph" trivially true.
+//
+// Entries are reference-counted: Evict removes a graph from the catalog, but
+// queries already holding the entry finish safely on the old snapshot.
+// All catalog methods are thread-safe.
+
+#ifndef VULNDS_SERVE_GRAPH_CATALOG_H_
+#define VULNDS_SERVE_GRAPH_CATALOG_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+#include "vulnds/detector.h"
+
+namespace vulnds::serve {
+
+/// One catalog entry: an immutable graph plus its mutable derived state.
+struct CatalogEntry {
+  std::string name;
+  std::string source;     ///< file path, or "<memory>" for Put()
+  UncertainGraph graph;   ///< immutable after construction
+
+  /// Catalog-unique id, fresh on every load/reload. Result caches key on it
+  /// so entries cached against a replaced or evicted snapshot can never be
+  /// served for the new one.
+  uint64_t uid = 0;
+
+  /// Warm per-graph intermediates; hold `context_mu` while touching it.
+  DetectionContext context;
+  std::mutex context_mu;
+};
+
+/// Counters exposed through `stats <name>` / benches.
+struct CatalogStats {
+  std::size_t loads = 0;      ///< successful Load/Put calls
+  std::size_t reloads = 0;    ///< loads that replaced an existing name
+  std::size_t evictions = 0;  ///< capacity + explicit evictions
+  std::size_t hits = 0;       ///< Get() found the name
+  std::size_t misses = 0;     ///< Get() did not
+};
+
+class GraphCatalog {
+ public:
+  /// Creates a catalog keeping at most `capacity` graphs resident
+  /// (0 = unbounded). Beyond capacity the least-recently-used entry is
+  /// evicted.
+  explicit GraphCatalog(std::size_t capacity = 0);
+
+  /// Reads `path` (text or binary snapshot) and registers it as `name`,
+  /// replacing any existing entry of that name.
+  Status Load(const std::string& name, const std::string& path);
+
+  /// Registers an already-built graph (generators, tests) as `name`.
+  Status Put(const std::string& name, UncertainGraph graph,
+             const std::string& source = "<memory>");
+
+  /// Returns the entry for `name` and marks it most-recently-used, or
+  /// nullptr if the name is not resident.
+  std::shared_ptr<CatalogEntry> Get(const std::string& name);
+
+  /// Removes `name`; returns whether it was resident. In-flight holders of
+  /// the entry keep it alive until they drop their reference.
+  bool Evict(const std::string& name);
+
+  /// Resident names, most-recently-used first.
+  std::vector<std::string> Names() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  CatalogStats stats() const;
+
+ private:
+  // Inserts `entry` under the lock, evicting LRU entries over capacity.
+  void InsertLocked(std::shared_ptr<CatalogEntry> entry);
+
+  struct Slot {
+    std::shared_ptr<CatalogEntry> entry;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t next_uid_ = 1;
+  std::unordered_map<std::string, Slot> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  CatalogStats stats_;
+};
+
+}  // namespace vulnds::serve
+
+#endif  // VULNDS_SERVE_GRAPH_CATALOG_H_

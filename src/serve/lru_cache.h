@@ -1,0 +1,103 @@
+// A small string-keyed LRU cache used for serving-layer result caching.
+//
+// Values are held behind shared_ptr<const V>, so a cached entry handed to a
+// caller stays valid even if it is evicted (or the cache destroyed) while
+// the caller still uses it. Capacity 0 disables caching entirely: every Get
+// misses and Put is a no-op, which gives benchmarks a zero-cost "cache off"
+// switch. Not thread-safe; the query engine serializes access.
+
+#ifndef VULNDS_SERVE_LRU_CACHE_H_
+#define VULNDS_SERVE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace vulnds::serve {
+
+/// Hit/miss/eviction counters; cheap to copy for reporting.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t inserts = 0;
+
+  /// Hits over lookups, 0 when nothing was looked up.
+  double HitRate() const {
+    const std::size_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+template <typename V>
+class LruCache {
+ public:
+  /// Creates a cache holding at most `capacity` entries (0 disables).
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value and bumps its recency, or nullptr on miss.
+  std::shared_ptr<const V> Get(const std::string& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts (or replaces) `key`, evicting the least-recently-used entry
+  /// when over capacity.
+  void Put(const std::string& key, V value) {
+    if (capacity_ == 0) return;
+    ++stats_.inserts;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::make_shared<const V>(std::move(value));
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::make_shared<const V>(std::move(value)));
+    index_[key] = order_.begin();
+    if (index_.size() > capacity_) {
+      ++stats_.evictions;
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  /// Removes `key`; returns whether it was present.
+  bool Erase(const std::string& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  /// Drops every entry (counters are kept).
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const V>>;
+
+  std::size_t capacity_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace vulnds::serve
+
+#endif  // VULNDS_SERVE_LRU_CACHE_H_

@@ -1,0 +1,192 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/parse.h"
+
+namespace vulnds::serve {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+Status WrongArity(const char* usage) {
+  return Status::InvalidArgument(std::string("usage: ") + usage);
+}
+
+Result<std::size_t> ParseCount(const std::string& token, const char* what) {
+  Result<uint64_t> v = ParseUint64(token);
+  if (!v.ok()) {
+    return Status::InvalidArgument(std::string(what) + ": " + v.status().message());
+  }
+  return static_cast<std::size_t>(*v);
+}
+
+}  // namespace
+
+Result<Method> ParseMethodToken(const std::string& name) {
+  for (const Method m : AllMethods()) {
+    if (AsciiLower(MethodName(m)) == AsciiLower(name)) return m;
+  }
+  return Status::InvalidArgument("unknown method '" + name + "'");
+}
+
+Status ApplyDetectFlag(const std::string& token, DetectorOptions* options) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+    return Status::InvalidArgument("expected key=value, got '" + token + "'");
+  }
+  const std::string key = AsciiLower(token.substr(0, eq));
+  const std::string value = token.substr(eq + 1);
+  if (key == "method") {
+    Result<Method> m = ParseMethodToken(value);
+    if (!m.ok()) return m.status();
+    options->method = *m;
+    return Status::OK();
+  }
+  if (key == "eps" || key == "delta") {
+    Result<double> v = ParseDouble(value);
+    if (!v.ok()) return v.status();
+    (key == "eps" ? options->eps : options->delta) = *v;
+    return Status::OK();
+  }
+  if (key == "seed") {
+    Result<uint64_t> v = ParseUint64(value);
+    if (!v.ok()) return v.status();
+    options->seed = *v;
+    return Status::OK();
+  }
+  if (key == "samples") {
+    Result<std::size_t> v = ParseCount(value, "samples");
+    if (!v.ok()) return v.status();
+    options->naive_samples = *v;
+    return Status::OK();
+  }
+  if (key == "order" || key == "bk") {
+    // ParseInt32 rejects values outside int range instead of truncating.
+    Result<int> v = ParseInt32(value);
+    if (!v.ok()) return v.status();
+    (key == "order" ? options->bound_order : options->bk) = *v;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown detect flag '" + key + "'");
+}
+
+std::string FormatRoundTrip(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+Result<ServeRequest> ParseServeRequest(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  ServeRequest request;
+  if (tokens.empty()) return request;  // kNone
+
+  const std::string verb = AsciiLower(tokens[0]);
+  if (verb == "quit" || verb == "exit") {
+    if (tokens.size() != 1) return WrongArity("quit");
+    request.command = ServeCommand::kQuit;
+    return request;
+  }
+  if (verb == "catalog") {
+    if (tokens.size() != 1) return WrongArity("catalog");
+    request.command = ServeCommand::kCatalog;
+    return request;
+  }
+  if (verb == "load") {
+    if (tokens.size() != 3) return WrongArity("load <name> <path>");
+    request.command = ServeCommand::kLoad;
+    request.name = tokens[1];
+    request.path = tokens[2];
+    return request;
+  }
+  if (verb == "save") {
+    if (tokens.size() < 3 || tokens.size() > 4) {
+      return WrongArity("save <name> <path> [text|binary]");
+    }
+    request.command = ServeCommand::kSave;
+    request.name = tokens[1];
+    request.path = tokens[2];
+    if (tokens.size() == 4) {
+      const std::string fmt = AsciiLower(tokens[3]);
+      if (fmt == "text") {
+        request.format = GraphFileFormat::kText;
+      } else if (fmt == "binary") {
+        request.format = GraphFileFormat::kBinary;
+      } else {
+        return Status::InvalidArgument("unknown format '" + tokens[3] +
+                                       "' (want text|binary)");
+      }
+    }
+    return request;
+  }
+  if (verb == "stats") {
+    if (tokens.size() > 2) return WrongArity("stats [<name>]");
+    request.command = ServeCommand::kStats;
+    if (tokens.size() == 2) request.name = tokens[1];
+    return request;
+  }
+  if (verb == "evict") {
+    if (tokens.size() != 2) return WrongArity("evict <name>");
+    request.command = ServeCommand::kEvict;
+    request.name = tokens[1];
+    return request;
+  }
+  if (verb == "detect") {
+    if (tokens.size() < 3) {
+      return WrongArity("detect <name> <k> [method] [key=value ...]");
+    }
+    request.command = ServeCommand::kDetect;
+    request.name = tokens[1];
+    Result<std::size_t> k = ParseCount(tokens[2], "k");
+    if (!k.ok()) return k.status();
+    request.options.k = *k;
+    std::size_t next = 3;
+    if (next < tokens.size() && tokens[next].find('=') == std::string::npos) {
+      // Bare method name, matching the batch CLI's positional style.
+      VULNDS_RETURN_NOT_OK(
+          ApplyDetectFlag("method=" + tokens[next], &request.options));
+      ++next;
+    }
+    for (; next < tokens.size(); ++next) {
+      VULNDS_RETURN_NOT_OK(ApplyDetectFlag(tokens[next], &request.options));
+    }
+    return request;
+  }
+  if (verb == "truth") {
+    if (tokens.size() < 3 || tokens.size() > 5) {
+      return WrongArity("truth <name> <k> [samples] [seed]");
+    }
+    request.command = ServeCommand::kTruth;
+    request.name = tokens[1];
+    Result<std::size_t> k = ParseCount(tokens[2], "k");
+    if (!k.ok()) return k.status();
+    request.k = *k;
+    if (tokens.size() > 3) {
+      Result<std::size_t> samples = ParseCount(tokens[3], "samples");
+      if (!samples.ok()) return samples.status();
+      request.samples = *samples;
+    }
+    if (tokens.size() > 4) {
+      Result<uint64_t> seed = ParseUint64(tokens[4]);
+      if (!seed.ok()) return seed.status();
+      request.seed = *seed;
+    }
+    return request;
+  }
+  return Status::InvalidArgument("unknown command '" + tokens[0] + "'");
+}
+
+}  // namespace vulnds::serve

@@ -1,0 +1,76 @@
+// The line-oriented serve protocol.
+//
+// One request per line, whitespace separated; '#' starts a comment line.
+//   load <name> <path>                       register a snapshot (text|binary)
+//   save <name> <path> [text|binary]         write a snapshot (default binary)
+//   detect <name> <k> [method] [key=value…]  top-k query; keys: eps, delta,
+//                                            seed, samples, order, bk, method
+//   truth <name> <k> [samples] [seed]        Monte-Carlo reference top-k
+//   stats [<name>]                           graph stats / engine counters
+//   catalog                                  resident graphs, MRU first
+//   evict <name>                             drop a graph (and its state)
+//   quit                                     end the session
+//
+// Responses (server.h) are line-oriented too: the first line starts with
+// "ok" or "err", multi-line payloads are terminated by a single ".".
+//
+// Parsing is pure (no catalog access), so malformed input is testable and
+// can never take the serving loop down.
+
+#ifndef VULNDS_SERVE_PROTOCOL_H_
+#define VULNDS_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph_io.h"
+#include "vulnds/detector.h"
+
+namespace vulnds::serve {
+
+/// The request verbs of the protocol.
+enum class ServeCommand {
+  kLoad = 0,
+  kSave,
+  kDetect,
+  kTruth,
+  kStats,
+  kCatalog,
+  kEvict,
+  kQuit,
+  kNone,  ///< blank or comment line; nothing to execute
+};
+
+/// A parsed request; only the fields of the active command are meaningful.
+struct ServeRequest {
+  ServeCommand command = ServeCommand::kNone;
+  std::string name;  ///< graph name (load/save/detect/truth/stats/evict)
+  std::string path;  ///< load/save
+  GraphFileFormat format = GraphFileFormat::kBinary;  ///< save
+  DetectorOptions options;                            ///< detect (k included)
+  std::size_t k = 1;                                  ///< truth
+  std::size_t samples = 0;  ///< truth; 0 = paper default
+  uint64_t seed = 777;      ///< truth
+};
+
+/// Parses one protocol line. Unknown verbs, wrong arity, and malformed
+/// numbers return InvalidArgument with a message suitable for an "err"
+/// response line.
+Result<ServeRequest> ParseServeRequest(const std::string& line);
+
+/// Case-insensitive method name lookup ("bsrbk" -> Method::kBsrbk).
+Result<Method> ParseMethodToken(const std::string& name);
+
+/// Applies one "key=value" detect option assignment (method, eps, delta,
+/// seed, samples, order, bk) to `options`. Shared by the serve protocol and
+/// the batch CLI so the flag vocabulary cannot drift between them.
+Status ApplyDetectFlag(const std::string& token, DetectorOptions* options);
+
+/// Formats a double with enough digits to round-trip exactly (%.17g): the
+/// wire format for scores and timings, and the text used in cache keys.
+std::string FormatRoundTrip(double value);
+
+}  // namespace vulnds::serve
+
+#endif  // VULNDS_SERVE_PROTOCOL_H_

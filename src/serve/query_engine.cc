@@ -1,0 +1,154 @@
+#include "serve/query_engine.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "serve/protocol.h"
+
+namespace vulnds::serve {
+
+DetectorOptions CanonicalizeOptions(DetectorOptions o) {
+  const DetectorOptions defaults;
+  o.pool = nullptr;
+  switch (o.method) {
+    case Method::kNaive:
+      // Fixed budget: the (eps, delta) machinery and bounds are never read.
+      o.eps = defaults.eps;
+      o.delta = defaults.delta;
+      o.bound_order = defaults.bound_order;
+      o.bk = defaults.bk;
+      break;
+    case Method::kSampleNaive:
+      o.naive_samples = defaults.naive_samples;
+      o.bound_order = defaults.bound_order;
+      o.bk = defaults.bk;
+      break;
+    case Method::kSampleReverse:
+    case Method::kBsr:
+      o.naive_samples = defaults.naive_samples;
+      o.bk = defaults.bk;
+      break;
+    case Method::kBsrbk:
+      o.naive_samples = defaults.naive_samples;
+      break;
+  }
+  return o;
+}
+
+std::string CanonicalOptionsKey(const DetectorOptions& options) {
+  const DetectorOptions o = CanonicalizeOptions(options);
+  std::string key;
+  key += "method=" + MethodName(o.method);
+  key += " k=" + std::to_string(o.k);
+  key += " eps=" + FormatRoundTrip(o.eps);
+  key += " delta=" + FormatRoundTrip(o.delta);
+  key += " naive_samples=" + std::to_string(o.naive_samples);
+  key += " bound_order=" + std::to_string(o.bound_order);
+  key += " bk=" + std::to_string(o.bk);
+  key += " seed=" + std::to_string(o.seed);
+  return key;
+}
+
+QueryEngine::QueryEngine(GraphCatalog* catalog, QueryEngineOptions options)
+    : catalog_(catalog),
+      pool_(options.pool),
+      detect_cache_(options.result_cache_capacity),
+      truth_cache_(options.result_cache_capacity) {}
+
+Result<DetectResponse> QueryEngine::Detect(const std::string& name,
+                                           DetectorOptions options) {
+  WallTimer timer;
+  const std::shared_ptr<CatalogEntry> entry = catalog_->Get(name);
+  if (entry == nullptr) {
+    return Status::NotFound("graph '" + name + "' is not in the catalog");
+  }
+  // Validate before the cache lookup so an invalid request fails the same
+  // way whether or not a canonically-equal valid query is already cached.
+  VULNDS_RETURN_NOT_OK(ValidateDetectorOptions(entry->graph, options));
+
+  // Keyed by the entry uid, not just the name: a reloaded or evicted graph
+  // gets a fresh uid, so results computed on the old snapshot cannot be
+  // served for the new one (stale keys age out of the LRU).
+  const std::string key = name + "#" + std::to_string(entry->uid) + "|" +
+                          CanonicalOptionsKey(options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++detect_queries_;
+    if (const auto cached = detect_cache_.Get(key)) {
+      DetectResponse response;
+      response.result = *cached;
+      response.from_cache = true;
+      response.seconds = timer.Seconds();
+      return response;
+    }
+  }
+
+  options.pool = pool_;
+  Result<DetectionResult> result = [&] {
+    std::lock_guard<std::mutex> lock(entry->context_mu);
+    return DetectTopK(entry->graph, options, &entry->context);
+  }();
+  if (!result.ok()) return result.status();
+
+  DetectResponse response;
+  response.result = result.MoveValue();
+  response.seconds = timer.Seconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    detect_cache_.Put(key, response.result);
+  }
+  return response;
+}
+
+Result<TruthResponse> QueryEngine::Truth(const std::string& name,
+                                         std::size_t samples, uint64_t seed) {
+  if (samples == 0) {
+    return Status::InvalidArgument("ground truth needs samples >= 1");
+  }
+  WallTimer timer;
+  const std::shared_ptr<CatalogEntry> entry = catalog_->Get(name);
+  if (entry == nullptr) {
+    return Status::NotFound("graph '" + name + "' is not in the catalog");
+  }
+  const std::string key =
+      name + "#" + std::to_string(entry->uid) +
+      "|truth samples=" + std::to_string(samples) +
+      " seed=" + std::to_string(seed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++truth_queries_;
+    if (const auto cached = truth_cache_.Get(key)) {
+      TruthResponse response;
+      response.truth = *cached;
+      response.from_cache = true;
+      response.seconds = timer.Seconds();
+      return response;
+    }
+  }
+
+  TruthResponse response;
+  response.truth = ComputeGroundTruth(entry->graph, samples, seed, pool_);
+  response.seconds = timer.Seconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    truth_cache_.Put(key, response.truth);
+  }
+  return response;
+}
+
+EngineStats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineStats s;
+  s.detect_queries = detect_queries_;
+  s.truth_queries = truth_queries_;
+  s.result_cache.hits = detect_cache_.stats().hits + truth_cache_.stats().hits;
+  s.result_cache.misses =
+      detect_cache_.stats().misses + truth_cache_.stats().misses;
+  s.result_cache.evictions =
+      detect_cache_.stats().evictions + truth_cache_.stats().evictions;
+  s.result_cache.inserts =
+      detect_cache_.stats().inserts + truth_cache_.stats().inserts;
+  return s;
+}
+
+}  // namespace vulnds::serve

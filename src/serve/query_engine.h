@@ -1,0 +1,101 @@
+// QueryEngine: executes detection / ground-truth requests against catalog
+// graphs with result caching and warm per-graph state.
+//
+// Layered reuse, fastest first:
+//   1. the LRU result cache, keyed by (graph name, snapshot uid,
+//      canonicalized options) — an identical repeated query is answered
+//      without touching the graph, bit-identical to the original answer;
+//      the uid scopes entries to one loaded snapshot, so reloading or
+//      evicting a name can never serve results from the old graph;
+//   2. the entry's DetectionContext — a near-identical query (same graph,
+//      different k / method / seed) reuses the deterministic intermediates
+//      it shares with earlier queries (bounds, reductions, sample orders);
+//   3. a cold run on the shared ThreadPool.
+// Canonicalization zeroes the DetectorOptions fields the chosen method never
+// reads (e.g. `bk` for BSR, `naive_samples` for everything but N), so
+// requests that differ only in irrelevant knobs share a cache line.
+//
+// Detect/Truth are thread-safe; per-graph context use is serialized per
+// entry, so queries against different graphs never contend.
+
+#ifndef VULNDS_SERVE_QUERY_ENGINE_H_
+#define VULNDS_SERVE_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "serve/graph_catalog.h"
+#include "serve/lru_cache.h"
+#include "vulnds/detector.h"
+#include "vulnds/ground_truth.h"
+
+namespace vulnds::serve {
+
+/// Returns `options` with every field the method ignores reset to its
+/// default, and `pool` cleared (execution resources are never part of a
+/// query's identity).
+DetectorOptions CanonicalizeOptions(DetectorOptions options);
+
+/// Stable cache-key text for a detect request ("method=BSRBK k=5 ...").
+std::string CanonicalOptionsKey(const DetectorOptions& options);
+
+struct QueryEngineOptions {
+  std::size_t result_cache_capacity = 256;  ///< detect + truth entries (0 = off)
+  ThreadPool* pool = nullptr;               ///< sampling parallelism
+};
+
+/// Outcome of QueryEngine::Detect.
+struct DetectResponse {
+  DetectionResult result;
+  bool from_cache = false;
+  double seconds = 0.0;  ///< wall time spent serving this request
+};
+
+/// Outcome of QueryEngine::Truth.
+struct TruthResponse {
+  GroundTruth truth;
+  bool from_cache = false;
+  double seconds = 0.0;
+};
+
+/// Aggregate request counters.
+struct EngineStats {
+  std::size_t detect_queries = 0;
+  std::size_t truth_queries = 0;
+  CacheStats result_cache;  ///< combined detect + truth cache counters
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(GraphCatalog* catalog, QueryEngineOptions options = {});
+
+  /// Runs (or serves from cache) a detection query against graph `name`.
+  /// `options.pool` is overridden with the engine's pool.
+  Result<DetectResponse> Detect(const std::string& name, DetectorOptions options);
+
+  /// Runs (or serves from cache) a Monte-Carlo ground-truth query.
+  Result<TruthResponse> Truth(const std::string& name, std::size_t samples,
+                              uint64_t seed);
+
+  GraphCatalog& catalog() { return *catalog_; }
+  EngineStats stats() const;
+
+ private:
+  GraphCatalog* catalog_;
+  ThreadPool* pool_;
+
+  mutable std::mutex mu_;  // guards caches_ and counters
+  LruCache<DetectionResult> detect_cache_;
+  LruCache<GroundTruth> truth_cache_;
+  std::size_t detect_queries_ = 0;
+  std::size_t truth_queries_ = 0;
+};
+
+}  // namespace vulnds::serve
+
+#endif  // VULNDS_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,32 @@
+// RunServeLoop: drives a QueryEngine from a line-oriented request stream.
+//
+// The loop reads protocol lines (protocol.h) from `in` and writes responses
+// to `out` until `quit` or end-of-stream. Malformed requests and failed
+// queries produce a single "err <message>" line and the loop continues —
+// a serving process must never die because one client sent garbage. Streams
+// rather than stdio so a scripted session is a plain stringstream in tests.
+
+#ifndef VULNDS_SERVE_SERVER_H_
+#define VULNDS_SERVE_SERVER_H_
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "serve/query_engine.h"
+
+namespace vulnds::serve {
+
+/// Counters for one serve session.
+struct ServeLoopStats {
+  std::size_t requests = 0;  ///< non-blank lines processed
+  std::size_t errors = 0;    ///< "err" responses emitted
+};
+
+/// Runs the request/response loop until `quit` or EOF. Returns the session
+/// counters (the process exit code is the caller's business).
+ServeLoopStats RunServeLoop(std::istream& in, std::ostream& out,
+                            QueryEngine& engine);
+
+}  // namespace vulnds::serve
+
+#endif  // VULNDS_SERVE_SERVER_H_

@@ -14,10 +14,24 @@ namespace {
 constexpr uint64_t kSampleHashSalt = 0x27220A95FE1D83D5ULL;
 }  // namespace
 
+BottomKSampleOrder MakeBottomKSampleOrder(uint64_t seed, std::size_t t) {
+  BottomKSampleOrder out;
+  const UniformHash sample_hash(Mix64(seed ^ kSampleHashSalt));
+  out.order.resize(t);
+  std::iota(out.order.begin(), out.order.end(), 0);
+  out.hash_of.resize(t);
+  for (std::size_t i = 0; i < t; ++i) out.hash_of[i] = sample_hash.HashUnit(i);
+  std::sort(out.order.begin(), out.order.end(), [&](uint32_t a, uint32_t b) {
+    return out.hash_of[a] < out.hash_of[b];
+  });
+  return out;
+}
+
 Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
                                            const std::vector<NodeId>& candidates,
                                            std::size_t t, std::size_t needed,
-                                           int bk, uint64_t seed) {
+                                           int bk, uint64_t seed,
+                                           const BottomKSampleOrder* precomputed) {
   if (bk < 3) {
     return Status::InvalidArgument("bk must be >= 3, got " + std::to_string(bk));
   }
@@ -32,14 +46,17 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
   needed = std::min(needed, candidates.size());
 
   // Hash every sample id without materializing the worlds (O(t)), then
-  // process in ascending hash order.
-  const UniformHash sample_hash(Mix64(seed ^ kSampleHashSalt));
-  std::vector<uint32_t> order(t);
-  std::iota(order.begin(), order.end(), 0);
-  std::vector<double> hash_of(t);
-  for (std::size_t i = 0; i < t; ++i) hash_of[i] = sample_hash.HashUnit(i);
-  std::sort(order.begin(), order.end(),
-            [&](uint32_t a, uint32_t b) { return hash_of[a] < hash_of[b]; });
+  // process in ascending hash order. A caller that issues many queries with
+  // the same (seed, t) passes the order in precomputed once.
+  BottomKSampleOrder local;
+  if (precomputed == nullptr) {
+    local = MakeBottomKSampleOrder(seed, t);
+    precomputed = &local;
+  } else if (precomputed->order.size() != t || precomputed->hash_of.size() != t) {
+    return Status::InvalidArgument("precomputed sample order size mismatch");
+  }
+  const std::vector<uint32_t>& order = precomputed->order;
+  const std::vector<double>& hash_of = precomputed->hash_of;
 
   ReverseSampler sampler(graph, candidates);
   std::vector<uint32_t> counts(candidates.size(), 0);

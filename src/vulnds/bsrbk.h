@@ -23,6 +23,18 @@
 
 namespace vulnds {
 
+/// The hash-sorted processing order of the sample ids [0, t): order[i] is the
+/// id of the i-th smallest hash, hash_of[id] its hash value. Pure in
+/// (seed, t), so a serving layer can compute it once per (seed, t) pair and
+/// reuse it across queries (DetectionContext does exactly that).
+struct BottomKSampleOrder {
+  std::vector<uint32_t> order;
+  std::vector<double> hash_of;
+};
+
+/// Hashes and sorts the sample ids [0, t) for run seed `seed`.
+BottomKSampleOrder MakeBottomKSampleOrder(uint64_t seed, std::size_t t);
+
 /// Result of a bottom-k sampling run.
 struct BottomKRunStats {
   /// Score per candidate (candidate order): the raw sketch estimate
@@ -41,10 +53,14 @@ struct BottomKRunStats {
 /// Runs bottom-k early-stopped reverse sampling over `candidates` with a
 /// budget of `t` worlds, stopping once `needed` candidates reach `bk`
 /// defaults. Requires bk >= 3 (sketch estimator) and needed >= 1.
+/// `precomputed` optionally supplies MakeBottomKSampleOrder(seed, t) — it
+/// must have been built for exactly that (seed, t) pair; results are
+/// bit-identical with and without it.
 Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
                                            const std::vector<NodeId>& candidates,
                                            std::size_t t, std::size_t needed,
-                                           int bk, uint64_t seed);
+                                           int bk, uint64_t seed,
+                                           const BottomKSampleOrder* precomputed = nullptr);
 
 }  // namespace vulnds
 

@@ -36,9 +36,8 @@ std::string MethodName(Method method) {
   return "?";
 }
 
-namespace {
-
-Status ValidateOptions(const UncertainGraph& graph, const DetectorOptions& o) {
+Status ValidateDetectorOptions(const UncertainGraph& graph,
+                               const DetectorOptions& o) {
   if (o.k == 0 || o.k > graph.num_nodes()) {
     return Status::InvalidArgument("k must be in [1, n], got " + std::to_string(o.k));
   }
@@ -56,6 +55,8 @@ Status ValidateOptions(const UncertainGraph& graph, const DetectorOptions& o) {
   }
   return Status::OK();
 }
+
+namespace {
 
 // N / SN: full-graph forward sampling, then a global top-k.
 DetectionResult DetectByBasicSampling(const UncertainGraph& graph,
@@ -86,11 +87,51 @@ void AppendRanked(const std::vector<NodeId>& nodes, const std::vector<double>& s
   }
 }
 
+// Returns the order-z bounds, from `ctx` when warm. The returned pointers
+// stay valid while `storage` / the context are alive (map nodes are stable).
+Status GetBounds(const UncertainGraph& graph, const DetectorOptions& o,
+                 DetectionContext* ctx,
+                 std::pair<std::vector<double>, std::vector<double>>* storage,
+                 const std::vector<double>** lower,
+                 const std::vector<double>** upper) {
+  if (ctx != nullptr) {
+    const auto lo = ctx->lower_bounds.find(o.bound_order);
+    const auto hi = ctx->upper_bounds.find(o.bound_order);
+    if (lo != ctx->lower_bounds.end() && hi != ctx->upper_bounds.end()) {
+      ++ctx->reuse_hits;
+      *lower = &lo->second;
+      *upper = &hi->second;
+      return Status::OK();
+    }
+  }
+  Result<std::vector<double>> lo = LowerBounds(graph, o.bound_order);
+  if (!lo.ok()) return lo.status();
+  Result<std::vector<double>> hi = UpperBounds(graph, o.bound_order);
+  if (!hi.ok()) return hi.status();
+  if (ctx != nullptr) {
+    ++ctx->reuse_misses;
+    *lower = &(ctx->lower_bounds[o.bound_order] = lo.MoveValue());
+    *upper = &(ctx->upper_bounds[o.bound_order] = hi.MoveValue());
+  } else {
+    storage->first = lo.MoveValue();
+    storage->second = hi.MoveValue();
+    *lower = &storage->first;
+    *upper = &storage->second;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
                                    const DetectorOptions& o) {
-  VULNDS_RETURN_NOT_OK(ValidateOptions(graph, o));
+  return DetectTopK(graph, o, nullptr);
+}
+
+Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
+                                   const DetectorOptions& o,
+                                   DetectionContext* ctx) {
+  VULNDS_RETURN_NOT_OK(ValidateDetectorOptions(graph, o));
   const std::size_t n = graph.num_nodes();
 
   switch (o.method) {
@@ -104,10 +145,10 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
   }
 
   // SR / BSR / BSRBK all start from the order-z bounds.
-  Result<std::vector<double>> lower = LowerBounds(graph, o.bound_order);
-  if (!lower.ok()) return lower.status();
-  Result<std::vector<double>> upper = UpperBounds(graph, o.bound_order);
-  if (!upper.ok()) return upper.status();
+  std::pair<std::vector<double>, std::vector<double>> bound_storage;
+  const std::vector<double>* lower = nullptr;
+  const std::vector<double>* upper = nullptr;
+  VULNDS_RETURN_NOT_OK(GetBounds(graph, o, ctx, &bound_storage, &lower, &upper));
 
   DetectionResult result;
 
@@ -130,9 +171,24 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
     return result;
   }
 
-  // BSR / BSRBK: full Algorithm 4 reduction.
-  Result<CandidateReduction> reduced = ReduceCandidates(*lower, *upper, o.k);
-  if (!reduced.ok()) return reduced.status();
+  // BSR / BSRBK: full Algorithm 4 reduction, cached per (order, k).
+  const CandidateReduction* reduced = nullptr;
+  CandidateReduction reduction_storage;
+  const std::pair<int, std::size_t> reduction_key{o.bound_order, o.k};
+  if (ctx != nullptr && ctx->reductions.count(reduction_key) != 0) {
+    ++ctx->reuse_hits;
+    reduced = &ctx->reductions.at(reduction_key);
+  } else {
+    Result<CandidateReduction> r = ReduceCandidates(*lower, *upper, o.k);
+    if (!r.ok()) return r.status();
+    if (ctx != nullptr) {
+      ++ctx->reuse_misses;
+      reduced = &(ctx->reductions[reduction_key] = r.MoveValue());
+    } else {
+      reduction_storage = r.MoveValue();
+      reduced = &reduction_storage;
+    }
+  }
   result.verified_count = reduced->num_verified();
   result.candidate_count = reduced->candidates.size();
 
@@ -172,9 +228,21 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
     return result;
   }
 
-  // BSRBK.
-  Result<BottomKRunStats> run =
-      RunBottomKSampling(graph, reduced->candidates, t, needed, o.bk, o.seed);
+  // BSRBK; the hash-sorted sample order is pure in (seed, t) and cached.
+  const BottomKSampleOrder* order = nullptr;
+  if (ctx != nullptr) {
+    const std::pair<uint64_t, std::size_t> order_key{o.seed, t};
+    const auto it = ctx->sample_orders.find(order_key);
+    if (it != ctx->sample_orders.end()) {
+      ++ctx->reuse_hits;
+      order = &it->second;
+    } else {
+      ++ctx->reuse_misses;
+      order = &(ctx->sample_orders[order_key] = MakeBottomKSampleOrder(o.seed, t));
+    }
+  }
+  Result<BottomKRunStats> run = RunBottomKSampling(
+      graph, reduced->candidates, t, needed, o.bk, o.seed, order);
   if (!run.ok()) return run.status();
   result.samples_processed = run->samples_processed;
   result.nodes_touched = run->nodes_touched;

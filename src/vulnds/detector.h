@@ -13,12 +13,16 @@
 #define VULNDS_VULNDS_DETECTOR_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/uncertain_graph.h"
+#include "vulnds/bsrbk.h"
+#include "vulnds/candidate_reduction.h"
 
 namespace vulnds {
 
@@ -68,9 +72,43 @@ struct DetectionResult {
   bool early_stopped = false;         ///< BSRBK stop condition fired
 };
 
+/// Reusable per-graph derived state for repeated detections on the SAME
+/// graph (the serving layer keeps one per catalog entry). Caches the
+/// deterministic intermediates that dominate query setup:
+///   * order-z lower/upper bounds (keyed by bound order),
+///   * Algorithm 4 candidate reductions (keyed by bound order and k),
+///   * bottom-k sample processing orders (keyed by seed and budget t).
+/// Every cached value is a pure function of (graph, key), so results with a
+/// warm context are bit-identical to a cold run. Not thread-safe; guard
+/// externally when sharing across requests.
+struct DetectionContext {
+  std::map<int, std::vector<double>> lower_bounds;
+  std::map<int, std::vector<double>> upper_bounds;
+  std::map<std::pair<int, std::size_t>, CandidateReduction> reductions;
+  std::map<std::pair<uint64_t, std::size_t>, BottomKSampleOrder> sample_orders;
+
+  std::size_t reuse_hits = 0;    ///< cached intermediates served
+  std::size_t reuse_misses = 0;  ///< intermediates computed and stored
+};
+
+/// Validates `options` against `graph` without running anything: k in
+/// [1, n], eps/delta in (0, 1), bound_order >= 1, bk >= 3. DetectTopK
+/// performs the same check; callers that cache results by options should
+/// validate before consulting their cache so invalid requests fail
+/// identically warm or cold.
+Status ValidateDetectorOptions(const UncertainGraph& graph,
+                               const DetectorOptions& options);
+
 /// Runs the configured method on `graph`. Fails on invalid k / parameters.
 Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
                                    const DetectorOptions& options);
+
+/// Same, reusing (and filling) `context` for the deterministic per-graph
+/// intermediates. `context` must only ever be used with this graph. Passing
+/// nullptr behaves like the two-argument overload.
+Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
+                                   const DetectorOptions& options,
+                                   DetectionContext* context);
 
 }  // namespace vulnds
 

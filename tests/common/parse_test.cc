@@ -1,0 +1,54 @@
+#include "common/parse.h"
+
+#include <gtest/gtest.h>
+
+namespace vulnds {
+namespace {
+
+TEST(ParseTest, Uint64Valid) {
+  EXPECT_EQ(*ParseUint64("0"), 0u);
+  EXPECT_EQ(*ParseUint64("42"), 42u);
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseTest, Uint64RejectsGarbage) {
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("abc").ok());
+  EXPECT_FALSE(ParseUint64("12abc").ok());  // trailing junk
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("1.5").ok());
+  EXPECT_FALSE(ParseUint64(" 1").ok());
+}
+
+TEST(ParseTest, Uint64Overflow) {
+  EXPECT_EQ(ParseUint64("18446744073709551616").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ParseTest, Int64Valid) {
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("7"), 7);
+}
+
+TEST(ParseTest, Int32RejectsOverflowInsteadOfTruncating) {
+  EXPECT_EQ(*ParseInt32("2147483647"), 2147483647);
+  EXPECT_EQ(*ParseInt32("-5"), -5);
+  // 2^32 + 2 would truncate to 2 through a static_cast<int>.
+  EXPECT_EQ(ParseInt32("4294967298").status().code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(ParseInt32("abc").ok());
+}
+
+TEST(ParseTest, DoubleValid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.3"), 0.3);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2.5"), -2.5);
+}
+
+TEST(ParseTest, DoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("x").ok());
+  EXPECT_FALSE(ParseDouble("0.3x").ok());
+}
+
+}  // namespace
+}  // namespace vulnds

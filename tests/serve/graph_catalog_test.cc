@@ -1,0 +1,116 @@
+#include "serve/graph_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+#include "testing/test_graphs.h"
+
+namespace vulnds::serve {
+namespace {
+
+std::string WriteTempGraph(const UncertainGraph& g, const std::string& name,
+                           GraphFileFormat format) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(WriteGraphFile(g, path, format).ok());
+  return path;
+}
+
+TEST(GraphCatalogTest, LoadTextAndBinary) {
+  GraphCatalog catalog;
+  const UncertainGraph g = testing::PaperExampleGraph(0.2);
+  const std::string text = WriteTempGraph(g, "cat_a.graph", GraphFileFormat::kText);
+  const std::string bin = WriteTempGraph(g, "cat_b.snap", GraphFileFormat::kBinary);
+  ASSERT_TRUE(catalog.Load("a", text).ok());
+  ASSERT_TRUE(catalog.Load("b", bin).ok());
+  EXPECT_EQ(catalog.size(), 2u);
+  const auto a = catalog.Get("a");
+  const auto b = catalog.Get("b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->graph.num_nodes(), b->graph.num_nodes());
+  EXPECT_EQ(a->graph.num_edges(), b->graph.num_edges());
+}
+
+TEST(GraphCatalogTest, LoadMissingFileFails) {
+  GraphCatalog catalog;
+  EXPECT_EQ(catalog.Load("x", "/nonexistent/g.graph").code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(catalog.size(), 0u);
+}
+
+TEST(GraphCatalogTest, GetUnknownReturnsNull) {
+  GraphCatalog catalog;
+  EXPECT_EQ(catalog.Get("nope"), nullptr);
+  EXPECT_EQ(catalog.stats().misses, 1u);
+}
+
+TEST(GraphCatalogTest, EvictAndReload) {
+  GraphCatalog catalog;
+  const UncertainGraph g = testing::ChainGraph(0.3, 0.6);
+  const std::string path = WriteTempGraph(g, "cat_c.snap", GraphFileFormat::kBinary);
+  ASSERT_TRUE(catalog.Load("c", path).ok());
+  EXPECT_TRUE(catalog.Evict("c"));
+  EXPECT_FALSE(catalog.Evict("c"));
+  EXPECT_EQ(catalog.Get("c"), nullptr);
+  ASSERT_TRUE(catalog.Load("c", path).ok());
+  EXPECT_NE(catalog.Get("c"), nullptr);
+  EXPECT_EQ(catalog.stats().evictions, 1u);
+}
+
+TEST(GraphCatalogTest, EvictedEntryStaysAliveForHolders) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("m", testing::PaperExampleGraph(0.2)).ok());
+  const auto held = catalog.Get("m");
+  ASSERT_NE(held, nullptr);
+  EXPECT_TRUE(catalog.Evict("m"));
+  // The in-flight reference still works after eviction.
+  EXPECT_EQ(held->graph.num_nodes(), 5u);
+}
+
+TEST(GraphCatalogTest, ReloadReplacesEntryAndDropsContext) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("r", testing::ChainGraph(0.3, 0.6)).ok());
+  {
+    const auto entry = catalog.Get("r");
+    entry->context.lower_bounds[2] = {0.1, 0.2, 0.3};
+  }
+  ASSERT_TRUE(catalog.Put("r", testing::PaperExampleGraph(0.2)).ok());
+  const auto entry = catalog.Get("r");
+  EXPECT_EQ(entry->graph.num_nodes(), 5u);
+  // A reload must not leak derived state from the old graph.
+  EXPECT_TRUE(entry->context.lower_bounds.empty());
+  EXPECT_EQ(catalog.stats().reloads, 1u);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(GraphCatalogTest, CapacityEvictsLeastRecentlyUsed) {
+  GraphCatalog catalog(/*capacity=*/2);
+  ASSERT_TRUE(catalog.Put("a", testing::ChainGraph(0.3, 0.6)).ok());
+  ASSERT_TRUE(catalog.Put("b", testing::ChainGraph(0.3, 0.6)).ok());
+  ASSERT_NE(catalog.Get("a"), nullptr);  // "b" becomes LRU
+  ASSERT_TRUE(catalog.Put("c", testing::ChainGraph(0.3, 0.6)).ok());
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.Get("b"), nullptr);
+  EXPECT_NE(catalog.Get("a"), nullptr);
+  EXPECT_NE(catalog.Get("c"), nullptr);
+}
+
+TEST(GraphCatalogTest, NamesMostRecentFirst) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("a", testing::ChainGraph(0.3, 0.6)).ok());
+  ASSERT_TRUE(catalog.Put("b", testing::ChainGraph(0.3, 0.6)).ok());
+  ASSERT_NE(catalog.Get("a"), nullptr);
+  const std::vector<std::string> names = catalog.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(GraphCatalogTest, EmptyNameRejected) {
+  GraphCatalog catalog;
+  EXPECT_EQ(catalog.Put("", testing::ChainGraph(0.3, 0.6)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace vulnds::serve

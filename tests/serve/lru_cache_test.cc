@@ -1,0 +1,83 @@
+#include "serve/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace vulnds::serve {
+namespace {
+
+TEST(LruCacheTest, GetMissesOnEmpty) {
+  LruCache<int> cache(2);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LruCacheTest, PutThenGet) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  const auto v = cache.Get("a");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  ASSERT_NE(cache.Get("a"), nullptr);  // bump "a"; "b" is now LRU
+  cache.Put("c", 3);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, PutReplacesInPlace) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("a", 9);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Get("a"), 9);
+}
+
+TEST(LruCacheTest, EvictedEntryStaysValidForHolders) {
+  LruCache<int> cache(1);
+  cache.Put("a", 7);
+  const auto held = cache.Get("a");
+  cache.Put("b", 8);  // evicts "a"
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(*held, 7);  // the shared_ptr keeps the value alive
+}
+
+TEST(LruCacheTest, ZeroCapacityDisables) {
+  LruCache<int> cache(0);
+  cache.Put("a", 1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  LruCache<int> cache(4);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  EXPECT_TRUE(cache.Erase("a"));
+  EXPECT_FALSE(cache.Erase("a"));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+}
+
+TEST(LruCacheTest, HitRate) {
+  LruCache<int> cache(2);
+  EXPECT_EQ(cache.stats().HitRate(), 0.0);
+  cache.Put("a", 1);
+  cache.Get("a");
+  cache.Get("z");
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 0.5);
+}
+
+}  // namespace
+}  // namespace vulnds::serve

@@ -1,0 +1,120 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace vulnds::serve {
+namespace {
+
+TEST(ProtocolTest, BlankAndCommentLinesAreNone) {
+  EXPECT_EQ(ParseServeRequest("")->command, ServeCommand::kNone);
+  EXPECT_EQ(ParseServeRequest("   \t ")->command, ServeCommand::kNone);
+  EXPECT_EQ(ParseServeRequest("# a comment")->command, ServeCommand::kNone);
+}
+
+TEST(ProtocolTest, Load) {
+  Result<ServeRequest> r = ParseServeRequest("load mygraph /tmp/g.snap");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->command, ServeCommand::kLoad);
+  EXPECT_EQ(r->name, "mygraph");
+  EXPECT_EQ(r->path, "/tmp/g.snap");
+}
+
+TEST(ProtocolTest, SaveDefaultsToBinary) {
+  Result<ServeRequest> r = ParseServeRequest("save g /tmp/out.snap");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->command, ServeCommand::kSave);
+  EXPECT_EQ(r->format, GraphFileFormat::kBinary);
+  r = ParseServeRequest("save g /tmp/out.graph text");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->format, GraphFileFormat::kText);
+  EXPECT_FALSE(ParseServeRequest("save g /tmp/out.graph xml").ok());
+}
+
+TEST(ProtocolTest, DetectMinimal) {
+  Result<ServeRequest> r = ParseServeRequest("detect g 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->command, ServeCommand::kDetect);
+  EXPECT_EQ(r->name, "g");
+  EXPECT_EQ(r->options.k, 5u);
+  EXPECT_EQ(r->options.method, Method::kBsrbk);  // default
+}
+
+TEST(ProtocolTest, DetectWithMethodAndFlags) {
+  Result<ServeRequest> r = ParseServeRequest(
+      "detect g 3 BSR eps=0.2 delta=0.05 seed=9 order=3 bk=8 samples=500");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->options.method, Method::kBsr);
+  EXPECT_EQ(r->options.k, 3u);
+  EXPECT_DOUBLE_EQ(r->options.eps, 0.2);
+  EXPECT_DOUBLE_EQ(r->options.delta, 0.05);
+  EXPECT_EQ(r->options.seed, 9u);
+  EXPECT_EQ(r->options.bound_order, 3);
+  EXPECT_EQ(r->options.bk, 8);
+  EXPECT_EQ(r->options.naive_samples, 500u);
+}
+
+TEST(ProtocolTest, DetectMethodAsFlag) {
+  Result<ServeRequest> r = ParseServeRequest("detect g 2 method=sn");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->options.method, Method::kSampleNaive);
+}
+
+TEST(ProtocolTest, DetectRejectsIntOverflowInsteadOfTruncating) {
+  // 4294967298 == 2^32 + 2: a static_cast<int> would silently run order=2.
+  EXPECT_FALSE(ParseServeRequest("detect g 5 order=4294967298").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g 5 bk=4294967298").ok());
+}
+
+TEST(ProtocolTest, DetectRejectsGarbage) {
+  EXPECT_FALSE(ParseServeRequest("detect g").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g abc").ok());  // k must be numeric
+  EXPECT_FALSE(ParseServeRequest("detect g 3 NOPE").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g 3 eps=zero").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g 3 wat=1").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g 3 eps=").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g -1").ok());
+}
+
+TEST(ProtocolTest, Truth) {
+  Result<ServeRequest> r = ParseServeRequest("truth g 10 5000 123");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->command, ServeCommand::kTruth);
+  EXPECT_EQ(r->k, 10u);
+  EXPECT_EQ(r->samples, 5000u);
+  EXPECT_EQ(r->seed, 123u);
+  // Defaults.
+  r = ParseServeRequest("truth g 10");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->samples, 0u);  // 0 = paper default, resolved by the loop
+  EXPECT_FALSE(ParseServeRequest("truth g ten").ok());
+}
+
+TEST(ProtocolTest, StatsCatalogEvictQuit) {
+  EXPECT_EQ(ParseServeRequest("stats")->command, ServeCommand::kStats);
+  EXPECT_EQ(ParseServeRequest("stats g")->name, "g");
+  EXPECT_EQ(ParseServeRequest("catalog")->command, ServeCommand::kCatalog);
+  EXPECT_EQ(ParseServeRequest("evict g")->command, ServeCommand::kEvict);
+  EXPECT_EQ(ParseServeRequest("quit")->command, ServeCommand::kQuit);
+  EXPECT_EQ(ParseServeRequest("exit")->command, ServeCommand::kQuit);
+}
+
+TEST(ProtocolTest, UnknownVerbRejected) {
+  EXPECT_EQ(ParseServeRequest("frobnicate g").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, ArityErrors) {
+  EXPECT_FALSE(ParseServeRequest("load g").ok());
+  EXPECT_FALSE(ParseServeRequest("load g p extra").ok());
+  EXPECT_FALSE(ParseServeRequest("evict").ok());
+  EXPECT_FALSE(ParseServeRequest("quit now").ok());
+}
+
+TEST(ProtocolTest, CaseInsensitiveVerbsAndMethods) {
+  EXPECT_EQ(ParseServeRequest("DETECT g 2 bsrbk")->command,
+            ServeCommand::kDetect);
+  EXPECT_EQ(ParseServeRequest("Load g /p")->command, ServeCommand::kLoad);
+}
+
+}  // namespace
+}  // namespace vulnds::serve

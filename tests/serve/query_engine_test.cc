@@ -1,0 +1,220 @@
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace vulnds::serve {
+namespace {
+
+void ExpectSameResult(const DetectionResult& a, const DetectionResult& b) {
+  EXPECT_EQ(a.topk, b.topk);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_EQ(a.scores[i], b.scores[i]);  // bit-exact
+  }
+}
+
+TEST(CanonicalizeOptionsTest, IrrelevantFieldsNormalized) {
+  DetectorOptions a;
+  a.method = Method::kBsr;
+  a.k = 5;
+  a.bk = 99;               // BSR never reads bk
+  a.naive_samples = 1234;  // nor the naive budget
+  DetectorOptions b;
+  b.method = Method::kBsr;
+  b.k = 5;
+  EXPECT_EQ(CanonicalOptionsKey(a), CanonicalOptionsKey(b));
+}
+
+TEST(CanonicalizeOptionsTest, RelevantFieldsKept) {
+  DetectorOptions a;
+  a.method = Method::kBsrbk;
+  a.bk = 8;
+  DetectorOptions b;
+  b.method = Method::kBsrbk;
+  b.bk = 16;
+  EXPECT_NE(CanonicalOptionsKey(a), CanonicalOptionsKey(b));
+  DetectorOptions c;
+  c.seed = 1;
+  DetectorOptions d;
+  d.seed = 2;
+  EXPECT_NE(CanonicalOptionsKey(c), CanonicalOptionsKey(d));
+}
+
+TEST(QueryEngineTest, DetectUnknownGraphIsNotFound) {
+  GraphCatalog catalog;
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  EXPECT_EQ(engine.Detect("ghost", options).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(QueryEngineTest, SecondIdenticalDetectServedFromCache) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.k = 3;
+  Result<DetectResponse> first = engine.Detect("g", options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->from_cache);
+  Result<DetectResponse> second = engine.Detect("g", options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  ExpectSameResult(first->result, second->result);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.detect_queries, 2u);
+  EXPECT_EQ(stats.result_cache.hits, 1u);
+}
+
+TEST(QueryEngineTest, DifferentOptionsMissTheCache) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.k = 3;
+  ASSERT_TRUE(engine.Detect("g", options).ok());
+  options.k = 4;
+  Result<DetectResponse> other = engine.Detect("g", options);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->from_cache);
+}
+
+TEST(QueryEngineTest, IrrelevantKnobsShareACacheLine) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.method = Method::kBsr;
+  options.k = 3;
+  options.bk = 16;
+  ASSERT_TRUE(engine.Detect("g", options).ok());
+  options.bk = 64;  // BSR ignores bk, so this is the same query
+  Result<DetectResponse> second = engine.Detect("g", options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+}
+
+TEST(QueryEngineTest, CacheIsPerGraph) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g1", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  ASSERT_TRUE(catalog.Put("g2", testing::RandomSmallGraph(30, 0.15, 6)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.k = 3;
+  ASSERT_TRUE(engine.Detect("g1", options).ok());
+  Result<DetectResponse> other = engine.Detect("g2", options);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->from_cache);
+}
+
+TEST(QueryEngineTest, EngineResultMatchesDirectDetection) {
+  const UncertainGraph g = testing::RandomSmallGraph(30, 0.15, 5);
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.k = 3;
+  Result<DetectionResult> direct = DetectTopK(g, options);
+  ASSERT_TRUE(direct.ok());
+  Result<DetectResponse> served = engine.Detect("g", options);
+  ASSERT_TRUE(served.ok());
+  ExpectSameResult(*direct, served->result);
+}
+
+TEST(QueryEngineTest, ContextWarmsAcrossDifferentQueries) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.method = Method::kBsr;
+  options.k = 3;
+  ASSERT_TRUE(engine.Detect("g", options).ok());
+  options.k = 4;  // different query, same bounds
+  ASSERT_TRUE(engine.Detect("g", options).ok());
+  const auto entry = catalog.Get("g");
+  std::lock_guard<std::mutex> lock(entry->context_mu);
+  EXPECT_GT(entry->context.reuse_hits, 0u);
+}
+
+TEST(QueryEngineTest, ReloadInvalidatesCachedResults) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.k = 3;
+  Result<DetectResponse> first = engine.Detect("g", options);
+  ASSERT_TRUE(first.ok());
+  // Replace the snapshot under the same name with a different graph.
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 99)).ok());
+  Result<DetectResponse> after_reload = engine.Detect("g", options);
+  ASSERT_TRUE(after_reload.ok());
+  EXPECT_FALSE(after_reload->from_cache);
+  Result<DetectionResult> direct =
+      DetectTopK(testing::RandomSmallGraph(30, 0.15, 99), options);
+  ASSERT_TRUE(direct.ok());
+  ExpectSameResult(*direct, after_reload->result);
+}
+
+TEST(QueryEngineTest, EvictThenReloadDoesNotServeStaleResults) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.k = 3;
+  ASSERT_TRUE(engine.Detect("g", options).ok());
+  ASSERT_TRUE(catalog.Evict("g"));
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  Result<DetectResponse> after = engine.Detect("g", options);
+  ASSERT_TRUE(after.ok());
+  // Same graph data, but a fresh snapshot: the old cache line must not hit.
+  EXPECT_FALSE(after->from_cache);
+}
+
+TEST(QueryEngineTest, InvalidRequestFailsEvenWithCanonicalTwinCached) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.method = Method::kNaive;
+  options.k = 3;
+  options.naive_samples = 200;
+  ASSERT_TRUE(engine.Detect("g", options).ok());
+  // Method N ignores eps, so this canonicalizes to the cached key — but an
+  // invalid request must fail identically warm or cold.
+  options.eps = 7.0;
+  EXPECT_EQ(engine.Detect("g", options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineTest, TruthCachedBySamplesAndSeed) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(20, 0.2, 5)).ok());
+  QueryEngine engine(&catalog);
+  Result<TruthResponse> first = engine.Truth("g", 200, 7);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+  Result<TruthResponse> second = engine.Truth("g", 200, 7);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(first->truth.probabilities, second->truth.probabilities);
+  Result<TruthResponse> other_seed = engine.Truth("g", 200, 8);
+  ASSERT_TRUE(other_seed.ok());
+  EXPECT_FALSE(other_seed->from_cache);
+}
+
+TEST(QueryEngineTest, InvalidOptionsPropagateStatus) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(10, 0.2, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.k = 0;
+  EXPECT_EQ(engine.Detect("g", options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Truth("g", 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace vulnds::serve

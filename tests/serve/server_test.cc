@@ -1,0 +1,167 @@
+// End-to-end scripted serve sessions over stringstreams: the same loop the
+// CLI runs on stdin/stdout, without a process boundary.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/graph_io.h"
+#include "testing/test_graphs.h"
+
+namespace vulnds::serve {
+namespace {
+
+std::string WriteTempGraph(const UncertainGraph& g, const std::string& name,
+                           GraphFileFormat format) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(WriteGraphFile(g, path, format).ok());
+  return path;
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Runs a scripted session against a fresh engine; returns the full output.
+std::string RunScript(const std::string& script, ThreadPool* pool = nullptr) {
+  GraphCatalog catalog;
+  QueryEngineOptions options;
+  options.pool = pool;
+  QueryEngine engine(&catalog, options);
+  std::istringstream in(script);
+  std::ostringstream out;
+  RunServeLoop(in, out, engine);
+  return out.str();
+}
+
+TEST(ServeLoopTest, LoadDetectQuitSession) {
+  const std::string path = WriteTempGraph(testing::RandomSmallGraph(30, 0.15, 5),
+                                          "serve_a.snap", GraphFileFormat::kBinary);
+  const std::string output = RunScript("load g " + path +
+                                       "\n"
+                                       "detect g 3\n"
+                                       "quit\n");
+  const std::vector<std::string> lines = Lines(output);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("ok loaded g ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("ok detect g ", 0), 0u) << lines[1];
+  EXPECT_NE(lines[1].find("cached=0"), std::string::npos);
+  EXPECT_EQ(lines.back(), "ok bye");
+}
+
+TEST(ServeLoopTest, RepeatedDetectIsCachedAndBitIdentical) {
+  const std::string path = WriteTempGraph(testing::RandomSmallGraph(30, 0.15, 5),
+                                          "serve_b.snap", GraphFileFormat::kBinary);
+  const std::string output = RunScript("load g " + path +
+                                       "\n"
+                                       "detect g 3 BSRBK seed=7\n"
+                                       "detect g 3 BSRBK seed=7\n"
+                                       "quit\n");
+  const std::vector<std::string> lines = Lines(output);
+  // Locate the two detect response blocks (header ... payload ... ".").
+  std::vector<std::size_t> headers;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].rfind("ok detect ", 0) == 0) headers.push_back(i);
+  }
+  ASSERT_EQ(headers.size(), 2u);
+  EXPECT_NE(lines[headers[0]].find("cached=0"), std::string::npos);
+  EXPECT_NE(lines[headers[1]].find("cached=1"), std::string::npos);
+  // Payload lines (rank node score) must match exactly, digit for digit.
+  std::vector<std::string> first_payload;
+  for (std::size_t i = headers[0] + 1; lines[i] != "."; ++i) {
+    first_payload.push_back(lines[i]);
+  }
+  std::vector<std::string> second_payload;
+  for (std::size_t i = headers[1] + 1; lines[i] != "."; ++i) {
+    second_payload.push_back(lines[i]);
+  }
+  EXPECT_EQ(first_payload.size(), 3u);
+  EXPECT_EQ(first_payload, second_payload);
+}
+
+TEST(ServeLoopTest, MalformedLinesDoNotStopTheLoop) {
+  const std::string path = WriteTempGraph(testing::ChainGraph(0.3, 0.6),
+                                          "serve_c.graph", GraphFileFormat::kText);
+  GraphCatalog catalog;
+  QueryEngine engine(&catalog);
+  std::istringstream in("frobnicate\n"
+                        "detect nope 3\n"
+                        "detect g abc\n"
+                        "load g " + path + "\n"
+                        "detect g 0\n"
+                        "detect g 2\n"
+                        "quit\n");
+  std::ostringstream out;
+  const ServeLoopStats stats = RunServeLoop(in, out, engine);
+  const std::vector<std::string> lines = Lines(out.str());
+  // Four errors (unknown verb, missing graph, bad k, k=0), then success.
+  EXPECT_EQ(stats.errors, 4u);
+  EXPECT_EQ(stats.requests, 7u);
+  ASSERT_GE(lines.size(), 5u);
+  EXPECT_EQ(lines[0].rfind("err ", 0), 0u);
+  EXPECT_EQ(lines.back(), "ok bye");
+  bool detect_succeeded = false;
+  for (const std::string& line : lines) {
+    if (line.rfind("ok detect g ", 0) == 0) detect_succeeded = true;
+  }
+  EXPECT_TRUE(detect_succeeded);
+}
+
+TEST(ServeLoopTest, EofEndsSessionWithoutQuit) {
+  const std::string output = RunScript("catalog\n");
+  const std::vector<std::string> lines = Lines(output);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("ok catalog", 0), 0u);
+  EXPECT_EQ(lines.back(), ".");
+}
+
+TEST(ServeLoopTest, SaveRoundTripsThroughBinary) {
+  const std::string text_path = WriteTempGraph(
+      testing::PaperExampleGraph(0.2), "serve_d.graph", GraphFileFormat::kText);
+  const std::string snap_path = ::testing::TempDir() + "/serve_d.snap";
+  const std::string output = RunScript("load g " + text_path +
+                                       "\n"
+                                       "save g " + snap_path +
+                                       "\n"
+                                       "evict g\n"
+                                       "load g2 " + snap_path +
+                                       "\n"
+                                       "stats g2\n"
+                                       "quit\n");
+  EXPECT_NE(output.find("ok saved g"), std::string::npos) << output;
+  EXPECT_NE(output.find("ok evicted g"), std::string::npos);
+  EXPECT_NE(output.find("ok loaded g2 nodes=5 edges=6"), std::string::npos);
+  EXPECT_NE(output.find("nodes=5"), std::string::npos);
+}
+
+TEST(ServeLoopTest, TruthAndEngineStats) {
+  const std::string path = WriteTempGraph(testing::RandomSmallGraph(20, 0.2, 9),
+                                          "serve_e.snap", GraphFileFormat::kBinary);
+  const std::string output = RunScript("load g " + path +
+                                       "\n"
+                                       "truth g 3 300 7\n"
+                                       "truth g 3 300 7\n"
+                                       "stats\n"
+                                       "quit\n");
+  const std::vector<std::string> lines = Lines(output);
+  std::vector<std::string> truth_headers;
+  for (const std::string& line : lines) {
+    if (line.rfind("ok truth ", 0) == 0) truth_headers.push_back(line);
+  }
+  ASSERT_EQ(truth_headers.size(), 2u);
+  EXPECT_NE(truth_headers[0].find("cached=0"), std::string::npos);
+  EXPECT_NE(truth_headers[1].find("cached=1"), std::string::npos);
+  EXPECT_NE(output.find("cache_hits=1"), std::string::npos) << output;
+}
+
+}  // namespace
+}  // namespace vulnds::serve

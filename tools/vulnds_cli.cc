@@ -3,26 +3,40 @@
 //   vulnds_cli generate <dataset> <scale> <seed> <out.graph>
 //       Instantiates a registry dataset (Table 2 name, case-insensitive)
 //       and writes it in the vulnds-graph text format.
+//   vulnds_cli convert <in.graph> <out.graph> <text|binary>
+//       Re-encodes a graph between the text format and the v2 binary
+//       snapshot format (input format is auto-detected).
 //   vulnds_cli stats <graph>
 //       Prints node/edge counts and degree statistics.
-//   vulnds_cli detect <graph> <k> [method] [eps] [delta] [seed]
-//       Runs top-k detection (method one of N, SN, SR, BSR, BSRBK;
-//       default BSRBK) and prints the ranked nodes with scores.
+//   vulnds_cli detect <graph> <k> [method] [key=value ...]
+//       Runs top-k detection (method one of N, SN, SR, BSR, BSRBK; default
+//       BSRBK) and prints the ranked nodes with scores. Flags: eps=, delta=,
+//       seed=, samples= (method N budget), order= (bound order z), bk=.
 //   vulnds_cli truth <graph> <k> [samples] [seed]
 //       Prints the Monte-Carlo reference top-k (default 20000 worlds).
+//   vulnds_cli serve [cache_capacity]
+//       Speaks the line-oriented serve protocol on stdin/stdout: graphs are
+//       loaded once into a catalog and repeated queries hit a result cache.
+//
+// All numbers are parsed with checked helpers (common/parse.h): a malformed
+// argument is a usage error, never a silent zero.
 
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
+#include <iostream>
 #include <optional>
 #include <string>
 
+#include "common/parse.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "gen/datasets.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "serve/graph_catalog.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
 #include "vulnds/detector.h"
 #include "vulnds/ground_truth.h"
 
@@ -30,23 +44,10 @@ namespace {
 
 using namespace vulnds;
 
-std::string Lower(std::string s) {
-  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  return s;
-}
-
 std::optional<DatasetId> ParseDataset(const std::string& name) {
-  const std::string lower = Lower(name);
+  const std::string lower = AsciiLower(name);
   for (const DatasetId id : AllDatasets()) {
-    if (Lower(DatasetName(id)) == lower) return id;
-  }
-  return std::nullopt;
-}
-
-std::optional<Method> ParseMethod(const std::string& name) {
-  const std::string lower = Lower(name);
-  for (const Method m : AllMethods()) {
-    if (Lower(MethodName(m)) == lower) return m;
+    if (AsciiLower(DatasetName(id)) == lower) return id;
   }
   return std::nullopt;
 }
@@ -55,10 +56,26 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  vulnds_cli generate <dataset> <scale> <seed> <out.graph>\n"
+               "  vulnds_cli convert <in.graph> <out.graph> <text|binary>\n"
                "  vulnds_cli stats <graph>\n"
-               "  vulnds_cli detect <graph> <k> [method] [eps] [delta] [seed]\n"
-               "  vulnds_cli truth <graph> <k> [samples] [seed]\n");
+               "  vulnds_cli detect <graph> <k> [method] [key=value ...]\n"
+               "      keys: eps= delta= seed= samples= order= bk= method=\n"
+               "  vulnds_cli truth <graph> <k> [samples] [seed]\n"
+               "  vulnds_cli serve [cache_capacity]\n");
   return 2;
+}
+
+// Prints the parse error and returns false when `token` is not a valid
+// number of the helper's type.
+template <typename ParseFn, typename T>
+bool ParseArgOr(ParseFn parse, const char* what, const std::string& token, T* out) {
+  auto result = parse(token);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bad %s: %s\n", what, result.status().message().c_str());
+    return false;
+  }
+  *out = static_cast<T>(*result);
+  return true;
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -68,8 +85,12 @@ int CmdGenerate(int argc, char** argv) {
     std::fprintf(stderr, "unknown dataset '%s'\n", argv[2]);
     return 1;
   }
-  const double scale = std::atof(argv[3]);
-  const auto seed = static_cast<uint64_t>(std::atoll(argv[4]));
+  double scale = 0.0;
+  uint64_t seed = 0;
+  if (!ParseArgOr(ParseDouble, "scale", argv[3], &scale) ||
+      !ParseArgOr(ParseUint64, "seed", argv[4], &seed)) {
+    return Usage();
+  }
   Result<UncertainGraph> graph = MakeDataset(*id, scale, seed);
   if (!graph.ok()) {
     std::fprintf(stderr, "generate failed: %s\n", graph.status().ToString().c_str());
@@ -82,6 +103,30 @@ int CmdGenerate(int argc, char** argv) {
   }
   std::printf("wrote %zu nodes / %zu edges to %s\n", graph->num_nodes(),
               graph->num_edges(), argv[5]);
+  return 0;
+}
+
+int CmdConvert(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  const std::string fmt = AsciiLower(argv[4]);
+  if (fmt != "text" && fmt != "binary") {
+    std::fprintf(stderr, "unknown format '%s' (want text|binary)\n", argv[4]);
+    return 1;
+  }
+  Result<UncertainGraph> graph = ReadGraphFile(argv[2]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "read failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const Status st = WriteGraphFile(
+      *graph, argv[3],
+      fmt == "binary" ? GraphFileFormat::kBinary : GraphFileFormat::kText);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu nodes / %zu edges to %s (%s)\n", graph->num_nodes(),
+              graph->num_edges(), argv[3], fmt.c_str());
   return 0;
 }
 
@@ -103,25 +148,33 @@ int CmdStats(int argc, char** argv) {
 }
 
 int CmdDetect(int argc, char** argv) {
-  if (argc < 4 || argc > 8) return Usage();
+  if (argc < 4) return Usage();
   Result<UncertainGraph> graph = ReadGraphFile(argv[2]);
   if (!graph.ok()) {
     std::fprintf(stderr, "read failed: %s\n", graph.status().ToString().c_str());
     return 1;
   }
   DetectorOptions options;
-  options.k = static_cast<std::size_t>(std::atoll(argv[3]));
-  if (argc > 4) {
-    const std::optional<Method> method = ParseMethod(argv[4]);
-    if (!method) {
-      std::fprintf(stderr, "unknown method '%s'\n", argv[4]);
+  if (!ParseArgOr(ParseUint64, "k", argv[3], &options.k)) return Usage();
+  // Method and key=value flags share the serve protocol's parser, so the
+  // batch and serve flag vocabularies cannot drift apart.
+  int next = 4;
+  if (next < argc && std::string(argv[next]).find('=') == std::string::npos) {
+    Result<Method> method = serve::ParseMethodToken(argv[next]);
+    if (!method.ok()) {
+      std::fprintf(stderr, "%s\n", method.status().message().c_str());
       return 1;
     }
     options.method = *method;
+    ++next;
   }
-  if (argc > 5) options.eps = std::atof(argv[5]);
-  if (argc > 6) options.delta = std::atof(argv[6]);
-  if (argc > 7) options.seed = static_cast<uint64_t>(std::atoll(argv[7]));
+  for (; next < argc; ++next) {
+    const Status st = serve::ApplyDetectFlag(argv[next], &options);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.message().c_str());
+      return Usage();
+    }
+  }
   ThreadPool pool;
   options.pool = &pool;
 
@@ -153,11 +206,14 @@ int CmdTruth(int argc, char** argv) {
     std::fprintf(stderr, "read failed: %s\n", graph.status().ToString().c_str());
     return 1;
   }
-  const auto k = static_cast<std::size_t>(std::atoll(argv[3]));
-  const std::size_t samples =
-      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4]))
-               : kPaperGroundTruthSamples;
-  const uint64_t seed = argc > 5 ? static_cast<uint64_t>(std::atoll(argv[5])) : 777;
+  std::size_t k = 0;
+  std::size_t samples = kPaperGroundTruthSamples;
+  uint64_t seed = 777;
+  if (!ParseArgOr(ParseUint64, "k", argv[3], &k)) return Usage();
+  if (argc > 4 && !ParseArgOr(ParseUint64, "samples", argv[4], &samples)) {
+    return Usage();
+  }
+  if (argc > 5 && !ParseArgOr(ParseUint64, "seed", argv[5], &seed)) return Usage();
   ThreadPool pool;
   const GroundTruth gt = ComputeGroundTruth(*graph, samples, seed, &pool);
   TextTable table;
@@ -171,14 +227,35 @@ int CmdTruth(int argc, char** argv) {
   return 0;
 }
 
+int CmdServe(int argc, char** argv) {
+  if (argc > 3) return Usage();
+  serve::QueryEngineOptions engine_options;
+  if (argc == 3 &&
+      !ParseArgOr(ParseUint64, "cache_capacity", argv[2],
+                  &engine_options.result_cache_capacity)) {
+    return Usage();
+  }
+  ThreadPool pool;
+  engine_options.pool = &pool;
+  serve::GraphCatalog catalog;
+  serve::QueryEngine engine(&catalog, engine_options);
+  const serve::ServeLoopStats stats =
+      serve::RunServeLoop(std::cin, std::cout, engine);
+  std::fprintf(stderr, "serve session: %zu requests, %zu errors\n",
+               stats.requests, stats.errors);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "convert") return CmdConvert(argc, argv);
   if (command == "stats") return CmdStats(argc, argv);
   if (command == "detect") return CmdDetect(argc, argv);
   if (command == "truth") return CmdTruth(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
   return Usage();
 }
