@@ -5,11 +5,18 @@
 // VULNDS_BENCH_FULL=1 to run the paper-scale configuration (Table 2 sizes,
 // 20 000-world ground truth, 10 000-sample method N).
 
+// Passing --json to a harness additionally writes a machine-readable
+// BENCH_<name>.json record (scalar metrics only) next to the binary, so CI
+// can collect a perf trajectory without scraping stdout.
+
 #ifndef VULNDS_BENCH_BENCH_COMMON_H_
 #define VULNDS_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/env.h"
@@ -54,6 +61,85 @@ inline void PrintProfileBanner(const BenchProfile& profile, const char* what) {
   std::printf("profile: %s (set VULNDS_BENCH_FULL=1 for paper scale)\n\n",
               profile.full ? "FULL / paper scale" : "quick");
 }
+
+/// A scratch-file path under $TMPDIR (default /tmp).
+inline std::string TempPath(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+}
+
+/// True when --json appears among the harness arguments.
+inline bool JsonRequested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return true;
+  }
+  return false;
+}
+
+/// The p-th percentile (p in [0, 100]) of a sample, linearly interpolated
+/// between the two closest ranks; the input need not be sorted. Returns 0
+/// for an empty sample.
+inline double Percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+/// Accumulates scalar metrics and writes them as BENCH_<name>.json.
+/// Disabled (all calls no-ops) unless constructed with enabled = true, so a
+/// harness can emit unconditionally and let the flag decide.
+class BenchJson {
+ public:
+  BenchJson(std::string name, bool enabled)
+      : name_(std::move(name)), enabled_(enabled) {
+    Add("name", name_);
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
+  void Add(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, std::size_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+
+  /// Writes BENCH_<name>.json in the working directory; prints the path.
+  /// Returns false (with a message) when the file cannot be written.
+  bool Write() const {
+    if (!enabled_) return true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                   fields_[i].first.c_str(), fields_[i].second.c_str());
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  bool enabled_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> JSON text
+};
 
 }  // namespace vulnds::bench
 

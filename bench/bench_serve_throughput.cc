@@ -21,11 +21,6 @@ namespace {
 
 using namespace vulnds;
 
-std::string TempPath(const char* name) {
-  const char* tmp = std::getenv("TMPDIR");
-  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
-}
-
 double TimeDetect(serve::QueryEngine& engine, const std::string& graph,
                   const DetectorOptions& options) {
   WallTimer timer;
@@ -40,9 +35,10 @@ double TimeDetect(serve::QueryEngine& engine, const std::string& graph,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bench::BenchProfile profile = bench::GetProfile();
   bench::PrintProfileBanner(profile, "serve throughput (catalog + result cache)");
+  bench::BenchJson json("serve_throughput", bench::JsonRequested(argc, argv));
 
   const DatasetId dataset = DatasetId::kCitation;
   const double scale = profile.DatasetScale(dataset);
@@ -56,8 +52,8 @@ int main() {
               DatasetName(dataset).c_str(), scale, n, graph->num_edges());
 
   // --- snapshot load: text vs binary --------------------------------------
-  const std::string text_path = TempPath("bench_serve.graph");
-  const std::string bin_path = TempPath("bench_serve.snap");
+  const std::string text_path = bench::TempPath("bench_serve.graph");
+  const std::string bin_path = bench::TempPath("bench_serve.snap");
   if (!WriteGraphFile(*graph, text_path, GraphFileFormat::kText).ok() ||
       !WriteGraphFile(*graph, bin_path, GraphFileFormat::kBinary).ok()) {
     std::fprintf(stderr, "snapshot write failed\n");
@@ -142,20 +138,38 @@ int main() {
   }
   const int kPasses = 2;
   WallTimer workload_timer;
-  std::size_t queries = 0;
+  std::vector<double> latencies;
   for (int pass = 0; pass < kPasses; ++pass) {
     for (const DetectorOptions& o : workload) {
-      TimeDetect(engine, "g", o);
-      ++queries;
+      latencies.push_back(TimeDetect(engine, "g", o));
     }
   }
   const double elapsed = workload_timer.Seconds();
+  const std::size_t queries = latencies.size();
   const serve::EngineStats stats = engine.stats();
   std::printf("mixed workload: %zu queries in %.3fs = %.1f queries/sec\n",
               queries, elapsed, queries / elapsed);
+  const double p50 = bench::Percentile(latencies, 50);
+  const double p90 = bench::Percentile(latencies, 90);
+  const double p99 = bench::Percentile(latencies, 99);
+  std::printf("latency percentiles: p50=%.3fms p90=%.3fms p99=%.3fms\n",
+              p50 * 1e3, p90 * 1e3, p99 * 1e3);
   std::printf("result cache: hits=%zu misses=%zu hit_rate=%.1f%%\n",
               stats.result_cache.hits, stats.result_cache.misses,
               stats.result_cache.HitRate() * 100.0);
+
+  json.Add("n", n);
+  json.Add("m", graph->num_edges());
+  json.Add("cold_ms", cold * 1e3);
+  json.Add("context_warm_ms", warm * 1e3);
+  json.Add("cached_ms", cached * 1e3);
+  json.Add("workload_queries", queries);
+  json.Add("workload_qps", queries / elapsed);
+  json.Add("latency_p50_ms", p50 * 1e3);
+  json.Add("latency_p90_ms", p90 * 1e3);
+  json.Add("latency_p99_ms", p99 * 1e3);
+  json.Add("cache_hit_rate", stats.result_cache.HitRate());
+  if (!json.Write()) return 1;
 
   if (cached > 0 && cold / cached < 10.0) {
     std::printf("\nWARNING: cached speedup %.1fx below the 10x serving target\n",

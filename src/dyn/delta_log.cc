@@ -1,0 +1,122 @@
+#include "dyn/delta_log.h"
+
+#include <algorithm>
+#include <string>
+
+namespace vulnds::dyn {
+
+namespace {
+bool ValidProb(double p) { return p >= 0.0 && p <= 1.0; }
+
+std::string EdgeText(NodeId src, NodeId dst) {
+  return "(" + std::to_string(src) + "," + std::to_string(dst) + ")";
+}
+}  // namespace
+
+const char* DeltaOpName(DeltaOp op) {
+  switch (op) {
+    case DeltaOp::kAddEdge:
+      return "addedge";
+    case DeltaOp::kDeleteEdge:
+      return "deledge";
+    case DeltaOp::kSetProb:
+      return "setprob";
+  }
+  return "?";
+}
+
+DeltaLog::DeltaLog(const UncertainGraph* base) : base_(base) {}
+
+Status DeltaLog::CheckEndpoints(NodeId src, NodeId dst) const {
+  const std::size_t n = base_->num_nodes();
+  if (src >= n || dst >= n) {
+    return Status::OutOfRange("edge " + EdgeText(src, dst) +
+                              " outside graph of " + std::to_string(n) +
+                              " nodes");
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("self-loop on node " + std::to_string(src));
+  }
+  return Status::OK();
+}
+
+Result<EdgeId> DeltaLog::ResolveLive(NodeId src, NodeId dst) const {
+  // Base arcs within a run are in insertion order, i.e. ascending edge id,
+  // so the first non-deleted match is the lowest-id live base edge.
+  for (const Arc& arc : base_->OutArcs(src)) {
+    if (arc.neighbor == dst && deleted_base_.count(arc.edge) == 0) {
+      return arc.edge;
+    }
+  }
+  const EdgeId base_m = static_cast<EdgeId>(base_->num_edges());
+  for (std::size_t i = 0; i < added_.size(); ++i) {
+    const AddedEdge& a = added_[i];
+    if (a.live && a.edge.src == src && a.edge.dst == dst) {
+      return static_cast<EdgeId>(base_m + i);
+    }
+  }
+  return Status::NotFound("no live edge " + EdgeText(src, dst));
+}
+
+Status DeltaLog::AddEdge(NodeId src, NodeId dst, double prob) {
+  VULNDS_RETURN_NOT_OK(CheckEndpoints(src, dst));
+  if (!ValidProb(prob)) {
+    return Status::InvalidArgument("diffusion probability " +
+                                   std::to_string(prob) + " outside [0,1]");
+  }
+  const EdgeId id =
+      static_cast<EdgeId>(base_->num_edges() + added_.size());
+  added_.push_back({{src, dst, prob}, true});
+  ++live_added_;
+  records_.push_back({DeltaOp::kAddEdge, src, dst, prob, id});
+  return Status::OK();
+}
+
+Status DeltaLog::DeleteEdge(NodeId src, NodeId dst) {
+  VULNDS_RETURN_NOT_OK(CheckEndpoints(src, dst));
+  Result<EdgeId> id = ResolveLive(src, dst);
+  if (!id.ok()) return id.status();
+  if (*id < base_->num_edges()) {
+    deleted_base_.insert(*id);
+    prob_overrides_.erase(*id);
+  } else {
+    added_[*id - base_->num_edges()].live = false;
+    --live_added_;
+  }
+  records_.push_back({DeltaOp::kDeleteEdge, src, dst, 0.0, *id});
+  return Status::OK();
+}
+
+Status DeltaLog::SetProb(NodeId src, NodeId dst, double prob) {
+  VULNDS_RETURN_NOT_OK(CheckEndpoints(src, dst));
+  if (!ValidProb(prob)) {
+    return Status::InvalidArgument("diffusion probability " +
+                                   std::to_string(prob) + " outside [0,1]");
+  }
+  Result<EdgeId> id = ResolveLive(src, dst);
+  if (!id.ok()) return id.status();
+  if (*id < base_->num_edges()) {
+    prob_overrides_[*id] = prob;
+  } else {
+    added_[*id - base_->num_edges()].edge.prob = prob;
+  }
+  records_.push_back({DeltaOp::kSetProb, src, dst, prob, *id});
+  return Status::OK();
+}
+
+std::vector<UncertainEdge> DeltaLog::LiveAddedEdges() const {
+  std::vector<UncertainEdge> live;
+  live.reserve(live_added_);
+  for (const AddedEdge& a : added_) {
+    if (a.live) live.push_back(a.edge);
+  }
+  return live;
+}
+
+std::vector<EdgeId> DeltaLog::DeletedBaseEdges() const {
+  std::vector<EdgeId> ids(deleted_base_.begin(), deleted_base_.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace vulnds::dyn

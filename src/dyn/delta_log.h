@@ -1,0 +1,122 @@
+// DeltaLog: an ordered, validated log of edge mutations against an immutable
+// base UncertainGraph.
+//
+// Three operations are recorded: edge insertion, edge deletion, and edge
+// probability update. Every append is validated against the *effective*
+// state (base plus the records already staged), so a log that accepted all
+// its appends always replays cleanly: deleting a missing edge or updating a
+// deleted one is rejected at append time, never discovered at commit time.
+//
+// Edge identity: deletions and probability updates target an (src, dst)
+// pair; with parallel edges the lowest-id live match is chosen (base edges
+// precede staged insertions, both in insertion order). Node additions are
+// out of scope — endpoints must lie in the base graph's node range.
+//
+// The log never mutates the base graph. DynamicGraph (dynamic_graph.h)
+// materializes base + log into a fresh CSR snapshot.
+
+#ifndef VULNDS_DYN_DELTA_LOG_H_
+#define VULNDS_DYN_DELTA_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds::dyn {
+
+/// The three mutation kinds.
+enum class DeltaOp {
+  kAddEdge = 0,
+  kDeleteEdge,
+  kSetProb,
+};
+
+/// Printable op name ("addedge", "deledge", "setprob").
+const char* DeltaOpName(DeltaOp op);
+
+/// One staged mutation. `edge` is the resolved target in the *staging* id
+/// space: base edges keep their ids [0, m); the i-th staged insertion gets
+/// id m + i (ids are not compacted until commit).
+struct DeltaRecord {
+  DeltaOp op = DeltaOp::kAddEdge;
+  NodeId src = 0;
+  NodeId dst = 0;
+  double prob = 0.0;  ///< new probability (kAddEdge / kSetProb)
+  EdgeId edge = 0;    ///< resolved staging-space edge id
+};
+
+class DeltaLog {
+ public:
+  /// Creates a log over `base`; the graph must outlive the log and must not
+  /// change while the log references it.
+  explicit DeltaLog(const UncertainGraph* base);
+
+  /// Stages a directed edge src -> dst with diffusion probability `prob`.
+  /// Fails on out-of-range endpoints, self-loops, or prob outside [0, 1].
+  Status AddEdge(NodeId src, NodeId dst, double prob);
+
+  /// Stages the deletion of the lowest-id live edge (src, dst). Fails when
+  /// no live edge matches.
+  Status DeleteEdge(NodeId src, NodeId dst);
+
+  /// Stages a probability update on the lowest-id live edge (src, dst).
+  Status SetProb(NodeId src, NodeId dst, double prob);
+
+  /// The staged records, in append order.
+  const std::vector<DeltaRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+
+  /// Number of edges the committed graph will have.
+  std::size_t live_edge_count() const {
+    return base_->num_edges() - deleted_base_.size() + live_added_;
+  }
+
+  /// True iff base edge `e` is staged for deletion.
+  bool IsBaseEdgeDeleted(EdgeId e) const {
+    return deleted_base_.count(e) != 0;
+  }
+
+  /// The staged probability override for base edge `e`, or nullptr.
+  const double* BaseProbOverride(EdgeId e) const {
+    const auto it = prob_overrides_.find(e);
+    return it == prob_overrides_.end() ? nullptr : &it->second;
+  }
+
+  /// Staged insertions that are still live, in staging order, with any
+  /// later SetProb already applied.
+  std::vector<UncertainEdge> LiveAddedEdges() const;
+
+  /// Base edge ids staged for deletion, ascending.
+  std::vector<EdgeId> DeletedBaseEdges() const;
+
+  const UncertainGraph& base() const { return *base_; }
+
+ private:
+  // One staged insertion with its liveness flag and current probability.
+  struct AddedEdge {
+    UncertainEdge edge;
+    bool live = true;
+  };
+
+  // Resolves (src, dst) to the lowest-id live edge, or an error.
+  Result<EdgeId> ResolveLive(NodeId src, NodeId dst) const;
+
+  Status CheckEndpoints(NodeId src, NodeId dst) const;
+
+  const UncertainGraph* base_;
+  std::vector<DeltaRecord> records_;
+  std::unordered_set<EdgeId> deleted_base_;
+  std::unordered_map<EdgeId, double> prob_overrides_;  // base edges only
+  std::vector<AddedEdge> added_;
+  std::size_t live_added_ = 0;
+};
+
+}  // namespace vulnds::dyn
+
+#endif  // VULNDS_DYN_DELTA_LOG_H_

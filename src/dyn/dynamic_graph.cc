@@ -1,0 +1,165 @@
+#include "dyn/dynamic_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vulnds::dyn {
+
+namespace {
+
+// (endpoint, position-in-added-list) pairs sorted by endpoint, preserving
+// list order within an endpoint; gives each touched node its staged arcs
+// without scanning the whole added list per node.
+std::vector<std::pair<NodeId, std::size_t>> GroupAdded(
+    const std::vector<UncertainEdge>& added, bool by_src) {
+  std::vector<std::pair<NodeId, std::size_t>> grouped;
+  grouped.reserve(added.size());
+  for (std::size_t i = 0; i < added.size(); ++i) {
+    grouped.emplace_back(by_src ? added[i].src : added[i].dst, i);
+  }
+  std::stable_sort(grouped.begin(), grouped.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return grouped;
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(std::shared_ptr<const UncertainGraph> base)
+    : base_(std::move(base)), log_(base_.get()) {}
+
+void DynamicGraph::Rebase(std::shared_ptr<const UncertainGraph> new_base) {
+  base_ = std::move(new_base);
+  log_ = DeltaLog(base_.get());
+}
+
+CommitSnapshot DynamicGraph::Commit() const {
+  const UncertainGraph& base = *base_;
+  const std::size_t n = base.num_nodes();
+  const std::size_t base_m = base.num_edges();
+
+  const std::vector<EdgeId> deleted = log_.DeletedBaseEdges();
+  const std::vector<UncertainEdge> added = log_.LiveAddedEdges();
+  const std::size_t base_live = base_m - deleted.size();
+  const std::size_t new_m = base_live + added.size();
+
+  // Endpoints whose adjacency run content changes. Marked from the raw log,
+  // so a net-zero pair (add then delete the same edge) rebuilds its runs
+  // unnecessarily but never incorrectly.
+  std::vector<char> out_touched(n, 0), in_touched(n, 0);
+  for (const DeltaRecord& r : log_.records()) {
+    out_touched[r.src] = 1;
+    in_touched[r.dst] = 1;
+  }
+
+  // Degree deltas from the *final* staged state (net-zero pairs cancel).
+  std::vector<long long> out_delta(n, 0), in_delta(n, 0);
+  const std::span<const UncertainEdge> base_edges = base.edges();
+  for (const EdgeId e : deleted) {
+    --out_delta[base_edges[e].src];
+    --in_delta[base_edges[e].dst];
+  }
+  for (const UncertainEdge& e : added) {
+    ++out_delta[e.src];
+    ++in_delta[e.dst];
+  }
+
+  // Base edge id -> compacted id. Identity when nothing was deleted; else
+  // shift by the number of deleted ids below (deleted ids map to themselves
+  // but are never emitted).
+  const bool ids_shift = !deleted.empty();
+  auto remap = [&deleted](EdgeId e) {
+    const auto it = std::upper_bound(deleted.begin(), deleted.end(), e);
+    return static_cast<EdgeId>(e - (it - deleted.begin()));
+  };
+
+  // New edge list: live base edges in original order (probabilities
+  // patched), then staged insertions in log order; edge id == position.
+  std::vector<UncertainEdge> edge_list;
+  edge_list.reserve(new_m);
+  {
+    std::size_t next_deleted = 0;
+    for (EdgeId e = 0; e < base_m; ++e) {
+      if (next_deleted < deleted.size() && deleted[next_deleted] == e) {
+        ++next_deleted;
+        continue;
+      }
+      UncertainEdge edge = base_edges[e];
+      if (const double* p = log_.BaseProbOverride(e)) edge.prob = *p;
+      edge_list.push_back(edge);
+    }
+  }
+  edge_list.insert(edge_list.end(), added.begin(), added.end());
+
+  CommitSnapshot snapshot;
+  snapshot.ops = log_.size();
+
+  // One direction of the dual CSR: copy untouched runs, reassemble touched
+  // ones from the base run plus this endpoint's staged insertions.
+  const auto build_direction = [&](bool out_direction,
+                                   std::vector<std::size_t>& offsets,
+                                   std::vector<Arc>& arcs) {
+    const std::vector<char>& touched = out_direction ? out_touched : in_touched;
+    const std::vector<long long>& delta = out_direction ? out_delta : in_delta;
+    const auto grouped = GroupAdded(added, out_direction);
+
+    offsets.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      const long long base_deg = static_cast<long long>(
+          out_direction ? base.OutDegree(v) : base.InDegree(v));
+      offsets[v + 1] = offsets[v] + static_cast<std::size_t>(base_deg + delta[v]);
+    }
+    arcs.resize(new_m);
+
+    for (NodeId v = 0; v < n; ++v) {
+      const std::span<const Arc> base_run =
+          out_direction ? base.OutArcs(v) : base.InArcs(v);
+      Arc* dst = arcs.data() + offsets[v];
+      if (!touched[v]) {
+        std::copy(base_run.begin(), base_run.end(), dst);
+        if (ids_shift) {
+          for (std::size_t i = 0; i < base_run.size(); ++i) {
+            dst[i].edge = remap(dst[i].edge);
+          }
+        }
+        ++snapshot.runs_copied;
+        continue;
+      }
+      ++snapshot.runs_rebuilt;
+      for (const Arc& arc : base_run) {
+        if (log_.IsBaseEdgeDeleted(arc.edge)) continue;
+        Arc patched = arc;
+        if (const double* p = log_.BaseProbOverride(arc.edge)) {
+          patched.prob = *p;
+        }
+        if (ids_shift) patched.edge = remap(patched.edge);
+        *dst++ = patched;
+      }
+      const auto lo = std::lower_bound(
+          grouped.begin(), grouped.end(), v,
+          [](const auto& a, NodeId node) { return a.first < node; });
+      for (auto it = lo; it != grouped.end() && it->first == v; ++it) {
+        const UncertainEdge& e = added[it->second];
+        const EdgeId id = static_cast<EdgeId>(base_live + it->second);
+        *dst++ = {out_direction ? e.dst : e.src, e.prob, id};
+      }
+    }
+  };
+
+  std::vector<std::size_t> out_offsets, in_offsets;
+  std::vector<Arc> out_arcs, in_arcs;
+  build_direction(true, out_offsets, out_arcs);
+  build_direction(false, in_offsets, in_arcs);
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (out_touched[v] || in_touched[v]) snapshot.touched.push_back(v);
+  }
+
+  std::vector<double> self_risk(base.self_risks().begin(),
+                                base.self_risks().end());
+  snapshot.graph = UncertainGraph::FromParts(
+      std::move(self_risk), std::move(out_offsets), std::move(out_arcs),
+      std::move(in_offsets), std::move(in_arcs), std::move(edge_list));
+  return snapshot;
+}
+
+}  // namespace vulnds::dyn

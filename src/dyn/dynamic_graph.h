@@ -1,0 +1,79 @@
+// DynamicGraph: a mutable overlay on an immutable UncertainGraph.
+//
+// Updates (edge insert / delete / probability change) are staged in a
+// DeltaLog; Commit() materializes base + log into a fresh CSR snapshot that
+// is bit-identical to rebuilding the graph from scratch with the deltas
+// applied to the edge list — but without re-running the builder: adjacency
+// runs no delta touched are block-copied from the base (with edge ids
+// remapped only when a deletion compacted the id space), and only the runs
+// of touched endpoints are reassembled. The committed snapshot is a fully
+// independent UncertainGraph that the detectors and the serving catalog
+// consume unchanged.
+//
+// Rebase(new_base) swaps the overlay onto a newly committed snapshot and
+// clears the log, so versions stack: base -> v1 -> v2 -> ...
+
+#ifndef VULNDS_DYN_DYNAMIC_GRAPH_H_
+#define VULNDS_DYN_DYNAMIC_GRAPH_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "dyn/delta_log.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds::dyn {
+
+/// Outcome of DynamicGraph::Commit.
+struct CommitSnapshot {
+  UncertainGraph graph;           ///< the materialized new version
+  std::vector<NodeId> touched;    ///< nodes whose out- or in-run was rebuilt
+  std::size_t ops = 0;            ///< log records applied
+  std::size_t runs_rebuilt = 0;   ///< adjacency runs reassembled
+  std::size_t runs_copied = 0;    ///< adjacency runs block-copied from base
+};
+
+class DynamicGraph {
+ public:
+  /// Creates an overlay on `base`; the pointer is shared so the base stays
+  /// alive for the lifetime of the staged log (e.g. across a catalog evict).
+  explicit DynamicGraph(std::shared_ptr<const UncertainGraph> base);
+
+  const UncertainGraph& base() const { return *base_; }
+  const std::shared_ptr<const UncertainGraph>& base_ptr() const {
+    return base_;
+  }
+
+  /// Staging operations; validation semantics are DeltaLog's.
+  Status AddEdge(NodeId src, NodeId dst, double prob) {
+    return log_.AddEdge(src, dst, prob);
+  }
+  Status DeleteEdge(NodeId src, NodeId dst) { return log_.DeleteEdge(src, dst); }
+  Status SetProb(NodeId src, NodeId dst, double prob) {
+    return log_.SetProb(src, dst, prob);
+  }
+
+  const DeltaLog& log() const { return log_; }
+  std::size_t num_nodes() const { return base_->num_nodes(); }
+  /// Edge count the committed graph will have.
+  std::size_t live_edge_count() const { return log_.live_edge_count(); }
+  std::size_t pending_ops() const { return log_.size(); }
+
+  /// Materializes base + staged log into a new snapshot. The overlay itself
+  /// is unchanged (stage further ops, or Rebase onto the result). A commit
+  /// with an empty log yields a bit-identical copy of the base.
+  CommitSnapshot Commit() const;
+
+  /// Swaps the overlay onto `new_base` and clears the staged log.
+  void Rebase(std::shared_ptr<const UncertainGraph> new_base);
+
+ private:
+  std::shared_ptr<const UncertainGraph> base_;
+  DeltaLog log_;
+};
+
+}  // namespace vulnds::dyn
+
+#endif  // VULNDS_DYN_DYNAMIC_GRAPH_H_

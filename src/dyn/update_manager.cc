@@ -1,0 +1,244 @@
+#include "dyn/update_manager.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace vulnds::dyn {
+
+namespace {
+
+// The base graph of a catalog entry, kept alive by the entry itself.
+std::shared_ptr<const UncertainGraph> GraphOf(
+    const std::shared_ptr<serve::CatalogEntry>& entry) {
+  return {entry, &entry->graph};
+}
+
+serve::VersionInfo BaseVersion(const std::string& name,
+                               const serve::CatalogEntry& entry) {
+  serve::VersionInfo v;
+  v.version = 0;
+  v.catalog_name = name;
+  v.nodes = entry.graph.num_nodes();
+  v.edges = entry.graph.num_edges();
+  v.ops = 0;
+  return v;
+}
+
+}  // namespace
+
+UpdateManager::UpdateManager(serve::GraphCatalog* catalog)
+    : catalog_(catalog) {}
+
+Result<UpdateManager::NameState*> UpdateManager::StateLocked(
+    const std::string& name, bool reset_on_reload) {
+  const std::shared_ptr<serve::CatalogEntry> entry = catalog_->Get(name);
+  const auto it = states_.find(name);
+  if (it == states_.end()) {
+    if (entry == nullptr) {
+      return Status::NotFound("graph '" + name + "' is not in the catalog");
+    }
+    NameState state;
+    state.root_uid = entry->uid;
+    state.versions.push_back(BaseVersion(name, *entry));
+    return &states_.emplace(name, std::move(state)).first->second;
+  }
+  NameState& state = it->second;
+  // A reload replaces the snapshot behind the base name, detected by the
+  // root uid changing (the overlay's own base is usually a committed vN
+  // entry and is untouched by a reload of the plain name). Staged ops were
+  // validated against the old lineage, so they cannot carry over: with a
+  // clean log we silently restart from the reloaded snapshot; otherwise the
+  // stale ops are discarded and the caller is told. The version counter
+  // keeps increasing either way, so committed names never collide.
+  if (reset_on_reload && entry != nullptr && entry->uid != state.root_uid) {
+    const std::size_t pending =
+        state.overlay != nullptr ? state.overlay->pending_ops() : 0;
+    state.root_uid = entry->uid;
+    state.base_entry = nullptr;
+    state.overlay = nullptr;
+    state.versions.assign(1, BaseVersion(name, *entry));
+    if (pending > 0) {
+      return Status::InvalidArgument(
+          "base snapshot '" + name + "' was reloaded; " +
+          std::to_string(pending) + " staged update(s) discarded");
+    }
+  }
+  return &state;
+}
+
+Status UpdateManager::EnsureOverlayLocked(const std::string& name,
+                                          NameState* state) {
+  if (state->overlay != nullptr) return Status::OK();
+  // Attach to the lineage tip: the last committed version, or the root when
+  // nothing was committed yet. The tip lives in the catalog between
+  // touches, so an evicted tip means the lineage is gone.
+  const std::string& tip = state->versions.back().catalog_name;
+  std::shared_ptr<serve::CatalogEntry> entry = catalog_->Get(tip);
+  if (entry == nullptr) {
+    return Status::NotFound("version '" + tip + "' of '" + name +
+                            "' was evicted; reload the base to restart");
+  }
+  state->base_entry = entry;
+  state->overlay = std::make_unique<DynamicGraph>(GraphOf(entry));
+  return Status::OK();
+}
+
+template <typename Fn>
+Result<serve::UpdateAck> UpdateManager::Stage(const std::string& name,
+                                              Fn&& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<NameState*> state_result = [&]() -> Result<NameState*> {
+    if (name.find('@') != std::string::npos) {
+      return Status::InvalidArgument(
+          "updates target the base name; versions ('" + name +
+          "') are immutable");
+    }
+    return StateLocked(name, /*reset_on_reload=*/true);
+  }();
+  if (!state_result.ok()) {
+    ++stats_.rejected_ops;
+    return state_result.status();
+  }
+  NameState& state = **state_result;
+  const Status ensured = EnsureOverlayLocked(name, &state);
+  if (!ensured.ok()) {
+    ++stats_.rejected_ops;
+    return ensured;
+  }
+  const Status st = op(*state.overlay);
+  if (!st.ok()) {
+    ++stats_.rejected_ops;
+    if (state.overlay->pending_ops() == 0) {
+      // Nothing staged: drop the graph pin acquired above.
+      state.overlay = nullptr;
+      state.base_entry = nullptr;
+    }
+    return st;
+  }
+  ++stats_.staged_ops;
+  serve::UpdateAck ack;
+  ack.pending = state.overlay->pending_ops();
+  ack.live_edges = state.overlay->live_edge_count();
+  return ack;
+}
+
+Result<serve::UpdateAck> UpdateManager::AddEdge(const std::string& name,
+                                                NodeId src, NodeId dst,
+                                                double prob) {
+  return Stage(name, [&](DynamicGraph& g) { return g.AddEdge(src, dst, prob); });
+}
+
+Result<serve::UpdateAck> UpdateManager::DeleteEdge(const std::string& name,
+                                                   NodeId src, NodeId dst) {
+  return Stage(name, [&](DynamicGraph& g) { return g.DeleteEdge(src, dst); });
+}
+
+Result<serve::UpdateAck> UpdateManager::SetProb(const std::string& name,
+                                                NodeId src, NodeId dst,
+                                                double prob) {
+  return Stage(name, [&](DynamicGraph& g) { return g.SetProb(src, dst, prob); });
+}
+
+Result<serve::CommitInfo> UpdateManager::Commit(const std::string& name) {
+  WallTimer timer;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (name.find('@') != std::string::npos) {
+    return Status::InvalidArgument(
+        "updates target the base name; versions ('" + name +
+        "') are immutable");
+  }
+  Result<NameState*> state_result = StateLocked(name, /*reset_on_reload=*/true);
+  if (!state_result.ok()) return state_result.status();
+  NameState& state = **state_result;
+  if (state.overlay == nullptr || state.overlay->pending_ops() == 0) {
+    return Status::InvalidArgument("no staged updates for '" + name + "'");
+  }
+
+  const std::string versioned_name =
+      name + "@v" + std::to_string(state.next_version);
+  // The manager mints each version number exactly once, so a resident entry
+  // under the upcoming name can only be something the operator loaded by
+  // hand — refuse (before paying for the snapshot) rather than clobber it.
+  if (catalog_->Get(versioned_name) != nullptr) {
+    return Status::AlreadyExists(
+        "catalog name '" + versioned_name +
+        "' is already taken by an externally loaded graph; evict it before "
+        "committing");
+  }
+
+  CommitSnapshot snapshot = state.overlay->Commit();
+
+  serve::CommitInfo info;
+  info.versioned_name = versioned_name;
+  info.version = state.next_version;
+  info.nodes = snapshot.graph.num_nodes();
+  info.edges = snapshot.graph.num_edges();
+  info.ops = snapshot.ops;
+  info.touched_nodes = snapshot.touched.size();
+
+  const std::string source =
+      "commit:" + name + "+" + std::to_string(snapshot.ops) + "ops";
+  VULNDS_RETURN_NOT_OK(
+      catalog_->Put(versioned_name, std::move(snapshot.graph), source));
+  const std::shared_ptr<serve::CatalogEntry> new_entry =
+      catalog_->Get(versioned_name);
+  if (new_entry == nullptr) {
+    return Status::Internal("version '" + versioned_name +
+                            "' was evicted during commit (catalog capacity "
+                            "too small)");
+  }
+
+  // Exact context invalidation: bottom-k sample orders are pure in
+  // (seed, budget) and carry to the new version bit-identically; bounds and
+  // candidate reductions are functions of the graph the deltas touched and
+  // start cold.
+  {
+    std::scoped_lock context_locks(state.base_entry->context_mu,
+                                   new_entry->context_mu);
+    const DetectionContext& old_context = state.base_entry->context;
+    info.carried = new_entry->context.AdoptGraphIndependent(old_context);
+    info.dropped = old_context.lower_bounds.size() +
+                   old_context.upper_bounds.size() +
+                   old_context.reductions.size();
+  }
+
+  serve::VersionInfo version;
+  version.version = state.next_version;
+  version.catalog_name = versioned_name;
+  version.nodes = info.nodes;
+  version.edges = info.edges;
+  version.ops = info.ops;
+  state.versions.push_back(version);
+  ++state.next_version;
+  // The log is clean again: release the graph pins so the catalog's
+  // eviction policy stays in charge of memory. The next staged op
+  // re-attaches to the lineage tip (the version just committed).
+  state.base_entry = nullptr;
+  state.overlay = nullptr;
+
+  ++stats_.commits;
+  stats_.contexts_carried += info.carried;
+  stats_.contexts_dropped += info.dropped;
+  info.seconds = timer.Seconds();
+  return info;
+}
+
+Result<std::vector<serve::VersionInfo>> UpdateManager::Versions(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // `versions g@v2` is a read on g's lineage, not a mutation: resolve the
+  // history through the base name.
+  const std::size_t at = name.find('@');
+  const std::string base = at == std::string::npos ? name : name.substr(0, at);
+  Result<NameState*> state = StateLocked(base, /*reset_on_reload=*/false);
+  if (!state.ok()) return state.status();
+  return (*state)->versions;
+}
+
+UpdateManagerStats UpdateManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace vulnds::dyn

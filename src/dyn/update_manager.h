@@ -1,0 +1,109 @@
+// UpdateManager: versioned dynamic updates over the serve GraphCatalog.
+//
+// Updates target a *base* catalog name ("g"); staged ops accumulate in a
+// DynamicGraph overlay and Commit materializes them as a new immutable
+// snapshot registered under "g@vN" with a monotonically increasing N.
+// Versions stack: the overlay rebases onto each committed snapshot, so the
+// next batch of updates builds on vN, not on the original base.
+//
+// Invalidation is exact by construction:
+//   * every committed version is a *new* catalog entry with a fresh uid, so
+//     the query engine's result cache — keyed by (name, uid, options) —
+//     never serves a stale result for the new version, while results cached
+//     against untouched versions (the base and every earlier vK) keep their
+//     keys and keep hitting;
+//   * the new entry's DetectionContext starts from the predecessor's
+//     graph-independent intermediates only: bottom-k sample orders are pure
+//     in (seed, budget) and carry forward bit-identically, whereas bounds
+//     and candidate reductions are functions of the graph a delta just
+//     touched and are dropped (recomputed on first use).
+//
+// Version names are immutable: update verbs addressed to a name containing
+// '@' are rejected. All methods are thread-safe.
+
+#ifndef VULNDS_DYN_UPDATE_MANAGER_H_
+#define VULNDS_DYN_UPDATE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dyn/dynamic_graph.h"
+#include "serve/graph_catalog.h"
+#include "serve/update_backend.h"
+
+namespace vulnds::dyn {
+
+/// Aggregate counters across all names and commits.
+struct UpdateManagerStats {
+  std::size_t staged_ops = 0;        ///< accepted addedge/deledge/setprob
+  std::size_t rejected_ops = 0;      ///< validation failures
+  std::size_t commits = 0;
+  std::size_t contexts_carried = 0;  ///< sample orders carried forward
+  std::size_t contexts_dropped = 0;  ///< bounds/reductions invalidated
+};
+
+class UpdateManager : public serve::UpdateBackend {
+ public:
+  /// Creates a manager registering committed versions in `catalog` (not
+  /// owned; must outlive the manager).
+  explicit UpdateManager(serve::GraphCatalog* catalog);
+
+  Result<serve::UpdateAck> AddEdge(const std::string& name, NodeId src,
+                                   NodeId dst, double prob) override;
+  Result<serve::UpdateAck> DeleteEdge(const std::string& name, NodeId src,
+                                      NodeId dst) override;
+  Result<serve::UpdateAck> SetProb(const std::string& name, NodeId src,
+                                   NodeId dst, double prob) override;
+  Result<serve::CommitInfo> Commit(const std::string& name) override;
+  Result<std::vector<serve::VersionInfo>> Versions(
+      const std::string& name) override;
+
+  UpdateManagerStats stats() const;
+
+ private:
+  // Per-base-name mutable state. Graph references are held only while ops
+  // are staged (base_entry/overlay are released once the log is clean), so
+  // an idle manager never blocks catalog eviction from reclaiming memory —
+  // the lineage is re-resolved from the catalog on the next touch.
+  struct NameState {
+    uint64_t next_version = 1;
+    // uid the plain catalog name had when this state was (re)opened; a
+    // different uid on a later touch means the operator reloaded the base.
+    uint64_t root_uid = 0;
+    // Entry the overlay builds on — the root at first, then the latest
+    // committed version. Null whenever no ops are staged.
+    std::shared_ptr<serve::CatalogEntry> base_entry;
+    std::unique_ptr<DynamicGraph> overlay;
+    std::vector<serve::VersionInfo> versions;  // base (v0) first
+  };
+
+  // Returns the state for `name`, opening it from the catalog on first
+  // touch. When the catalog entry behind `name` was reloaded and
+  // `reset_on_reload` is set (the mutation paths), the lineage restarts
+  // from the new snapshot — rejecting with a notice if staged ops had to be
+  // discarded. Read paths pass false so they never mutate state or consume
+  // the notice.
+  Result<NameState*> StateLocked(const std::string& name,
+                                 bool reset_on_reload);
+
+  // Resolves the lineage tip from the catalog and attaches an overlay to
+  // it; no-op when one is already attached.
+  Status EnsureOverlayLocked(const std::string& name, NameState* state);
+
+  template <typename Fn>
+  Result<serve::UpdateAck> Stage(const std::string& name, Fn&& op);
+
+  serve::GraphCatalog* catalog_;
+  mutable std::mutex mu_;
+  std::map<std::string, NameState> states_;
+  UpdateManagerStats stats_;
+};
+
+}  // namespace vulnds::dyn
+
+#endif  // VULNDS_DYN_UPDATE_MANAGER_H_

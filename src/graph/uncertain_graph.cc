@@ -15,4 +15,20 @@ UncertainGraph UncertainGraph::Transposed() const {
   return builder.Build().MoveValue();
 }
 
+UncertainGraph UncertainGraph::FromParts(std::vector<double> self_risk,
+                                         std::vector<std::size_t> out_offsets,
+                                         std::vector<Arc> out_arcs,
+                                         std::vector<std::size_t> in_offsets,
+                                         std::vector<Arc> in_arcs,
+                                         std::vector<UncertainEdge> edge_list) {
+  UncertainGraph g;
+  g.self_risk_ = std::move(self_risk);
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_arcs_ = std::move(out_arcs);
+  g.in_offsets_ = std::move(in_offsets);
+  g.in_arcs_ = std::move(in_arcs);
+  g.edge_list_ = std::move(edge_list);
+  return g;
+}
+
 }  // namespace vulnds

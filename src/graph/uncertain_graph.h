@@ -88,6 +88,20 @@ class UncertainGraph {
   /// but it is useful for tests and for callers that want an explicit Gt.
   UncertainGraph Transposed() const;
 
+  /// Assembles a graph directly from prebuilt dual-CSR arrays, bypassing the
+  /// builder's counting sort. The caller is trusted to supply a consistent
+  /// layout (exactly what UncertainGraphBuilder::Build produces): offsets of
+  /// size n + 1, arcs grouped by src / dst in ascending edge-id order, and
+  /// edge id == position in `edge_list`. Used by the dynamic-update write
+  /// path (src/dyn), which patches a validated base layout instead of
+  /// rebuilding it.
+  static UncertainGraph FromParts(std::vector<double> self_risk,
+                                  std::vector<std::size_t> out_offsets,
+                                  std::vector<Arc> out_arcs,
+                                  std::vector<std::size_t> in_offsets,
+                                  std::vector<Arc> in_arcs,
+                                  std::vector<UncertainEdge> edge_list);
+
  private:
   friend class UncertainGraphBuilder;
 

@@ -33,6 +33,26 @@ Result<std::size_t> ParseCount(const std::string& token, const char* what) {
   return static_cast<std::size_t>(*v);
 }
 
+Result<NodeId> ParseNode(const std::string& token, const char* what) {
+  Result<uint64_t> v = ParseUint64(token);
+  if (!v.ok()) {
+    return Status::InvalidArgument(std::string(what) + ": " + v.status().message());
+  }
+  if (*v > static_cast<uint64_t>(kInvalidNode) - 1) {
+    return Status::OutOfRange(std::string(what) + ": node id " + token +
+                              " exceeds the 32-bit id space");
+  }
+  return static_cast<NodeId>(*v);
+}
+
+Result<double> ParseProb(const std::string& token) {
+  Result<double> v = ParseDouble(token);
+  if (!v.ok()) {
+    return Status::InvalidArgument(std::string("prob: ") + v.status().message());
+  }
+  return v;
+}
+
 }  // namespace
 
 Result<Method> ParseMethodToken(const std::string& name) {
@@ -141,6 +161,49 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
   if (verb == "evict") {
     if (tokens.size() != 2) return WrongArity("evict <name>");
     request.command = ServeCommand::kEvict;
+    request.name = tokens[1];
+    return request;
+  }
+  if (verb == "addedge" || verb == "setprob") {
+    const bool add = verb == "addedge";
+    if (tokens.size() != 5) {
+      return WrongArity(add ? "addedge <name> <src> <dst> <prob>"
+                            : "setprob <name> <src> <dst> <prob>");
+    }
+    request.command = add ? ServeCommand::kAddEdge : ServeCommand::kSetProb;
+    request.name = tokens[1];
+    Result<NodeId> src = ParseNode(tokens[2], "src");
+    if (!src.ok()) return src.status();
+    Result<NodeId> dst = ParseNode(tokens[3], "dst");
+    if (!dst.ok()) return dst.status();
+    Result<double> prob = ParseProb(tokens[4]);
+    if (!prob.ok()) return prob.status();
+    request.src = *src;
+    request.dst = *dst;
+    request.prob = *prob;
+    return request;
+  }
+  if (verb == "deledge") {
+    if (tokens.size() != 4) return WrongArity("deledge <name> <src> <dst>");
+    request.command = ServeCommand::kDelEdge;
+    request.name = tokens[1];
+    Result<NodeId> src = ParseNode(tokens[2], "src");
+    if (!src.ok()) return src.status();
+    Result<NodeId> dst = ParseNode(tokens[3], "dst");
+    if (!dst.ok()) return dst.status();
+    request.src = *src;
+    request.dst = *dst;
+    return request;
+  }
+  if (verb == "commit") {
+    if (tokens.size() != 2) return WrongArity("commit <name>");
+    request.command = ServeCommand::kCommit;
+    request.name = tokens[1];
+    return request;
+  }
+  if (verb == "versions") {
+    if (tokens.size() != 2) return WrongArity("versions <name>");
+    request.command = ServeCommand::kVersions;
     request.name = tokens[1];
     return request;
   }

@@ -9,6 +9,12 @@
 //   stats [<name>]                           graph stats / engine counters
 //   catalog                                  resident graphs, MRU first
 //   evict <name>                             drop a graph (and its state)
+//   addedge <name> <src> <dst> <prob>        stage an edge insertion
+//   deledge <name> <src> <dst>               stage an edge deletion
+//   setprob <name> <src> <dst> <prob>        stage a probability update
+//   commit <name>                            materialize staged updates as
+//                                            the next version <name>@vN
+//   versions <name>                          version history of <name>
 //   quit                                     end the session
 //
 // Responses (server.h) are line-oriented too: the first line starts with
@@ -38,6 +44,11 @@ enum class ServeCommand {
   kStats,
   kCatalog,
   kEvict,
+  kAddEdge,
+  kDelEdge,
+  kSetProb,
+  kCommit,
+  kVersions,
   kQuit,
   kNone,  ///< blank or comment line; nothing to execute
 };
@@ -45,13 +56,16 @@ enum class ServeCommand {
 /// A parsed request; only the fields of the active command are meaningful.
 struct ServeRequest {
   ServeCommand command = ServeCommand::kNone;
-  std::string name;  ///< graph name (load/save/detect/truth/stats/evict)
+  std::string name;  ///< graph name (all commands but catalog/quit)
   std::string path;  ///< load/save
   GraphFileFormat format = GraphFileFormat::kBinary;  ///< save
   DetectorOptions options;                            ///< detect (k included)
   std::size_t k = 1;                                  ///< truth
   std::size_t samples = 0;  ///< truth; 0 = paper default
   uint64_t seed = 777;      ///< truth
+  NodeId src = 0;           ///< addedge/deledge/setprob
+  NodeId dst = 0;           ///< addedge/deledge/setprob
+  double prob = 0.0;        ///< addedge/setprob
 };
 
 /// Parses one protocol line. Unknown verbs, wrong arity, and malformed

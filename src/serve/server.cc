@@ -105,6 +105,14 @@ void HandleStats(const ServeRequest& r, QueryEngine& engine, std::ostream& out,
     out << "cache_hit_rate=" << FormatRoundTrip(s.result_cache.HitRate()) << "\n";
     out << "catalog_size=" << engine.catalog().size() << "\n";
     out << "catalog_evictions=" << c.evictions << "\n";
+    // The whole session state in one parseable line: loop counters (the
+    // stats request itself is already counted) plus the result cache. The
+    // bare hits/misses keys keep this line's vocabulary disjoint from the
+    // per-counter cache_* lines above.
+    out << "serve requests=" << stats->requests << " errors=" << stats->errors
+        << " updates=" << stats->updates << " hits=" << s.result_cache.hits
+        << " misses=" << s.result_cache.misses
+        << " evictions=" << s.result_cache.evictions << "\n";
     out << ".\n";
     return;
   }
@@ -145,10 +153,76 @@ void HandleEvict(const ServeRequest& r, QueryEngine& engine, std::ostream& out,
   }
 }
 
+// True when the update verbs can be served; emits the error otherwise.
+bool RequireUpdates(UpdateBackend* updates, std::ostream& out,
+                    ServeLoopStats* stats) {
+  if (updates != nullptr) return true;
+  Err(out, stats, "dynamic updates are not enabled in this session");
+  return false;
+}
+
+void HandleStageUpdate(const ServeRequest& r, UpdateBackend& updates,
+                       std::ostream& out, ServeLoopStats* stats) {
+  const char* verb = r.command == ServeCommand::kAddEdge   ? "addedge"
+                     : r.command == ServeCommand::kDelEdge ? "deledge"
+                                                           : "setprob";
+  Result<UpdateAck> ack = [&]() -> Result<UpdateAck> {
+    switch (r.command) {
+      case ServeCommand::kAddEdge:
+        return updates.AddEdge(r.name, r.src, r.dst, r.prob);
+      case ServeCommand::kDelEdge:
+        return updates.DeleteEdge(r.name, r.src, r.dst);
+      default:
+        return updates.SetProb(r.name, r.src, r.dst, r.prob);
+    }
+  }();
+  if (!ack.ok()) {
+    Err(out, stats, ack.status().ToString());
+    return;
+  }
+  ++stats->updates;
+  out << "ok " << verb << ' ' << r.name << ' ' << r.src << ' ' << r.dst;
+  if (r.command != ServeCommand::kDelEdge) {
+    out << " p=" << FormatRoundTrip(r.prob);
+  }
+  out << " pending=" << ack->pending << " live_edges=" << ack->live_edges
+      << "\n";
+}
+
+void HandleCommit(const ServeRequest& r, UpdateBackend& updates,
+                  std::ostream& out, ServeLoopStats* stats) {
+  Result<CommitInfo> info = updates.Commit(r.name);
+  if (!info.ok()) {
+    Err(out, stats, info.status().ToString());
+    return;
+  }
+  ++stats->updates;
+  out << "ok committed " << info->versioned_name << " nodes=" << info->nodes
+      << " edges=" << info->edges << " ops=" << info->ops
+      << " touched=" << info->touched_nodes << " carried=" << info->carried
+      << " dropped=" << info->dropped
+      << " time=" << FormatRoundTrip(info->seconds) << "\n";
+}
+
+void HandleVersions(const ServeRequest& r, UpdateBackend& updates,
+                    std::ostream& out, ServeLoopStats* stats) {
+  Result<std::vector<VersionInfo>> versions = updates.Versions(r.name);
+  if (!versions.ok()) {
+    Err(out, stats, versions.status().ToString());
+    return;
+  }
+  out << "ok versions " << r.name << " count=" << versions->size() << "\n";
+  for (const VersionInfo& v : *versions) {
+    out << "v" << v.version << ' ' << v.catalog_name << " nodes=" << v.nodes
+        << " edges=" << v.edges << " ops=" << v.ops << "\n";
+  }
+  out << ".\n";
+}
+
 }  // namespace
 
 ServeLoopStats RunServeLoop(std::istream& in, std::ostream& out,
-                            QueryEngine& engine) {
+                            QueryEngine& engine, UpdateBackend* updates) {
   ServeLoopStats stats;
   std::string line;
   while (std::getline(in, line)) {
@@ -186,6 +260,23 @@ ServeLoopStats RunServeLoop(std::istream& in, std::ostream& out,
         break;
       case ServeCommand::kEvict:
         HandleEvict(*request, engine, out, &stats);
+        break;
+      case ServeCommand::kAddEdge:
+      case ServeCommand::kDelEdge:
+      case ServeCommand::kSetProb:
+        if (RequireUpdates(updates, out, &stats)) {
+          HandleStageUpdate(*request, *updates, out, &stats);
+        }
+        break;
+      case ServeCommand::kCommit:
+        if (RequireUpdates(updates, out, &stats)) {
+          HandleCommit(*request, *updates, out, &stats);
+        }
+        break;
+      case ServeCommand::kVersions:
+        if (RequireUpdates(updates, out, &stats)) {
+          HandleVersions(*request, *updates, out, &stats);
+        }
         break;
       case ServeCommand::kNone:
         break;

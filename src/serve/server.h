@@ -13,6 +13,7 @@
 #include <iosfwd>
 
 #include "serve/query_engine.h"
+#include "serve/update_backend.h"
 
 namespace vulnds::serve {
 
@@ -20,12 +21,17 @@ namespace vulnds::serve {
 struct ServeLoopStats {
   std::size_t requests = 0;  ///< non-blank lines processed
   std::size_t errors = 0;    ///< "err" responses emitted
+  std::size_t updates = 0;   ///< accepted update verbs (incl. commits)
 };
 
 /// Runs the request/response loop until `quit` or EOF. Returns the session
-/// counters (the process exit code is the caller's business).
+/// counters (the process exit code is the caller's business). `updates`
+/// handles the dynamic-update verbs (addedge/deledge/setprob/commit/
+/// versions); when nullptr those verbs answer with an error and everything
+/// else works as before.
 ServeLoopStats RunServeLoop(std::istream& in, std::ostream& out,
-                            QueryEngine& engine);
+                            QueryEngine& engine,
+                            UpdateBackend* updates = nullptr);
 
 }  // namespace vulnds::serve
 

@@ -1,0 +1,71 @@
+// UpdateBackend: the serve loop's port to the dynamic-update write path.
+//
+// The serve module stays below the update subsystem in the link order
+// (dyn -> serve, because committing registers snapshots in the
+// GraphCatalog), so the loop talks to updates through this narrow interface
+// and dyn::UpdateManager implements it. A session run without a backend
+// answers every update verb with an error instead of dying.
+
+#ifndef VULNDS_SERVE_UPDATE_BACKEND_H_
+#define VULNDS_SERVE_UPDATE_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace vulnds::serve {
+
+/// Acknowledgement of one staged (uncommitted) update.
+struct UpdateAck {
+  std::size_t pending = 0;     ///< staged ops not yet committed
+  std::size_t live_edges = 0;  ///< edge count the next commit will have
+};
+
+/// Outcome of committing the staged updates of one graph.
+struct CommitInfo {
+  std::string versioned_name;      ///< catalog name, e.g. "g@v3"
+  uint64_t version = 0;            ///< the N of name@vN
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t ops = 0;             ///< staged records applied
+  std::size_t touched_nodes = 0;   ///< nodes whose adjacency changed
+  std::size_t carried = 0;         ///< context intermediates carried forward
+  std::size_t dropped = 0;         ///< context intermediates invalidated
+  double seconds = 0.0;            ///< commit wall time
+};
+
+/// One entry of a graph's version history.
+struct VersionInfo {
+  uint64_t version = 0;       ///< 0 is the base snapshot
+  std::string catalog_name;   ///< "g" for the base, "g@vN" afterwards
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t ops = 0;        ///< deltas applied to produce this version
+};
+
+class UpdateBackend {
+ public:
+  virtual ~UpdateBackend() = default;
+
+  /// Stage a directed edge src -> dst with diffusion probability `prob`.
+  virtual Result<UpdateAck> AddEdge(const std::string& name, NodeId src,
+                                    NodeId dst, double prob) = 0;
+  /// Stage deletion of the lowest-id live edge (src, dst).
+  virtual Result<UpdateAck> DeleteEdge(const std::string& name, NodeId src,
+                                       NodeId dst) = 0;
+  /// Stage a probability update on the lowest-id live edge (src, dst).
+  virtual Result<UpdateAck> SetProb(const std::string& name, NodeId src,
+                                    NodeId dst, double prob) = 0;
+  /// Materialize the staged updates of `name` as the next version.
+  virtual Result<CommitInfo> Commit(const std::string& name) = 0;
+  /// The version history of `name`, base first.
+  virtual Result<std::vector<VersionInfo>> Versions(const std::string& name) = 0;
+};
+
+}  // namespace vulnds::serve
+
+#endif  // VULNDS_SERVE_UPDATE_BACKEND_H_

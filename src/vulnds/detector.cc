@@ -56,6 +56,15 @@ Status ValidateDetectorOptions(const UncertainGraph& graph,
   return Status::OK();
 }
 
+std::size_t DetectionContext::AdoptGraphIndependent(
+    const DetectionContext& other) {
+  std::size_t copied = 0;
+  for (const auto& [key, order] : other.sample_orders) {
+    copied += sample_orders.emplace(key, order).second ? 1 : 0;
+  }
+  return copied;
+}
+
 namespace {
 
 // N / SN: full-graph forward sampling, then a global top-k.

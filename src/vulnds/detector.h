@@ -89,6 +89,15 @@ struct DetectionContext {
 
   std::size_t reuse_hits = 0;    ///< cached intermediates served
   std::size_t reuse_misses = 0;  ///< intermediates computed and stored
+
+  /// Copies the intermediates that do NOT depend on the graph from `other`
+  /// into this context: bottom-k sample orders are pure in (seed, budget),
+  /// so they stay bit-identical across graph mutations. Bounds and
+  /// candidate reductions are functions of the graph and are deliberately
+  /// left cold. Used by the dynamic-update write path when a new graph
+  /// version inherits state from its predecessor. Returns the number of
+  /// entries copied (existing keys are kept, not overwritten).
+  std::size_t AdoptGraphIndependent(const DetectionContext& other);
 };
 
 /// Validates `options` against `graph` without running anything: k in

@@ -1,0 +1,99 @@
+// DeltaLog: append-time validation against base + staged state, lowest-id
+// live resolution, and the staged-state views the commit path consumes.
+
+#include "dyn/delta_log.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace vulnds::dyn {
+namespace {
+
+TEST(DeltaLogTest, ValidAppendsAccumulateInOrder) {
+  const UncertainGraph base = testing::PaperExampleGraph(0.2);
+  DeltaLog log(&base);
+  EXPECT_TRUE(log.empty());
+  ASSERT_TRUE(log.AddEdge(4, 0, 0.5).ok());
+  ASSERT_TRUE(log.SetProb(0, 1, 0.9).ok());
+  ASSERT_TRUE(log.DeleteEdge(3, 4).ok());
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.records()[0].op, DeltaOp::kAddEdge);
+  EXPECT_EQ(log.records()[1].op, DeltaOp::kSetProb);
+  EXPECT_EQ(log.records()[2].op, DeltaOp::kDeleteEdge);
+  // 6 base edges - 1 delete + 1 insert.
+  EXPECT_EQ(log.live_edge_count(), 6u);
+}
+
+TEST(DeltaLogTest, RejectsInvalidEndpointsAndProbabilities) {
+  const UncertainGraph base = testing::PaperExampleGraph(0.2);
+  DeltaLog log(&base);
+  EXPECT_EQ(log.AddEdge(0, 5, 0.5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(log.AddEdge(7, 0, 0.5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(log.AddEdge(2, 2, 0.5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.AddEdge(0, 1, 1.5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.AddEdge(0, 1, -0.1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.SetProb(0, 1, 2.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(log.empty()) << "rejected ops must not be recorded";
+}
+
+TEST(DeltaLogTest, DeleteAndSetProbRequireALiveEdge) {
+  const UncertainGraph base = testing::PaperExampleGraph(0.2);
+  DeltaLog log(&base);
+  // (1, 0) is not an edge (only 0 -> 1 exists).
+  EXPECT_EQ(log.DeleteEdge(1, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(log.SetProb(1, 0, 0.4).code(), StatusCode::kNotFound);
+  // Deleting the same edge twice: the second delete has no live target.
+  ASSERT_TRUE(log.DeleteEdge(0, 1).ok());
+  EXPECT_EQ(log.DeleteEdge(0, 1).code(), StatusCode::kNotFound);
+  // A deleted edge cannot be re-probed, but can be re-added and then probed.
+  EXPECT_EQ(log.SetProb(0, 1, 0.4).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(log.AddEdge(0, 1, 0.3).ok());
+  EXPECT_TRUE(log.SetProb(0, 1, 0.4).ok());
+}
+
+TEST(DeltaLogTest, StagedInsertionsAreDeletableAndUpdatable) {
+  const UncertainGraph base = testing::ChainGraph(0.3, 0.6);
+  DeltaLog log(&base);
+  ASSERT_TRUE(log.AddEdge(2, 0, 0.25).ok());
+  ASSERT_TRUE(log.SetProb(2, 0, 0.75).ok());
+  const auto added = log.LiveAddedEdges();
+  ASSERT_EQ(added.size(), 1u);
+  EXPECT_EQ(added[0].prob, 0.75);
+  ASSERT_TRUE(log.DeleteEdge(2, 0).ok());
+  EXPECT_TRUE(log.LiveAddedEdges().empty());
+  EXPECT_EQ(log.live_edge_count(), base.num_edges());
+}
+
+TEST(DeltaLogTest, ParallelEdgesResolveLowestIdFirst) {
+  UncertainGraphBuilder b(2);
+  testing::CheckOk(b.AddEdge(0, 1, 0.1));  // edge id 0
+  testing::CheckOk(b.AddEdge(0, 1, 0.2));  // edge id 1 (parallel)
+  const UncertainGraph base = b.Build().MoveValue();
+  DeltaLog log(&base);
+  ASSERT_TRUE(log.SetProb(0, 1, 0.9).ok());
+  EXPECT_EQ(log.records().back().edge, 0u) << "lowest id wins";
+  ASSERT_TRUE(log.DeleteEdge(0, 1).ok());
+  EXPECT_EQ(log.records().back().edge, 0u)
+      << "delete hits the updated edge, not the untouched parallel one";
+  // Now only edge 1 is live; the next delete resolves to it.
+  ASSERT_TRUE(log.DeleteEdge(0, 1).ok());
+  EXPECT_EQ(log.records().back().edge, 1u);
+  EXPECT_EQ(log.live_edge_count(), 0u);
+}
+
+TEST(DeltaLogTest, ViewsExposeDeletionsAndOverrides) {
+  const UncertainGraph base = testing::PaperExampleGraph(0.2);
+  DeltaLog log(&base);
+  ASSERT_TRUE(log.DeleteEdge(0, 2).ok());  // edge id 1
+  ASSERT_TRUE(log.SetProb(1, 3, 0.5).ok());  // edge id 2
+  EXPECT_TRUE(log.IsBaseEdgeDeleted(1));
+  EXPECT_FALSE(log.IsBaseEdgeDeleted(0));
+  ASSERT_NE(log.BaseProbOverride(2), nullptr);
+  EXPECT_EQ(*log.BaseProbOverride(2), 0.5);
+  EXPECT_EQ(log.BaseProbOverride(0), nullptr);
+  EXPECT_EQ(log.DeletedBaseEdges(), (std::vector<EdgeId>{1}));
+}
+
+}  // namespace
+}  // namespace vulnds::dyn

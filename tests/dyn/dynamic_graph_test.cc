@@ -1,0 +1,211 @@
+// DynamicGraph commit correctness: the incremental CSR materialization must
+// be indistinguishable — arrays and detection results — from rebuilding the
+// graph from scratch with the deltas applied to the edge list.
+
+#include "dyn/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/builder.h"
+#include "testing/test_graphs.h"
+#include "vulnds/detector.h"
+
+namespace vulnds::dyn {
+namespace {
+
+std::shared_ptr<const UncertainGraph> Shared(UncertainGraph g) {
+  return std::make_shared<const UncertainGraph>(std::move(g));
+}
+
+// Reference semantics: the edge list after replaying the log from scratch.
+std::vector<UncertainEdge> ReplayEdgeList(const UncertainGraph& base,
+                                          const DeltaLog& log) {
+  std::vector<UncertainEdge> edges(base.edges().begin(), base.edges().end());
+  for (const DeltaRecord& r : log.records()) {
+    switch (r.op) {
+      case DeltaOp::kAddEdge:
+        edges.push_back({r.src, r.dst, r.prob});
+        break;
+      case DeltaOp::kDeleteEdge:
+      case DeltaOp::kSetProb:
+        // Lowest-id live match; deleted entries are already erased, so the
+        // first positional match is the lowest surviving id.
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+          if (edges[i].src == r.src && edges[i].dst == r.dst) {
+            if (r.op == DeltaOp::kSetProb) {
+              edges[i].prob = r.prob;
+            } else {
+              edges.erase(edges.begin() + i);
+            }
+            break;
+          }
+        }
+        break;
+    }
+  }
+  return edges;
+}
+
+UncertainGraph RebuildFromScratch(const UncertainGraph& base,
+                                  const std::vector<UncertainEdge>& edges) {
+  UncertainGraphBuilder b(base.num_nodes());
+  for (NodeId v = 0; v < base.num_nodes(); ++v) {
+    EXPECT_TRUE(b.SetSelfRisk(v, base.self_risk(v)).ok());
+  }
+  for (const UncertainEdge& e : edges) {
+    EXPECT_TRUE(b.AddEdge(e.src, e.dst, e.prob).ok());
+  }
+  return b.Build().MoveValue();
+}
+
+// Structural equality down to edge ids and array layout.
+void ExpectGraphsIdentical(const UncertainGraph& a, const UncertainGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.self_risk(v), b.self_risk(v)) << "self risk of " << v;
+    ASSERT_EQ(a.OutDegree(v), b.OutDegree(v)) << "out degree of " << v;
+    ASSERT_EQ(a.InDegree(v), b.InDegree(v)) << "in degree of " << v;
+    const auto ao = a.OutArcs(v), bo = b.OutArcs(v);
+    for (std::size_t i = 0; i < ao.size(); ++i) {
+      EXPECT_EQ(ao[i].neighbor, bo[i].neighbor) << "out arc " << i << " of " << v;
+      EXPECT_EQ(ao[i].prob, bo[i].prob) << "out arc " << i << " of " << v;
+      EXPECT_EQ(ao[i].edge, bo[i].edge) << "out arc " << i << " of " << v;
+    }
+    const auto ai = a.InArcs(v), bi = b.InArcs(v);
+    for (std::size_t i = 0; i < ai.size(); ++i) {
+      EXPECT_EQ(ai[i].neighbor, bi[i].neighbor) << "in arc " << i << " of " << v;
+      EXPECT_EQ(ai[i].prob, bi[i].prob) << "in arc " << i << " of " << v;
+      EXPECT_EQ(ai[i].edge, bi[i].edge) << "in arc " << i << " of " << v;
+    }
+  }
+  const auto ae = a.edges(), be = b.edges();
+  for (std::size_t i = 0; i < ae.size(); ++i) {
+    EXPECT_EQ(ae[i].src, be[i].src) << "edge " << i;
+    EXPECT_EQ(ae[i].dst, be[i].dst) << "edge " << i;
+    EXPECT_EQ(ae[i].prob, be[i].prob) << "edge " << i;
+  }
+}
+
+TEST(DynamicGraphTest, EmptyCommitReproducesBase) {
+  DynamicGraph dg(Shared(testing::PaperExampleGraph(0.2)));
+  const CommitSnapshot snap = dg.Commit();
+  ExpectGraphsIdentical(snap.graph, dg.base());
+  EXPECT_EQ(snap.ops, 0u);
+  EXPECT_TRUE(snap.touched.empty());
+  EXPECT_EQ(snap.runs_rebuilt, 0u);
+}
+
+TEST(DynamicGraphTest, SingleInsertTouchesOnlyEndpoints) {
+  DynamicGraph dg(Shared(testing::PaperExampleGraph(0.2)));
+  ASSERT_TRUE(dg.AddEdge(4, 0, 0.5).ok());  // E -> A, a fresh arc
+  const CommitSnapshot snap = dg.Commit();
+  const UncertainGraph rebuilt =
+      RebuildFromScratch(dg.base(), ReplayEdgeList(dg.base(), dg.log()));
+  ExpectGraphsIdentical(snap.graph, rebuilt);
+  EXPECT_EQ(snap.touched, (std::vector<NodeId>{0, 4}));
+  // 5 nodes x 2 directions; only E's out-run and A's in-run rebuilt.
+  EXPECT_EQ(snap.runs_rebuilt, 2u);
+  EXPECT_EQ(snap.runs_copied, 8u);
+}
+
+TEST(DynamicGraphTest, DeleteShiftsEdgeIdsConsistently) {
+  DynamicGraph dg(Shared(testing::PaperExampleGraph(0.2)));
+  ASSERT_TRUE(dg.DeleteEdge(0, 1).ok());  // edge id 0: every id shifts
+  const CommitSnapshot snap = dg.Commit();
+  const UncertainGraph rebuilt =
+      RebuildFromScratch(dg.base(), ReplayEdgeList(dg.base(), dg.log()));
+  ExpectGraphsIdentical(snap.graph, rebuilt);
+  EXPECT_EQ(snap.graph.num_edges(), dg.base().num_edges() - 1);
+}
+
+TEST(DynamicGraphTest, SetProbPatchesBothDirections) {
+  DynamicGraph dg(Shared(testing::PaperExampleGraph(0.2)));
+  ASSERT_TRUE(dg.SetProb(1, 3, 0.75).ok());  // B -> D
+  const CommitSnapshot snap = dg.Commit();
+  const UncertainGraph rebuilt =
+      RebuildFromScratch(dg.base(), ReplayEdgeList(dg.base(), dg.log()));
+  ExpectGraphsIdentical(snap.graph, rebuilt);
+  bool found_out = false, found_in = false;
+  for (const Arc& arc : snap.graph.OutArcs(1)) {
+    if (arc.neighbor == 3) {
+      EXPECT_EQ(arc.prob, 0.75);
+      found_out = true;
+    }
+  }
+  for (const Arc& arc : snap.graph.InArcs(3)) {
+    if (arc.neighbor == 1) {
+      EXPECT_EQ(arc.prob, 0.75);
+      found_in = true;
+    }
+  }
+  EXPECT_TRUE(found_out);
+  EXPECT_TRUE(found_in);
+}
+
+// The acceptance property: over random delta sequences, a committed version
+// is bit-identical — graph arrays and detection results — to a graph
+// rebuilt from scratch with the deltas applied. Versions stack via Rebase,
+// so later rounds exercise commits on top of FromParts graphs.
+TEST(DynamicGraphTest, RandomDeltaSequencesCommitBitIdentical) {
+  for (const uint64_t trial_seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(trial_seed * 1000 + 17);
+    DynamicGraph dg(Shared(testing::RandomSmallGraph(24, 0.12, trial_seed)));
+    for (int round = 0; round < 4; ++round) {
+      const UncertainGraph& base = dg.base();
+      const std::size_t ops = 1 + rng.NextBounded(12);
+      for (std::size_t i = 0; i < ops; ++i) {
+        const NodeId src = static_cast<NodeId>(rng.NextBounded(24));
+        const NodeId dst = static_cast<NodeId>(rng.NextBounded(24));
+        switch (rng.NextBounded(3)) {
+          case 0:
+            dg.AddEdge(src, dst, rng.NextDouble());  // may reject self-loops
+            break;
+          case 1:
+            dg.DeleteEdge(src, dst);  // may reject missing edges
+            break;
+          default:
+            dg.SetProb(src, dst, rng.NextDouble());
+        }
+      }
+      const CommitSnapshot snap = dg.Commit();
+      const UncertainGraph rebuilt =
+          RebuildFromScratch(base, ReplayEdgeList(base, dg.log()));
+      ExpectGraphsIdentical(snap.graph, rebuilt);
+
+      // Detection must not be able to tell the two graphs apart.
+      DetectorOptions options;
+      options.method = Method::kBsrbk;
+      options.k = 3;
+      options.seed = trial_seed;
+      const Result<DetectionResult> a = DetectTopK(snap.graph, options);
+      const Result<DetectionResult> b = DetectTopK(rebuilt, options);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(a->topk, b->topk) << "trial " << trial_seed << " round " << round;
+      EXPECT_EQ(a->scores, b->scores);
+
+      dg.Rebase(Shared(snap.graph));
+    }
+  }
+}
+
+TEST(DynamicGraphTest, RebaseClearsLogAndStacksVersions) {
+  DynamicGraph dg(Shared(testing::ChainGraph(0.3, 0.6)));
+  ASSERT_TRUE(dg.AddEdge(2, 0, 0.4).ok());
+  EXPECT_EQ(dg.pending_ops(), 1u);
+  CommitSnapshot snap = dg.Commit();
+  dg.Rebase(Shared(std::move(snap.graph)));
+  EXPECT_EQ(dg.pending_ops(), 0u);
+  EXPECT_EQ(dg.base().num_edges(), 3u);
+  // The next op validates against the committed graph: 2 -> 0 now exists.
+  ASSERT_TRUE(dg.SetProb(2, 0, 0.9).ok());
+  ASSERT_TRUE(dg.DeleteEdge(2, 0).ok());
+  EXPECT_EQ(dg.live_edge_count(), 2u);
+}
+
+}  // namespace
+}  // namespace vulnds::dyn

@@ -1,0 +1,265 @@
+// UpdateManager: version registration in the catalog, exact cache/context
+// invalidation across commits, and lifecycle edge cases (reloads, version
+// immutability, empty commits).
+
+#include "dyn/update_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "serve/query_engine.h"
+#include "testing/test_graphs.h"
+#include "vulnds/detector.h"
+
+namespace vulnds::dyn {
+namespace {
+
+using serve::CatalogEntry;
+using serve::CommitInfo;
+using serve::GraphCatalog;
+using serve::QueryEngine;
+using serve::UpdateAck;
+using serve::VersionInfo;
+
+TEST(UpdateManagerTest, CommitRegistersMonotonicVersions) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::PaperExampleGraph(0.2)).ok());
+  UpdateManager manager(&catalog);
+
+  Result<UpdateAck> ack = manager.AddEdge("g", 4, 0, 0.5);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->pending, 1u);
+  EXPECT_EQ(ack->live_edges, 7u);
+  Result<CommitInfo> v1 = manager.Commit("g");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->versioned_name, "g@v1");
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(v1->edges, 7u);
+  EXPECT_EQ(v1->ops, 1u);
+
+  // The committed version is a real catalog entry; the base is untouched.
+  const auto v1_entry = catalog.Get("g@v1");
+  ASSERT_NE(v1_entry, nullptr);
+  EXPECT_EQ(v1_entry->graph.num_edges(), 7u);
+  EXPECT_EQ(catalog.Get("g")->graph.num_edges(), 6u);
+
+  // The next batch builds on v1, not on the base.
+  ASSERT_TRUE(manager.DeleteEdge("g", 4, 0).ok());
+  Result<CommitInfo> v2 = manager.Commit("g");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->versioned_name, "g@v2");
+  EXPECT_EQ(v2->edges, 6u);
+
+  Result<std::vector<VersionInfo>> versions = manager.Versions("g");
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions->size(), 3u);
+  EXPECT_EQ((*versions)[0].version, 0u);
+  EXPECT_EQ((*versions)[0].catalog_name, "g");
+  EXPECT_EQ((*versions)[1].catalog_name, "g@v1");
+  EXPECT_EQ((*versions)[2].catalog_name, "g@v2");
+}
+
+TEST(UpdateManagerTest, StagingValidatesAndReportsErrors) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::ChainGraph(0.3, 0.6)).ok());
+  UpdateManager manager(&catalog);
+
+  EXPECT_EQ(manager.AddEdge("missing", 0, 1, 0.5).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(manager.AddEdge("g", 0, 0, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.DeleteEdge("g", 2, 0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(manager.SetProb("g", 0, 1, 7.0).status().code(),
+            StatusCode::kInvalidArgument);
+  // Versions are immutable.
+  EXPECT_EQ(manager.AddEdge("g@v1", 0, 1, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+  // Nothing staged: commit refuses.
+  EXPECT_EQ(manager.Commit("g").status().code(), StatusCode::kInvalidArgument);
+
+  const UpdateManagerStats stats = manager.stats();
+  EXPECT_EQ(stats.staged_ops, 0u);
+  EXPECT_EQ(stats.rejected_ops, 5u);
+  EXPECT_EQ(stats.commits, 0u);
+}
+
+TEST(UpdateManagerTest, UntouchedVersionsKeepHittingTheResultCache) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  UpdateManager manager(&catalog);
+
+  DetectorOptions options;
+  options.method = Method::kBsrbk;
+  options.k = 3;
+
+  // Prime the cache on the base version.
+  Result<serve::DetectResponse> cold = engine.Detect("g", options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->from_cache);
+
+  ASSERT_TRUE(manager.SetProb("g", 0, 1, 0.99).status().ok() ||
+              manager.AddEdge("g", 0, 1, 0.99).status().ok());
+  ASSERT_TRUE(manager.Commit("g").ok());
+
+  // The base version was not touched by the commit: still a cache hit, and
+  // bit-identical to the pre-commit answer.
+  Result<serve::DetectResponse> warm = engine.Detect("g", options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_EQ(warm->result.topk, cold->result.topk);
+  EXPECT_EQ(warm->result.scores, cold->result.scores);
+
+  // The new version answers from its own graph, never the stale cache line.
+  Result<serve::DetectResponse> fresh = engine.Detect("g@v1", options);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->from_cache);
+  Result<serve::DetectResponse> repeat = engine.Detect("g@v1", options);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->from_cache);
+  EXPECT_EQ(repeat->result.topk, fresh->result.topk);
+}
+
+TEST(UpdateManagerTest, CommitCarriesSampleOrdersAndDropsBounds) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  UpdateManager manager(&catalog);
+
+  DetectorOptions options;
+  options.method = Method::kBsrbk;
+  options.k = 3;
+  ASSERT_TRUE(engine.Detect("g", options).ok());  // warms the base context
+  {
+    const auto entry = catalog.Get("g");
+    std::lock_guard<std::mutex> lock(entry->context_mu);
+    ASSERT_FALSE(entry->context.sample_orders.empty());
+    ASSERT_FALSE(entry->context.lower_bounds.empty());
+  }
+
+  ASSERT_TRUE(manager.SetProb("g", 0, 1, 0.5).status().ok() ||
+              manager.AddEdge("g", 0, 1, 0.5).status().ok());
+  Result<CommitInfo> commit = manager.Commit("g");
+  ASSERT_TRUE(commit.ok());
+  EXPECT_GE(commit->carried, 1u) << "sample orders are graph-independent";
+  EXPECT_GE(commit->dropped, 2u) << "bounds + reduction are graph-dependent";
+
+  const auto entry = catalog.Get("g@v1");
+  ASSERT_NE(entry, nullptr);
+  std::lock_guard<std::mutex> lock(entry->context_mu);
+  EXPECT_EQ(entry->context.sample_orders.size(), commit->carried);
+  EXPECT_TRUE(entry->context.lower_bounds.empty());
+  EXPECT_TRUE(entry->context.upper_bounds.empty());
+  EXPECT_TRUE(entry->context.reductions.empty());
+}
+
+TEST(UpdateManagerTest, ReloadOfBaseDiscardsStaleStagedOps) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::PaperExampleGraph(0.2)).ok());
+  UpdateManager manager(&catalog);
+  ASSERT_TRUE(manager.AddEdge("g", 4, 0, 0.5).ok());
+
+  // Operator replaces the base snapshot: staged ops target a dead lineage.
+  ASSERT_TRUE(catalog.Put("g", testing::PaperExampleGraph(0.4)).ok());
+  const Status stale = manager.AddEdge("g", 4, 0, 0.5).status();
+  EXPECT_EQ(stale.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stale.message().find("discarded"), std::string::npos);
+
+  // The manager restarted from the reloaded snapshot: staging works again
+  // and the version history reflects the new base.
+  Result<UpdateAck> ack = manager.AddEdge("g", 4, 0, 0.5);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->pending, 1u);
+  Result<std::vector<VersionInfo>> versions = manager.Versions("g");
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->size(), 1u);
+}
+
+TEST(UpdateManagerTest, VersionsIsAPureReadAcrossReloads) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::PaperExampleGraph(0.2)).ok());
+  UpdateManager manager(&catalog);
+  ASSERT_TRUE(manager.AddEdge("g", 4, 0, 0.5).ok());
+  ASSERT_TRUE(catalog.Put("g", testing::PaperExampleGraph(0.4)).ok());
+
+  // The read must neither fail nor consume the reload notice...
+  Result<std::vector<VersionInfo>> versions = manager.Versions("g");
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->size(), 1u);
+  // ...so the next mutation still tells the writer its ops were dropped.
+  const Status stale = manager.SetProb("g", 4, 0, 0.9).status();
+  EXPECT_EQ(stale.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stale.message().find("discarded"), std::string::npos);
+}
+
+TEST(UpdateManagerTest, CommitRefusesToClobberAnExternallyLoadedVersionName) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::PaperExampleGraph(0.2)).ok());
+  // Operator squatted the name the next commit would mint.
+  ASSERT_TRUE(catalog.Put("g@v1", testing::ChainGraph(0.3, 0.6)).ok());
+  UpdateManager manager(&catalog);
+  ASSERT_TRUE(manager.AddEdge("g", 4, 0, 0.5).ok());
+
+  const Status st = manager.Commit("g").status();
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.Get("g@v1")->graph.num_nodes(), 3u)
+      << "the externally loaded graph must be untouched";
+  // Staged ops survive the refusal; clearing the squatter unblocks.
+  ASSERT_TRUE(catalog.Evict("g@v1"));
+  Result<CommitInfo> commit = manager.Commit("g");
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->versioned_name, "g@v1");
+  EXPECT_EQ(commit->ops, 1u);
+}
+
+TEST(UpdateManagerTest, VersionsIsReadableThroughAVersionName) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::PaperExampleGraph(0.2)).ok());
+  UpdateManager manager(&catalog);
+  ASSERT_TRUE(manager.AddEdge("g", 4, 0, 0.5).ok());
+  ASSERT_TRUE(manager.Commit("g").ok());
+
+  // `versions g@v1` reads g's lineage instead of being rejected as a
+  // mutation of an immutable version.
+  Result<std::vector<VersionInfo>> versions = manager.Versions("g@v1");
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions->size(), 2u);
+  EXPECT_EQ((*versions)[1].catalog_name, "g@v1");
+}
+
+TEST(UpdateManagerTest, IdleManagerDoesNotPinEvictedSnapshots) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::ChainGraph(0.3, 0.6)).ok());
+  UpdateManager manager(&catalog);
+  ASSERT_TRUE(manager.AddEdge("g", 2, 0, 0.4).ok());
+  ASSERT_TRUE(manager.Commit("g").ok());
+
+  // With the log clean the manager holds no graph references, so evicting
+  // the lineage tip really frees it — and the next staged op reports the
+  // lineage as gone instead of resurrecting a hidden pinned copy.
+  ASSERT_TRUE(catalog.Evict("g@v1"));
+  EXPECT_EQ(catalog.Get("g@v1"), nullptr);
+  const Status st = manager.SetProb("g", 2, 0, 0.9).status();
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_NE(st.message().find("evicted"), std::string::npos) << st.message();
+}
+
+TEST(UpdateManagerTest, CommittedVersionSurvivesBaseEviction) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::ChainGraph(0.3, 0.6)).ok());
+  UpdateManager manager(&catalog);
+  ASSERT_TRUE(manager.AddEdge("g", 2, 0, 0.4).ok());
+  ASSERT_TRUE(manager.Commit("g").ok());
+
+  // Evicting the base does not invalidate the committed version, and the
+  // overlay (anchored on v1, which it keeps alive) still accepts updates.
+  ASSERT_TRUE(catalog.Evict("g"));
+  EXPECT_NE(catalog.Get("g@v1"), nullptr);
+  ASSERT_TRUE(manager.SetProb("g", 2, 0, 0.9).ok());
+  Result<CommitInfo> v2 = manager.Commit("g");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->versioned_name, "g@v2");
+}
+
+}  // namespace
+}  // namespace vulnds::dyn

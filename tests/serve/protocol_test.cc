@@ -98,6 +98,45 @@ TEST(ProtocolTest, StatsCatalogEvictQuit) {
   EXPECT_EQ(ParseServeRequest("exit")->command, ServeCommand::kQuit);
 }
 
+TEST(ProtocolTest, UpdateVerbs) {
+  Result<ServeRequest> add = ParseServeRequest("addedge g 3 7 0.25");
+  ASSERT_TRUE(add.ok());
+  EXPECT_EQ(add->command, ServeCommand::kAddEdge);
+  EXPECT_EQ(add->name, "g");
+  EXPECT_EQ(add->src, 3u);
+  EXPECT_EQ(add->dst, 7u);
+  EXPECT_EQ(add->prob, 0.25);
+
+  Result<ServeRequest> del = ParseServeRequest("deledge g 3 7");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->command, ServeCommand::kDelEdge);
+  EXPECT_EQ(del->src, 3u);
+  EXPECT_EQ(del->dst, 7u);
+
+  Result<ServeRequest> set = ParseServeRequest("SETPROB g 3 7 0.75");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->command, ServeCommand::kSetProb);
+  EXPECT_EQ(set->prob, 0.75);
+
+  EXPECT_EQ(ParseServeRequest("commit g")->command, ServeCommand::kCommit);
+  EXPECT_EQ(ParseServeRequest("versions g")->command, ServeCommand::kVersions);
+  EXPECT_EQ(ParseServeRequest("versions g")->name, "g");
+}
+
+TEST(ProtocolTest, UpdateVerbsRejectMalformedArguments) {
+  EXPECT_FALSE(ParseServeRequest("addedge g 3 7").ok());       // missing prob
+  EXPECT_FALSE(ParseServeRequest("addedge g 3 7 0.2 x").ok()); // extra token
+  EXPECT_FALSE(ParseServeRequest("addedge g -1 7 0.2").ok());  // negative id
+  EXPECT_FALSE(ParseServeRequest("addedge g a 7 0.2").ok());   // not a number
+  EXPECT_FALSE(ParseServeRequest("addedge g 3 7 nope").ok());  // bad prob
+  EXPECT_FALSE(ParseServeRequest("addedge g 5000000000 7 0.2").ok())
+      << "node ids beyond 32 bits must be rejected, not truncated";
+  EXPECT_FALSE(ParseServeRequest("deledge g 3").ok());
+  EXPECT_FALSE(ParseServeRequest("commit").ok());
+  EXPECT_FALSE(ParseServeRequest("commit g extra").ok());
+  EXPECT_FALSE(ParseServeRequest("versions").ok());
+}
+
 TEST(ProtocolTest, UnknownVerbRejected) {
   EXPECT_EQ(ParseServeRequest("frobnicate g").status().code(),
             StatusCode::kInvalidArgument);

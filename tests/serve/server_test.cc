@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "dyn/update_manager.h"
 #include "graph/graph_io.h"
 #include "testing/test_graphs.h"
 
@@ -32,14 +33,16 @@ std::vector<std::string> Lines(const std::string& text) {
 }
 
 // Runs a scripted session against a fresh engine; returns the full output.
+// Updates are wired the same way the CLI wires them.
 std::string RunScript(const std::string& script, ThreadPool* pool = nullptr) {
   GraphCatalog catalog;
   QueryEngineOptions options;
   options.pool = pool;
   QueryEngine engine(&catalog, options);
+  dyn::UpdateManager updates(&catalog);
   std::istringstream in(script);
   std::ostringstream out;
-  RunServeLoop(in, out, engine);
+  RunServeLoop(in, out, engine, &updates);
   return out.str();
 }
 
@@ -143,6 +146,102 @@ TEST(ServeLoopTest, SaveRoundTripsThroughBinary) {
   EXPECT_NE(output.find("nodes=5"), std::string::npos);
 }
 
+TEST(ServeLoopTest, UpdateCommitVersionsSession) {
+  const std::string path = WriteTempGraph(testing::PaperExampleGraph(0.2),
+                                          "serve_u.snap", GraphFileFormat::kBinary);
+  const std::string output = RunScript("load g " + path +
+                                       "\n"
+                                       "addedge g 4 0 0.5\n"
+                                       "setprob g 0 1 0.75\n"
+                                       "deledge g 3 4\n"
+                                       "commit g\n"
+                                       "detect g@v1 2\n"
+                                       "versions g\n"
+                                       "quit\n");
+  EXPECT_NE(output.find("ok addedge g 4 0 p=0.5 pending=1 live_edges=7"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("ok setprob g 0 1 p=0.75 pending=2 live_edges=7"),
+            std::string::npos);
+  EXPECT_NE(output.find("ok deledge g 3 4 pending=3 live_edges=6"),
+            std::string::npos);
+  EXPECT_NE(output.find("ok committed g@v1 nodes=5 edges=6 ops=3"),
+            std::string::npos);
+  EXPECT_NE(output.find("ok detect g@v1 "), std::string::npos);
+  EXPECT_NE(output.find("ok versions g count=2"), std::string::npos);
+  EXPECT_NE(output.find("v0 g nodes=5 edges=6 ops=0"), std::string::npos);
+  EXPECT_NE(output.find("v1 g@v1 nodes=5 edges=6 ops=3"), std::string::npos);
+}
+
+TEST(ServeLoopTest, UpdateErrorsKeepTheLoopAlive) {
+  const std::string path = WriteTempGraph(testing::ChainGraph(0.3, 0.6),
+                                          "serve_v.graph", GraphFileFormat::kText);
+  GraphCatalog catalog;
+  QueryEngine engine(&catalog);
+  dyn::UpdateManager updates(&catalog);
+  std::istringstream in("addedge nope 0 1 0.5\n"
+                        "load g " + path + "\n"
+                        "commit g\n"          // nothing staged
+                        "deledge g 2 0\n"     // no such edge
+                        "addedge g 2 0 0.4\n"
+                        "commit g\n"
+                        "quit\n");
+  std::ostringstream out;
+  const ServeLoopStats stats = RunServeLoop(in, out, engine, &updates);
+  EXPECT_EQ(stats.errors, 3u);
+  EXPECT_EQ(stats.requests, 7u);
+  EXPECT_EQ(stats.updates, 2u);  // the accepted addedge and its commit
+  EXPECT_NE(out.str().find("ok committed g@v1"), std::string::npos) << out.str();
+}
+
+TEST(ServeLoopTest, UpdateVerbsWithoutBackendAreErrors) {
+  GraphCatalog catalog;
+  QueryEngine engine(&catalog);
+  std::istringstream in("addedge g 0 1 0.5\n"
+                        "commit g\n"
+                        "versions g\n"
+                        "quit\n");
+  std::ostringstream out;
+  const ServeLoopStats stats = RunServeLoop(in, out, engine, nullptr);
+  EXPECT_EQ(stats.errors, 3u);
+  EXPECT_NE(out.str().find("err dynamic updates are not enabled"),
+            std::string::npos);
+  EXPECT_EQ(Lines(out.str()).back(), "ok bye");
+}
+
+TEST(ServeLoopTest, CommittedVersionIsQueryableAndCachedIndependently) {
+  const std::string path = WriteTempGraph(testing::RandomSmallGraph(25, 0.2, 3),
+                                          "serve_w.snap", GraphFileFormat::kBinary);
+  const std::string output = RunScript("load g " + path +
+                                       "\n"
+                                       "detect g 3 BSRBK seed=5\n"
+                                       "setprob g " +
+                                       [&] {
+                                         // Pick a real edge of the fixture.
+                                         const UncertainGraph g =
+                                             testing::RandomSmallGraph(25, 0.2, 3);
+                                         const UncertainEdge e = g.edges()[0];
+                                         return std::to_string(e.src) + " " +
+                                                std::to_string(e.dst);
+                                       }() +
+                                       " 0.123\n"
+                                       "commit g\n"
+                                       "detect g 3 BSRBK seed=5\n"   // cache hit
+                                       "detect g@v1 3 BSRBK seed=5\n"  // cold
+                                       "quit\n");
+  const std::vector<std::string> lines = Lines(output);
+  std::vector<std::string> detect_headers;
+  for (const std::string& line : lines) {
+    if (line.rfind("ok detect ", 0) == 0) detect_headers.push_back(line);
+  }
+  ASSERT_EQ(detect_headers.size(), 3u) << output;
+  EXPECT_NE(detect_headers[0].find("cached=0"), std::string::npos);
+  EXPECT_NE(detect_headers[1].find("cached=1"), std::string::npos)
+      << "base version untouched by the commit must keep hitting the cache";
+  EXPECT_NE(detect_headers[2].find("cached=0"), std::string::npos)
+      << "the new version must not inherit the base version's cache line";
+}
+
 TEST(ServeLoopTest, TruthAndEngineStats) {
   const std::string path = WriteTempGraph(testing::RandomSmallGraph(20, 0.2, 9),
                                           "serve_e.snap", GraphFileFormat::kBinary);
@@ -161,6 +260,12 @@ TEST(ServeLoopTest, TruthAndEngineStats) {
   EXPECT_NE(truth_headers[0].find("cached=0"), std::string::npos);
   EXPECT_NE(truth_headers[1].find("cached=1"), std::string::npos);
   EXPECT_NE(output.find("cache_hits=1"), std::string::npos) << output;
+  // The one-line session summary: loop counters + result cache counters.
+  // 4 requests so far (load, truth, truth, stats — counted before output).
+  EXPECT_NE(output.find("serve requests=4 errors=0 updates=0 hits=1 "
+                        "misses=1 evictions=0"),
+            std::string::npos)
+      << output;
 }
 
 }  // namespace

@@ -17,6 +17,9 @@
 //   vulnds_cli serve [cache_capacity]
 //       Speaks the line-oriented serve protocol on stdin/stdout: graphs are
 //       loaded once into a catalog and repeated queries hit a result cache.
+//       Dynamic updates are enabled: addedge/deledge/setprob stage edge
+//       mutations, commit materializes them as a new immutable version
+//       registered under <name>@vN, and versions lists the history.
 //
 // All numbers are parsed with checked helpers (common/parse.h): a malformed
 // argument is a usage error, never a silent zero.
@@ -30,6 +33,7 @@
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "dyn/update_manager.h"
 #include "gen/datasets.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
@@ -61,7 +65,9 @@ int Usage() {
                "  vulnds_cli detect <graph> <k> [method] [key=value ...]\n"
                "      keys: eps= delta= seed= samples= order= bk= method=\n"
                "  vulnds_cli truth <graph> <k> [samples] [seed]\n"
-               "  vulnds_cli serve [cache_capacity]\n");
+               "  vulnds_cli serve [cache_capacity]\n"
+               "      serve verbs: load save detect truth stats catalog evict\n"
+               "      addedge deledge setprob commit versions quit\n");
   return 2;
 }
 
@@ -239,10 +245,11 @@ int CmdServe(int argc, char** argv) {
   engine_options.pool = &pool;
   serve::GraphCatalog catalog;
   serve::QueryEngine engine(&catalog, engine_options);
+  dyn::UpdateManager updates(&catalog);
   const serve::ServeLoopStats stats =
-      serve::RunServeLoop(std::cin, std::cout, engine);
-  std::fprintf(stderr, "serve session: %zu requests, %zu errors\n",
-               stats.requests, stats.errors);
+      serve::RunServeLoop(std::cin, std::cout, engine, &updates);
+  std::fprintf(stderr, "serve session: %zu requests, %zu errors, %zu updates\n",
+               stats.requests, stats.errors, stats.updates);
   return 0;
 }
 
