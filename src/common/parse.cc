@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <string>
+#include <type_traits>
 
 namespace vulnds {
 
@@ -21,6 +23,16 @@ Result<T> ParseWith(std::string_view token, const char* kind) {
   if (ec != std::errc() || ptr != last || token.empty()) {
     return Status::InvalidArgument("not a valid " + std::string(kind) + ": '" +
                                    std::string(token) + "'");
+  }
+  if constexpr (std::is_floating_point_v<T>) {
+    // from_chars accepts "inf"/"nan" spellings, but no option or probability
+    // in this codebase is meaningfully non-finite — and NaN slides through
+    // open-interval validations written as `x <= 0 || x >= 1` (every
+    // comparison with NaN is false), so it must die at the parse boundary.
+    if (!std::isfinite(value)) {
+      return Status::InvalidArgument("non-finite " + std::string(kind) + ": '" +
+                                     std::string(token) + "'");
+    }
   }
   return value;
 }

@@ -25,7 +25,10 @@ Result<int64_t> ParseInt64(std::string_view token);
 /// never a silent truncation).
 Result<int> ParseInt32(std::string_view token);
 
-/// Parses a floating-point number (fixed or scientific).
+/// Parses a finite floating-point number (fixed or scientific). The
+/// "inf"/"nan" spellings from_chars would accept are rejected: non-finite
+/// values defeat open-interval range checks downstream (NaN compares false
+/// against everything) and never make sense as options or probabilities.
 Result<double> ParseDouble(std::string_view token);
 
 /// ASCII-lowercases a token; used for case-insensitive command, method, and

@@ -49,6 +49,11 @@ double Rng::NextDoubleOpen() {
 }
 
 bool Rng::Bernoulli(double p) {
+  // NaN compares false against everything, so without this check it would
+  // fall through to NextDouble() < NaN — returning false but consuming a
+  // draw, silently shifting every later coin in the stream. Return false
+  // without touching the state instead.
+  if (std::isnan(p)) return false;
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return NextDouble() < p;

@@ -38,7 +38,9 @@ class Rng {
   /// Returns a uniform double in the open interval (0, 1); never 0.
   double NextDoubleOpen();
 
-  /// Returns true with probability `p` (clamped to [0, 1]).
+  /// Returns true with probability `p` (clamped to [0, 1]). NaN
+  /// deterministically returns false without consuming a draw, so a
+  /// poisoned probability can never flip a coin or shift the stream.
   bool Bernoulli(double p);
 
   /// Returns a uniform integer in [0, bound); bound must be > 0.

@@ -9,8 +9,22 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  try {
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  } catch (...) {
+    // The Nth spawn can fail (thread limits); without this, unwinding would
+    // destroy `workers_` while it holds joinable threads and terminate the
+    // process. Shut down the workers that did start, then let the caller
+    // handle the exception.
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    task_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    throw;
   }
 }
 

@@ -8,6 +8,20 @@ namespace {
 bool ValidProb(double p) { return p >= 0.0 && p <= 1.0; }
 }  // namespace
 
+void BuildInCsr(const std::vector<UncertainEdge>& edges, std::size_t n,
+                std::vector<std::size_t>* in_offsets, std::vector<Arc>* in_arcs) {
+  const std::size_t m = edges.size();
+  in_offsets->assign(n + 1, 0);
+  for (const UncertainEdge& e : edges) ++(*in_offsets)[e.dst + 1];
+  for (std::size_t v = 0; v < n; ++v) (*in_offsets)[v + 1] += (*in_offsets)[v];
+  in_arcs->resize(m);
+  std::vector<std::size_t> in_pos(in_offsets->begin(), in_offsets->end() - 1);
+  for (EdgeId id = 0; id < m; ++id) {
+    const UncertainEdge& e = edges[id];
+    (*in_arcs)[in_pos[e.dst]++] = Arc{e.src, e.prob, id};
+  }
+}
+
 UncertainGraphBuilder::UncertainGraphBuilder(std::size_t num_nodes)
     : self_risk_(num_nodes, 0.0) {}
 
@@ -61,24 +75,15 @@ Result<UncertainGraph> UncertainGraphBuilder::Build() const {
 
   // Counting sort into CSR, both directions; edge id == position in edges_.
   g.out_offsets_.assign(n + 1, 0);
-  g.in_offsets_.assign(n + 1, 0);
-  for (const UncertainEdge& e : edges_) {
-    ++g.out_offsets_[e.src + 1];
-    ++g.in_offsets_[e.dst + 1];
-  }
-  for (std::size_t v = 0; v < n; ++v) {
-    g.out_offsets_[v + 1] += g.out_offsets_[v];
-    g.in_offsets_[v + 1] += g.in_offsets_[v];
-  }
+  for (const UncertainEdge& e : edges_) ++g.out_offsets_[e.src + 1];
+  for (std::size_t v = 0; v < n; ++v) g.out_offsets_[v + 1] += g.out_offsets_[v];
   g.out_arcs_.resize(m);
-  g.in_arcs_.resize(m);
   std::vector<std::size_t> out_pos(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
-  std::vector<std::size_t> in_pos(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
   for (EdgeId id = 0; id < m; ++id) {
     const UncertainEdge& e = edges_[id];
     g.out_arcs_[out_pos[e.src]++] = {e.dst, e.prob, id};
-    g.in_arcs_[in_pos[e.dst]++] = {e.src, e.prob, id};
   }
+  BuildInCsr(edges_, n, &g.in_offsets_, &g.in_arcs_);
   return g;
 }
 

@@ -10,6 +10,15 @@
 
 namespace vulnds {
 
+/// Builds the reverse (in-) CSR of `edges` over `n` nodes: counting sort by
+/// destination, filled in ascending edge-id order (edge id == index into
+/// `edges`). This is THE canonical in-CSR layout — shared by
+/// UncertainGraphBuilder::Build and the binary-snapshot loader so the two
+/// construction paths cannot drift apart (samplers rely on arc order for
+/// reproducible coin-flip sequences).
+void BuildInCsr(const std::vector<UncertainEdge>& edges, std::size_t n,
+                std::vector<std::size_t>* in_offsets, std::vector<Arc>* in_arcs);
+
 /// Accumulates nodes and edges, validates them, and assembles the dual-CSR
 /// representation. Parallel edges are allowed (they act as independent
 /// diffusion channels); self-loops are rejected because a node's own default

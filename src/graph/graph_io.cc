@@ -260,37 +260,88 @@ Result<UncertainGraph> ReadGraphBinary(std::istream& in) {
   VULNDS_RETURN_NOT_OK(GetArray(in, &probs, m, "arc probabilities"));
   VULNDS_RETURN_NOT_OK(GetArray(in, &edge_ids, m, "arc edge ids"));
 
-  if (offsets[0] != 0 || offsets[n] != m) {
-    return Status::InvalidArgument("corrupt snapshot: bad CSR offsets");
+  // The arrays came off disk, so nothing in them may be trusted: validate
+  // every probability and every CSR invariant the builder would have
+  // enforced on a text load, naming the offending index, before the graph
+  // is assembled. FromParts then adopts the columns directly — no counting
+  // sort, no per-edge revalidation — which keeps snapshot loads I/O-bound.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!(risks[v] >= 0.0 && risks[v] <= 1.0)) {  // NaN fails both
+      return Status::InvalidArgument(
+          "corrupt snapshot: self-risk of node " + std::to_string(v) + " is " +
+          std::to_string(risks[v]) + ", outside [0,1]");
+    }
+  }
+  if (offsets[0] != 0) {
+    return Status::InvalidArgument("corrupt snapshot: CSR offset 0 is " +
+                                   std::to_string(offsets[0]) + ", want 0");
+  }
+  if (offsets[n] != m) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: CSR offset " + std::to_string(n) + " is " +
+        std::to_string(offsets[n]) + ", want edge count " + std::to_string(m));
   }
   for (std::size_t v = 0; v < n; ++v) {
     if (offsets[v] > offsets[v + 1]) {
-      return Status::InvalidArgument("corrupt snapshot: non-monotonic offsets");
+      return Status::InvalidArgument(
+          "corrupt snapshot: CSR offsets decrease at node " + std::to_string(v));
     }
   }
 
-  // Recover the insertion-order edge list through the edge-id column, then
-  // rebuild through the validated builder so a snapshot load yields exactly
-  // the graph the text loader would produce.
-  std::vector<UncertainEdge> edges(m);
+  // Recover the insertion-order edge list through the edge-id column while
+  // checking it is a permutation of [0, m); simultaneously validate each
+  // arc's endpoint and probability and the builder's canonical within-group
+  // order (ascending edge id), which samplers rely on for bit-identical
+  // coin-flip sequences.
+  std::vector<UncertainEdge> edge_list(m);
+  std::vector<Arc> out_arcs(m);
   std::vector<char> seen(m, 0);
   for (NodeId v = 0; v < n; ++v) {
     for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const uint32_t dst = dsts[i];
+      const double prob = probs[i];
       const uint32_t e = edge_ids[i];
+      if (dst >= n) {
+        return Status::InvalidArgument(
+            "corrupt snapshot: arc " + std::to_string(i) + " points at node " +
+            std::to_string(dst) + " outside the graph of " + std::to_string(n) +
+            " nodes");
+      }
+      if (dst == v) {
+        return Status::InvalidArgument("corrupt snapshot: arc " +
+                                       std::to_string(i) + " is a self-loop on node " +
+                                       std::to_string(v));
+      }
+      if (!(prob >= 0.0 && prob <= 1.0)) {  // NaN fails both
+        return Status::InvalidArgument(
+            "corrupt snapshot: arc " + std::to_string(i) + " has probability " +
+            std::to_string(prob) + ", outside [0,1]");
+      }
       if (e >= m || seen[e]) {
-        return Status::InvalidArgument("corrupt snapshot: edge ids not a permutation");
+        return Status::InvalidArgument(
+            "corrupt snapshot: edge ids are not a permutation (arc " +
+            std::to_string(i) + " carries id " + std::to_string(e) + ")");
+      }
+      if (i > offsets[v] && edge_ids[i - 1] >= e) {
+        return Status::InvalidArgument(
+            "corrupt snapshot: edge ids of node " + std::to_string(v) +
+            " not ascending at arc " + std::to_string(i));
       }
       seen[e] = 1;
-      edges[e] = UncertainEdge{v, dsts[i], probs[i]};
+      edge_list[e] = UncertainEdge{v, dst, prob};
+      out_arcs[i] = Arc{dst, prob, e};
     }
   }
 
-  UncertainGraphBuilder builder(n);
-  VULNDS_RETURN_NOT_OK(builder.SetAllSelfRisks(risks));
-  for (const UncertainEdge& e : edges) {
-    VULNDS_RETURN_NOT_OK(builder.AddEdge(e.src, e.dst, e.prob));
-  }
-  return builder.Build();
+  // The reverse CSR is rebuilt through the builder's own canonical helper,
+  // so the snapshot path can never drift from a from-scratch build.
+  std::vector<std::size_t> out_offsets(offsets.begin(), offsets.end());
+  std::vector<std::size_t> in_offsets;
+  std::vector<Arc> in_arcs;
+  BuildInCsr(edge_list, n, &in_offsets, &in_arcs);
+  return UncertainGraph::FromParts(std::move(risks), std::move(out_offsets),
+                                   std::move(out_arcs), std::move(in_offsets),
+                                   std::move(in_arcs), std::move(edge_list));
 }
 
 Result<UncertainGraph> ReadGraphFile(const std::string& path) {

@@ -93,6 +93,14 @@ Status ApplyDetectFlag(const std::string& token, DetectorOptions* options) {
     options->naive_samples = *v;
     return Status::OK();
   }
+  if (key == "threads") {
+    // Execution knob, not identity: results are bit-identical for every
+    // thread count, so this never fragments the result cache.
+    Result<std::size_t> v = ParseCount(value, "threads");
+    if (!v.ok()) return v.status();
+    options->threads = *v;
+    return Status::OK();
+  }
   if (key == "order" || key == "bk") {
     // ParseInt32 rejects values outside int range instead of truncating.
     Result<int> v = ParseInt32(value);

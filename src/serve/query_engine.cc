@@ -10,6 +10,7 @@ namespace vulnds::serve {
 DetectorOptions CanonicalizeOptions(DetectorOptions o) {
   const DetectorOptions defaults;
   o.pool = nullptr;
+  o.threads = 0;  // determinism makes thread count a pure execution knob
   switch (o.method) {
     case Method::kNaive:
       // Fixed budget: the (eps, delta) machinery and bounds are never read.
@@ -83,7 +84,7 @@ Result<DetectResponse> QueryEngine::Detect(const std::string& name,
     }
   }
 
-  options.pool = pool_;
+  options.pool = PoolFor(options.threads);
   Result<DetectionResult> result = [&] {
     std::lock_guard<std::mutex> lock(entry->context_mu);
     return DetectTopK(entry->graph, options, &entry->context);
@@ -98,6 +99,33 @@ Result<DetectResponse> QueryEngine::Detect(const std::string& name,
     detect_cache_.Put(key, response.result);
   }
   return response;
+}
+
+ThreadPool* QueryEngine::PoolFor(std::size_t threads) {
+  if (threads == 0) return pool_;
+  if (pool_ != nullptr && pool_->num_threads() == threads) return pool_;
+  std::lock_guard<std::mutex> lock(pools_mu_);
+  const auto it = extra_pools_.find(threads);
+  if (it != extra_pools_.end()) return it->second.get();
+  // Existing pools may be referenced by in-flight requests, so they are
+  // never destroyed while the engine lives; instead both the number of
+  // distinct counts and the summed thread budget are bounded. Past either
+  // cap — or if the OS refuses more threads — fall back to the session
+  // default, which is always legal: results are bit-identical for every
+  // thread count, so the knob only shapes latency.
+  if (extra_pools_.size() >= kMaxExtraPools ||
+      extra_pool_threads_ + threads > kMaxExtraPoolThreads) {
+    return pool_;
+  }
+  try {
+    ThreadPool* pool = extra_pools_
+                           .emplace(threads, std::make_unique<ThreadPool>(threads))
+                           .first->second.get();
+    extra_pool_threads_ += threads;
+    return pool;
+  } catch (...) {  // thread exhaustion or allocation failure — degrade, not die
+    return pool_;
+  }
 }
 
 Result<TruthResponse> QueryEngine::Truth(const std::string& name,

@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,8 +38,10 @@
 namespace vulnds::serve {
 
 /// Returns `options` with every field the method ignores reset to its
-/// default, and `pool` cleared (execution resources are never part of a
-/// query's identity).
+/// default, and `pool` / `threads` cleared: execution resources are never
+/// part of a query's identity — detection results are bit-identical for
+/// every thread count, so `detect g 5 threads=4` may legitimately be
+/// answered from a cache line computed single-threaded.
 DetectorOptions CanonicalizeOptions(DetectorOptions options);
 
 /// Stable cache-key text for a detect request ("method=BSRBK k=5 ...").
@@ -75,7 +78,12 @@ class QueryEngine {
   explicit QueryEngine(GraphCatalog* catalog, QueryEngineOptions options = {});
 
   /// Runs (or serves from cache) a detection query against graph `name`.
-  /// `options.pool` is overridden with the engine's pool.
+  /// `options.pool` is overridden: with the engine's pool by default, or —
+  /// when the request carries `options.threads > 0` — with a pool of that
+  /// many workers (constructed once per distinct count and kept for the
+  /// engine's lifetime; `threads=1` forces a serial run). Once the engine's
+  /// pool budget (kMaxExtraPools / kMaxExtraPoolThreads) is spent, further
+  /// counts run on the default pool — results are identical either way.
   Result<DetectResponse> Detect(const std::string& name, DetectorOptions options);
 
   /// Runs (or serves from cache) a Monte-Carlo ground-truth query.
@@ -86,8 +94,27 @@ class QueryEngine {
   EngineStats stats() const;
 
  private:
+  /// Caps on the pools built for non-default threads= requests: at most
+  /// kMaxExtraPools distinct counts AND at most kMaxExtraPoolThreads OS
+  /// threads summed across them (pools live for the engine's lifetime
+  /// because in-flight requests may hold them). Requests past either
+  /// budget — or hitting a pool-creation failure — fall back to the
+  /// default pool, so a client cycling threads= values cannot grow the
+  /// process's thread count without bound.
+  static constexpr std::size_t kMaxExtraPools = 8;
+  static constexpr std::size_t kMaxExtraPoolThreads = 128;
+
+  /// The pool serving requests that ask for `threads` workers (0 = the
+  /// engine default). Extra pools are created lazily, one per distinct
+  /// count up to kMaxExtraPools, and live for the engine's lifetime.
+  ThreadPool* PoolFor(std::size_t threads);
+
   GraphCatalog* catalog_;
   ThreadPool* pool_;
+
+  std::mutex pools_mu_;  // guards extra_pools_ and extra_pool_threads_
+  std::map<std::size_t, std::unique_ptr<ThreadPool>> extra_pools_;
+  std::size_t extra_pool_threads_ = 0;  // sum of extra_pools_ widths
 
   mutable std::mutex mu_;  // guards caches_ and counters
   LruCache<DetectionResult> detect_cache_;

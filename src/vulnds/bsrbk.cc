@@ -1,6 +1,7 @@
 #include "vulnds/bsrbk.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <string>
 
@@ -11,7 +12,88 @@
 namespace vulnds {
 
 namespace {
+
 constexpr uint64_t kSampleHashSalt = 0x27220A95FE1D83D5ULL;
+
+// Worlds materialized per worker per wave. Larger waves amortize the
+// ParallelFor synchronization; smaller waves bound the work wasted past the
+// early-stop position (at most one wave). The value never affects results,
+// only cost — the fold below is position-by-position in hash order.
+constexpr std::size_t kWaveWorldsPerWorker = 32;
+
+// Memory guardrails for the parallel path; neither changes results (worker
+// count and wave size are execution knobs only — property-tested), they
+// only keep a wide pool on a huge graph from ballooning the process.
+// Each ReverseSampler holds ~25 bytes per graph node (three per-node
+// arrays plus two reserved queues); each wave slot holds one bitmap of
+// |candidates| bytes.
+constexpr std::size_t kMaxSamplerBytes = std::size_t{512} << 20;
+constexpr std::size_t kMaxWaveBytes = std::size_t{64} << 20;
+constexpr std::size_t kSamplerBytesPerNode = 25;
+
+// The serial count-folding state of the bottom-k run. Folding sample
+// `order[pos]` is the only place counters, kth_hash and the stop decision
+// are touched, so both the serial loop and the wave-parallel path fold
+// through this one code path and stay bit-identical by construction.
+class BottomKFolder {
+ public:
+  BottomKFolder(std::size_t num_candidates, std::size_t needed, int bk,
+                const std::vector<double>& hash_of, BottomKRunStats* stats)
+      : needed_(needed),
+        bk_(static_cast<uint32_t>(bk)),
+        hash_of_(hash_of),
+        stats_(stats),
+        counts_(num_candidates, 0),
+        kth_hash_(num_candidates, 0.0) {}
+
+  /// Folds one materialized world into the counters; returns true when the
+  /// early-stop condition fired and no further position may be folded.
+  bool Fold(uint32_t sample_id, const std::vector<char>& defaulted,
+            std::size_t touched) {
+    stats_->nodes_touched += touched;
+    ++stats_->samples_processed;
+    for (std::size_t c = 0; c < counts_.size(); ++c) {
+      if (!defaulted[c] || stats_->reached_bk[c]) continue;
+      if (++counts_[c] == bk_) {
+        stats_->reached_bk[c] = 1;
+        kth_hash_[c] = hash_of_[sample_id];
+        ++reached_;
+      }
+    }
+    if (reached_ >= needed_) {
+      stats_->early_stopped = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Writes the per-candidate estimates once folding is done.
+  void FinishEstimates(std::size_t t) const {
+    for (std::size_t c = 0; c < counts_.size(); ++c) {
+      if (stats_->reached_bk[c]) {
+        // Raw sketch estimate, deliberately NOT clamped to 1: the ordering
+        // of Theorem 6 is "smaller L(A, bk) first", and clamping would
+        // collapse every strong candidate into a tie. Callers clamp for
+        // reporting.
+        stats_->estimates[c] = static_cast<double>(bk_ - 1) /
+                               (kth_hash_[c] * static_cast<double>(t));
+      } else {
+        stats_->estimates[c] = static_cast<double>(counts_[c]) /
+                               static_cast<double>(stats_->samples_processed);
+      }
+    }
+  }
+
+ private:
+  std::size_t needed_;
+  uint32_t bk_;
+  std::size_t reached_ = 0;
+  const std::vector<double>& hash_of_;
+  BottomKRunStats* stats_;
+  std::vector<uint32_t> counts_;
+  std::vector<double> kth_hash_;
+};
+
 }  // namespace
 
 BottomKSampleOrder MakeBottomKSampleOrder(uint64_t seed, std::size_t t) {
@@ -31,7 +113,9 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
                                            const std::vector<NodeId>& candidates,
                                            std::size_t t, std::size_t needed,
                                            int bk, uint64_t seed,
-                                           const BottomKSampleOrder* precomputed) {
+                                           const BottomKSampleOrder* precomputed,
+                                           ThreadPool* pool,
+                                           std::size_t wave_size) {
   if (bk < 3) {
     return Status::InvalidArgument("bk must be >= 3, got " + std::to_string(bk));
   }
@@ -58,42 +142,66 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
   const std::vector<uint32_t>& order = precomputed->order;
   const std::vector<double>& hash_of = precomputed->hash_of;
 
-  ReverseSampler sampler(graph, candidates);
-  std::vector<uint32_t> counts(candidates.size(), 0);
-  std::vector<double> kth_hash(candidates.size(), 0.0);
-  std::vector<char> defaulted;
-  std::size_t reached = 0;
+  BottomKFolder folder(candidates.size(), needed, bk, hash_of, &stats);
 
-  for (std::size_t pos = 0; pos < t; ++pos) {
-    const uint32_t sample_id = order[pos];
-    stats.nodes_touched += sampler.SampleWorld(WorldSeed(seed, sample_id), &defaulted);
-    ++stats.samples_processed;
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      if (!defaulted[c] || stats.reached_bk[c]) continue;
-      if (++counts[c] == static_cast<uint32_t>(bk)) {
-        stats.reached_bk[c] = 1;
-        kth_hash[c] = hash_of[sample_id];
-        ++reached;
+  std::size_t workers = pool == nullptr ? 1 : std::min(pool->num_threads(), t);
+  const std::size_t per_sampler = kSamplerBytesPerNode * graph.num_nodes() + 1;
+  workers = std::min(
+      workers, std::max<std::size_t>(1, kMaxSamplerBytes / per_sampler));
+  if (workers <= 1) {
+    ReverseSampler sampler(graph, candidates);
+    std::vector<char> defaulted;
+    for (std::size_t pos = 0; pos < t; ++pos) {
+      const uint32_t sample_id = order[pos];
+      const std::size_t touched =
+          sampler.SampleWorld(WorldSeed(seed, sample_id), &defaulted);
+      if (folder.Fold(sample_id, defaulted, touched)) break;
+    }
+    folder.FinishEstimates(t);
+    return stats;
+  }
+
+  // Wave-parallel: materialize the bitmaps of `wave_size` consecutive
+  // hash-order positions in parallel (one persistent sampler per worker, a
+  // contiguous slice of the wave each), then fold serially. SampleWorld's
+  // memoization is per-world, so a world's bitmap and touch count are pure
+  // in its seed — independent of which sampler materializes it and of what
+  // that sampler processed before.
+  if (wave_size == 0) {
+    wave_size = workers * kWaveWorldsPerWorker;
+    const std::size_t max_wave =
+        std::max(workers, kMaxWaveBytes /
+                              std::max<std::size_t>(1, candidates.size()));
+    wave_size = std::min(wave_size, max_wave);
+  }
+  std::vector<std::unique_ptr<ReverseSampler>> samplers;
+  samplers.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    samplers.push_back(std::make_unique<ReverseSampler>(graph, candidates));
+  }
+  std::vector<std::vector<char>> wave_defaulted(wave_size);
+  std::vector<std::size_t> wave_touched(wave_size, 0);
+
+  for (std::size_t wave_begin = 0; wave_begin < t; wave_begin += wave_size) {
+    const std::size_t count = std::min(wave_size, t - wave_begin);
+    const std::size_t active = std::min(workers, count);
+    const std::size_t chunk = (count + active - 1) / active;
+    pool->ParallelFor(active, [&](std::size_t w) {
+      const std::size_t begin = w * chunk;
+      const std::size_t end = std::min(count, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        wave_touched[i] = samplers[w]->SampleWorld(
+            WorldSeed(seed, order[wave_begin + i]), &wave_defaulted[i]);
       }
+    });
+    bool stop = false;
+    for (std::size_t i = 0; i < count && !stop; ++i) {
+      stop = folder.Fold(order[wave_begin + i], wave_defaulted[i],
+                         wave_touched[i]);
     }
-    if (reached >= needed) {
-      stats.early_stopped = true;
-      break;
-    }
+    if (stop) break;
   }
-
-  for (std::size_t c = 0; c < candidates.size(); ++c) {
-    if (stats.reached_bk[c]) {
-      // Raw sketch estimate, deliberately NOT clamped to 1: the ordering of
-      // Theorem 6 is "smaller L(A, bk) first", and clamping would collapse
-      // every strong candidate into a tie. Callers clamp for reporting.
-      stats.estimates[c] =
-          static_cast<double>(bk - 1) / (kth_hash[c] * static_cast<double>(t));
-    } else {
-      stats.estimates[c] = static_cast<double>(counts[c]) /
-                           static_cast<double>(stats.samples_processed);
-    }
-  }
+  folder.FinishEstimates(t);
   return stats;
 }
 

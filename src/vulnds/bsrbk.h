@@ -11,6 +11,16 @@
 // is exhausted first, the run degrades to plain reverse sampling and the
 // prefix estimates count / processed are used (the prefix in hash order is
 // a uniformly random subset of worlds, so these remain unbiased).
+//
+// Parallel execution (deterministic): each sampled world is a pure function
+// of WorldSeed(seed, sample_id), so with a ThreadPool the run materializes
+// the `defaulted` bitmaps of a fixed-size wave of consecutive hash-order
+// positions in parallel, then folds the wave's counts serially in ascending
+// hash order. The fold — and therefore the early-stop position, every
+// counter, kth_hash, samples_processed, nodes_touched and every estimate —
+// is bit-identical to the serial loop for any thread count and any wave
+// size; only wasted work (worlds materialized past the stop position inside
+// the final wave) varies.
 
 #ifndef VULNDS_VULNDS_BSRBK_H_
 #define VULNDS_VULNDS_BSRBK_H_
@@ -19,6 +29,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "graph/uncertain_graph.h"
 
 namespace vulnds {
@@ -44,9 +55,9 @@ struct BottomKRunStats {
   std::vector<double> estimates;
   /// Flag per candidate: did its counter reach bk?
   std::vector<char> reached_bk;
-  std::size_t samples_processed = 0;  ///< worlds actually materialized
+  std::size_t samples_processed = 0;  ///< worlds folded into the counters
   std::size_t total_samples = 0;      ///< the budget t
-  std::size_t nodes_touched = 0;
+  std::size_t nodes_touched = 0;      ///< BFS expansions of folded worlds
   bool early_stopped = false;  ///< true iff `needed` candidates reached bk
 };
 
@@ -54,13 +65,19 @@ struct BottomKRunStats {
 /// budget of `t` worlds, stopping once `needed` candidates reach `bk`
 /// defaults. Requires bk >= 3 (sketch estimator) and needed >= 1.
 /// `precomputed` optionally supplies MakeBottomKSampleOrder(seed, t) — it
-/// must have been built for exactly that (seed, t) pair; results are
-/// bit-identical with and without it.
+/// must have been built for exactly that (seed, t) pair.
+///
+/// `pool` enables wave-parallel world materialization; `wave_size` overrides
+/// the number of hash-order positions materialized per wave (0 picks a
+/// multiple of the pool width). Results are bit-identical across every
+/// combination of pool, thread count and wave size, including serial.
 Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
                                            const std::vector<NodeId>& candidates,
                                            std::size_t t, std::size_t needed,
                                            int bk, uint64_t seed,
-                                           const BottomKSampleOrder* precomputed = nullptr);
+                                           const BottomKSampleOrder* precomputed = nullptr,
+                                           ThreadPool* pool = nullptr,
+                                           std::size_t wave_size = 0);
 
 }  // namespace vulnds
 

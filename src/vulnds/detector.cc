@@ -1,6 +1,7 @@
 #include "vulnds/detector.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "vulnds/basic_sampler.h"
@@ -41,17 +42,25 @@ Status ValidateDetectorOptions(const UncertainGraph& graph,
   if (o.k == 0 || o.k > graph.num_nodes()) {
     return Status::InvalidArgument("k must be in [1, n], got " + std::to_string(o.k));
   }
-  if (o.eps <= 0.0 || o.eps >= 1.0) {
-    return Status::InvalidArgument("eps must be in (0, 1)");
+  // The open-interval checks are phrased positively because every
+  // comparison against NaN is false: `eps <= 0 || eps >= 1` would wave a
+  // NaN through into the sample-size math, where casting it to size_t is
+  // undefined behavior.
+  if (!std::isfinite(o.eps) || !(o.eps > 0.0 && o.eps < 1.0)) {
+    return Status::InvalidArgument("eps must be finite and in (0, 1)");
   }
-  if (o.delta <= 0.0 || o.delta >= 1.0) {
-    return Status::InvalidArgument("delta must be in (0, 1)");
+  if (!std::isfinite(o.delta) || !(o.delta > 0.0 && o.delta < 1.0)) {
+    return Status::InvalidArgument("delta must be finite and in (0, 1)");
   }
   if (o.bound_order < 1) {
     return Status::InvalidArgument("bound_order must be >= 1");
   }
   if (o.bk < 3) {
     return Status::InvalidArgument("bk must be >= 3");
+  }
+  if (o.threads > kMaxDetectThreads) {
+    return Status::InvalidArgument("threads must be <= " +
+                                   std::to_string(kMaxDetectThreads));
   }
   return Status::OK();
 }
@@ -251,7 +260,7 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
     }
   }
   Result<BottomKRunStats> run = RunBottomKSampling(
-      graph, reduced->candidates, t, needed, o.bk, o.seed, order);
+      graph, reduced->candidates, t, needed, o.bk, o.seed, order, o.pool);
   if (!run.ok()) return run.status();
   result.samples_processed = run->samples_processed;
   result.nodes_touched = run->nodes_touched;

@@ -53,6 +53,12 @@ struct DetectorOptions {
   int bk = 16;                       ///< bottom-k parameter of BSRBK
   uint64_t seed = 42;                ///< RNG seed (worlds and hashes)
   ThreadPool* pool = nullptr;        ///< optional sampling parallelism
+  /// Requested sampling parallelism for transports that construct the pool
+  /// on the caller's behalf (serve protocol / CLI `threads=`): 0 means "the
+  /// session default". DetectTopK itself only consumes `pool`; results are
+  /// bit-identical for every thread count, so neither field is part of a
+  /// query's identity (CanonicalizeOptions clears both).
+  std::size_t threads = 0;
 };
 
 /// Outcome of a detection run.
@@ -100,11 +106,19 @@ struct DetectionContext {
   std::size_t AdoptGraphIndependent(const DetectionContext& other);
 };
 
+/// The hard cap on DetectorOptions::threads: a transport-facing sanity bound
+/// so a hostile `threads=` request cannot make the serving process spawn an
+/// unbounded number of OS threads. Kept at or below the serve engine's
+/// per-engine pool budget so every value that validates can actually be
+/// honored by a fresh engine.
+inline constexpr std::size_t kMaxDetectThreads = 64;
+
 /// Validates `options` against `graph` without running anything: k in
-/// [1, n], eps/delta in (0, 1), bound_order >= 1, bk >= 3. DetectTopK
-/// performs the same check; callers that cache results by options should
-/// validate before consulting their cache so invalid requests fail
-/// identically warm or cold.
+/// [1, n], eps/delta finite and in (0, 1) — NaN is rejected, not merely not
+/// accepted — bound_order >= 1, bk >= 3, threads <= kMaxDetectThreads.
+/// DetectTopK performs the same check; callers that cache results by
+/// options should validate before consulting their cache so invalid
+/// requests fail identically warm or cold.
 Status ValidateDetectorOptions(const UncertainGraph& graph,
                                const DetectorOptions& options);
 

@@ -50,5 +50,22 @@ TEST(ParseTest, DoubleRejectsGarbage) {
   EXPECT_FALSE(ParseDouble("0.3x").ok());
 }
 
+TEST(ParseTest, DoubleRejectsNonFinite) {
+  // from_chars accepts these spellings; the helpers must not, because NaN
+  // defeats every open-interval validation downstream (all comparisons with
+  // NaN are false) and infinities are never valid options.
+  EXPECT_EQ(ParseDouble("nan").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("NaN").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("inf").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("INF").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("-inf").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("infinity").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("nan(0x1)").status().code(),
+            StatusCode::kInvalidArgument);
+  // Finite overflow stays OutOfRange, not InvalidArgument.
+  EXPECT_EQ(ParseDouble("1e99999").status().code(), StatusCode::kOutOfRange);
+}
+
 }  // namespace
 }  // namespace vulnds

@@ -53,6 +53,20 @@ TEST(RngTest, UniformMeanNearHalf) {
   EXPECT_NEAR(sum / n, 0.5, 0.01);
 }
 
+TEST(RngTest, BernoulliNaNIsDeterministicallyFalse) {
+  const double nan = std::nan("");
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(nan));
+  }
+  // ...and the rejected coin consumes no draw: the stream continues exactly
+  // where a fresh generator with the same seed starts.
+  Rng fresh(21);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.NextU64(), fresh.NextU64());
+  }
+}
+
 TEST(RngTest, BernoulliEdgeCases) {
   Rng rng(13);
   for (int i = 0; i < 100; ++i) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "testing/test_graphs.h"
@@ -104,6 +106,126 @@ TEST(GraphIoBinaryTest, HostileHeaderCountsRejectedWithoutAllocating) {
   bytes.append(reinterpret_cast<const char*>(&m), sizeof(m));
   std::stringstream buf(bytes);
   EXPECT_EQ(ReadGraphBinary(buf).status().code(), StatusCode::kIOError);
+}
+
+// Byte layout of a v2 snapshot (graph_io.h): 8 magic + 4 version + 8 n +
+// 8 m, then f64[n] risks, u64[n+1] offsets, u32[m] dsts, f64[m] probs,
+// u32[m] edge ids. These helpers patch one element in place so each test
+// can corrupt exactly one invariant of an otherwise valid dump.
+struct SnapshotLayout {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::size_t risks = 28;
+  std::size_t offsets = 0;
+  std::size_t dsts = 0;
+  std::size_t probs = 0;
+  std::size_t edge_ids = 0;
+};
+
+SnapshotLayout LayoutOf(const UncertainGraph& g) {
+  SnapshotLayout l;
+  l.n = g.num_nodes();
+  l.m = g.num_edges();
+  l.offsets = l.risks + 8 * l.n;
+  l.dsts = l.offsets + 8 * (l.n + 1);
+  l.probs = l.dsts + 4 * l.m;
+  l.edge_ids = l.probs + 8 * l.m;
+  return l;
+}
+
+std::string SnapshotBytes(const UncertainGraph& g) {
+  std::stringstream buf;
+  const Status st = WriteGraphBinary(g, buf);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return buf.str();
+}
+
+template <typename T>
+void Patch(std::string* bytes, std::size_t offset, T value) {
+  ASSERT_LE(offset + sizeof(T), bytes->size());
+  std::memcpy(bytes->data() + offset, &value, sizeof(T));
+}
+
+Status LoadStatus(const std::string& bytes) {
+  std::stringstream in(bytes);
+  return ReadGraphBinary(in).status();
+}
+
+TEST(GraphIoBinaryTest, CorruptProbabilityRejectedWithIndex) {
+  const UncertainGraph g = testing::ChainGraph(0.3, 0.6);
+  const SnapshotLayout l = LayoutOf(g);
+  std::string bytes = SnapshotBytes(g);
+  Patch(&bytes, l.probs + 8 * 1, 2.5);  // arc 1's diffusion probability
+  const Status st = LoadStatus(bytes);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("arc 1"), std::string::npos) << st.ToString();
+}
+
+TEST(GraphIoBinaryTest, NaNProbabilityRejected) {
+  const UncertainGraph g = testing::ChainGraph(0.3, 0.6);
+  const SnapshotLayout l = LayoutOf(g);
+  std::string bytes = SnapshotBytes(g);
+  Patch(&bytes, l.probs, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(LoadStatus(bytes).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIoBinaryTest, CorruptSelfRiskRejectedWithIndex) {
+  const UncertainGraph g = testing::ChainGraph(0.3, 0.6);
+  const SnapshotLayout l = LayoutOf(g);
+  std::string bytes = SnapshotBytes(g);
+  Patch(&bytes, l.risks + 8 * 2, -0.25);  // node 2's self-risk
+  const Status st = LoadStatus(bytes);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("node 2"), std::string::npos) << st.ToString();
+  Patch(&bytes, l.risks + 8 * 2,
+        std::numeric_limits<double>::infinity());
+  EXPECT_EQ(LoadStatus(bytes).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIoBinaryTest, OutOfRangeDestinationRejected) {
+  const UncertainGraph g = testing::ChainGraph(0.3, 0.6);
+  const SnapshotLayout l = LayoutOf(g);
+  std::string bytes = SnapshotBytes(g);
+  Patch(&bytes, l.dsts, static_cast<uint32_t>(999));
+  const Status st = LoadStatus(bytes);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("999"), std::string::npos) << st.ToString();
+}
+
+TEST(GraphIoBinaryTest, SelfLoopArcRejected) {
+  // Arc 0 belongs to node 0's group; pointing it back at node 0 forges a
+  // self-loop the text loader could never produce.
+  const UncertainGraph g = testing::ChainGraph(0.3, 0.6);
+  const SnapshotLayout l = LayoutOf(g);
+  std::string bytes = SnapshotBytes(g);
+  Patch(&bytes, l.dsts, static_cast<uint32_t>(0));
+  const Status st = LoadStatus(bytes);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("self-loop"), std::string::npos) << st.ToString();
+}
+
+TEST(GraphIoBinaryTest, NonMonotonicOffsetsRejected) {
+  const UncertainGraph g = testing::ChainGraph(0.3, 0.6);
+  const SnapshotLayout l = LayoutOf(g);
+  std::string bytes = SnapshotBytes(g);
+  Patch(&bytes, l.offsets + 8 * 1, static_cast<uint64_t>(5));
+  const Status st = LoadStatus(bytes);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("node 1"), std::string::npos) << st.ToString();
+}
+
+TEST(GraphIoBinaryTest, OutOfOrderEdgeIdsRejected) {
+  // Node A of the paper graph has arcs with edge ids 0 and 1; swapping them
+  // breaks the builder's canonical ascending order, which samplers rely on
+  // for reproducible coin-flip sequences.
+  const UncertainGraph g = testing::PaperExampleGraph(0.2);
+  const SnapshotLayout l = LayoutOf(g);
+  std::string bytes = SnapshotBytes(g);
+  Patch(&bytes, l.edge_ids, static_cast<uint32_t>(1));
+  Patch(&bytes, l.edge_ids + 4, static_cast<uint32_t>(0));
+  const Status st = LoadStatus(bytes);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("ascending"), std::string::npos) << st.ToString();
 }
 
 TEST(GraphIoBinaryTest, CorruptEdgeIdsRejected) {

@@ -137,6 +137,27 @@ TEST(ProtocolTest, UpdateVerbsRejectMalformedArguments) {
   EXPECT_FALSE(ParseServeRequest("versions").ok());
 }
 
+TEST(ProtocolTest, DetectRejectsNonFiniteNumbers) {
+  // "nan"/"inf" parse as doubles under from_chars and every comparison with
+  // NaN is false, so these must die in ParseDouble, long before the
+  // open-interval option checks run.
+  EXPECT_FALSE(ParseServeRequest("detect g 1 eps=nan").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g 1 eps=inf").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g 1 delta=nan").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g 1 delta=-inf").ok());
+  EXPECT_FALSE(ParseServeRequest("addedge g 0 1 nan").ok());
+  EXPECT_FALSE(ParseServeRequest("setprob g 0 1 inf").ok());
+}
+
+TEST(ProtocolTest, DetectThreadsFlag) {
+  Result<ServeRequest> r = ParseServeRequest("detect g 2 bsrbk threads=4");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->options.threads, 4u);
+  EXPECT_EQ(ParseServeRequest("detect g 2")->options.threads, 0u);
+  EXPECT_FALSE(ParseServeRequest("detect g 2 threads=four").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g 2 threads=-1").ok());
+}
+
 TEST(ProtocolTest, UnknownVerbRejected) {
   EXPECT_EQ(ParseServeRequest("frobnicate g").status().code(),
             StatusCode::kInvalidArgument);

@@ -96,6 +96,72 @@ TEST(QueryEngineTest, IrrelevantKnobsShareACacheLine) {
   EXPECT_TRUE(second->from_cache);
 }
 
+TEST(QueryEngineTest, ThreadsKnobIsExecutionOnly) {
+  // threads= selects a pool, never an answer: a request pinned to any
+  // thread count returns the bit-identical result and shares the cache line
+  // of its serial twin (parallel BSRBK is deterministic by construction).
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.method = Method::kBsrbk;
+  options.k = 3;
+  options.threads = 3;
+  Result<DetectResponse> parallel = engine.Detect("g", options);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_FALSE(parallel->from_cache);
+  options.threads = 1;
+  Result<DetectResponse> serial = engine.Detect("g", options);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_TRUE(serial->from_cache) << "thread count must not fragment the cache";
+  ExpectSameResult(parallel->result, serial->result);
+
+  // And with the cache off, a genuinely serial re-run still matches.
+  QueryEngineOptions no_cache;
+  no_cache.result_cache_capacity = 0;
+  QueryEngine cold_engine(&catalog, no_cache);
+  options.threads = 4;
+  Result<DetectResponse> four = cold_engine.Detect("g", options);
+  options.threads = 1;
+  Result<DetectResponse> one = cold_engine.Detect("g", options);
+  ASSERT_TRUE(four.ok() && one.ok());
+  EXPECT_FALSE(four->from_cache);
+  EXPECT_FALSE(one->from_cache);
+  ExpectSameResult(four->result, one->result);
+}
+
+TEST(QueryEngineTest, ManyDistinctThreadCountsStayBoundedAndCorrect) {
+  // Cycling threads= must not accumulate unbounded pools: past the
+  // engine's cap the request falls back to the default pool, which is
+  // invisible in the results (thread count never changes an answer).
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(20, 0.2, 5)).ok());
+  QueryEngineOptions no_cache;
+  no_cache.result_cache_capacity = 0;
+  QueryEngine engine(&catalog, no_cache);
+  DetectorOptions options;
+  options.k = 2;
+  Result<DetectResponse> reference = engine.Detect("g", options);
+  ASSERT_TRUE(reference.ok());
+  for (std::size_t threads = 2; threads <= 14; ++threads) {
+    options.threads = threads;
+    Result<DetectResponse> r = engine.Detect("g", options);
+    ASSERT_TRUE(r.ok()) << "threads=" << threads;
+    ExpectSameResult(reference->result, r->result);
+  }
+}
+
+TEST(QueryEngineTest, OverlargeThreadsRequestIsRejected) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(10, 0.2, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.k = 2;
+  options.threads = kMaxDetectThreads + 1;
+  EXPECT_EQ(engine.Detect("g", options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(QueryEngineTest, CacheIsPerGraph) {
   GraphCatalog catalog;
   ASSERT_TRUE(catalog.Put("g1", testing::RandomSmallGraph(30, 0.15, 5)).ok());

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "exact/possible_world.h"
 #include "gen/datasets.h"
@@ -40,6 +41,29 @@ TEST(DetectorTest, ValidatesParameters) {
   o = BaseOptions(Method::kBsrbk, 2);
   o.bk = 2;
   EXPECT_FALSE(DetectTopK(g, o).ok());
+  o = BaseOptions(Method::kBsrbk, 2);
+  o.threads = kMaxDetectThreads + 1;
+  EXPECT_FALSE(DetectTopK(g, o).ok());
+}
+
+TEST(DetectorTest, ValidationRejectsNonFiniteEpsDelta) {
+  // `eps <= 0 || eps >= 1` is false for NaN; without an isfinite() check a
+  // poisoned option would reach the sample-size math, where a NaN-to-size_t
+  // cast is undefined behavior.
+  UncertainGraph g = testing::PaperExampleGraph(0.2);
+  const double bad[] = {std::nan(""), HUGE_VAL, -HUGE_VAL};
+  for (const double v : bad) {
+    DetectorOptions o = BaseOptions(Method::kBsrbk, 2);
+    o.eps = v;
+    EXPECT_EQ(DetectTopK(g, o).status().code(), StatusCode::kInvalidArgument);
+    o = BaseOptions(Method::kBsrbk, 2);
+    o.delta = v;
+    EXPECT_EQ(DetectTopK(g, o).status().code(), StatusCode::kInvalidArgument);
+    o = BaseOptions(Method::kSampleNaive, 2);
+    o.eps = v;
+    EXPECT_EQ(ValidateDetectorOptions(g, o).code(),
+              StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(DetectorTest, MethodNamesMatchPaper) {
@@ -78,10 +102,12 @@ TEST(DetectorTest, DeterministicAcrossRuns) {
 }
 
 TEST(DetectorTest, PoolDoesNotChangeResults) {
+  // Every method — including the wave-parallel BSRBK hot path — must return
+  // bit-identical rankings, scores and sampling counters with and without a
+  // pool.
   UncertainGraph g = testing::RandomSmallGraph(30, 0.1, 8);
   ThreadPool pool(8);
-  for (const Method m : {Method::kNaive, Method::kSampleNaive,
-                         Method::kSampleReverse, Method::kBsr}) {
+  for (const Method m : AllMethods()) {
     DetectorOptions serial = BaseOptions(m, 5);
     DetectorOptions parallel = BaseOptions(m, 5);
     parallel.pool = &pool;
@@ -89,6 +115,9 @@ TEST(DetectorTest, PoolDoesNotChangeResults) {
     const auto b = DetectTopK(g, parallel);
     ASSERT_TRUE(a.ok() && b.ok());
     EXPECT_EQ(a->topk, b->topk) << MethodName(m);
+    EXPECT_EQ(a->scores, b->scores) << MethodName(m);
+    EXPECT_EQ(a->samples_processed, b->samples_processed) << MethodName(m);
+    EXPECT_EQ(a->early_stopped, b->early_stopped) << MethodName(m);
   }
 }
 

@@ -11,15 +11,20 @@
 //   vulnds_cli detect <graph> <k> [method] [key=value ...]
 //       Runs top-k detection (method one of N, SN, SR, BSR, BSRBK; default
 //       BSRBK) and prints the ranked nodes with scores. Flags: eps=, delta=,
-//       seed=, samples= (method N budget), order= (bound order z), bk=.
+//       seed=, samples= (method N budget), order= (bound order z), bk=,
+//       threads= (sampling threads; 0 = one per hardware core). Results are
+//       bit-identical for every thread count.
 //   vulnds_cli truth <graph> <k> [samples] [seed]
 //       Prints the Monte-Carlo reference top-k (default 20000 worlds).
-//   vulnds_cli serve [cache_capacity]
+//   vulnds_cli serve [cache_capacity] [threads=N]
 //       Speaks the line-oriented serve protocol on stdin/stdout: graphs are
 //       loaded once into a catalog and repeated queries hit a result cache.
-//       Dynamic updates are enabled: addedge/deledge/setprob stage edge
-//       mutations, commit materializes them as a new immutable version
-//       registered under <name>@vN, and versions lists the history.
+//       Sampling runs on the process-wide pool by default; threads=N pins a
+//       dedicated pool of N workers (requests can override per query with
+//       the detect threads= key). Dynamic updates are enabled:
+//       addedge/deledge/setprob stage edge mutations, commit materializes
+//       them as a new immutable version registered under <name>@vN, and
+//       versions lists the history.
 //
 // All numbers are parsed with checked helpers (common/parse.h): a malformed
 // argument is a usage error, never a silent zero.
@@ -63,9 +68,9 @@ int Usage() {
                "  vulnds_cli convert <in.graph> <out.graph> <text|binary>\n"
                "  vulnds_cli stats <graph>\n"
                "  vulnds_cli detect <graph> <k> [method] [key=value ...]\n"
-               "      keys: eps= delta= seed= samples= order= bk= method=\n"
+               "      keys: eps= delta= seed= samples= order= bk= method= threads=\n"
                "  vulnds_cli truth <graph> <k> [samples] [seed]\n"
-               "  vulnds_cli serve [cache_capacity]\n"
+               "  vulnds_cli serve [cache_capacity] [threads=N]\n"
                "      serve verbs: load save detect truth stats catalog evict\n"
                "      addedge deledge setprob commit versions quit\n");
   return 2;
@@ -181,7 +186,13 @@ int CmdDetect(int argc, char** argv) {
       return Usage();
     }
   }
-  ThreadPool pool;
+  if (options.threads > kMaxDetectThreads) {
+    std::fprintf(stderr, "threads must be <= %zu\n", kMaxDetectThreads);
+    return Usage();
+  }
+  // threads=0 (the default) sizes the pool to the hardware; the results are
+  // the same either way, only the wall time moves.
+  ThreadPool pool(options.threads);
   options.pool = &pool;
 
   WallTimer timer;
@@ -234,15 +245,41 @@ int CmdTruth(int argc, char** argv) {
 }
 
 int CmdServe(int argc, char** argv) {
-  if (argc > 3) return Usage();
+  if (argc > 4) return Usage();
   serve::QueryEngineOptions engine_options;
-  if (argc == 3 &&
-      !ParseArgOr(ParseUint64, "cache_capacity", argv[2],
-                  &engine_options.result_cache_capacity)) {
-    return Usage();
+  std::optional<std::size_t> threads;
+  bool capacity_seen = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("threads=", 0) == 0) {
+      if (threads.has_value()) {
+        std::fprintf(stderr, "duplicate threads= argument\n");
+        return Usage();
+      }
+      std::size_t n = 0;
+      if (!ParseArgOr(ParseUint64, "threads", arg.substr(8), &n)) return Usage();
+      if (n > kMaxDetectThreads) {
+        std::fprintf(stderr, "threads must be <= %zu\n", kMaxDetectThreads);
+        return Usage();
+      }
+      threads = n;
+    } else if (capacity_seen) {
+      // A second positional number is a mistake (e.g. `serve 100 4` where
+      // `threads=4` was meant); refuse rather than silently overwrite.
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return Usage();
+    } else if (ParseArgOr(ParseUint64, "cache_capacity", arg,
+                          &engine_options.result_cache_capacity)) {
+      capacity_seen = true;
+    } else {
+      return Usage();
+    }
   }
-  ThreadPool pool;
-  engine_options.pool = &pool;
+  // Default: the process-wide shared pool; threads=N pins a dedicated pool
+  // (N = 0 means one worker per hardware core).
+  std::optional<ThreadPool> own_pool;
+  if (threads.has_value()) own_pool.emplace(*threads);
+  engine_options.pool = own_pool.has_value() ? &*own_pool : &ThreadPool::Global();
   serve::GraphCatalog catalog;
   serve::QueryEngine engine(&catalog, engine_options);
   dyn::UpdateManager updates(&catalog);
