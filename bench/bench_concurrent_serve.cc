@@ -1,0 +1,191 @@
+// Concurrent serving: aggregate cached-query throughput and latency
+// percentiles as the number of concurrent sessions grows, over one shared
+// QueryEngine fronted by ServeServer sessions.
+//
+// Sessions are prewarmed so every timed request is a result-cache hit: the
+// scaling measured here is the serve stack's (sharded catalog, per-request
+// formatting, engine cache lock), not the detectors'. Every response is
+// checked bit-identical to its single-session counterpart modulo the
+// wall-clock time= token — the only nondeterministic byte in the protocol.
+//
+// Gate (>=4-core hosts): 8 sessions must aggregate >=3x the single-session
+// throughput. On narrower hosts the scaling gate is reported but not
+// enforced; bit-identity is always enforced.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "gen/datasets.h"
+#include "serve/protocol.h"
+#include "serve/serve_server.h"
+
+namespace {
+
+using namespace vulnds;
+
+constexpr std::size_t kGraphs = 8;
+constexpr int kRepeats = 1500;  // timed cached queries per session
+
+std::string StripTimes(const std::string& text) {
+  std::istringstream in(text);
+  std::string line, rebuilt;
+  while (std::getline(in, line)) {
+    rebuilt += serve::StripWallClockTokens(line) + "\n";
+  }
+  return rebuilt;
+}
+
+struct SessionRun {
+  std::vector<double> latencies;  // seconds per request
+  std::string output;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchProfile profile = bench::GetProfile();
+  bench::PrintProfileBanner(profile, "concurrent serve (sessions over one engine)");
+  bench::BenchJson json("concurrent_serve", bench::JsonRequested(argc, argv));
+
+  serve::GraphCatalog catalog;
+  serve::QueryEngine engine(&catalog);
+  serve::ServeServer server(&engine);
+
+  // One modest graph per session slot; distinct seeds so shards and cache
+  // lines are genuinely distinct.
+  const DatasetSpec spec = GetDatasetSpec(DatasetId::kCitation);
+  const double scale =
+      std::min(1.0, 800.0 / static_cast<double>(spec.num_nodes));
+  std::vector<std::string> queries;
+  for (std::size_t g = 0; g < kGraphs; ++g) {
+    Result<UncertainGraph> graph = MakeDataset(DatasetId::kCitation, scale, 42 + g);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "dataset failed: %s\n",
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    const std::size_t k = std::max<std::size_t>(1, graph->num_nodes() / 50);
+    const std::string name = "g" + std::to_string(g);
+    if (!catalog.Put(name, graph.MoveValue()).ok()) return 1;
+    queries.push_back("detect " + name + " " + std::to_string(k) +
+                      " BSRBK seed=7");
+  }
+
+  // Prewarm (the one cold detect per graph) and capture the per-graph
+  // cached response block each timed request must reproduce.
+  std::vector<std::string> expected_blocks(kGraphs);
+  {
+    serve::ServeSession session = server.NewSession();
+    for (std::size_t g = 0; g < kGraphs; ++g) {
+      std::ostringstream warm;
+      session.HandleLine(queries[g], warm);  // cold
+      std::ostringstream cached;
+      session.HandleLine(queries[g], cached);  // cached=1 from here on
+      expected_blocks[g] = StripTimes(cached.str());
+    }
+  }
+
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::printf("graphs: %zu (~%zu nodes each), %d cached queries/session, "
+              "%zu hardware threads\n\n",
+              kGraphs, static_cast<std::size_t>(spec.num_nodes * scale),
+              kRepeats, hw);
+
+  TextTable table;
+  table.SetHeader({"sessions", "qps", "p50 (us)", "p99 (us)", "scaling"});
+  double qps1 = 0.0, qps8 = 0.0;
+  bool all_identical = true;
+  for (const std::size_t sessions : {1u, 2u, 4u, 8u}) {
+    std::vector<SessionRun> runs(sessions);
+    std::vector<std::thread> threads;
+    WallTimer wall;
+    for (std::size_t s = 0; s < sessions; ++s) {
+      threads.emplace_back([&, s] {
+        serve::ServeSession session = server.NewSession();
+        SessionRun& run = runs[s];
+        run.latencies.reserve(kRepeats);
+        std::ostringstream out;
+        const std::string& query = queries[s % kGraphs];
+        for (int r = 0; r < kRepeats; ++r) {
+          WallTimer timer;
+          session.HandleLine(query, out);
+          run.latencies.push_back(timer.Seconds());
+        }
+        run.output = out.str();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double elapsed = wall.Seconds();
+
+    // Bit-identity: each session's transcript is its expected cached block
+    // repeated, modulo time=.
+    for (std::size_t s = 0; s < sessions; ++s) {
+      std::string expected;
+      for (int r = 0; r < kRepeats; ++r) expected += expected_blocks[s % kGraphs];
+      if (StripTimes(runs[s].output) != expected) {
+        all_identical = false;
+        std::fprintf(stderr,
+                     "FAIL: session %zu of %zu diverged from its "
+                     "single-session transcript\n",
+                     s, sessions);
+      }
+    }
+
+    std::vector<double> latencies;
+    for (const SessionRun& run : runs) {
+      latencies.insert(latencies.end(), run.latencies.begin(),
+                       run.latencies.end());
+    }
+    const double qps = static_cast<double>(sessions * kRepeats) / elapsed;
+    const double p50 = bench::Percentile(latencies, 50);
+    const double p99 = bench::Percentile(latencies, 99);
+    if (sessions == 1) qps1 = qps;
+    if (sessions == 8) qps8 = qps;
+    table.AddRow({std::to_string(sessions), TextTable::Num(qps, 0),
+                  TextTable::Num(p50 * 1e6, 1), TextTable::Num(p99 * 1e6, 1),
+                  TextTable::Num(qps1 > 0 ? qps / qps1 : 0.0, 2) + "x"});
+    json.Add("qps_s" + std::to_string(sessions), qps);
+    json.Add("p50_ms_s" + std::to_string(sessions), p50 * 1e3);
+    json.Add("p99_ms_s" + std::to_string(sessions), p99 * 1e3);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const double scaling = qps1 > 0 ? qps8 / qps1 : 0.0;
+  const serve::ServerStatsSnapshot stats = server.stats();
+  std::printf("sessions: %zu, requests: %zu, errors: %zu\n",
+              stats.sessions_started, stats.requests, stats.errors);
+  std::printf("aggregate scaling at 8 sessions: %.2fx\n", scaling);
+
+  json.Add("hardware_threads", hw);
+  json.Add("scaling_x", scaling);
+  json.Add("bit_identical", all_identical);
+  if (!json.Write()) return 1;
+
+  if (!all_identical) {
+    std::printf("\nFAIL: concurrent responses diverged from single-session "
+                "transcripts\n");
+    return 1;
+  }
+  if (hw >= 4 && scaling < 3.0) {
+    std::printf("\nFAIL: scaling %.2fx below the 3x target on a %zu-core "
+                "host\n",
+                scaling, hw);
+    return 1;
+  }
+  if (hw < 4) {
+    std::printf("\nscaling gate skipped (<4 hardware threads); "
+                "bit-identity OK\n");
+  } else {
+    std::printf("\nscaling %.2fx >= 3x target: OK\n", scaling);
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compare freshly produced BENCH_*.json records against committed baselines.
+
+Usage:
+    bench_diff.py --baseline-dir bench/baselines --current-dir build \
+                  [--tolerance 0.20] [--all-keys]
+
+For every BENCH_<name>.json present in the baseline directory, the current
+directory must contain the same record (a missing record fails the run —
+a bench silently dropping out of CI is itself a regression). Each shared
+numeric key is classified by name:
+
+  higher-is-better:  *qps*, *speedup*, *scaling*, *hit_rate*
+  lower-is-better:   *_ms, *_s, *latency*, *time*
+  informational:     everything else (never compared)
+
+By default only the *portable* metrics — the higher-is-better ratio/rate
+family — are compared, because absolute latencies and throughputs measured
+on the committing machine do not transfer to an arbitrary CI runner;
+--all-keys opts into comparing the absolute metrics too (for same-machine
+trajectories).
+
+A key "regresses" by the fraction it got worse. The run fails when the
+MEDIAN regression across a record's compared keys exceeds the tolerance
+(default 20%): a single noisy percentile cannot fail the build, a broad
+slowdown will.
+
+Exit status: 0 clean, 1 regression or missing record, 2 usage error.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import statistics
+import sys
+
+HIGHER_BETTER = re.compile(r"(qps|speedup|scaling|hit_rate)")
+LOWER_BETTER = re.compile(r"(_ms|_s$|latency|time|p50|p99)")
+# Ratio/rate metrics transfer across machines; absolutes (qps, latencies)
+# do not and are only compared with --all-keys.
+PORTABLE = re.compile(r"(speedup|scaling|hit_rate)")
+
+
+def classify(key):
+    """Returns 'higher', 'lower', or None (informational)."""
+    if HIGHER_BETTER.search(key):
+        return "higher"
+    if LOWER_BETTER.search(key):
+        return "lower"
+    return None
+
+
+def regression(direction, base, cur):
+    """Fraction by which `cur` is worse than `base` (>= 0)."""
+    if base == 0:
+        return 0.0
+    if direction == "higher":
+        return max(0.0, (base - cur) / abs(base))
+    return max(0.0, (cur - base) / abs(base))
+
+
+def compare_record(name, baseline, current, tolerance, portable_only):
+    rows, regressions = [], []
+    base_hw = baseline.get("hardware_threads")
+    cur_hw = current.get("hardware_threads")
+    if base_hw is not None and cur_hw is not None and base_hw != cur_hw:
+        print(f"NOTE: {name} baseline recorded on {base_hw} hardware "
+              f"threads, current run has {cur_hw}; ratio floors from a "
+              "narrower machine are weak — re-record baselines on a "
+              "machine matching the CI runner.")
+    for key in sorted(baseline):
+        direction = classify(key)
+        if direction is None or key not in current:
+            continue
+        base, cur = baseline[key], current[key]
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            continue
+        if not isinstance(cur, (int, float)) or isinstance(cur, bool):
+            continue
+        if portable_only and not PORTABLE.search(key):
+            continue
+        reg = regression(direction, float(base), float(cur))
+        regressions.append(reg)
+        rows.append((key, direction, float(base), float(cur), reg))
+
+    print(f"== {name} ==")
+    if not rows:
+        print("  (no comparable keys)")
+        return True
+    for key, direction, base, cur, reg in rows:
+        marker = " <-- regressed" if reg > tolerance else ""
+        print(f"  {key:<24} {direction:<6} baseline={base:<12.6g} "
+              f"current={cur:<12.6g} regression={reg * 100:6.1f}%{marker}")
+    median = statistics.median(regressions)
+    verdict = "FAIL" if median > tolerance else "ok"
+    print(f"  median regression: {median * 100:.1f}% "
+          f"(tolerance {tolerance * 100:.0f}%) -> {verdict}")
+    return median <= tolerance
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--current-dir", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--all-keys", action="store_true",
+                        help="compare absolute metrics too (same-machine runs)")
+    args = parser.parse_args()
+
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    current_dir = pathlib.Path(args.current_dir)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no BENCH_*.json baselines under {baseline_dir}", file=sys.stderr)
+        return 2
+
+    ok = True
+    for baseline_path in baselines:
+        current_path = current_dir / baseline_path.name
+        if not current_path.exists():
+            print(f"== {baseline_path.name} ==\n  MISSING from {current_dir} "
+                  "(bench dropped out of CI?)")
+            ok = False
+            continue
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        with open(current_path) as f:
+            current = json.load(f)
+        if not compare_record(baseline_path.name, baseline, current,
+                              args.tolerance, not args.all_keys):
+            ok = False
+
+    print("\nbench-diff:", "clean" if ok else "REGRESSION / MISSING RECORDS")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

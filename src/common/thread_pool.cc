@@ -60,15 +60,30 @@ void ThreadPool::ParallelFor(std::size_t n,
     return;
   }
   const std::size_t chunk = (n + threads - 1) / threads;
+  // Per-call completion state: this call returns when ITS chunks finish,
+  // not when the whole pool drains. Wait() waits for global idleness,
+  // which is right for a task-fan owner (ServeServer::Join) but would make
+  // concurrent ParallelFor callers — e.g. two serve sessions cold-detecting
+  // different graphs on the shared sampling pool — convoy behind every
+  // other caller's in-flight work.
+  struct CallState {
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+  } state;
+  state.remaining = (n + chunk - 1) / chunk;  // chunks actually submitted
   for (std::size_t t = 0; t < threads; ++t) {
     const std::size_t begin = t * chunk;
     const std::size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    Submit([begin, end, &fn] {
+    Submit([begin, end, &fn, &state] {
       for (std::size_t i = begin; i < end; ++i) fn(i);
+      std::lock_guard<std::mutex> lock(state.m);
+      if (--state.remaining == 0) state.cv.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(state.m);
+  state.cv.wait(lock, [&state] { return state.remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

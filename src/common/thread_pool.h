@@ -38,7 +38,9 @@ class ThreadPool {
   void Wait();
 
   /// Runs fn(i) for every i in [0, n) across the pool and blocks until done.
-  /// Chunking is static, so work assignment is deterministic in n.
+  /// Chunking is static, so work assignment is deterministic in n. Blocks
+  /// only on this call's own chunks (unlike Wait), so concurrent callers
+  /// sharing one pool never convoy behind each other's work.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide shared pool (created on first use).

@@ -1,23 +1,66 @@
 #include "serve/graph_catalog.h"
 
+#include <algorithm>
+#include <functional>
+#include <limits>
 #include <utility>
 
 #include "graph/graph_io.h"
 
 namespace vulnds::serve {
 
-GraphCatalog::GraphCatalog(std::size_t capacity) : capacity_(capacity) {}
+namespace {
+
+// More shards than this buys nothing (shards beyond the number of
+// concurrently-hot graphs are dead weight) and a huge request must not
+// allocate a huge shard vector — or overflow the power-of-two round-up.
+constexpr std::size_t kMaxShards = 256;
+
+// Rounds up to the next power of two (>= 1). Caller bounds v.
+std::size_t RoundUpPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+GraphCatalogOptions Normalized(GraphCatalogOptions o) {
+  if (o.shards == 0) o.shards = GraphCatalog::kDefaultShards;
+  o.shards = RoundUpPow2(std::min(o.shards, kMaxShards));
+  return o;
+}
+
+}  // namespace
+
+std::size_t EstimateGraphBytes(const UncertainGraph& graph) {
+  const std::size_t n = graph.num_nodes();
+  const std::size_t m = graph.num_edges();
+  return sizeof(UncertainGraph) + n * sizeof(double)          // self-risks
+         + 2 * (n + 1) * sizeof(std::size_t)                  // dual offsets
+         + 2 * m * sizeof(Arc)                                // dual arc arrays
+         + m * sizeof(UncertainEdge);                         // edge list
+}
+
+GraphCatalog::GraphCatalog(std::size_t capacity)
+    : GraphCatalog(GraphCatalogOptions{capacity, 0, 0}) {}
+
+GraphCatalog::GraphCatalog(const GraphCatalogOptions& options)
+    : options_(Normalized(options)), shards_(options_.shards) {}
+
+GraphCatalog::Shard& GraphCatalog::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) & (shards_.size() - 1)];
+}
 
 Status GraphCatalog::Load(const std::string& name, const std::string& path) {
   if (name.empty()) return Status::InvalidArgument("graph name must not be empty");
+  // Snapshot I/O and parsing run outside every catalog lock: concurrent
+  // loads of different names overlap fully, even within one shard.
   Result<UncertainGraph> graph = ReadGraphFile(path);
   if (!graph.ok()) return graph.status();
   auto entry = std::make_shared<CatalogEntry>();
   entry->name = name;
   entry->source = path;
   entry->graph = graph.MoveValue();
-  std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(std::move(entry));
+  Insert(std::move(entry));
   return Status::OK();
 }
 
@@ -28,65 +71,163 @@ Status GraphCatalog::Put(const std::string& name, UncertainGraph graph,
   entry->name = name;
   entry->source = source;
   entry->graph = std::move(graph);
-  std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(std::move(entry));
+  Insert(std::move(entry));
   return Status::OK();
 }
 
-void GraphCatalog::InsertLocked(std::shared_ptr<CatalogEntry> entry) {
-  ++stats_.loads;
-  entry->uid = next_uid_++;
+void GraphCatalog::Insert(std::shared_ptr<CatalogEntry> entry) {
+  entry->uid = next_uid_.fetch_add(1, std::memory_order_relaxed);
+  entry->bytes = EstimateGraphBytes(entry->graph);
   const std::string name = entry->name;
-  const auto it = entries_.find(name);
-  if (it != entries_.end()) {
-    ++stats_.reloads;
-    lru_.erase(it->second.lru_pos);
-    entries_.erase(it);
+  Shard& shard = ShardFor(name);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.stats.loads;
+    const auto it = shard.entries.find(name);
+    if (it != shard.entries.end()) {
+      ++shard.stats.reloads;
+      RemoveLocked(shard, it);
+    }
+    shard.lru.push_front(name);
+    Slot slot;
+    slot.lru_pos = shard.lru.begin();
+    slot.last_touch = clock_.fetch_add(1, std::memory_order_relaxed);
+    shard.bytes += entry->bytes;
+    total_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
+    total_count_.fetch_add(1, std::memory_order_relaxed);
+    slot.entry = std::move(entry);
+    shard.entries.emplace(name, std::move(slot));
   }
-  lru_.push_front(name);
-  entries_[name] = Slot{std::move(entry), lru_.begin()};
-  while (capacity_ != 0 && entries_.size() > capacity_) {
-    ++stats_.evictions;
-    entries_.erase(lru_.back());
-    lru_.pop_back();
+  EnforceBudgets();
+}
+
+void GraphCatalog::RemoveLocked(
+    Shard& shard, std::unordered_map<std::string, Slot>::iterator it) {
+  const std::size_t bytes = it->second.entry->bytes;
+  shard.bytes -= bytes;
+  total_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  total_count_.fetch_sub(1, std::memory_order_relaxed);
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
+}
+
+bool GraphCatalog::OverBudget() const {
+  const std::size_t count = total_count_.load(std::memory_order_relaxed);
+  if (count <= 1) return false;  // a lone oversized graph stays resident
+  if (options_.capacity != 0 && count > options_.capacity) return true;
+  return options_.byte_budget != 0 &&
+         total_bytes_.load(std::memory_order_relaxed) > options_.byte_budget;
+}
+
+void GraphCatalog::EnforceBudgets() {
+  // Evict the globally least-recently-stamped entry until within budget.
+  // Each shard's LRU tail is that shard's oldest entry, so the global
+  // victim is the minimum tail stamp across shards — found by taking one
+  // shard lock at a time, never two at once. Enforcement itself is
+  // serialized (evict_mu_, never held together with a shard lock by any
+  // other path): without it two concurrent over-budget inserts could both
+  // pass the budget check and evict two entries where one sufficed.
+  // Between the scan and the eviction a session may still touch the
+  // chosen victim; the re-check under the victim shard's lock then evicts
+  // that shard's (possibly new) tail, which is a legal LRU choice at that
+  // instant. Single-threaded the loop is exactly the old one-mutex
+  // catalog's eviction order.
+  std::lock_guard<std::mutex> evict_lock(evict_mu_);
+  while (OverBudget()) {
+    std::size_t victim_shard = shards_.size();
+    uint64_t victim_stamp = std::numeric_limits<uint64_t>::max();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mu);
+      if (shards_[s].lru.empty()) continue;
+      const Slot& tail = shards_[s].entries.at(shards_[s].lru.back());
+      if (tail.last_touch < victim_stamp) {
+        victim_stamp = tail.last_touch;
+        victim_shard = s;
+      }
+    }
+    if (victim_shard == shards_.size()) return;  // nothing resident
+    Shard& shard = shards_[victim_shard];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.lru.empty() || !OverBudget()) continue;
+    // A Get between the scan and this re-lock may have promoted the chosen
+    // victim, leaving a hotter entry at this shard's tail; evicting that
+    // would drop the wrong graph. Rescan instead of trusting the tail.
+    if (shard.entries.at(shard.lru.back()).last_touch != victim_stamp) {
+      continue;
+    }
+    ++shard.stats.evictions;
+    RemoveLocked(shard, shard.entries.find(shard.lru.back()));
   }
 }
 
 std::shared_ptr<CatalogEntry> GraphCatalog::Get(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(name);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
     return nullptr;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  it->second.last_touch = clock_.fetch_add(1, std::memory_order_relaxed);
   return it->second.entry;
 }
 
 bool GraphCatalog::Evict(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = entries_.find(name);
-  if (it == entries_.end()) return false;
-  ++stats_.evictions;
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(name);
+  if (it == shard.entries.end()) return false;
+  ++shard.stats.evictions;
+  RemoveLocked(shard, it);
   return true;
 }
 
 std::vector<std::string> GraphCatalog::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return {lru_.begin(), lru_.end()};
-}
-
-std::size_t GraphCatalog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  // Collect (stamp, name) pairs shard by shard, then order by stamp: the
+  // global clock makes recency totally ordered across shards.
+  std::vector<std::pair<uint64_t, std::string>> stamped;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, slot] : shard.entries) {
+      stamped.emplace_back(slot.last_touch, name);
+    }
+  }
+  std::sort(stamped.begin(), stamped.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> names;
+  names.reserve(stamped.size());
+  for (auto& [stamp, name] : stamped) names.push_back(std::move(name));
+  return names;
 }
 
 CatalogStats GraphCatalog::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CatalogStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.loads += shard.stats.loads;
+    total.reloads += shard.stats.reloads;
+    total.evictions += shard.stats.evictions;
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+  }
+  return total;
+}
+
+std::vector<CatalogShardInfo> GraphCatalog::ShardInfos() const {
+  std::vector<CatalogShardInfo> infos;
+  infos.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    CatalogShardInfo info;
+    info.index = s;
+    info.size = shards_[s].entries.size();
+    info.bytes = shards_[s].bytes;
+    info.stats = shards_[s].stats;
+    infos.push_back(info);
+  }
+  return infos;
 }
 
 }  // namespace vulnds::serve

@@ -9,6 +9,17 @@
 // the graph, which keeps the invariant "context belongs to exactly one
 // graph" trivially true.
 //
+// Sharding. The catalog is split into a power-of-two number of name-hashed
+// shards, each with its own mutex, LRU list, byte accounting and counters,
+// so concurrent sessions touching unrelated graphs never contend on
+// load/evict: a Get takes exactly one shard lock, and snapshot parsing
+// happens outside every lock. The count capacity and byte budget are
+// global: every touch stamps the entry from one shared atomic clock, and
+// the eviction loop removes the globally least-recently-stamped entry
+// (found by peeking each shard's LRU tail), so eviction order is identical
+// to the former single-shard catalog. Under concurrent touches the victim
+// choice is as precise as any external observer can distinguish.
+//
 // Entries are reference-counted: Evict removes a graph from the catalog, but
 // queries already holding the entry finish safely on the old snapshot.
 // All catalog methods are thread-safe.
@@ -16,6 +27,7 @@
 #ifndef VULNDS_SERVE_GRAPH_CATALOG_H_
 #define VULNDS_SERVE_GRAPH_CATALOG_H_
 
+#include <atomic>
 #include <cstddef>
 #include <list>
 #include <memory>
@@ -41,29 +53,69 @@ struct CatalogEntry {
   /// served for the new one.
   uint64_t uid = 0;
 
+  /// Approximate resident footprint of `graph` (CSR arrays + edge list),
+  /// charged against the catalog's byte budget. Fixed at insert time.
+  std::size_t bytes = 0;
+
   /// Warm per-graph intermediates; hold `context_mu` while touching it.
   DetectionContext context;
   std::mutex context_mu;
 };
 
-/// Counters exposed through `stats <name>` / benches.
+/// Counters exposed through `stats <name>` / benches. Used both as the
+/// per-shard counters (guarded by that shard's mutex) and as the aggregate
+/// over all shards (summed shard by shard, so concurrent traffic may be
+/// counted in at most one shard's snapshot — each counter is exact, the
+/// cross-shard sum is a moment-in-time aggregate, never torn).
 struct CatalogStats {
   std::size_t loads = 0;      ///< successful Load/Put calls
   std::size_t reloads = 0;    ///< loads that replaced an existing name
-  std::size_t evictions = 0;  ///< capacity + explicit evictions
+  std::size_t evictions = 0;  ///< capacity + budget + explicit evictions
   std::size_t hits = 0;       ///< Get() found the name
   std::size_t misses = 0;     ///< Get() did not
 };
 
+/// Per-shard detail for `stats` / debugging.
+struct CatalogShardInfo {
+  std::size_t index = 0;   ///< shard number
+  std::size_t size = 0;    ///< resident entries in this shard
+  std::size_t bytes = 0;   ///< resident bytes in this shard
+  CatalogStats stats;      ///< this shard's counters
+};
+
+/// Catalog sizing knobs; zero always means "unbounded" / "default".
+struct GraphCatalogOptions {
+  std::size_t capacity = 0;     ///< max resident graphs (global, 0 = unbounded)
+  std::size_t byte_budget = 0;  ///< max resident bytes (global, 0 = unbounded)
+  std::size_t shards = 0;       ///< rounded up to a power of two; 0 = default
+};
+
+/// Approximate bytes a resident graph occupies (dual CSR + edge list +
+/// self-risks). Deterministic in the graph's shape, so budget tests can
+/// predict eviction behavior exactly. Deliberately excludes the entry's
+/// DetectionContext: its warm intermediates grow with query traffic, and
+/// charging them would make eviction order depend on which queries
+/// happened to run — the byte budget bounds graph residency, not total
+/// process memory (see ROADMAP for context-aware budgeting).
+std::size_t EstimateGraphBytes(const UncertainGraph& graph);
+
 class GraphCatalog {
  public:
+  /// Default shard count; a serving fleet rarely benefits from more shards
+  /// than concurrently-hot graphs, and 8 keeps the per-shard detail readable.
+  static constexpr std::size_t kDefaultShards = 8;
+
   /// Creates a catalog keeping at most `capacity` graphs resident
   /// (0 = unbounded). Beyond capacity the least-recently-used entry is
   /// evicted.
   explicit GraphCatalog(std::size_t capacity = 0);
 
+  /// Creates a catalog with explicit capacity / byte budget / shard count.
+  explicit GraphCatalog(const GraphCatalogOptions& options);
+
   /// Reads `path` (text or binary snapshot) and registers it as `name`,
-  /// replacing any existing entry of that name.
+  /// replacing any existing entry of that name. Parsing happens outside
+  /// every catalog lock, so concurrent loads of different names overlap.
   Status Load(const std::string& name, const std::string& path);
 
   /// Registers an already-built graph (generators, tests) as `name`.
@@ -71,35 +123,72 @@ class GraphCatalog {
              const std::string& source = "<memory>");
 
   /// Returns the entry for `name` and marks it most-recently-used, or
-  /// nullptr if the name is not resident.
+  /// nullptr if the name is not resident. Takes exactly one shard lock.
   std::shared_ptr<CatalogEntry> Get(const std::string& name);
 
   /// Removes `name`; returns whether it was resident. In-flight holders of
   /// the entry keep it alive until they drop their reference.
   bool Evict(const std::string& name);
 
-  /// Resident names, most-recently-used first.
+  /// Resident names, most-recently-used first (exact stamp order).
   std::vector<std::string> Names() const;
 
-  std::size_t size() const;
-  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return total_count_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return options_.capacity; }
+  std::size_t byte_budget() const { return options_.byte_budget; }
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Approximate resident bytes across all shards.
+  std::size_t resident_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Aggregate counters, summed over shards.
   CatalogStats stats() const;
 
- private:
-  // Inserts `entry` under the lock, evicting LRU entries over capacity.
-  void InsertLocked(std::shared_ptr<CatalogEntry> entry);
+  /// Per-shard detail, index order.
+  std::vector<CatalogShardInfo> ShardInfos() const;
 
+ private:
   struct Slot {
     std::shared_ptr<CatalogEntry> entry;
     std::list<std::string>::iterator lru_pos;
+    uint64_t last_touch = 0;  ///< global clock stamp of the latest touch
   };
 
-  const std::size_t capacity_;
-  mutable std::mutex mu_;
-  uint64_t next_uid_ = 1;
-  std::unordered_map<std::string, Slot> entries_;
-  std::list<std::string> lru_;  // front = most recent
-  CatalogStats stats_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Slot> entries;
+    std::list<std::string> lru;  // front = most recent within this shard
+    std::size_t bytes = 0;       // resident bytes in this shard
+    CatalogStats stats;          // guarded by mu
+  };
+
+  Shard& ShardFor(const std::string& name);
+
+  // Registers `entry` (replacing any same-name entry), then enforces the
+  // global budgets. Called with no locks held.
+  void Insert(std::shared_ptr<CatalogEntry> entry);
+
+  // Removes the slot at `it` from `shard`; caller holds shard.mu and is
+  // responsible for counting the eviction.
+  void RemoveLocked(Shard& shard,
+                    std::unordered_map<std::string, Slot>::iterator it);
+
+  // True when either global budget is exceeded (with more than one entry
+  // resident: a single graph larger than the whole byte budget stays, so an
+  // oversized load does not thrash the catalog empty).
+  bool OverBudget() const;
+
+  // Evicts globally least-recently-stamped entries until within budget.
+  void EnforceBudgets();
+
+  const GraphCatalogOptions options_;
+  std::vector<Shard> shards_;  // size is a power of two, never resized
+  std::mutex evict_mu_;        // serializes EnforceBudgets (see .cc comment)
+  std::atomic<uint64_t> next_uid_{1};
+  std::atomic<uint64_t> clock_{1};
+  std::atomic<std::size_t> total_count_{0};
+  std::atomic<std::size_t> total_bytes_{0};
 };
 
 }  // namespace vulnds::serve

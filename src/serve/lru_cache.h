@@ -50,6 +50,14 @@ class LruCache {
     return it->second->second;
   }
 
+  /// Returns the cached value without touching counters or recency. For
+  /// re-checks that already counted their lookup (the query engine's
+  /// in-batch recheck): counting again would double-book the hit rate.
+  std::shared_ptr<const V> Peek(const std::string& key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : it->second->second;
+  }
+
   /// Inserts (or replaces) `key`, evicting the least-recently-used entry
   /// when over capacity.
   void Put(const std::string& key, V value) {

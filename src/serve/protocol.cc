@@ -260,4 +260,29 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
   return Status::InvalidArgument("unknown command '" + tokens[0] + "'");
 }
 
+std::string StripWallClockTokens(const std::string& line) {
+  // Erase exactly the "time=<value>" token spans (plus one adjoining
+  // separator space), leaving every other byte — including spacing —
+  // untouched, so "modulo time=" comparisons stay bitwise-strong.
+  std::string out = line;
+  std::size_t pos = 0;
+  while ((pos = out.find("time=", pos)) != std::string::npos) {
+    if (pos != 0 && out[pos - 1] != ' ') {  // substring of a larger token
+      pos += 5;
+      continue;
+    }
+    std::size_t end = out.find(' ', pos);
+    if (end == std::string::npos) end = out.size();
+    std::size_t begin = pos;
+    if (begin > 0) {
+      --begin;  // absorb the separator before the token
+    } else if (end < out.size()) {
+      ++end;  // token at line start: absorb the separator after it
+    }
+    out.erase(begin, end - begin);
+    pos = begin;
+  }
+  return out;
+}
+
 }  // namespace vulnds::serve

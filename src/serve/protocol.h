@@ -88,6 +88,13 @@ Status ApplyDetectFlag(const std::string& token, DetectorOptions* options);
 /// wire format for scores and timings, and the text used in cache keys.
 std::string FormatRoundTrip(double value);
 
+/// Drops the wall-clock "time=<float>" token from one response line —
+/// the protocol's ONLY nondeterministic bytes. The canonical normalizer
+/// for transcript comparison: the concurrency tests and benches assert
+/// responses bit-identical modulo exactly this. If the protocol ever
+/// gains another nondeterministic token, extend this in one place.
+std::string StripWallClockTokens(const std::string& line);
+
 }  // namespace vulnds::serve
 
 #endif  // VULNDS_SERVE_PROTOCOL_H_

@@ -72,33 +72,147 @@ Result<DetectResponse> QueryEngine::Detect(const std::string& name,
   // served for the new one (stale keys age out of the LRU).
   const std::string key = name + "#" + std::to_string(entry->uid) + "|" +
                           CanonicalOptionsKey(options);
+  std::shared_ptr<const DetectionResult> cached;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++detect_queries_;
-    if (const auto cached = detect_cache_.Get(key)) {
-      DetectResponse response;
-      response.result = *cached;
-      response.from_cache = true;
-      response.seconds = timer.Seconds();
-      return response;
-    }
+    cached = detect_cache_.Get(key);
+  }
+  if (cached != nullptr) {
+    // Copy outside the lock: the cache hands out shared ownership exactly
+    // so the hot cached path holds mu_ only for the lookup, not for
+    // copying a k-row result — the difference between 8 sessions scaling
+    // and 8 sessions convoying on one mutex.
+    DetectResponse response;
+    response.result = *cached;
+    response.from_cache = true;
+    response.seconds = timer.Seconds();
+    return response;
   }
 
   options.pool = PoolFor(options.threads);
-  Result<DetectionResult> result = [&] {
-    std::lock_guard<std::mutex> lock(entry->context_mu);
-    return DetectTopK(entry->graph, options, &entry->context);
-  }();
-  if (!result.ok()) return result.status();
 
-  DetectResponse response;
-  response.result = result.MoveValue();
-  response.seconds = timer.Seconds();
+  // Queue the job for this snapshot; the first arrival leads the batch and
+  // executes every queued same-graph job under one context-lock
+  // acquisition, later arrivals block on their future.
+  auto job = std::make_shared<DetectJob>();
+  job->options = options;
+  job->key = key;
+  std::future<std::pair<Result<DetectionResult>, bool>> future =
+      job->promise.get_future();
+  bool lead = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    detect_cache_.Put(key, response.result);
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    GraphBatch& batch = batches_[entry->uid];
+    batch.queue.push_back(std::move(job));
+    if (!batch.leader_active) {
+      batch.leader_active = true;
+      lead = true;
+    }
   }
+  if (lead) RunDetectBatch(entry);
+
+  std::pair<Result<DetectionResult>, bool> outcome = future.get();
+  if (!outcome.first.ok()) return outcome.first.status();
+  DetectResponse response;
+  response.result = outcome.first.MoveValue();
+  response.from_cache = outcome.second;
+  response.seconds = timer.Seconds();
   return response;
+}
+
+void QueryEngine::RunDetectBatch(const std::shared_ptr<CatalogEntry>& entry) {
+  // ONE lock acquisition for however many jobs drain: this is the
+  // same-graph batching the concurrent server relies on.
+  std::lock_guard<std::mutex> context_lock(entry->context_mu);
+  std::size_t jobs_run = 0;
+  std::deque<std::shared_ptr<DetectJob>> handoff;
+  for (;;) {
+    std::shared_ptr<DetectJob> job;
+    {
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      const auto it = batches_.find(entry->uid);
+      if (it->second.queue.empty()) {
+        // Dropping the map entry clears leader_active: the next arrival
+        // (even one racing this erase) starts a fresh batch and leads it.
+        batches_.erase(it);
+        break;
+      }
+      // Fairness bound: under a sustained cache-missing flood the queue
+      // refills faster than it drains, and an unbounded drain would pin
+      // this leader's session forever. At the cap the leader takes the
+      // jobs already queued (it still owes them a result — nobody else
+      // will resolve their promises) and closes the batch, so the next
+      // arrival leads a fresh one and simply waits on the context mutex.
+      if (jobs_run >= kMaxBatchJobs) {
+        handoff = std::move(it->second.queue);
+        batches_.erase(it);
+        break;
+      }
+      job = std::move(it->second.queue.front());
+      it->second.queue.pop_front();
+      if (++jobs_run > 1) ++batched_queries_;
+    }
+    ExecuteDetectJob(entry, *job);
+  }
+  for (const std::shared_ptr<DetectJob>& job : handoff) {
+    {
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      ++batched_queries_;
+    }
+    ExecuteDetectJob(entry, *job);
+  }
+}
+
+void QueryEngine::ExecuteDetectJob(const std::shared_ptr<CatalogEntry>& entry,
+                                   DetectJob& job) {
+  // Whatever happens here, the promise must resolve: an unresolved job
+  // blocks its session forever (the batch machinery has no other wake-up).
+  // Every job re-checks the cache — including a leader's own first job:
+  // between its miss in Detect and taking leadership, a previous batch may
+  // have computed and cached this very key, and skipping the recheck would
+  // recompute it (breaking compute-exactly-once). The recheck is an
+  // uncounted Peek: the query already counted its one lookup (the miss in
+  // Detect), so counting again would double-book hits+misses against
+  // detect_queries and distort the reported hit rate.
+  try {
+    {
+      std::shared_ptr<const DetectionResult> cached;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        cached = detect_cache_.Peek(job.key);
+      }
+      if (cached != nullptr) {
+        job.promise.set_value({Result<DetectionResult>(*cached), true});
+        return;
+      }
+    }
+    Result<DetectionResult> result = [&]() -> Result<DetectionResult> {
+      try {
+        return DetectTopK(entry->graph, job.options, &entry->context);
+      } catch (const std::exception& e) {
+        return Status::Internal(std::string("detection failed: ") + e.what());
+      }
+    }();
+    if (result.ok()) {
+      // The computed result outranks the cache insert: if Put throws
+      // (allocation pressure copying a large result), the caller still
+      // gets its answer and only the cache line is lost.
+      try {
+        std::lock_guard<std::mutex> lock(mu_);
+        detect_cache_.Put(job.key, *result);
+      } catch (...) {
+      }
+    }
+    job.promise.set_value({std::move(result), false});
+  } catch (...) {
+    try {
+      job.promise.set_value(
+          {Status::Internal("detect job failed before producing a result"),
+           false});
+    } catch (...) {  // promise already satisfied — nothing left to resolve
+    }
+  }
 }
 
 ThreadPool* QueryEngine::PoolFor(std::size_t threads) {
@@ -165,8 +279,12 @@ Result<TruthResponse> QueryEngine::Truth(const std::string& name,
 }
 
 EngineStats QueryEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   EngineStats s;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    s.batched_queries = batched_queries_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   s.detect_queries = detect_queries_;
   s.truth_queries = truth_queries_;
   s.result_cache.hits = detect_cache_.stats().hits + truth_cache_.stats().hits;

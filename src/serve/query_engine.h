@@ -17,16 +17,31 @@
 //
 // Detect/Truth are thread-safe; per-graph context use is serialized per
 // entry, so queries against different graphs never contend.
+//
+// Same-graph query batching. Concurrent cache-missing Detects against one
+// snapshot are queued per snapshot uid; the first arrival becomes the batch
+// leader, takes the entry's context lock ONCE, and drains every queued job
+// (its own plus any that arrive while it runs) before releasing. Followers
+// block on a future instead of the mutex, so N concurrent queries cost one
+// context-lock acquisition, and a job whose key was computed earlier in the
+// same batch is answered from the result cache without re-running. Results
+// are bit-identical either way (detection is deterministic given graph +
+// canonical options, warm or cold context), so batching is invisible on the
+// wire except for `cached=` flips that concurrency makes inherent.
 
 #ifndef VULNDS_SERVE_QUERY_ENGINE_H_
 #define VULNDS_SERVE_QUERY_ENGINE_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -70,6 +85,9 @@ struct TruthResponse {
 struct EngineStats {
   std::size_t detect_queries = 0;
   std::size_t truth_queries = 0;
+  /// Detect jobs executed inside another request's context-lock acquisition
+  /// (same-graph batching): every job after the first a leader drains.
+  std::size_t batched_queries = 0;
   CacheStats result_cache;  ///< combined detect + truth cache counters
 };
 
@@ -93,7 +111,39 @@ class QueryEngine {
   GraphCatalog& catalog() { return *catalog_; }
   EngineStats stats() const;
 
+  /// The engine's default sampling pool (may be nullptr). Exposed so a
+  /// session front can refuse to run blocking sessions on it (deadlock:
+  /// sessions wait on detect fan-out, fan-out waits for pool workers).
+  ThreadPool* sampling_pool() const { return pool_; }
+
  private:
+  /// One queued cache-missing Detect: execution options (pool resolved),
+  /// result-cache key, and the promise its issuer blocks on. The bool is
+  /// from_cache: true when answered by the in-batch cache re-check.
+  struct DetectJob {
+    DetectorOptions options;
+    std::string key;
+    std::promise<std::pair<Result<DetectionResult>, bool>> promise;
+  };
+
+  /// Pending jobs for one snapshot uid plus whether a leader is draining.
+  struct GraphBatch {
+    std::deque<std::shared_ptr<DetectJob>> queue;
+    bool leader_active = false;
+  };
+
+  /// Fairness bound on one leadership: after this many drained jobs the
+  /// leader takes what is queued, closes the batch (the next arrival leads
+  /// a fresh one), finishes its obligations and returns to its session.
+  static constexpr std::size_t kMaxBatchJobs = 32;
+
+  /// Drains the batch for `entry` under one context-lock acquisition.
+  void RunDetectBatch(const std::shared_ptr<CatalogEntry>& entry);
+
+  /// Executes one job (cache re-check, detection, cache fill) and always
+  /// resolves its promise, exceptions included.
+  void ExecuteDetectJob(const std::shared_ptr<CatalogEntry>& entry,
+                        DetectJob& job);
   /// Caps on the pools built for non-default threads= requests: at most
   /// kMaxExtraPools distinct counts AND at most kMaxExtraPoolThreads OS
   /// threads summed across them (pools live for the engine's lifetime
@@ -121,6 +171,13 @@ class QueryEngine {
   LruCache<GroundTruth> truth_cache_;
   std::size_t detect_queries_ = 0;
   std::size_t truth_queries_ = 0;
+
+  // Same-graph batching state, keyed by snapshot uid. Lock order: an
+  // entry's context_mu may be held while taking batch_mu_ or mu_ (the
+  // leader does both); never the reverse.
+  mutable std::mutex batch_mu_;
+  std::unordered_map<uint64_t, GraphBatch> batches_;
+  std::size_t batched_queries_ = 0;  // guarded by batch_mu_
 };
 
 }  // namespace vulnds::serve

@@ -1,0 +1,64 @@
+#include "serve/serve_server.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace vulnds::serve {
+
+ServeServer::ServeServer(QueryEngine* engine, UpdateBackend* updates,
+                         ThreadPool* session_pool)
+    : engine_(engine),
+      updates_(updates),
+      // Sessions block on the engine's sampling pool during a detect; if
+      // they also ran ON that pool its workers could all be blocked
+      // sessions and the fan-out would never start. Degrade to dedicated
+      // threads instead of deadlocking.
+      session_pool_(session_pool == engine->sampling_pool() ? nullptr
+                                                            : session_pool) {}
+
+ServeServer::~ServeServer() { Join(); }
+
+ServeSession ServeServer::NewSession() {
+  stats_.sessions_started.fetch_add(1, std::memory_order_relaxed);
+  return ServeSession(engine_, updates_, &stats_);
+}
+
+ServeLoopStats ServeServer::ServeStream(std::istream& in, std::ostream& out) {
+  ServeSession session = NewSession();
+  DriveSession(session, in, out);
+  stats_.sessions_finished.fetch_add(1, std::memory_order_relaxed);
+  return session.stats();
+}
+
+void ServeServer::Submit(std::istream* in, std::ostream* out) {
+  if (session_pool_ != nullptr) {
+    session_pool_->Submit([this, in, out] { ServeStream(*in, *out); });
+    return;
+  }
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  threads_.emplace_back([this, in, out] { ServeStream(*in, *out); });
+}
+
+void ServeServer::Join() {
+  if (session_pool_ != nullptr) session_pool_->Wait();
+  std::vector<std::thread> joinable;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    joinable.swap(threads_);
+  }
+  for (std::thread& t : joinable) t.join();
+}
+
+ServerStatsSnapshot ServeServer::stats() const {
+  ServerStatsSnapshot s;
+  s.sessions_started = stats_.sessions_started.load(std::memory_order_relaxed);
+  s.sessions_finished = stats_.sessions_finished.load(std::memory_order_relaxed);
+  s.requests = stats_.requests.load(std::memory_order_relaxed);
+  s.errors = stats_.errors.load(std::memory_order_relaxed);
+  s.updates = stats_.updates.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace vulnds::serve

@@ -1,0 +1,79 @@
+// ServeServer: multiplexes many concurrent serve sessions over one shared
+// QueryEngine / UpdateBackend.
+//
+// Each session is a ServeSession (session.h) fed from its own stream pair;
+// the server only adds (a) the threads the sessions run on and (b) the
+// atomically-aggregated ServerStats every session reports into. The engine
+// underneath is thread-safe and batches same-graph queries (query_engine.h),
+// so sessions share warm per-graph state without serializing the process on
+// one lock.
+//
+// Threading. Sessions are long-lived blocking loops, so they must never run
+// on the engine's sampling pool: a detect inside a session fans out on that
+// pool and waits for it, and a pool whose workers are themselves blocked
+// sessions would deadlock. Pass a dedicated session pool, or pass nullptr
+// and the server spawns one thread per submitted session. If the session
+// pool is the engine's sampling pool, the server falls back to dedicated
+// threads rather than deadlock.
+
+#ifndef VULNDS_SERVE_SERVE_SERVER_H_
+#define VULNDS_SERVE_SERVE_SERVER_H_
+
+#include <iosfwd>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "serve/query_engine.h"
+#include "serve/session.h"
+#include "serve/update_backend.h"
+
+namespace vulnds::serve {
+
+class ServeServer {
+ public:
+  /// `updates` may be nullptr (update verbs answer errors). `session_pool`
+  /// carries submitted sessions; nullptr means one dedicated thread per
+  /// session. It must not be the engine's sampling pool (see file comment);
+  /// if it is, dedicated threads are used instead.
+  explicit ServeServer(QueryEngine* engine, UpdateBackend* updates = nullptr,
+                       ThreadPool* session_pool = nullptr);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Returns a session wired to this server's shared engine, backend and
+  /// stats. For callers that drive requests themselves (benchmarks, future
+  /// socket fronts that own their read loop).
+  ServeSession NewSession();
+
+  /// Runs one full session over the stream pair on the calling thread,
+  /// blocking until `quit` or EOF. Safe to call concurrently from many
+  /// threads; this is the body Submit schedules.
+  ServeLoopStats ServeStream(std::istream& in, std::ostream& out);
+
+  /// Schedules a session over the stream pair; both streams must stay alive
+  /// until Join() returns. Sessions run concurrently up to the session
+  /// pool's width (or truly concurrently on dedicated threads).
+  void Submit(std::istream* in, std::ostream* out);
+
+  /// Blocks until every submitted session has finished.
+  void Join();
+
+  ServerStatsSnapshot stats() const;
+
+ private:
+  QueryEngine* engine_;
+  UpdateBackend* updates_;
+  ThreadPool* session_pool_;  // nullptr => dedicated threads
+  ServerStats stats_;
+
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vulnds::serve
+
+#endif  // VULNDS_SERVE_SERVE_SERVER_H_

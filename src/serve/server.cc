@@ -1,289 +1,18 @@
 #include "serve/server.h"
 
-#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <string>
 
-#include "graph/graph_io.h"
-#include "graph/graph_stats.h"
-#include "serve/protocol.h"
-#include "vulnds/ground_truth.h"
+#include "serve/session.h"
 
 namespace vulnds::serve {
 
-namespace {
-
-void Err(std::ostream& out, ServeLoopStats* stats, const std::string& message) {
-  ++stats->errors;
-  out << "err " << message << "\n";
-}
-
-void HandleLoad(const ServeRequest& r, QueryEngine& engine, std::ostream& out,
-                ServeLoopStats* stats) {
-  const Status st = engine.catalog().Load(r.name, r.path);
-  if (!st.ok()) {
-    Err(out, stats, st.ToString());
-    return;
-  }
-  const auto entry = engine.catalog().Get(r.name);
-  if (entry == nullptr) {
-    // A concurrent evict (or capacity eviction) can race the load-then-get.
-    Err(out, stats, "graph '" + r.name + "' was evicted during load");
-    return;
-  }
-  out << "ok loaded " << r.name << " nodes=" << entry->graph.num_nodes()
-      << " edges=" << entry->graph.num_edges() << " source=" << r.path << "\n";
-}
-
-void HandleSave(const ServeRequest& r, QueryEngine& engine, std::ostream& out,
-                ServeLoopStats* stats) {
-  const auto entry = engine.catalog().Get(r.name);
-  if (entry == nullptr) {
-    Err(out, stats, "graph '" + r.name + "' is not in the catalog");
-    return;
-  }
-  const Status st = WriteGraphFile(entry->graph, r.path, r.format);
-  if (!st.ok()) {
-    Err(out, stats, st.ToString());
-    return;
-  }
-  out << "ok saved " << r.name << " path=" << r.path << " format="
-      << (r.format == GraphFileFormat::kBinary ? "binary" : "text") << "\n";
-}
-
-void HandleDetect(const ServeRequest& r, QueryEngine& engine, std::ostream& out,
-                  ServeLoopStats* stats) {
-  Result<DetectResponse> response = engine.Detect(r.name, r.options);
-  if (!response.ok()) {
-    Err(out, stats, response.status().ToString());
-    return;
-  }
-  const DetectionResult& result = response->result;
-  out << "ok detect " << r.name << " method=" << MethodName(r.options.method)
-      << " k=" << r.options.k << " cached=" << (response->from_cache ? 1 : 0)
-      << " time=" << FormatRoundTrip(response->seconds)
-      << " samples=" << result.samples_processed << "/" << result.samples_budget
-      << " verified=" << result.verified_count << "\n";
-  for (std::size_t i = 0; i < result.topk.size(); ++i) {
-    out << (i + 1) << ' ' << result.topk[i] << ' '
-        << FormatRoundTrip(result.scores[i]) << "\n";
-  }
-  out << ".\n";
-}
-
-void HandleTruth(const ServeRequest& r, QueryEngine& engine, std::ostream& out,
-                 ServeLoopStats* stats) {
-  const std::size_t samples =
-      r.samples == 0 ? kPaperGroundTruthSamples : r.samples;
-  Result<TruthResponse> response = engine.Truth(r.name, samples, r.seed);
-  if (!response.ok()) {
-    Err(out, stats, response.status().ToString());
-    return;
-  }
-  out << "ok truth " << r.name << " k=" << r.k << " samples=" << samples
-      << " cached=" << (response->from_cache ? 1 : 0)
-      << " time=" << FormatRoundTrip(response->seconds) << "\n";
-  std::size_t rank = 1;
-  for (const NodeId v : response->truth.TopK(r.k)) {
-    out << rank++ << ' ' << v << ' '
-        << FormatRoundTrip(response->truth.probabilities[v]) << "\n";
-  }
-  out << ".\n";
-}
-
-void HandleStats(const ServeRequest& r, QueryEngine& engine, std::ostream& out,
-                 ServeLoopStats* stats) {
-  if (r.name.empty()) {
-    const EngineStats s = engine.stats();
-    const CatalogStats c = engine.catalog().stats();
-    out << "ok stats engine\n";
-    out << "detect_queries=" << s.detect_queries << "\n";
-    out << "truth_queries=" << s.truth_queries << "\n";
-    out << "cache_hits=" << s.result_cache.hits << "\n";
-    out << "cache_misses=" << s.result_cache.misses << "\n";
-    out << "cache_hit_rate=" << FormatRoundTrip(s.result_cache.HitRate()) << "\n";
-    out << "catalog_size=" << engine.catalog().size() << "\n";
-    out << "catalog_evictions=" << c.evictions << "\n";
-    // The whole session state in one parseable line: loop counters (the
-    // stats request itself is already counted) plus the result cache. The
-    // bare hits/misses keys keep this line's vocabulary disjoint from the
-    // per-counter cache_* lines above.
-    out << "serve requests=" << stats->requests << " errors=" << stats->errors
-        << " updates=" << stats->updates << " hits=" << s.result_cache.hits
-        << " misses=" << s.result_cache.misses
-        << " evictions=" << s.result_cache.evictions << "\n";
-    out << ".\n";
-    return;
-  }
-  const auto entry = engine.catalog().Get(r.name);
-  if (entry == nullptr) {
-    Err(out, stats, "graph '" + r.name + "' is not in the catalog");
-    return;
-  }
-  const GraphStats s = ComputeStats(entry->graph);
-  out << "ok stats " << r.name << "\n";
-  out << "nodes=" << s.num_nodes << "\n";
-  out << "edges=" << s.num_edges << "\n";
-  out << "avg_degree=" << FormatRoundTrip(s.avg_degree) << "\n";
-  out << "max_degree=" << s.max_degree << "\n";
-  out << "source=" << entry->source << "\n";
-  {
-    std::lock_guard<std::mutex> lock(entry->context_mu);
-    out << "context_reuse_hits=" << entry->context.reuse_hits << "\n";
-    out << "context_reuse_misses=" << entry->context.reuse_misses << "\n";
-  }
-  out << ".\n";
-}
-
-void HandleCatalog(QueryEngine& engine, std::ostream& out) {
-  out << "ok catalog size=" << engine.catalog().size() << "\n";
-  for (const std::string& name : engine.catalog().Names()) {
-    out << name << "\n";
-  }
-  out << ".\n";
-}
-
-void HandleEvict(const ServeRequest& r, QueryEngine& engine, std::ostream& out,
-                 ServeLoopStats* stats) {
-  if (engine.catalog().Evict(r.name)) {
-    out << "ok evicted " << r.name << "\n";
-  } else {
-    Err(out, stats, "graph '" + r.name + "' is not in the catalog");
-  }
-}
-
-// True when the update verbs can be served; emits the error otherwise.
-bool RequireUpdates(UpdateBackend* updates, std::ostream& out,
-                    ServeLoopStats* stats) {
-  if (updates != nullptr) return true;
-  Err(out, stats, "dynamic updates are not enabled in this session");
-  return false;
-}
-
-void HandleStageUpdate(const ServeRequest& r, UpdateBackend& updates,
-                       std::ostream& out, ServeLoopStats* stats) {
-  const char* verb = r.command == ServeCommand::kAddEdge   ? "addedge"
-                     : r.command == ServeCommand::kDelEdge ? "deledge"
-                                                           : "setprob";
-  Result<UpdateAck> ack = [&]() -> Result<UpdateAck> {
-    switch (r.command) {
-      case ServeCommand::kAddEdge:
-        return updates.AddEdge(r.name, r.src, r.dst, r.prob);
-      case ServeCommand::kDelEdge:
-        return updates.DeleteEdge(r.name, r.src, r.dst);
-      default:
-        return updates.SetProb(r.name, r.src, r.dst, r.prob);
-    }
-  }();
-  if (!ack.ok()) {
-    Err(out, stats, ack.status().ToString());
-    return;
-  }
-  ++stats->updates;
-  out << "ok " << verb << ' ' << r.name << ' ' << r.src << ' ' << r.dst;
-  if (r.command != ServeCommand::kDelEdge) {
-    out << " p=" << FormatRoundTrip(r.prob);
-  }
-  out << " pending=" << ack->pending << " live_edges=" << ack->live_edges
-      << "\n";
-}
-
-void HandleCommit(const ServeRequest& r, UpdateBackend& updates,
-                  std::ostream& out, ServeLoopStats* stats) {
-  Result<CommitInfo> info = updates.Commit(r.name);
-  if (!info.ok()) {
-    Err(out, stats, info.status().ToString());
-    return;
-  }
-  ++stats->updates;
-  out << "ok committed " << info->versioned_name << " nodes=" << info->nodes
-      << " edges=" << info->edges << " ops=" << info->ops
-      << " touched=" << info->touched_nodes << " carried=" << info->carried
-      << " dropped=" << info->dropped
-      << " time=" << FormatRoundTrip(info->seconds) << "\n";
-}
-
-void HandleVersions(const ServeRequest& r, UpdateBackend& updates,
-                    std::ostream& out, ServeLoopStats* stats) {
-  Result<std::vector<VersionInfo>> versions = updates.Versions(r.name);
-  if (!versions.ok()) {
-    Err(out, stats, versions.status().ToString());
-    return;
-  }
-  out << "ok versions " << r.name << " count=" << versions->size() << "\n";
-  for (const VersionInfo& v : *versions) {
-    out << "v" << v.version << ' ' << v.catalog_name << " nodes=" << v.nodes
-        << " edges=" << v.edges << " ops=" << v.ops << "\n";
-  }
-  out << ".\n";
-}
-
-}  // namespace
-
 ServeLoopStats RunServeLoop(std::istream& in, std::ostream& out,
                             QueryEngine& engine, UpdateBackend* updates) {
-  ServeLoopStats stats;
-  std::string line;
-  while (std::getline(in, line)) {
-    Result<ServeRequest> request = ParseServeRequest(line);
-    if (!request.ok()) {
-      ++stats.requests;
-      Err(out, &stats, request.status().message());
-      out.flush();
-      continue;
-    }
-    if (request->command == ServeCommand::kNone) continue;
-    ++stats.requests;
-    switch (request->command) {
-      case ServeCommand::kQuit:
-        out << "ok bye\n";
-        out.flush();
-        return stats;
-      case ServeCommand::kLoad:
-        HandleLoad(*request, engine, out, &stats);
-        break;
-      case ServeCommand::kSave:
-        HandleSave(*request, engine, out, &stats);
-        break;
-      case ServeCommand::kDetect:
-        HandleDetect(*request, engine, out, &stats);
-        break;
-      case ServeCommand::kTruth:
-        HandleTruth(*request, engine, out, &stats);
-        break;
-      case ServeCommand::kStats:
-        HandleStats(*request, engine, out, &stats);
-        break;
-      case ServeCommand::kCatalog:
-        HandleCatalog(engine, out);
-        break;
-      case ServeCommand::kEvict:
-        HandleEvict(*request, engine, out, &stats);
-        break;
-      case ServeCommand::kAddEdge:
-      case ServeCommand::kDelEdge:
-      case ServeCommand::kSetProb:
-        if (RequireUpdates(updates, out, &stats)) {
-          HandleStageUpdate(*request, *updates, out, &stats);
-        }
-        break;
-      case ServeCommand::kCommit:
-        if (RequireUpdates(updates, out, &stats)) {
-          HandleCommit(*request, *updates, out, &stats);
-        }
-        break;
-      case ServeCommand::kVersions:
-        if (RequireUpdates(updates, out, &stats)) {
-          HandleVersions(*request, *updates, out, &stats);
-        }
-        break;
-      case ServeCommand::kNone:
-        break;
-    }
-    out.flush();
-  }
-  return stats;
+  ServeSession session(&engine, updates);
+  DriveSession(session, in, out);
+  return session.stats();
 }
 
 }  // namespace vulnds::serve

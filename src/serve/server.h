@@ -1,28 +1,26 @@
-// RunServeLoop: drives a QueryEngine from a line-oriented request stream.
+// RunServeLoop: drives one ServeSession from a line-oriented request stream.
 //
-// The loop reads protocol lines (protocol.h) from `in` and writes responses
-// to `out` until `quit` or end-of-stream. Malformed requests and failed
-// queries produce a single "err <message>" line and the loop continues —
-// a serving process must never die because one client sent garbage. Streams
-// rather than stdio so a scripted session is a plain stringstream in tests.
+// The loop reads protocol lines (protocol.h) from `in` through the capped
+// request-line reader (session.h) and writes responses to `out` until `quit`
+// or end-of-stream. Malformed and oversized requests produce a single
+// "err <message>" line and the loop continues — a serving process must never
+// die because one client sent garbage. Streams rather than stdio so a
+// scripted session is a plain stringstream in tests.
+//
+// This is the single-session front: all parse/dispatch/respond logic lives
+// in ServeSession (session.h); concurrent multi-session serving lives in
+// ServeServer (serve_server.h). Both speak byte-identical protocol.
 
 #ifndef VULNDS_SERVE_SERVER_H_
 #define VULNDS_SERVE_SERVER_H_
 
-#include <cstddef>
 #include <iosfwd>
 
 #include "serve/query_engine.h"
+#include "serve/session.h"
 #include "serve/update_backend.h"
 
 namespace vulnds::serve {
-
-/// Counters for one serve session.
-struct ServeLoopStats {
-  std::size_t requests = 0;  ///< non-blank lines processed
-  std::size_t errors = 0;    ///< "err" responses emitted
-  std::size_t updates = 0;   ///< accepted update verbs (incl. commits)
-};
 
 /// Runs the request/response loop until `quit` or EOF. Returns the session
 /// counters (the process exit code is the caller's business). `updates`

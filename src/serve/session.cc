@@ -1,0 +1,355 @@
+#include "serve/session.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "serve/protocol.h"
+#include "vulnds/ground_truth.h"
+
+namespace vulnds::serve {
+
+ReadLineResult ReadRequestLine(std::istream& in, std::string* line,
+                               std::size_t max_bytes) {
+  line->clear();
+  // Read through the streambuf directly: sbumpc serves from the buffer
+  // without per-byte istream sentry/virtual-dispatch overhead, and unlike
+  // getline the hostile-line memory stays capped at max_bytes.
+  std::streambuf* buf = in.rdbuf();
+  constexpr int kEofChar = std::char_traits<char>::eof();
+  for (;;) {
+    const int c = buf->sbumpc();
+    if (c == kEofChar) {
+      in.setstate(std::ios::eofbit);
+      return line->empty() ? ReadLineResult::kEof : ReadLineResult::kLine;
+    }
+    if (c == '\n') return ReadLineResult::kLine;
+    if (line->size() >= max_bytes) {
+      // Discard the remainder of the hostile line; the stream resumes at
+      // the next newline (or EOF) so the following request parses cleanly.
+      for (;;) {
+        const int d = buf->sbumpc();
+        if (d == kEofChar) {
+          in.setstate(std::ios::eofbit);
+          break;
+        }
+        if (d == '\n') break;
+      }
+      return ReadLineResult::kOversized;
+    }
+    line->push_back(static_cast<char>(c));
+  }
+}
+
+void DriveSession(ServeSession& session, std::istream& in, std::ostream& out) {
+  std::string line;
+  for (;;) {
+    const ReadLineResult read = ReadRequestLine(in, &line);
+    if (read == ReadLineResult::kEof) break;
+    bool keep_going = true;
+    if (read == ReadLineResult::kOversized) {
+      session.HandleOversizedLine(out);
+    } else {
+      keep_going = session.HandleLine(line, out);
+    }
+    out.flush();
+    if (!keep_going) break;
+  }
+}
+
+ServeSession::ServeSession(QueryEngine* engine, UpdateBackend* updates,
+                           ServerStats* server)
+    : engine_(engine), updates_(updates), server_(server) {}
+
+void ServeSession::CountRequest() {
+  ++stats_.requests;
+  if (server_ != nullptr) {
+    server_->requests.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServeSession::CountUpdate() {
+  ++stats_.updates;
+  if (server_ != nullptr) {
+    server_->updates.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServeSession::Err(std::ostream& out, const std::string& message) {
+  ++stats_.errors;
+  if (server_ != nullptr) {
+    server_->errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  out << "err " << message << "\n";
+}
+
+void ServeSession::HandleOversizedLine(std::ostream& out) {
+  CountRequest();
+  Err(out, "request line exceeds " + std::to_string(kMaxRequestLineBytes) +
+               " bytes");
+}
+
+bool ServeSession::HandleLine(const std::string& line, std::ostream& out) {
+  Result<ServeRequest> request = ParseServeRequest(line);
+  if (!request.ok()) {
+    CountRequest();
+    Err(out, request.status().message());
+    return true;
+  }
+  if (request->command == ServeCommand::kNone) return true;
+  CountRequest();
+  switch (request->command) {
+    case ServeCommand::kQuit:
+      out << "ok bye\n";
+      return false;
+    case ServeCommand::kLoad:
+      HandleLoad(*request, out);
+      break;
+    case ServeCommand::kSave:
+      HandleSave(*request, out);
+      break;
+    case ServeCommand::kDetect:
+      HandleDetect(*request, out);
+      break;
+    case ServeCommand::kTruth:
+      HandleTruth(*request, out);
+      break;
+    case ServeCommand::kStats:
+      HandleStats(*request, out);
+      break;
+    case ServeCommand::kCatalog:
+      HandleCatalog(out);
+      break;
+    case ServeCommand::kEvict:
+      HandleEvict(*request, out);
+      break;
+    case ServeCommand::kAddEdge:
+    case ServeCommand::kDelEdge:
+    case ServeCommand::kSetProb:
+      if (RequireUpdates(out)) HandleStageUpdate(*request, out);
+      break;
+    case ServeCommand::kCommit:
+      if (RequireUpdates(out)) HandleCommit(*request, out);
+      break;
+    case ServeCommand::kVersions:
+      if (RequireUpdates(out)) HandleVersions(*request, out);
+      break;
+    case ServeCommand::kNone:
+      break;
+  }
+  return true;
+}
+
+void ServeSession::HandleLoad(const ServeRequest& r, std::ostream& out) {
+  const Status st = engine_->catalog().Load(r.name, r.path);
+  if (!st.ok()) {
+    Err(out, st.ToString());
+    return;
+  }
+  const auto entry = engine_->catalog().Get(r.name);
+  if (entry == nullptr) {
+    // A concurrent evict (or capacity eviction) can race the load-then-get.
+    Err(out, "graph '" + r.name + "' was evicted during load");
+    return;
+  }
+  out << "ok loaded " << r.name << " nodes=" << entry->graph.num_nodes()
+      << " edges=" << entry->graph.num_edges() << " source=" << r.path << "\n";
+}
+
+void ServeSession::HandleSave(const ServeRequest& r, std::ostream& out) {
+  const auto entry = engine_->catalog().Get(r.name);
+  if (entry == nullptr) {
+    Err(out, "graph '" + r.name + "' is not in the catalog");
+    return;
+  }
+  const Status st = WriteGraphFile(entry->graph, r.path, r.format);
+  if (!st.ok()) {
+    Err(out, st.ToString());
+    return;
+  }
+  out << "ok saved " << r.name << " path=" << r.path << " format="
+      << (r.format == GraphFileFormat::kBinary ? "binary" : "text") << "\n";
+}
+
+void ServeSession::HandleDetect(const ServeRequest& r, std::ostream& out) {
+  Result<DetectResponse> response = engine_->Detect(r.name, r.options);
+  if (!response.ok()) {
+    Err(out, response.status().ToString());
+    return;
+  }
+  const DetectionResult& result = response->result;
+  out << "ok detect " << r.name << " method=" << MethodName(r.options.method)
+      << " k=" << r.options.k << " cached=" << (response->from_cache ? 1 : 0)
+      << " time=" << FormatRoundTrip(response->seconds)
+      << " samples=" << result.samples_processed << "/" << result.samples_budget
+      << " verified=" << result.verified_count << "\n";
+  for (std::size_t i = 0; i < result.topk.size(); ++i) {
+    out << (i + 1) << ' ' << result.topk[i] << ' '
+        << FormatRoundTrip(result.scores[i]) << "\n";
+  }
+  out << ".\n";
+}
+
+void ServeSession::HandleTruth(const ServeRequest& r, std::ostream& out) {
+  const std::size_t samples =
+      r.samples == 0 ? kPaperGroundTruthSamples : r.samples;
+  Result<TruthResponse> response = engine_->Truth(r.name, samples, r.seed);
+  if (!response.ok()) {
+    Err(out, response.status().ToString());
+    return;
+  }
+  out << "ok truth " << r.name << " k=" << r.k << " samples=" << samples
+      << " cached=" << (response->from_cache ? 1 : 0)
+      << " time=" << FormatRoundTrip(response->seconds) << "\n";
+  std::size_t rank = 1;
+  for (const NodeId v : response->truth.TopK(r.k)) {
+    out << rank++ << ' ' << v << ' '
+        << FormatRoundTrip(response->truth.probabilities[v]) << "\n";
+  }
+  out << ".\n";
+}
+
+void ServeSession::HandleStats(const ServeRequest& r, std::ostream& out) {
+  if (r.name.empty()) {
+    const EngineStats s = engine_->stats();
+    const GraphCatalog& catalog = engine_->catalog();
+    const CatalogStats c = catalog.stats();
+    out << "ok stats engine\n";
+    out << "detect_queries=" << s.detect_queries << "\n";
+    out << "truth_queries=" << s.truth_queries << "\n";
+    out << "batched_queries=" << s.batched_queries << "\n";
+    out << "cache_hits=" << s.result_cache.hits << "\n";
+    out << "cache_misses=" << s.result_cache.misses << "\n";
+    out << "cache_hit_rate=" << FormatRoundTrip(s.result_cache.HitRate()) << "\n";
+    out << "catalog_size=" << catalog.size() << "\n";
+    out << "catalog_bytes=" << catalog.resident_bytes() << "\n";
+    out << "catalog_evictions=" << c.evictions << "\n";
+    out << "catalog_shards=" << catalog.shard_count() << "\n";
+    for (const CatalogShardInfo& shard : catalog.ShardInfos()) {
+      out << "shard " << shard.index << " size=" << shard.size
+          << " bytes=" << shard.bytes << " hits=" << shard.stats.hits
+          << " misses=" << shard.stats.misses
+          << " evictions=" << shard.stats.evictions << "\n";
+    }
+    if (server_ != nullptr) {
+      // Relaxed snapshot: each counter exact, the set read at one moment.
+      out << "server sessions_started="
+          << server_->sessions_started.load(std::memory_order_relaxed)
+          << " sessions_finished="
+          << server_->sessions_finished.load(std::memory_order_relaxed)
+          << " requests=" << server_->requests.load(std::memory_order_relaxed)
+          << " errors=" << server_->errors.load(std::memory_order_relaxed)
+          << " updates=" << server_->updates.load(std::memory_order_relaxed)
+          << "\n";
+    }
+    // The whole session state in one parseable line: loop counters (the
+    // stats request itself is already counted) plus the result cache. The
+    // bare hits/misses keys keep this line's vocabulary disjoint from the
+    // per-counter cache_* lines above.
+    out << "serve requests=" << stats_.requests << " errors=" << stats_.errors
+        << " updates=" << stats_.updates << " hits=" << s.result_cache.hits
+        << " misses=" << s.result_cache.misses
+        << " evictions=" << s.result_cache.evictions << "\n";
+    out << ".\n";
+    return;
+  }
+  const auto entry = engine_->catalog().Get(r.name);
+  if (entry == nullptr) {
+    Err(out, "graph '" + r.name + "' is not in the catalog");
+    return;
+  }
+  const GraphStats s = ComputeStats(entry->graph);
+  out << "ok stats " << r.name << "\n";
+  out << "nodes=" << s.num_nodes << "\n";
+  out << "edges=" << s.num_edges << "\n";
+  out << "avg_degree=" << FormatRoundTrip(s.avg_degree) << "\n";
+  out << "max_degree=" << s.max_degree << "\n";
+  out << "source=" << entry->source << "\n";
+  {
+    std::lock_guard<std::mutex> lock(entry->context_mu);
+    out << "context_reuse_hits=" << entry->context.reuse_hits << "\n";
+    out << "context_reuse_misses=" << entry->context.reuse_misses << "\n";
+  }
+  out << ".\n";
+}
+
+void ServeSession::HandleCatalog(std::ostream& out) {
+  out << "ok catalog size=" << engine_->catalog().size() << "\n";
+  for (const std::string& name : engine_->catalog().Names()) {
+    out << name << "\n";
+  }
+  out << ".\n";
+}
+
+void ServeSession::HandleEvict(const ServeRequest& r, std::ostream& out) {
+  if (engine_->catalog().Evict(r.name)) {
+    out << "ok evicted " << r.name << "\n";
+  } else {
+    Err(out, "graph '" + r.name + "' is not in the catalog");
+  }
+}
+
+bool ServeSession::RequireUpdates(std::ostream& out) {
+  if (updates_ != nullptr) return true;
+  Err(out, "dynamic updates are not enabled in this session");
+  return false;
+}
+
+void ServeSession::HandleStageUpdate(const ServeRequest& r, std::ostream& out) {
+  const char* verb = r.command == ServeCommand::kAddEdge   ? "addedge"
+                     : r.command == ServeCommand::kDelEdge ? "deledge"
+                                                           : "setprob";
+  Result<UpdateAck> ack = [&]() -> Result<UpdateAck> {
+    switch (r.command) {
+      case ServeCommand::kAddEdge:
+        return updates_->AddEdge(r.name, r.src, r.dst, r.prob);
+      case ServeCommand::kDelEdge:
+        return updates_->DeleteEdge(r.name, r.src, r.dst);
+      default:
+        return updates_->SetProb(r.name, r.src, r.dst, r.prob);
+    }
+  }();
+  if (!ack.ok()) {
+    Err(out, ack.status().ToString());
+    return;
+  }
+  CountUpdate();
+  out << "ok " << verb << ' ' << r.name << ' ' << r.src << ' ' << r.dst;
+  if (r.command != ServeCommand::kDelEdge) {
+    out << " p=" << FormatRoundTrip(r.prob);
+  }
+  out << " pending=" << ack->pending << " live_edges=" << ack->live_edges
+      << "\n";
+}
+
+void ServeSession::HandleCommit(const ServeRequest& r, std::ostream& out) {
+  Result<CommitInfo> info = updates_->Commit(r.name);
+  if (!info.ok()) {
+    Err(out, info.status().ToString());
+    return;
+  }
+  CountUpdate();
+  out << "ok committed " << info->versioned_name << " nodes=" << info->nodes
+      << " edges=" << info->edges << " ops=" << info->ops
+      << " touched=" << info->touched_nodes << " carried=" << info->carried
+      << " dropped=" << info->dropped
+      << " time=" << FormatRoundTrip(info->seconds) << "\n";
+}
+
+void ServeSession::HandleVersions(const ServeRequest& r, std::ostream& out) {
+  Result<std::vector<VersionInfo>> versions = updates_->Versions(r.name);
+  if (!versions.ok()) {
+    Err(out, versions.status().ToString());
+    return;
+  }
+  out << "ok versions " << r.name << " count=" << versions->size() << "\n";
+  for (const VersionInfo& v : *versions) {
+    out << "v" << v.version << ' ' << v.catalog_name << " nodes=" << v.nodes
+        << " edges=" << v.edges << " ops=" << v.ops << "\n";
+  }
+  out << ".\n";
+}
+
+}  // namespace vulnds::serve

@@ -1,0 +1,133 @@
+// ServeSession: one client's parse -> dispatch -> respond state machine,
+// decoupled from any particular stream.
+//
+// The session owns its ServeLoopStats and holds references to the shared
+// QueryEngine / UpdateBackend; it never owns a stream. Callers feed it one
+// request line at a time (HandleLine) and hand it an ostream to write the
+// response to, so the same object serves a blocking stdin loop
+// (RunServeLoop in server.h), a multiplexed ServeServer session
+// (serve_server.h), or a benchmark that times each request individually.
+//
+// Counter consistency story (the serve stack's single source of truth):
+//   * ServeLoopStats is per-session and plain — exactly one session thread
+//     ever touches it, and it is read only after the session finished.
+//   * ServerStats (shared across sessions) is all relaxed atomics — each
+//     counter is individually exact and never torn; a cross-counter read
+//     (the `stats` verb) is a moment-in-time snapshot, not a transaction.
+//   * Catalog counters are guarded per shard by that shard's mutex;
+//     QueryEngine / result-cache counters by the engine's mutex. Aggregates
+//     sum the guarded values, so they can lag in-flight requests but can
+//     never report a torn half-written value.
+
+#ifndef VULNDS_SERVE_SESSION_H_
+#define VULNDS_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "serve/query_engine.h"
+#include "serve/update_backend.h"
+
+namespace vulnds::serve {
+
+struct ServeRequest;  // protocol.h
+
+/// Counters for one serve session.
+struct ServeLoopStats {
+  std::size_t requests = 0;  ///< non-blank lines processed
+  std::size_t errors = 0;    ///< "err" responses emitted
+  std::size_t updates = 0;   ///< accepted update verbs (incl. commits)
+};
+
+/// Server-level counters shared by every session of one ServeServer.
+/// Relaxed atomics: see the consistency story above.
+struct ServerStats {
+  std::atomic<std::size_t> sessions_started{0};
+  std::atomic<std::size_t> sessions_finished{0};
+  std::atomic<std::size_t> requests{0};
+  std::atomic<std::size_t> errors{0};
+  std::atomic<std::size_t> updates{0};
+};
+
+/// A plain copy of ServerStats for reporting.
+struct ServerStatsSnapshot {
+  std::size_t sessions_started = 0;
+  std::size_t sessions_finished = 0;
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  std::size_t updates = 0;
+};
+
+/// Hard cap on one protocol line: a hostile client streaming bytes without a
+/// newline costs at most this much memory, answers a single "err" response,
+/// and the stream resynchronizes at the next newline.
+inline constexpr std::size_t kMaxRequestLineBytes = 64 * 1024;
+
+/// Outcome of reading one request line.
+enum class ReadLineResult {
+  kLine,       ///< *line holds a complete (possibly empty) request line
+  kOversized,  ///< line exceeded max_bytes; discarded up to the next newline
+  kEof,        ///< end of stream, nothing read
+};
+
+/// Reads one newline-terminated request line into *line, enforcing the byte
+/// cap. A final unterminated line is returned as kLine (matching getline);
+/// an oversized line is discarded through its terminating newline so the
+/// next read starts on a fresh request.
+ReadLineResult ReadRequestLine(std::istream& in, std::string* line,
+                               std::size_t max_bytes = kMaxRequestLineBytes);
+
+/// One serve session over a shared engine. Not thread-safe: a session
+/// belongs to exactly one client/thread; concurrency comes from running
+/// many sessions (ServeServer), never from sharing one.
+class ServeSession {
+ public:
+  /// `updates` may be nullptr (update verbs answer errors); `server` may be
+  /// nullptr (counters stay session-local).
+  explicit ServeSession(QueryEngine* engine, UpdateBackend* updates = nullptr,
+                        ServerStats* server = nullptr);
+
+  /// Parses and executes one request line, writing the response to `out`.
+  /// Returns false when the session is over (`quit`), true otherwise —
+  /// including on malformed input, which answers a single "err" line.
+  bool HandleLine(const std::string& line, std::ostream& out);
+
+  /// Emits the error response for a line rejected by ReadRequestLine's
+  /// byte cap (counts as one request and one error).
+  void HandleOversizedLine(std::ostream& out);
+
+  const ServeLoopStats& stats() const { return stats_; }
+
+ private:
+  void CountRequest();
+  void CountUpdate();
+  void Err(std::ostream& out, const std::string& message);
+
+  void HandleLoad(const ServeRequest& r, std::ostream& out);
+  void HandleSave(const ServeRequest& r, std::ostream& out);
+  void HandleDetect(const ServeRequest& r, std::ostream& out);
+  void HandleTruth(const ServeRequest& r, std::ostream& out);
+  void HandleStats(const ServeRequest& r, std::ostream& out);
+  void HandleCatalog(std::ostream& out);
+  void HandleEvict(const ServeRequest& r, std::ostream& out);
+  bool RequireUpdates(std::ostream& out);
+  void HandleStageUpdate(const ServeRequest& r, std::ostream& out);
+  void HandleCommit(const ServeRequest& r, std::ostream& out);
+  void HandleVersions(const ServeRequest& r, std::ostream& out);
+
+  QueryEngine* engine_;
+  UpdateBackend* updates_;
+  ServerStats* server_;
+  ServeLoopStats stats_;
+};
+
+/// Feeds `session` from `in` (through the capped reader) until `quit` or
+/// EOF, flushing `out` after every response. The one protocol read loop;
+/// RunServeLoop and ServeServer::ServeStream are both thin fronts over it.
+void DriveSession(ServeSession& session, std::istream& in, std::ostream& out);
+
+}  // namespace vulnds::serve
+
+#endif  // VULNDS_SERVE_SESSION_H_

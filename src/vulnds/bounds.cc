@@ -19,19 +19,34 @@ Status ValidateOrder(int order) {
   return Status::OK();
 }
 
+// Runs fn(v) for every node, on the pool when one is provided. Each call
+// writes only node v's slots, so the parallel sweep is race-free and
+// bit-identical to the serial order.
+void SweepNodes(std::size_t n, ThreadPool* pool,
+                const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(n, fn);
+    return;
+  }
+  for (std::size_t v = 0; v < n; ++v) fn(v);
+}
+
 // Runs iterations 2..order of either bound; `probs` holds the order-1
-// values on entry and the order-z values on exit.
+// values on entry and the order-z values on exit. The per-node update is a
+// pure function of the previous iteration (Jacobi), so the sweep
+// parallelizes over nodes; the `any`-changed flag is reduced serially in
+// ascending node order afterwards, keeping the early-fixpoint exit on the
+// same iteration for every thread count.
 void IterateEquationOne(const UncertainGraph& graph, int order,
-                        std::vector<double>* probs) {
+                        std::vector<double>* probs, ThreadPool* pool) {
   const std::size_t n = graph.num_nodes();
   std::vector<char> changed(n, 1);  // everything counts as updated at order 1
   std::vector<char> next_changed(n, 0);
   std::vector<double> next(n, 0.0);
   for (int i = 2; i <= order; ++i) {
-    bool any = false;
-    for (NodeId v = 0; v < n; ++v) {
+    SweepNodes(n, pool, [&](std::size_t v) {
       bool in_changed = false;
-      for (const Arc& arc : graph.InArcs(v)) {
+      for (const Arc& arc : graph.InArcs(static_cast<NodeId>(v))) {
         if (changed[arc.neighbor]) {
           in_changed = true;
           break;
@@ -40,13 +55,15 @@ void IterateEquationOne(const UncertainGraph& graph, int order,
       if (!in_changed) {
         next[v] = (*probs)[v];
         next_changed[v] = 0;
-        continue;
+        return;
       }
-      const double updated = EquationOne(graph, v, *probs);
+      const double updated =
+          EquationOne(graph, static_cast<NodeId>(v), *probs);
       next_changed[v] = std::fabs(updated - (*probs)[v]) > kChangeEps ? 1 : 0;
-      any = any || next_changed[v];
       next[v] = updated;
-    }
+    });
+    bool any = false;
+    for (std::size_t v = 0; v < n; ++v) any = any || next_changed[v];
     probs->swap(next);
     changed.swap(next_changed);
     if (!any) break;  // fixpoint reached before the requested order
@@ -64,28 +81,30 @@ double EquationOne(const UncertainGraph& graph, NodeId v,
   return 1.0 - (1.0 - graph.self_risk(v)) * survive;
 }
 
-Result<std::vector<double>> LowerBounds(const UncertainGraph& graph, int order) {
+Result<std::vector<double>> LowerBounds(const UncertainGraph& graph, int order,
+                                        ThreadPool* pool) {
   VULNDS_RETURN_NOT_OK(ValidateOrder(order));
   // Order 1 (Algorithm 2, lines 2-4): the self-risk alone.
   std::vector<double> probs(graph.self_risks().begin(), graph.self_risks().end());
-  IterateEquationOne(graph, order, &probs);
+  IterateEquationOne(graph, order, &probs, pool);
   return probs;
 }
 
-Result<std::vector<double>> UpperBounds(const UncertainGraph& graph, int order) {
+Result<std::vector<double>> UpperBounds(const UncertainGraph& graph, int order,
+                                        ThreadPool* pool) {
   VULNDS_RETURN_NOT_OK(ValidateOrder(order));
   // Order 1 (Algorithm 3, lines 3-4): every in-neighbor treated as
   // defaulted with probability 1.
   const std::size_t n = graph.num_nodes();
   std::vector<double> probs(n, 0.0);
-  for (NodeId v = 0; v < n; ++v) {
+  SweepNodes(n, pool, [&](std::size_t v) {
     double survive = 1.0;
-    for (const Arc& arc : graph.InArcs(v)) {
+    for (const Arc& arc : graph.InArcs(static_cast<NodeId>(v))) {
       survive *= 1.0 - arc.prob;
     }
-    probs[v] = 1.0 - (1.0 - graph.self_risk(v)) * survive;
-  }
-  IterateEquationOne(graph, order, &probs);
+    probs[v] = 1.0 - (1.0 - graph.self_risk(static_cast<NodeId>(v))) * survive;
+  });
+  IterateEquationOne(graph, order, &probs, pool);
   return probs;
 }
 

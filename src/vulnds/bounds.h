@@ -13,6 +13,13 @@
 // graph; the lower bound is exact on in-trees and can over-count slightly
 // when distinct in-paths share an ancestor, because Equation 1 assumes
 // independent in-neighbor events. This matches the paper.
+//
+// Parallelism. Each Jacobi iteration reads only the previous iteration's
+// values and writes node v's slot alone, so the per-node sweep runs on the
+// pool with the samplers' discipline — static chunking over node ids, the
+// convergence flag folded in fixed (ascending-node) order afterwards — and
+// the returned bounds are bit-identical to the serial loop for any thread
+// count, including the early-fixpoint exit happening on the same iteration.
 
 #ifndef VULNDS_VULNDS_BOUNDS_H_
 #define VULNDS_VULNDS_BOUNDS_H_
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "graph/uncertain_graph.h"
 
 namespace vulnds {
@@ -30,10 +38,15 @@ double EquationOne(const UncertainGraph& graph, NodeId v,
                    const std::vector<double>& probs);
 
 /// Algorithm 2: order-z lower bounds pl(v). Requires order >= 1.
-Result<std::vector<double>> LowerBounds(const UncertainGraph& graph, int order);
+/// `pool` parallelizes the per-node sweeps (nullptr = serial); the result
+/// is bit-identical for every thread count.
+Result<std::vector<double>> LowerBounds(const UncertainGraph& graph, int order,
+                                        ThreadPool* pool = nullptr);
 
 /// Algorithm 3: order-z upper bounds pu(v). Requires order >= 1.
-Result<std::vector<double>> UpperBounds(const UncertainGraph& graph, int order);
+/// `pool` as in LowerBounds.
+Result<std::vector<double>> UpperBounds(const UncertainGraph& graph, int order,
+                                        ThreadPool* pool = nullptr);
 
 }  // namespace vulnds
 

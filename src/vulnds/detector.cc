@@ -122,9 +122,9 @@ Status GetBounds(const UncertainGraph& graph, const DetectorOptions& o,
       return Status::OK();
     }
   }
-  Result<std::vector<double>> lo = LowerBounds(graph, o.bound_order);
+  Result<std::vector<double>> lo = LowerBounds(graph, o.bound_order, o.pool);
   if (!lo.ok()) return lo.status();
-  Result<std::vector<double>> hi = UpperBounds(graph, o.bound_order);
+  Result<std::vector<double>> hi = UpperBounds(graph, o.bound_order, o.pool);
   if (!hi.ok()) return hi.status();
   if (ctx != nullptr) {
     ++ctx->reuse_misses;

@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
 #include "graph/graph_io.h"
 #include "testing/test_graphs.h"
 
@@ -110,6 +117,262 @@ TEST(GraphCatalogTest, EmptyNameRejected) {
   GraphCatalog catalog;
   EXPECT_EQ(catalog.Put("", testing::ChainGraph(0.3, 0.6)).code(),
             StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Sharding.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCatalogTest, ShardCountRoundsUpToPowerOfTwo) {
+  GraphCatalogOptions options;
+  options.shards = 5;
+  GraphCatalog catalog(options);
+  EXPECT_EQ(catalog.shard_count(), 8u);
+  GraphCatalogOptions one;
+  one.shards = 1;
+  EXPECT_EQ(GraphCatalog(one).shard_count(), 1u);
+  EXPECT_EQ(GraphCatalog().shard_count(), GraphCatalog::kDefaultShards);
+  // A hostile shard count is clamped, not allocated (and must not hang the
+  // power-of-two round-up on overflow).
+  GraphCatalogOptions huge;
+  huge.shards = static_cast<std::size_t>(-1);
+  EXPECT_EQ(GraphCatalog(huge).shard_count(), 256u);
+}
+
+TEST(ShardedCatalogTest, ShardInfosSumToAggregates) {
+  GraphCatalog catalog;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        catalog.Put("g" + std::to_string(i), testing::ChainGraph(0.3, 0.6)).ok());
+  }
+  catalog.Get("g3");
+  catalog.Get("nope");
+  std::size_t size = 0, bytes = 0, hits = 0, misses = 0, loads = 0;
+  for (const CatalogShardInfo& shard : catalog.ShardInfos()) {
+    size += shard.size;
+    bytes += shard.bytes;
+    hits += shard.stats.hits;
+    misses += shard.stats.misses;
+    loads += shard.stats.loads;
+  }
+  EXPECT_EQ(size, catalog.size());
+  EXPECT_EQ(bytes, catalog.resident_bytes());
+  const CatalogStats total = catalog.stats();
+  EXPECT_EQ(hits, total.hits);
+  EXPECT_EQ(misses, total.misses);
+  EXPECT_EQ(loads, total.loads);
+  EXPECT_EQ(total.hits, 1u);
+  EXPECT_EQ(total.misses, 1u);
+}
+
+TEST(ShardedCatalogTest, CapacityEvictionIsGlobalLruAcrossShards) {
+  // Names spread over shards, but eviction order must follow global
+  // recency, exactly like the former one-mutex catalog.
+  GraphCatalogOptions options;
+  options.capacity = 3;
+  options.shards = 4;
+  GraphCatalog catalog(options);
+  for (const char* name : {"a", "b", "c"}) {
+    ASSERT_TRUE(catalog.Put(name, testing::ChainGraph(0.3, 0.6)).ok());
+  }
+  ASSERT_NE(catalog.Get("a"), nullptr);  // recency now b < c < a
+  ASSERT_NE(catalog.Get("b"), nullptr);  // recency now c < a < b
+  ASSERT_TRUE(catalog.Put("d", testing::ChainGraph(0.3, 0.6)).ok());
+  EXPECT_EQ(catalog.size(), 3u);
+  EXPECT_EQ(catalog.Get("c"), nullptr) << "global LRU victim must be c";
+  EXPECT_NE(catalog.Get("a"), nullptr);
+  EXPECT_NE(catalog.Get("b"), nullptr);
+  EXPECT_NE(catalog.Get("d"), nullptr);
+}
+
+TEST(ShardedCatalogTest, ByteBudgetEvictsUntilWithinBudget) {
+  const UncertainGraph small = testing::ChainGraph(0.3, 0.6);
+  const std::size_t small_bytes = EstimateGraphBytes(small);
+  GraphCatalogOptions options;
+  options.byte_budget = 3 * small_bytes + small_bytes / 2;  // fits 3, not 4
+  options.shards = 4;
+  GraphCatalog catalog(options);
+  for (const char* name : {"a", "b", "c", "d", "e"}) {
+    ASSERT_TRUE(catalog.Put(name, testing::ChainGraph(0.3, 0.6)).ok());
+  }
+  EXPECT_EQ(catalog.size(), 3u);
+  EXPECT_LE(catalog.resident_bytes(), options.byte_budget);
+  // The three most recently inserted survive.
+  EXPECT_EQ(catalog.Get("a"), nullptr);
+  EXPECT_EQ(catalog.Get("b"), nullptr);
+  EXPECT_NE(catalog.Get("c"), nullptr);
+  EXPECT_NE(catalog.Get("d"), nullptr);
+  EXPECT_NE(catalog.Get("e"), nullptr);
+  EXPECT_EQ(catalog.stats().evictions, 2u);
+}
+
+TEST(ShardedCatalogTest, LoneOversizedGraphStaysResident) {
+  const UncertainGraph big = testing::RandomSmallGraph(50, 0.2, 3);
+  GraphCatalogOptions options;
+  options.byte_budget = EstimateGraphBytes(big) / 2;
+  GraphCatalog catalog(options);
+  ASSERT_TRUE(catalog.Put("big", testing::RandomSmallGraph(50, 0.2, 3)).ok());
+  // A single graph larger than the whole budget must not thrash the
+  // catalog empty; the budget bites again as soon as a second entry lands.
+  EXPECT_NE(catalog.Get("big"), nullptr);
+  ASSERT_TRUE(catalog.Put("small", testing::ChainGraph(0.3, 0.6)).ok());
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.Get("big"), nullptr) << "LRU victim is the older graph";
+  EXPECT_NE(catalog.Get("small"), nullptr);
+}
+
+TEST(ShardedCatalogTest, EvictionAccountingRemovesBytes) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("a", testing::ChainGraph(0.3, 0.6)).ok());
+  ASSERT_TRUE(catalog.Put("b", testing::RandomSmallGraph(20, 0.2, 5)).ok());
+  const std::size_t both = catalog.resident_bytes();
+  ASSERT_TRUE(catalog.Evict("b"));
+  EXPECT_EQ(catalog.resident_bytes(),
+            both - EstimateGraphBytes(testing::RandomSmallGraph(20, 0.2, 5)));
+  ASSERT_TRUE(catalog.Evict("a"));
+  EXPECT_EQ(catalog.resident_bytes(), 0u);
+  EXPECT_EQ(catalog.size(), 0u);
+}
+
+// Reference model: a single global LRU with the same budget rules. The
+// sharded catalog must match it operation for operation (single-threaded,
+// sharding is pure implementation detail).
+class LruModel {
+ public:
+  LruModel(std::size_t capacity, std::size_t byte_budget)
+      : capacity_(capacity), byte_budget_(byte_budget) {}
+
+  void Put(const std::string& name, std::size_t bytes) {
+    Remove(name);
+    order_.push_front({name, bytes});
+    bytes_total_ += bytes;
+    Enforce();
+  }
+
+  bool Get(const std::string& name) {
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      if (it->first == name) {
+        auto entry = *it;
+        order_.erase(it);
+        order_.push_front(entry);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Evict(const std::string& name) {
+    const std::size_t before = order_.size();
+    Remove(name);
+    return order_.size() != before;
+  }
+
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    for (const auto& [name, bytes] : order_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  void Remove(const std::string& name) {
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      if (it->first == name) {
+        bytes_total_ -= it->second;
+        order_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void Enforce() {
+    while (order_.size() > 1 &&
+           ((capacity_ != 0 && order_.size() > capacity_) ||
+            (byte_budget_ != 0 && bytes_total_ > byte_budget_))) {
+      bytes_total_ -= order_.back().second;
+      order_.pop_back();
+    }
+  }
+
+  std::size_t capacity_;
+  std::size_t byte_budget_;
+  std::size_t bytes_total_ = 0;
+  std::deque<std::pair<std::string, std::size_t>> order_;  // front = MRU
+};
+
+TEST(ShardedCatalogTest, PropertyMatchesGlobalLruModelAcrossShards) {
+  // Random Put/Get/Evict sequences with mixed graph sizes; after every
+  // operation the resident set AND the MRU order must match the global-LRU
+  // reference model, for several shard counts (1 = the old catalog).
+  const UncertainGraph small = testing::ChainGraph(0.3, 0.6);
+  const UncertainGraph large = testing::RandomSmallGraph(25, 0.25, 9);
+  const std::size_t small_bytes = EstimateGraphBytes(small);
+  const std::size_t large_bytes = EstimateGraphBytes(large);
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      GraphCatalogOptions options;
+      options.capacity = 5;
+      options.byte_budget = 3 * large_bytes + small_bytes;
+      options.shards = shards;
+      GraphCatalog catalog(options);
+      LruModel model(options.capacity, options.byte_budget);
+      Rng rng(seed);
+      for (int step = 0; step < 300; ++step) {
+        const std::string name =
+            "g" + std::to_string(rng.NextU64() % 9);  // 9 hot names
+        const double roll = rng.NextDouble();
+        if (roll < 0.45) {
+          const bool big = rng.NextDouble() < 0.4;
+          ASSERT_TRUE(catalog
+                          .Put(name, big ? testing::RandomSmallGraph(25, 0.25, 9)
+                                         : testing::ChainGraph(0.3, 0.6))
+                          .ok());
+          model.Put(name, big ? large_bytes : small_bytes);
+        } else if (roll < 0.85) {
+          EXPECT_EQ(catalog.Get(name) != nullptr, model.Get(name))
+              << "step " << step << " name " << name << " shards " << shards;
+        } else {
+          EXPECT_EQ(catalog.Evict(name), model.Evict(name))
+              << "step " << step << " name " << name << " shards " << shards;
+        }
+        ASSERT_EQ(catalog.Names(), model.Names())
+            << "step " << step << " shards " << shards << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ShardedCatalogTest, ConcurrentLoadGetEvictSmoke) {
+  // Hammer the catalog from several threads; correctness here is "no crash,
+  // no torn state" (the TSan CI job runs this test under ThreadSanitizer),
+  // plus conservation: every Get either misses or returns a usable entry.
+  GraphCatalogOptions options;
+  options.capacity = 6;
+  options.shards = 4;
+  GraphCatalog catalog(options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&catalog, t] {
+      Rng rng(1000 + t);
+      for (int step = 0; step < 200; ++step) {
+        const std::string name = "g" + std::to_string(rng.NextU64() % 10);
+        const double roll = rng.NextDouble();
+        if (roll < 0.4) {
+          ASSERT_TRUE(catalog.Put(name, testing::ChainGraph(0.3, 0.6)).ok());
+        } else if (roll < 0.9) {
+          const auto entry = catalog.Get(name);
+          if (entry != nullptr) {
+            ASSERT_EQ(entry->graph.num_nodes(), 3u);
+          }
+        } else {
+          catalog.Evict(name);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(catalog.size(), 6u);
+  const CatalogStats stats = catalog.stats();
+  EXPECT_EQ(stats.hits + stats.misses >= 1u, true);
 }
 
 }  // namespace

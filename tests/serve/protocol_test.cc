@@ -176,5 +176,24 @@ TEST(ProtocolTest, CaseInsensitiveVerbsAndMethods) {
   EXPECT_EQ(ParseServeRequest("Load g /p")->command, ServeCommand::kLoad);
 }
 
+TEST(ProtocolTest, StripWallClockTokensPreservesEveryOtherByte) {
+  // Mid-line token: only " time=<v>" goes; spacing elsewhere untouched.
+  EXPECT_EQ(StripWallClockTokens(
+                "ok detect g method=BSRBK cached=1 time=3.1e-06 samples=16"),
+            "ok detect g method=BSRBK cached=1 samples=16");
+  // Token at end of line (commit responses).
+  EXPECT_EQ(StripWallClockTokens("ok committed g@v1 ops=3 time=0.0002"),
+            "ok committed g@v1 ops=3");
+  // Token at start of line.
+  EXPECT_EQ(StripWallClockTokens("time=1.5 rest"), "rest");
+  // Substrings of larger tokens are not wall-clock tokens.
+  EXPECT_EQ(StripWallClockTokens("uptime=5 x"), "uptime=5 x");
+  // Lines without the token — including payload rows — pass through
+  // byte-identical, double spaces and all.
+  EXPECT_EQ(StripWallClockTokens("1 46 0.999  trailing"),
+            "1 46 0.999  trailing");
+  EXPECT_EQ(StripWallClockTokens(""), "");
+}
+
 }  // namespace
 }  // namespace vulnds::serve

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "testing/test_graphs.h"
 
 namespace vulnds::serve {
@@ -280,6 +283,82 @@ TEST(QueryEngineTest, InvalidOptionsPropagateStatus) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(engine.Truth("g", 0, 1).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineTest, ConcurrentIdenticalDetectsComputeOnce) {
+  // Whatever the interleaving, an identical concurrent query either hits
+  // the result cache outright, or joins the leader's batch and is answered
+  // by the in-batch cache re-check — in every case the detection runs (and
+  // the cache is filled) exactly once, and all callers see identical bytes.
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(24, 0.2, 17)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.k = 4;
+  options.seed = 23;
+  constexpr int kThreads = 4;
+  std::vector<Result<DetectResponse>> responses;
+  for (int i = 0; i < kThreads; ++i) {
+    responses.push_back(Status::Internal("not run"));
+  }
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back(
+          [&, i] { responses[i] = engine.Detect("g", options); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  ASSERT_TRUE(responses[0].ok());
+  for (int i = 1; i < kThreads; ++i) {
+    ASSERT_TRUE(responses[i].ok()) << i;
+    EXPECT_EQ(responses[0]->result.topk, responses[i]->result.topk);
+    EXPECT_EQ(responses[0]->result.scores, responses[i]->result.scores);
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.detect_queries, static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(stats.result_cache.inserts, 1u)
+      << "the detection must have run exactly once";
+}
+
+TEST(QueryEngineTest, BatchedDistinctQueriesMatchSerialResults) {
+  // Distinct seeds force distinct cache keys; concurrent issuance may
+  // batch them under one context-lock acquisition, and each result must
+  // equal the one a serial engine computes.
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(24, 0.2, 17)).ok());
+  QueryEngine engine(&catalog);
+  constexpr int kThreads = 4;
+  std::vector<Result<DetectResponse>> responses;
+  for (int i = 0; i < kThreads; ++i) {
+    responses.push_back(Status::Internal("not run"));
+  }
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        DetectorOptions options;
+        options.k = 4;
+        options.seed = 500 + static_cast<uint64_t>(i);
+        responses[i] = engine.Detect("g", options);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_TRUE(responses[i].ok()) << i;
+    GraphCatalog fresh_catalog;
+    ASSERT_TRUE(
+        fresh_catalog.Put("g", testing::RandomSmallGraph(24, 0.2, 17)).ok());
+    QueryEngine fresh(&fresh_catalog);
+    DetectorOptions options;
+    options.k = 4;
+    options.seed = 500 + static_cast<uint64_t>(i);
+    const Result<DetectResponse> serial = fresh.Detect("g", options);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(serial->result.topk, responses[i]->result.topk);
+    EXPECT_EQ(serial->result.scores, responses[i]->result.scores);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,260 @@
+// ServeServer: many concurrent sessions over one shared engine must behave
+// like the same sessions run alone — byte-identical responses modulo the
+// wall-clock time= token, which is the only nondeterministic byte in the
+// protocol. These tests run under the TSan CI job like the rest of the
+// suite, so interleavings are also race-checked.
+
+#include "serve/serve_server.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dyn/update_manager.h"
+#include "graph/graph_io.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "testing/test_graphs.h"
+
+namespace vulnds::serve {
+namespace {
+
+std::string WriteTempGraph(const UncertainGraph& g, const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(WriteGraphFile(g, path, GraphFileFormat::kBinary).ok());
+  return path;
+}
+
+std::vector<std::string> StrippedLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(StripWallClockTokens(line));
+  return lines;
+}
+
+// One disjoint-graph session script: load, cold detect, cached detect,
+// stage + commit, detect the new version.
+std::string SessionScript(const std::string& name, const std::string& path) {
+  return "load " + name + " " + path + "\n" +
+         "detect " + name + " 3 BSRBK seed=7\n" +
+         "detect " + name + " 3 BSRBK seed=7\n" +
+         "addedge " + name + " 0 1 0.25\n" +
+         "commit " + name + "\n" +
+         "detect " + name + "@v1 3 BSRBK seed=7\n" +
+         "quit\n";
+}
+
+TEST(ServeServerTest, ConcurrentDisjointSessionsMatchSerialTranscripts) {
+  constexpr int kSessions = 4;
+  std::vector<std::string> paths, scripts, baselines;
+  for (int i = 0; i < kSessions; ++i) {
+    const std::string name = "g" + std::to_string(i);
+    paths.push_back(WriteTempGraph(
+        testing::RandomSmallGraph(24, 0.2, 100 + i), "ssrv_" + name + ".snap"));
+    scripts.push_back(SessionScript(name, paths.back()));
+    // Baseline: the same script alone on a fresh engine.
+    GraphCatalog catalog;
+    QueryEngine engine(&catalog);
+    dyn::UpdateManager updates(&catalog);
+    std::istringstream in(scripts.back());
+    std::ostringstream out;
+    RunServeLoop(in, out, engine, &updates);
+    baselines.push_back(out.str());
+  }
+
+  GraphCatalog catalog;
+  QueryEngine engine(&catalog);
+  dyn::UpdateManager updates(&catalog);
+  ServeServer server(&engine, &updates);
+  std::vector<std::istringstream> ins;
+  std::vector<std::ostringstream> outs(kSessions);
+  for (int i = 0; i < kSessions; ++i) ins.emplace_back(scripts[i]);
+  for (int i = 0; i < kSessions; ++i) server.Submit(&ins[i], &outs[i]);
+  server.Join();
+
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(StrippedLines(outs[i].str()), StrippedLines(baselines[i]))
+        << "session " << i << " diverged from its single-session transcript";
+  }
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.sessions_started, static_cast<std::size_t>(kSessions));
+  EXPECT_EQ(stats.sessions_finished, static_cast<std::size_t>(kSessions));
+  // 7 non-blank lines per script.
+  EXPECT_EQ(stats.requests, static_cast<std::size_t>(7 * kSessions));
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.updates, static_cast<std::size_t>(2 * kSessions));
+}
+
+TEST(ServeServerTest, SameGraphConcurrentCachedQueriesAreBitIdentical) {
+  GraphCatalog catalog;
+  QueryEngine engine(&catalog);
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(24, 0.2, 11)).ok());
+  ServeServer server(&engine);
+
+  // Baseline: one session answers the query once (cold), then cached.
+  const std::string query = "detect g 3 BSRBK seed=5\n";
+  std::istringstream warm_in(query + "quit\n");
+  std::ostringstream warm_out;
+  server.ServeStream(warm_in, warm_out);
+  std::vector<std::string> baseline = StrippedLines(warm_out.str());
+  baseline.pop_back();  // "ok bye"
+  // After warm-up every response must be the cached block.
+  ASSERT_FALSE(baseline.empty());
+
+  constexpr int kSessions = 6;
+  constexpr int kRepeats = 10;
+  std::string script;
+  for (int r = 0; r < kRepeats; ++r) script += query;
+  script += "quit\n";
+  std::vector<std::istringstream> ins;
+  std::vector<std::ostringstream> outs(kSessions);
+  for (int i = 0; i < kSessions; ++i) ins.emplace_back(script);
+  for (int i = 0; i < kSessions; ++i) server.Submit(&ins[i], &outs[i]);
+  server.Join();
+
+  // The cached block, with cached=1 in the header.
+  std::vector<std::string> cached_block = baseline;
+  ASSERT_NE(cached_block[0].find("cached=0"), std::string::npos);
+  cached_block[0].replace(cached_block[0].find("cached=0"), 8, "cached=1");
+  std::vector<std::string> expected;
+  for (int r = 0; r < kRepeats; ++r) {
+    expected.insert(expected.end(), cached_block.begin(), cached_block.end());
+  }
+  expected.push_back("ok bye");
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(StrippedLines(outs[i].str()), expected) << "session " << i;
+  }
+}
+
+TEST(ServeServerTest, InterleavedUpdatesOnSharedGraphApplyExactlyOnce) {
+  // Two sessions stage one edge each on the SAME graph and both commit.
+  // The staging area is shared, so which commit carries which ops is a
+  // race — but every op lands exactly once: the ops summed over versions
+  // must equal the two staged edges, whatever the interleaving.
+  GraphCatalog catalog;
+  QueryEngine engine(&catalog);
+  dyn::UpdateManager updates(&catalog);
+  ASSERT_TRUE(catalog.Put("g", testing::PaperExampleGraph(0.2)).ok());
+  ServeServer server(&engine, &updates);
+
+  std::istringstream in_a("addedge g 4 0 0.5\ncommit g\nquit\n");
+  std::istringstream in_b("addedge g 4 1 0.5\ncommit g\nquit\n");
+  std::ostringstream out_a, out_b;
+  server.Submit(&in_a, &out_a);
+  server.Submit(&in_b, &out_b);
+  server.Join();
+
+  std::istringstream check_in("versions g\nquit\n");
+  std::ostringstream check_out;
+  server.ServeStream(check_in, check_out);
+  std::size_t total_ops = 0;
+  std::istringstream lines(check_out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t pos = line.find(" ops=");
+    if (pos == std::string::npos || line.rfind("v", 0) != 0) continue;
+    total_ops += std::stoul(line.substr(pos + 5));
+  }
+  EXPECT_EQ(total_ops, 2u) << check_out.str();
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.sessions_finished, 3u);
+  // Both addedges always succeed; a commit can race to an empty staging
+  // area and answer err, so updates is 3 or 4 and errors the complement.
+  EXPECT_GE(stats.updates, 3u);
+  EXPECT_LE(stats.updates, 4u);
+  EXPECT_EQ(stats.errors, 4u - stats.updates);
+}
+
+TEST(ServeServerTest, StatsVerbReportsServerAndShardDetail) {
+  GraphCatalog catalog;
+  QueryEngine engine(&catalog);
+  ASSERT_TRUE(catalog.Put("g", testing::ChainGraph(0.3, 0.6)).ok());
+  ServeServer server(&engine);
+  std::istringstream in("detect g 2\nstats\nquit\n");
+  std::ostringstream out;
+  server.ServeStream(in, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("batched_queries=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("catalog_shards=8"), std::string::npos);
+  EXPECT_NE(text.find("catalog_bytes="), std::string::npos);
+  EXPECT_NE(text.find("shard 0 size="), std::string::npos);
+  EXPECT_NE(text.find("server sessions_started=1 sessions_finished=0 "
+                      "requests=2 errors=0 updates=0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve requests=2 errors=0 updates=0"),
+            std::string::npos);
+}
+
+TEST(ServeServerTest, SessionPoolFallsBackWhenItIsTheSamplingPool) {
+  // Running blocking sessions on the engine's sampling pool would deadlock
+  // (sessions wait for detect fan-out; fan-out waits for pool workers that
+  // are all sessions). The server must detect the aliasing and use
+  // dedicated threads; this test deadlocks (and times out) if it does not.
+  ThreadPool pool(2);
+  GraphCatalog catalog;
+  QueryEngineOptions options;
+  options.pool = &pool;
+  QueryEngine engine(&catalog, options);
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(24, 0.2, 3)).ok());
+  ServeServer server(&engine, nullptr, &pool);
+  constexpr int kSessions = 4;  // more sessions than pool workers
+  std::vector<std::istringstream> ins;
+  std::vector<std::ostringstream> outs(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    ins.emplace_back("detect g 3 BSRBK seed=9\nquit\n");
+  }
+  for (int i = 0; i < kSessions; ++i) server.Submit(&ins[i], &outs[i]);
+  server.Join();
+  EXPECT_EQ(server.stats().sessions_finished,
+            static_cast<std::size_t>(kSessions));
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_NE(outs[i].str().find("ok detect g "), std::string::npos);
+  }
+}
+
+TEST(ServeServerTest, ConcurrentColdSameGraphQueriesBatchCorrectly) {
+  // Distinct seeds on one graph issued concurrently: whichever requests
+  // overlap share a context-lock acquisition (batched_queries counts them,
+  // timing-dependent), and every response must match its single-session
+  // counterpart computed on a fresh engine.
+  constexpr int kSessions = 4;
+  std::vector<std::string> scripts, baselines;
+  const std::string path =
+      WriteTempGraph(testing::RandomSmallGraph(24, 0.2, 42), "ssrv_batch.snap");
+  for (int i = 0; i < kSessions; ++i) {
+    scripts.push_back("detect shared 3 BSRBK seed=" + std::to_string(200 + i) +
+                      "\nquit\n");
+    GraphCatalog catalog;
+    QueryEngine engine(&catalog);
+    ASSERT_TRUE(catalog.Load("shared", path).ok());
+    std::istringstream in(scripts.back());
+    std::ostringstream out;
+    RunServeLoop(in, out, engine);
+    baselines.push_back(out.str());
+  }
+
+  GraphCatalog catalog;
+  QueryEngine engine(&catalog);
+  ASSERT_TRUE(catalog.Load("shared", path).ok());
+  ServeServer server(&engine);
+  std::vector<std::istringstream> ins;
+  std::vector<std::ostringstream> outs(kSessions);
+  for (int i = 0; i < kSessions; ++i) ins.emplace_back(scripts[i]);
+  for (int i = 0; i < kSessions; ++i) server.Submit(&ins[i], &outs[i]);
+  server.Join();
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(StrippedLines(outs[i].str()), StrippedLines(baselines[i]))
+        << "session " << i;
+  }
+  EXPECT_EQ(engine.stats().detect_queries,
+            static_cast<std::size_t>(kSessions));
+}
+
+}  // namespace
+}  // namespace vulnds::serve

@@ -242,6 +242,45 @@ TEST(ServeLoopTest, CommittedVersionIsQueryableAndCachedIndependently) {
       << "the new version must not inherit the base version's cache line";
 }
 
+TEST(ReadRequestLineTest, CapsAndResyncsAtNextNewline) {
+  std::istringstream in("short\n" + std::string(40, 'x') + "\nnext\ntail");
+  std::string line;
+  EXPECT_EQ(ReadRequestLine(in, &line, 16), ReadLineResult::kLine);
+  EXPECT_EQ(line, "short");
+  EXPECT_EQ(ReadRequestLine(in, &line, 16), ReadLineResult::kOversized);
+  EXPECT_EQ(ReadRequestLine(in, &line, 16), ReadLineResult::kLine);
+  EXPECT_EQ(line, "next") << "stream must resync at the newline";
+  // Final unterminated line behaves like getline: returned, then EOF.
+  EXPECT_EQ(ReadRequestLine(in, &line, 16), ReadLineResult::kLine);
+  EXPECT_EQ(line, "tail");
+  EXPECT_EQ(ReadRequestLine(in, &line, 16), ReadLineResult::kEof);
+}
+
+TEST(ReadRequestLineTest, OversizedFinalLineWithoutNewline) {
+  std::istringstream in(std::string(64, 'y'));
+  std::string line;
+  EXPECT_EQ(ReadRequestLine(in, &line, 8), ReadLineResult::kOversized);
+  EXPECT_EQ(ReadRequestLine(in, &line, 8), ReadLineResult::kEof);
+}
+
+TEST(ServeLoopTest, OversizedLineAnswersOneErrAndLoopContinues) {
+  GraphCatalog catalog;
+  QueryEngine engine(&catalog);
+  // One hostile line longer than the cap, then a valid request: the loop
+  // must answer exactly one err for the flood and keep serving.
+  std::istringstream in(std::string(kMaxRequestLineBytes + 100, 'z') +
+                        "\ncatalog\nquit\n");
+  std::ostringstream out;
+  const ServeLoopStats stats = RunServeLoop(in, out, engine);
+  const std::vector<std::string> lines = Lines(out.str());
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.errors, 1u);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("err request line exceeds", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("ok catalog", 0), 0u);
+  EXPECT_EQ(lines.back(), "ok bye");
+}
+
 TEST(ServeLoopTest, TruthAndEngineStats) {
   const std::string path = WriteTempGraph(testing::RandomSmallGraph(20, 0.2, 9),
                                           "serve_e.snap", GraphFileFormat::kBinary);

@@ -1,0 +1,114 @@
+// Deterministic parallel bounds: LowerBounds/UpperBounds on a pool must be
+// bit-identical to the serial loop for every thread count, order, and graph
+// shape — including the early-fixpoint exit and the change-propagation
+// sparsity it depends on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "testing/test_graphs.h"
+#include "vulnds/bounds.h"
+#include "vulnds/detector.h"
+
+namespace vulnds {
+namespace {
+
+// Bitwise equality of double vectors: EXPECT_EQ on doubles compares values
+// (so -0.0 == 0.0 and NaN != NaN); determinism is a claim about bytes.
+void ExpectBitIdentical(const std::vector<double>& a,
+                        const std::vector<double>& b, const char* what,
+                        std::size_t threads) {
+  ASSERT_EQ(a.size(), b.size()) << what << " threads=" << threads;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+        << what << " diverges at node " << i << " with " << threads
+        << " threads: serial=" << a[i] << " parallel=" << b[i];
+  }
+}
+
+std::vector<std::size_t> ThreadCounts() {
+  std::vector<std::size_t> counts = {1, 2, 7};
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  return counts;
+}
+
+TEST(BoundsParallelTest, BitIdenticalAcrossThreadCounts) {
+  for (const uint64_t seed : {3u, 11u, 29u}) {
+    const UncertainGraph g = testing::RandomSmallGraph(120, 0.05, seed);
+    for (const int order : {1, 2, 3, 5, 9}) {
+      const auto serial_lo = LowerBounds(g, order);
+      const auto serial_hi = UpperBounds(g, order);
+      ASSERT_TRUE(serial_lo.ok() && serial_hi.ok());
+      for (const std::size_t threads : ThreadCounts()) {
+        ThreadPool pool(threads);
+        const auto lo = LowerBounds(g, order, &pool);
+        const auto hi = UpperBounds(g, order, &pool);
+        ASSERT_TRUE(lo.ok() && hi.ok());
+        ExpectBitIdentical(*serial_lo, *lo, "lower", threads);
+        ExpectBitIdentical(*serial_hi, *hi, "upper", threads);
+      }
+    }
+  }
+}
+
+TEST(BoundsParallelTest, EarlyFixpointExitsOnSameIteration) {
+  // A chain converges quickly: high orders hit the fixpoint exit, which
+  // must fire identically (and leave identical values) in parallel. The
+  // chain also exercises the sparse "in-neighbor unchanged" path.
+  const UncertainGraph g = testing::ChainGraph(0.3, 0.6);
+  for (const int order : {2, 4, 16, 64}) {
+    const auto serial = LowerBounds(g, order);
+    ASSERT_TRUE(serial.ok());
+    for (const std::size_t threads : ThreadCounts()) {
+      ThreadPool pool(threads);
+      const auto parallel = LowerBounds(g, order, &pool);
+      ASSERT_TRUE(parallel.ok());
+      ExpectBitIdentical(*serial, *parallel, "lower-fixpoint", threads);
+    }
+  }
+}
+
+TEST(BoundsParallelTest, DetectWithPoolMatchesSerialDetect) {
+  // The full path: DetectorOptions.pool flows into GetBounds, and the
+  // ranked result must not move by a single ulp.
+  const UncertainGraph g = testing::RandomSmallGraph(60, 0.08, 7);
+  DetectorOptions options;
+  options.method = Method::kBsrbk;
+  options.k = 5;
+  options.bound_order = 3;
+  const auto serial = DetectTopK(g, options);
+  ASSERT_TRUE(serial.ok());
+  for (const std::size_t threads : ThreadCounts()) {
+    ThreadPool pool(threads);
+    DetectorOptions parallel_options = options;
+    parallel_options.pool = &pool;
+    const auto parallel = DetectTopK(g, parallel_options);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial->topk, parallel->topk) << threads << " threads";
+    ExpectBitIdentical(serial->scores, parallel->scores, "scores", threads);
+    EXPECT_EQ(serial->samples_processed, parallel->samples_processed);
+    EXPECT_EQ(serial->verified_count, parallel->verified_count);
+  }
+}
+
+TEST(BoundsParallelTest, EmptyAndTinyGraphs) {
+  // n < threads exercises ParallelFor's short-chunk partition.
+  ThreadPool pool(7);
+  const UncertainGraph tiny = testing::ChainGraph(0.2, 0.4);
+  const auto serial = UpperBounds(tiny, 4);
+  const auto parallel = UpperBounds(tiny, 4, &pool);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ExpectBitIdentical(*serial, *parallel, "tiny-upper", 7);
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -16,9 +16,11 @@
 //       bit-identical for every thread count.
 //   vulnds_cli truth <graph> <k> [samples] [seed]
 //       Prints the Monte-Carlo reference top-k (default 20000 worlds).
-//   vulnds_cli serve [cache_capacity] [threads=N]
+//   vulnds_cli serve [cache_capacity] [threads=N] [shards=N] [catalog_bytes=N]
 //       Speaks the line-oriented serve protocol on stdin/stdout: graphs are
-//       loaded once into a catalog and repeated queries hit a result cache.
+//       loaded once into a name-sharded catalog (shards= shard count,
+//       catalog_bytes= resident byte budget, both optional) and repeated
+//       queries hit a result cache.
 //       Sampling runs on the process-wide pool by default; threads=N pins a
 //       dedicated pool of N workers (requests can override per query with
 //       the detect threads= key). Dynamic updates are enabled:
@@ -70,7 +72,8 @@ int Usage() {
                "  vulnds_cli detect <graph> <k> [method] [key=value ...]\n"
                "      keys: eps= delta= seed= samples= order= bk= method= threads=\n"
                "  vulnds_cli truth <graph> <k> [samples] [seed]\n"
-               "  vulnds_cli serve [cache_capacity] [threads=N]\n"
+               "  vulnds_cli serve [cache_capacity] [threads=N] [shards=N]\n"
+               "             [catalog_bytes=N]\n"
                "      serve verbs: load save detect truth stats catalog evict\n"
                "      addedge deledge setprob commit versions quit\n");
   return 2;
@@ -245,8 +248,9 @@ int CmdTruth(int argc, char** argv) {
 }
 
 int CmdServe(int argc, char** argv) {
-  if (argc > 4) return Usage();
+  if (argc > 6) return Usage();
   serve::QueryEngineOptions engine_options;
+  serve::GraphCatalogOptions catalog_options;
   std::optional<std::size_t> threads;
   bool capacity_seen = false;
   for (int i = 2; i < argc; ++i) {
@@ -263,6 +267,24 @@ int CmdServe(int argc, char** argv) {
         return Usage();
       }
       threads = n;
+    } else if (arg.rfind("shards=", 0) == 0) {
+      if (catalog_options.shards != 0) {
+        std::fprintf(stderr, "duplicate shards= argument\n");
+        return Usage();
+      }
+      if (!ParseArgOr(ParseUint64, "shards", arg.substr(7),
+                      &catalog_options.shards)) {
+        return Usage();
+      }
+    } else if (arg.rfind("catalog_bytes=", 0) == 0) {
+      if (catalog_options.byte_budget != 0) {
+        std::fprintf(stderr, "duplicate catalog_bytes= argument\n");
+        return Usage();
+      }
+      if (!ParseArgOr(ParseUint64, "catalog_bytes", arg.substr(14),
+                      &catalog_options.byte_budget)) {
+        return Usage();
+      }
     } else if (capacity_seen) {
       // A second positional number is a mistake (e.g. `serve 100 4` where
       // `threads=4` was meant); refuse rather than silently overwrite.
@@ -280,7 +302,7 @@ int CmdServe(int argc, char** argv) {
   std::optional<ThreadPool> own_pool;
   if (threads.has_value()) own_pool.emplace(*threads);
   engine_options.pool = own_pool.has_value() ? &*own_pool : &ThreadPool::Global();
-  serve::GraphCatalog catalog;
+  serve::GraphCatalog catalog(catalog_options);
   serve::QueryEngine engine(&catalog, engine_options);
   dyn::UpdateManager updates(&catalog);
   const serve::ServeLoopStats stats =
