@@ -76,6 +76,14 @@ inline bool JsonRequested(int argc, char** argv) {
   return false;
 }
 
+/// True when VULNDS_BENCH_GATE=0 demotes every perf gate to report-only
+/// (noisy or shared environments). One definition for every harness, so the
+/// env contract cannot drift between benches.
+inline bool GateDisabled() {
+  const char* value = std::getenv("VULNDS_BENCH_GATE");
+  return value != nullptr && std::string(value) == "0";
+}
+
 /// The p-th percentile (p in [0, 100]) of a sample, linearly interpolated
 /// between the two closest ranks; the input need not be sorted. Returns 0
 /// for an empty sample.

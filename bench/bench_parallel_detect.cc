@@ -75,9 +75,7 @@ int main(int argc, char** argv) {
   BenchJson json("parallel_detect", JsonRequested(argc, argv));
 
   const unsigned hw = std::thread::hardware_concurrency();
-  const char* gate_env = std::getenv("VULNDS_BENCH_GATE");
-  const bool gate_disabled =
-      gate_env != nullptr && std::string(gate_env) == "0";
+  const bool gate_disabled = GateDisabled();
   const bool enforce = hw >= kGateThreads && !gate_disabled;
   std::printf("hardware threads: %u — %s\n\n", hw,
               enforce ? "gate ENFORCED"

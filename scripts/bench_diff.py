@@ -4,6 +4,8 @@
 Usage:
     bench_diff.py --baseline-dir bench/baselines --current-dir build \
                   [--tolerance 0.20] [--all-keys]
+    bench_diff.py --baseline-dir bench/baselines --current-dir build \
+                  --update-baselines
 
 For every BENCH_<name>.json present in the baseline directory, the current
 directory must contain the same record (a missing record fails the run —
@@ -24,6 +26,12 @@ A key "regresses" by the fraction it got worse. The run fails when the
 MEDIAN regression across a record's compared keys exceeds the tolerance
 (default 20%): a single noisy percentile cannot fail the build, a broad
 slowdown will.
+
+--update-baselines flips the tool into refresh mode: every BENCH_*.json in
+the current directory is copied over (or added to) the baseline directory,
+and nothing is compared. Run the benches with --json on a machine of the
+same class as the CI runner, then commit the rewritten records — see
+bench/baselines/README.md for the refresh discipline.
 
 Exit status: 0 clean, 1 regression or missing record, 2 usage error.
 """
@@ -106,10 +114,35 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument("--all-keys", action="store_true",
                         help="compare absolute metrics too (same-machine runs)")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="rewrite the committed baseline records from "
+                             "--current-dir instead of comparing")
     args = parser.parse_args()
 
     baseline_dir = pathlib.Path(args.baseline_dir)
     current_dir = pathlib.Path(args.current_dir)
+
+    if args.update_baselines:
+        records = sorted(current_dir.glob("BENCH_*.json"))
+        if not records:
+            print(f"no BENCH_*.json records under {current_dir}",
+                  file=sys.stderr)
+            return 2
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        for record in records:
+            with open(record) as f:
+                data = json.load(f)  # refuse to commit malformed JSON
+            target = baseline_dir / record.name
+            verb = "updated" if target.exists() else "added"
+            target.write_text(record.read_text())
+            hw = data.get("hardware_threads")
+            print(f"{verb} {target}"
+                  + (f" (recorded on {hw} hardware threads)"
+                     if hw is not None else ""))
+        print(f"\nbaselines rewritten from {current_dir}; review the diff "
+              "and commit (see bench/baselines/README.md)")
+        return 0
+
     baselines = sorted(baseline_dir.glob("BENCH_*.json"))
     if not baselines:
         print(f"no BENCH_*.json baselines under {baseline_dir}", file=sys.stderr)

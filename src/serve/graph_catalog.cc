@@ -202,6 +202,18 @@ std::vector<std::string> GraphCatalog::Names() const {
   return names;
 }
 
+std::vector<std::shared_ptr<CatalogEntry>> GraphCatalog::SnapshotEntries()
+    const {
+  std::vector<std::shared_ptr<CatalogEntry>> entries;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, slot] : shard.entries) {
+      entries.push_back(slot.entry);
+    }
+  }
+  return entries;
+}
+
 CatalogStats GraphCatalog::stats() const {
   CatalogStats total;
   for (const Shard& shard : shards_) {

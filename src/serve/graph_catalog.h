@@ -133,6 +133,12 @@ class GraphCatalog {
   /// Resident names, most-recently-used first (exact stamp order).
   std::vector<std::string> Names() const;
 
+  /// Shared references to every resident entry, in no particular order.
+  /// Unlike Get this touches neither recency nor hit counters: the stats
+  /// path must observe residency (e.g. summing DetectionContext bytes)
+  /// without perturbing LRU order.
+  std::vector<std::shared_ptr<CatalogEntry>> SnapshotEntries() const;
+
   std::size_t size() const { return total_count_.load(std::memory_order_relaxed); }
   std::size_t capacity() const { return options_.capacity; }
   std::size_t byte_budget() const { return options_.byte_budget; }

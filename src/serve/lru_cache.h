@@ -1,20 +1,40 @@
-// A small string-keyed LRU cache used for serving-layer result caching.
+// String-keyed LRU caches for serving-layer result caching.
+//
+// Two implementations share one contract:
+//   * LruCache<V>      — single list + map, NOT thread-safe. The reference
+//                        model: the sharded cache is property-tested
+//                        eviction-equivalent against it.
+//   * ShardedLruCache<V> — key-hashed shards, each with its own mutex, list
+//                        and counters; thread-safe. Eviction is exact
+//                        global LRU (identical to LruCache) via a shared
+//                        atomic touch clock, the same discipline
+//                        GraphCatalog uses: every touch stamps the entry,
+//                        each shard's list tail is that shard's oldest
+//                        stamp, and the eviction loop removes the globally
+//                        least-recently-stamped entry.
 //
 // Values are held behind shared_ptr<const V>, so a cached entry handed to a
 // caller stays valid even if it is evicted (or the cache destroyed) while
 // the caller still uses it. Capacity 0 disables caching entirely: every Get
 // misses and Put is a no-op, which gives benchmarks a zero-cost "cache off"
-// switch. Not thread-safe; the query engine serializes access.
+// switch.
 
 #ifndef VULNDS_SERVE_LRU_CACHE_H_
 #define VULNDS_SERVE_LRU_CACHE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace vulnds::serve {
 
@@ -30,6 +50,13 @@ struct CacheStats {
     const std::size_t lookups = hits + misses;
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
   }
+};
+
+/// Per-shard detail of a ShardedLruCache, for `stats` / debugging.
+struct CacheShardInfo {
+  std::size_t index = 0;  ///< shard number
+  std::size_t size = 0;   ///< resident entries in this shard
+  CacheStats stats;       ///< this shard's counters
 };
 
 template <typename V>
@@ -59,14 +86,16 @@ class LruCache {
   }
 
   /// Inserts (or replaces) `key`, evicting the least-recently-used entry
-  /// when over capacity.
+  /// when over capacity. A resident key's recency is refreshed FIRST, then
+  /// its value replaced: a hot re-inserted entry moves to the front and is
+  /// never left at the tail as the next eviction victim.
   void Put(const std::string& key, V value) {
     if (capacity_ == 0) return;
     ++stats_.inserts;
     const auto it = index_.find(key);
     if (it != index_.end()) {
-      it->second->second = std::make_shared<const V>(std::move(value));
       order_.splice(order_.begin(), order_, it->second);
+      it->second->second = std::make_shared<const V>(std::move(value));
       return;
     }
     order_.emplace_front(key, std::make_shared<const V>(std::move(value)));
@@ -104,6 +133,214 @@ class LruCache {
   std::list<Entry> order_;  // front = most recent
   std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
   CacheStats stats_;
+};
+
+/// Thread-safe sharded LRU with exact global-LRU eviction. A Get/Put/Peek
+/// takes exactly one shard mutex, so concurrent sessions whose keys hash to
+/// different shards never contend — the point of sharding the serving
+/// engine's result cache. Capacity is GLOBAL (expected per-shard share
+/// capacity/N, but a skewed key distribution may pack one shard fuller):
+/// enforcing per-shard quotas instead would make eviction order depend on
+/// the hash function, breaking the "behaves exactly like one big LRU"
+/// contract the property tests pin.
+template <typename V>
+class ShardedLruCache {
+ public:
+  /// Default shard count, matching GraphCatalog: more shards than
+  /// concurrently-hot keys is dead weight.
+  static constexpr std::size_t kDefaultShards = 8;
+
+  /// Creates a cache of `capacity` total entries (0 disables) over
+  /// `shards` shards (rounded up to a power of two; 0 = kDefaultShards).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 0)
+      : capacity_(capacity), shards_(NormalizedShards(shards)) {}
+
+  /// Returns the cached value and bumps its recency, or nullptr on miss.
+  std::shared_ptr<const V> Get(const std::string& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.stats.misses;
+      return nullptr;
+    }
+    ++shard.stats.hits;
+    Touch(shard, it->second);
+    return it->second->value;
+  }
+
+  /// Returns the cached value without touching counters or recency (the
+  /// query engine's in-batch recheck semantics, as in LruCache::Peek).
+  std::shared_ptr<const V> Peek(const std::string& key) const {
+    const Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    return it == shard.index.end() ? nullptr : it->second->value;
+  }
+
+  /// Inserts (or replaces) `key`, evicting the globally least-recently-used
+  /// entry when over capacity. Resident keys refresh recency first, then
+  /// replace the value (the LruCache::Put discipline).
+  void Put(const std::string& key, V value) {
+    if (capacity_ == 0) return;
+    {
+      Shard& shard = ShardFor(key);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.stats.inserts;
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        Touch(shard, it->second);
+        it->second->value = std::make_shared<const V>(std::move(value));
+        return;  // replacement never changes the resident count
+      }
+      shard.order.emplace_front(
+          Entry{key, std::make_shared<const V>(std::move(value)),
+                clock_.fetch_add(1, std::memory_order_relaxed)});
+      shard.index[key] = shard.order.begin();
+      total_size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    EnforceCapacity();
+  }
+
+  /// Removes `key`; returns whether it was present.
+  bool Erase(const std::string& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.order.erase(it->second);
+    shard.index.erase(it);
+    total_size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Drops every entry (counters are kept).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total_size_.fetch_sub(shard.index.size(), std::memory_order_relaxed);
+      shard.order.clear();
+      shard.index.clear();
+    }
+  }
+
+  std::size_t size() const {
+    return total_size_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Aggregate counters, summed shard by shard under each shard's mutex:
+  /// each counter is exact, the cross-shard sum is a moment-in-time
+  /// aggregate, never torn.
+  CacheStats stats() const {
+    CacheStats total;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total.hits += shard.stats.hits;
+      total.misses += shard.stats.misses;
+      total.evictions += shard.stats.evictions;
+      total.inserts += shard.stats.inserts;
+    }
+    return total;
+  }
+
+  /// Per-shard detail, index order.
+  std::vector<CacheShardInfo> ShardInfos() const {
+    std::vector<CacheShardInfo> infos;
+    infos.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mu);
+      CacheShardInfo info;
+      info.index = s;
+      info.size = shards_[s].index.size();
+      info.stats = shards_[s].stats;
+      infos.push_back(info);
+    }
+    return infos;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const V> value;
+    uint64_t stamp = 0;  ///< global clock value of the latest touch
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> order;  // front = most recent within this shard
+    std::unordered_map<std::string, typename std::list<Entry>::iterator> index;
+    CacheStats stats;  // guarded by mu
+  };
+
+  // Bounds mirror GraphCatalog's: shards beyond the hot-key count buy
+  // nothing, and the round-up must not overflow.
+  static constexpr std::size_t kMaxShards = 256;
+
+  static std::size_t NormalizedShards(std::size_t shards) {
+    if (shards == 0) shards = kDefaultShards;
+    shards = std::min(shards, kMaxShards);
+    std::size_t p = 1;
+    while (p < shards) p <<= 1;
+    return p;
+  }
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) & (shards_.size() - 1)];
+  }
+  const Shard& ShardFor(const std::string& key) const {
+    return shards_[std::hash<std::string>{}(key) & (shards_.size() - 1)];
+  }
+
+  // Marks the entry most-recently-used: front of its shard's list, fresh
+  // global stamp. Caller holds shard.mu.
+  void Touch(Shard& shard, typename std::list<Entry>::iterator it) {
+    shard.order.splice(shard.order.begin(), shard.order, it);
+    it->stamp = clock_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Evicts globally least-recently-stamped entries until within capacity.
+  // Serialized by evict_mu_ (two concurrent over-capacity Puts must not
+  // both evict where one sufficed); takes one shard lock at a time, never
+  // two, so no lock-order cycle with the per-shard operations. Between the
+  // tail scan and the removal a Get may promote the chosen victim; the
+  // stamp re-check skips the stale choice and rescans, exactly as
+  // GraphCatalog::EnforceBudgets does.
+  void EnforceCapacity() {
+    std::lock_guard<std::mutex> evict_lock(evict_mu_);
+    while (total_size_.load(std::memory_order_relaxed) > capacity_) {
+      std::size_t victim = shards_.size();
+      uint64_t victim_stamp = std::numeric_limits<uint64_t>::max();
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shards_[s].mu);
+        if (shards_[s].order.empty()) continue;
+        const uint64_t stamp = shards_[s].order.back().stamp;
+        if (stamp < victim_stamp) {
+          victim_stamp = stamp;
+          victim = s;
+        }
+      }
+      if (victim == shards_.size()) return;  // nothing resident
+      Shard& shard = shards_[victim];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.order.empty() ||
+          total_size_.load(std::memory_order_relaxed) <= capacity_) {
+        continue;
+      }
+      if (shard.order.back().stamp != victim_stamp) continue;
+      ++shard.stats.evictions;
+      shard.index.erase(shard.order.back().key);
+      shard.order.pop_back();
+      total_size_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  const std::size_t capacity_;
+  std::vector<Shard> shards_;  // size is a power of two, never resized
+  std::mutex evict_mu_;
+  std::atomic<uint64_t> clock_{1};
+  std::atomic<std::size_t> total_size_{0};
 };
 
 }  // namespace vulnds::serve

@@ -101,6 +101,30 @@ Status ApplyDetectFlag(const std::string& token, DetectorOptions* options) {
     options->threads = *v;
     return Status::OK();
   }
+  if (key == "wave") {
+    // Execution knob like threads=: every wave schedule folds the identical
+    // hash-order stream, so this never fragments the result cache either.
+    const std::string mode = AsciiLower(value);
+    if (mode == "adaptive") {
+      options->wave_mode = WaveMode::kAdaptive;
+      options->wave_size = 0;
+      return Status::OK();
+    }
+    if (mode == "fixed") {
+      options->wave_mode = WaveMode::kFixed;
+      options->wave_size = 0;
+      return Status::OK();
+    }
+    if (mode.rfind("fixed:", 0) == 0) {
+      Result<std::size_t> n = ParseCount(mode.substr(6), "wave");
+      if (!n.ok()) return n.status();
+      options->wave_mode = WaveMode::kFixed;
+      options->wave_size = *n;
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "wave must be adaptive, fixed or fixed:N, got '" + value + "'");
+  }
   if (key == "order" || key == "bk") {
     // ParseInt32 rejects values outside int range instead of truncating.
     Result<int> v = ParseInt32(value);

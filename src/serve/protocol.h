@@ -6,7 +6,9 @@
 //   detect <name> <k> [method] [key=value…]  top-k query; keys: eps, delta,
 //                                            seed, samples, order, bk,
 //                                            method, threads (sampling
-//                                            parallelism; 0 = session pool)
+//                                            parallelism; 0 = session pool),
+//                                            wave (BSRBK wave schedule:
+//                                            adaptive | fixed | fixed:N)
 //   truth <name> <k> [samples] [seed]        Monte-Carlo reference top-k
 //   stats [<name>]                           graph stats / engine counters
 //   catalog                                  resident graphs, MRU first
@@ -79,9 +81,9 @@ Result<ServeRequest> ParseServeRequest(const std::string& line);
 Result<Method> ParseMethodToken(const std::string& name);
 
 /// Applies one "key=value" detect option assignment (method, eps, delta,
-/// seed, samples, order, bk, threads) to `options`. Shared by the serve
-/// protocol and the batch CLI so the flag vocabulary cannot drift between
-/// them.
+/// seed, samples, order, bk, threads, wave) to `options`. Shared by the
+/// serve protocol and the batch CLI so the flag vocabulary cannot drift
+/// between them.
 Status ApplyDetectFlag(const std::string& token, DetectorOptions* options);
 
 /// Formats a double with enough digits to round-trip exactly (%.17g): the

@@ -11,6 +11,11 @@ DetectorOptions CanonicalizeOptions(DetectorOptions o) {
   const DetectorOptions defaults;
   o.pool = nullptr;
   o.threads = 0;  // determinism makes thread count a pure execution knob
+  // The wave schedule is execution-only for the same reason: every schedule
+  // folds the identical hash-order stream, so `wave=fixed:100` may be
+  // answered from a cache line computed adaptively (and vice versa).
+  o.wave_mode = defaults.wave_mode;
+  o.wave_size = 0;
   switch (o.method) {
     case Method::kNaive:
       // Fixed budget: the (eps, delta) machinery and bounds are never read.
@@ -53,8 +58,8 @@ std::string CanonicalOptionsKey(const DetectorOptions& options) {
 QueryEngine::QueryEngine(GraphCatalog* catalog, QueryEngineOptions options)
     : catalog_(catalog),
       pool_(options.pool),
-      detect_cache_(options.result_cache_capacity),
-      truth_cache_(options.result_cache_capacity) {}
+      detect_cache_(options.result_cache_capacity, options.result_cache_shards),
+      truth_cache_(options.result_cache_capacity, options.result_cache_shards) {}
 
 Result<DetectResponse> QueryEngine::Detect(const std::string& name,
                                            DetectorOptions options) {
@@ -72,17 +77,13 @@ Result<DetectResponse> QueryEngine::Detect(const std::string& name,
   // served for the new one (stale keys age out of the LRU).
   const std::string key = name + "#" + std::to_string(entry->uid) + "|" +
                           CanonicalOptionsKey(options);
-  std::shared_ptr<const DetectionResult> cached;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++detect_queries_;
-    cached = detect_cache_.Get(key);
-  }
+  detect_queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::shared_ptr<const DetectionResult> cached = detect_cache_.Get(key);
   if (cached != nullptr) {
-    // Copy outside the lock: the cache hands out shared ownership exactly
-    // so the hot cached path holds mu_ only for the lookup, not for
-    // copying a k-row result — the difference between 8 sessions scaling
-    // and 8 sessions convoying on one mutex.
+    // Copy outside the shard lock: the cache hands out shared ownership
+    // exactly so the hot cached path holds its one shard mutex only for
+    // the lookup, not for copying a k-row result — the difference between
+    // 8 sessions scaling and 8 sessions convoying.
     DetectResponse response;
     response.result = *cached;
     response.from_cache = true;
@@ -177,11 +178,8 @@ void QueryEngine::ExecuteDetectJob(const std::shared_ptr<CatalogEntry>& entry,
   // detect_queries and distort the reported hit rate.
   try {
     {
-      std::shared_ptr<const DetectionResult> cached;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        cached = detect_cache_.Peek(job.key);
-      }
+      const std::shared_ptr<const DetectionResult> cached =
+          detect_cache_.Peek(job.key);
       if (cached != nullptr) {
         job.promise.set_value({Result<DetectionResult>(*cached), true});
         return;
@@ -195,11 +193,14 @@ void QueryEngine::ExecuteDetectJob(const std::shared_ptr<CatalogEntry>& entry,
       }
     }();
     if (result.ok()) {
+      // Schedule telemetry counts executed runs only: a cached replay
+      // re-reports the original run's answer, not its wasted worlds.
+      worlds_wasted_.fetch_add(result->worlds_wasted, std::memory_order_relaxed);
+      waves_issued_.fetch_add(result->waves_issued, std::memory_order_relaxed);
       // The computed result outranks the cache insert: if Put throws
       // (allocation pressure copying a large result), the caller still
       // gets its answer and only the cache line is lost.
       try {
-        std::lock_guard<std::mutex> lock(mu_);
         detect_cache_.Put(job.key, *result);
       } catch (...) {
       }
@@ -256,25 +257,19 @@ Result<TruthResponse> QueryEngine::Truth(const std::string& name,
       name + "#" + std::to_string(entry->uid) +
       "|truth samples=" + std::to_string(samples) +
       " seed=" + std::to_string(seed);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++truth_queries_;
-    if (const auto cached = truth_cache_.Get(key)) {
-      TruthResponse response;
-      response.truth = *cached;
-      response.from_cache = true;
-      response.seconds = timer.Seconds();
-      return response;
-    }
+  truth_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (const auto cached = truth_cache_.Get(key)) {
+    TruthResponse response;
+    response.truth = *cached;
+    response.from_cache = true;
+    response.seconds = timer.Seconds();
+    return response;
   }
 
   TruthResponse response;
   response.truth = ComputeGroundTruth(entry->graph, samples, seed, pool_);
   response.seconds = timer.Seconds();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    truth_cache_.Put(key, response.truth);
-  }
+  truth_cache_.Put(key, response.truth);
   return response;
 }
 
@@ -284,16 +279,17 @@ EngineStats QueryEngine::stats() const {
     std::lock_guard<std::mutex> lock(batch_mu_);
     s.batched_queries = batched_queries_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  s.detect_queries = detect_queries_;
-  s.truth_queries = truth_queries_;
-  s.result_cache.hits = detect_cache_.stats().hits + truth_cache_.stats().hits;
-  s.result_cache.misses =
-      detect_cache_.stats().misses + truth_cache_.stats().misses;
-  s.result_cache.evictions =
-      detect_cache_.stats().evictions + truth_cache_.stats().evictions;
-  s.result_cache.inserts =
-      detect_cache_.stats().inserts + truth_cache_.stats().inserts;
+  s.detect_queries = detect_queries_.load(std::memory_order_relaxed);
+  s.truth_queries = truth_queries_.load(std::memory_order_relaxed);
+  s.worlds_wasted = worlds_wasted_.load(std::memory_order_relaxed);
+  s.waves_issued = waves_issued_.load(std::memory_order_relaxed);
+  const CacheStats detect = detect_cache_.stats();
+  const CacheStats truth = truth_cache_.stats();
+  s.result_cache.hits = detect.hits + truth.hits;
+  s.result_cache.misses = detect.misses + truth.misses;
+  s.result_cache.evictions = detect.evictions + truth.evictions;
+  s.result_cache.inserts = detect.inserts + truth.inserts;
+  s.result_cache_shards = detect_cache_.shard_count();
   return s;
 }
 

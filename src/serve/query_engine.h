@@ -16,7 +16,11 @@
 // requests that differ only in irrelevant knobs share a cache line.
 //
 // Detect/Truth are thread-safe; per-graph context use is serialized per
-// entry, so queries against different graphs never contend.
+// entry, so queries against different graphs never contend. The result
+// cache is a ShardedLruCache: a cached-query hit takes exactly one cache
+// shard mutex (no engine-wide lock anywhere on the hot path), so cached
+// traffic on distinct keys scales with cores instead of convoying on one
+// mutex; eviction stays exact global LRU across shards.
 //
 // Same-graph query batching. Concurrent cache-missing Detects against one
 // snapshot are queued per snapshot uid; the first arrival becomes the batch
@@ -32,6 +36,7 @@
 #ifndef VULNDS_SERVE_QUERY_ENGINE_H_
 #define VULNDS_SERVE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -64,6 +69,10 @@ std::string CanonicalOptionsKey(const DetectorOptions& options);
 
 struct QueryEngineOptions {
   std::size_t result_cache_capacity = 256;  ///< detect + truth entries (0 = off)
+  /// Result-cache shard count (rounded up to a power of two; 0 = default).
+  /// Execution-only: eviction order and every response are identical for
+  /// any shard count — 1 reproduces the old single-mutex cache exactly.
+  std::size_t result_cache_shards = 0;
   ThreadPool* pool = nullptr;               ///< sampling parallelism
 };
 
@@ -88,7 +97,15 @@ struct EngineStats {
   /// Detect jobs executed inside another request's context-lock acquisition
   /// (same-graph batching): every job after the first a leader drains.
   std::size_t batched_queries = 0;
-  CacheStats result_cache;  ///< combined detect + truth cache counters
+  /// BSRBK wave-schedule telemetry summed over executed (non-cached)
+  /// detects: worlds materialized past the early stop, and parallel waves
+  /// dispatched. The serving-side measure of sampling waste the adaptive
+  /// scheduler exists to cut.
+  std::size_t worlds_wasted = 0;
+  std::size_t waves_issued = 0;
+  CacheStats result_cache;  ///< combined detect + truth cache counters,
+                            ///< aggregated across every cache shard
+  std::size_t result_cache_shards = 0;  ///< shard count of each cache
 };
 
 class QueryEngine {
@@ -166,15 +183,19 @@ class QueryEngine {
   std::map<std::size_t, std::unique_ptr<ThreadPool>> extra_pools_;
   std::size_t extra_pool_threads_ = 0;  // sum of extra_pools_ widths
 
-  mutable std::mutex mu_;  // guards caches_ and counters
-  LruCache<DetectionResult> detect_cache_;
-  LruCache<GroundTruth> truth_cache_;
-  std::size_t detect_queries_ = 0;
-  std::size_t truth_queries_ = 0;
+  // Internally synchronized (per-shard mutexes); no engine-wide cache lock
+  // exists. Request counters and wave telemetry are relaxed atomics — each
+  // individually exact, read as a moment-in-time snapshot by stats().
+  ShardedLruCache<DetectionResult> detect_cache_;
+  ShardedLruCache<GroundTruth> truth_cache_;
+  std::atomic<std::size_t> detect_queries_{0};
+  std::atomic<std::size_t> truth_queries_{0};
+  std::atomic<std::size_t> worlds_wasted_{0};
+  std::atomic<std::size_t> waves_issued_{0};
 
   // Same-graph batching state, keyed by snapshot uid. Lock order: an
-  // entry's context_mu may be held while taking batch_mu_ or mu_ (the
-  // leader does both); never the reverse.
+  // entry's context_mu may be held while taking batch_mu_ or a cache shard
+  // mutex (the leader does both); never the reverse.
   mutable std::mutex batch_mu_;
   std::unordered_map<uint64_t, GraphBatch> batches_;
   std::size_t batched_queries_ = 0;  // guarded by batch_mu_

@@ -220,11 +220,34 @@ void ServeSession::HandleStats(const ServeRequest& r, std::ostream& out) {
     out << "detect_queries=" << s.detect_queries << "\n";
     out << "truth_queries=" << s.truth_queries << "\n";
     out << "batched_queries=" << s.batched_queries << "\n";
+    out << "worlds_wasted=" << s.worlds_wasted << "\n";
+    out << "waves_issued=" << s.waves_issued << "\n";
     out << "cache_hits=" << s.result_cache.hits << "\n";
     out << "cache_misses=" << s.result_cache.misses << "\n";
     out << "cache_hit_rate=" << FormatRoundTrip(s.result_cache.HitRate()) << "\n";
+    out << "cache_shards=" << s.result_cache_shards << "\n";
     out << "catalog_size=" << catalog.size() << "\n";
     out << "catalog_bytes=" << catalog.resident_bytes() << "\n";
+    // Warm DetectionContext intermediates grow with query traffic and are
+    // deliberately NOT charged to the catalog byte budget; reported
+    // separately so catalog_bytes= does not understate hot-graph residency.
+    // try_lock, never block: a batch leader holds an entry's context_mu for
+    // a whole drain of sampling runs, and a monitoring probe must not stall
+    // behind minutes of query work — an entry busy right now is skipped and
+    // counted, so the figure is a moment-in-time lower bound (like every
+    // other aggregate this verb prints).
+    std::size_t context_bytes = 0;
+    std::size_t context_busy = 0;
+    for (const auto& entry : catalog.SnapshotEntries()) {
+      std::unique_lock<std::mutex> lock(entry->context_mu, std::try_to_lock);
+      if (lock.owns_lock()) {
+        context_bytes += entry->context.ApproxBytes();
+      } else {
+        ++context_busy;
+      }
+    }
+    out << "context_bytes=" << context_bytes << "\n";
+    out << "context_busy=" << context_busy << "\n";
     out << "catalog_evictions=" << c.evictions << "\n";
     out << "catalog_shards=" << catalog.shard_count() << "\n";
     for (const CatalogShardInfo& shard : catalog.ShardInfos()) {
@@ -271,6 +294,7 @@ void ServeSession::HandleStats(const ServeRequest& r, std::ostream& out) {
     std::lock_guard<std::mutex> lock(entry->context_mu);
     out << "context_reuse_hits=" << entry->context.reuse_hits << "\n";
     out << "context_reuse_misses=" << entry->context.reuse_misses << "\n";
+    out << "context_bytes=" << entry->context.ApproxBytes() << "\n";
   }
   out << ".\n";
 }

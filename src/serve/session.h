@@ -14,10 +14,10 @@
 //   * ServerStats (shared across sessions) is all relaxed atomics — each
 //     counter is individually exact and never torn; a cross-counter read
 //     (the `stats` verb) is a moment-in-time snapshot, not a transaction.
-//   * Catalog counters are guarded per shard by that shard's mutex;
-//     QueryEngine / result-cache counters by the engine's mutex. Aggregates
-//     sum the guarded values, so they can lag in-flight requests but can
-//     never report a torn half-written value.
+//   * Catalog and result-cache counters are guarded per shard by that
+//     shard's mutex; QueryEngine request/telemetry counters are relaxed
+//     atomics. Aggregates sum the guarded values, so they can lag in-flight
+//     requests but can never report a torn half-written value.
 
 #ifndef VULNDS_SERVE_SESSION_H_
 #define VULNDS_SERVE_SESSION_H_

@@ -1,6 +1,8 @@
 #include "vulnds/bsrbk.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -15,14 +17,18 @@ namespace {
 
 constexpr uint64_t kSampleHashSalt = 0x27220A95FE1D83D5ULL;
 
-// Worlds materialized per worker per wave. Larger waves amortize the
+// Worlds materialized per worker per wave (the fixed schedule's width and
+// the adaptive schedule's ramp ceiling). Larger waves amortize the
 // ParallelFor synchronization; smaller waves bound the work wasted past the
 // early-stop position (at most one wave). The value never affects results,
 // only cost — the fold below is position-by-position in hash order.
 constexpr std::size_t kWaveWorldsPerWorker = 32;
 
+// The adaptive schedule's default geometric growth factor between waves.
+constexpr std::size_t kDefaultRamp = 2;
+
 // Memory guardrails for the parallel path; neither changes results (worker
-// count and wave size are execution knobs only — property-tested), they
+// count and wave schedule are execution knobs only — property-tested), they
 // only keep a wide pool on a huge graph from ballooning the process.
 // Each ReverseSampler holds ~25 bytes per graph node (three per-node
 // arrays plus two reserved queues); each wave slot holds one bitmap of
@@ -30,6 +36,9 @@ constexpr std::size_t kWaveWorldsPerWorker = 32;
 constexpr std::size_t kMaxSamplerBytes = std::size_t{512} << 20;
 constexpr std::size_t kMaxWaveBytes = std::size_t{64} << 20;
 constexpr std::size_t kSamplerBytesPerNode = 25;
+
+// Sentinel for "no candidate trajectory supports a stop estimate yet".
+constexpr std::size_t kUnknownDistance = std::numeric_limits<std::size_t>::max();
 
 // The serial count-folding state of the bottom-k run. Folding sample
 // `order[pos]` is the only place counters, kth_hash and the stop decision
@@ -65,6 +74,41 @@ class BottomKFolder {
       return true;
     }
     return false;
+  }
+
+  /// Estimates how many MORE hash-order positions must fold before the stop
+  /// fires, or kUnknownDistance when no candidate supports an estimate yet.
+  /// Per unreached candidate the projected distance is
+  ///   (bk - count) / rate,   rate = max(prefix frequency, lower bound),
+  /// and the stop needs the (needed - reached)-th fastest of them, so that
+  /// order statistic is the estimate. A lower bound can only understate the
+  /// true rate, so its projection only overstates the distance; the prefix
+  /// frequency is noisy both ways, which is why the caller ramps instead of
+  /// trusting a single early estimate. Pure in the fold state — identical
+  /// at any given position for every thread count and schedule.
+  std::size_t EstimateRemainingToStop(
+      const std::vector<double>* lower, std::vector<double>* scratch) const {
+    if (reached_ >= needed_) return 0;
+    const std::size_t still_needed = needed_ - reached_;
+    const double processed = static_cast<double>(stats_->samples_processed);
+    scratch->clear();
+    for (std::size_t c = 0; c < counts_.size(); ++c) {
+      if (stats_->reached_bk[c]) continue;
+      double rate = processed > 0.0
+                        ? static_cast<double>(counts_[c]) / processed
+                        : 0.0;
+      if (lower != nullptr) rate = std::max(rate, (*lower)[c]);
+      if (!(rate > 0.0)) continue;  // no signal for this candidate yet
+      scratch->push_back(static_cast<double>(bk_ - counts_[c]) / rate);
+    }
+    if (scratch->size() < still_needed) return kUnknownDistance;
+    std::nth_element(scratch->begin(), scratch->begin() + (still_needed - 1),
+                     scratch->end());
+    const double distance = std::ceil((*scratch)[still_needed - 1]);
+    if (!(distance < static_cast<double>(kUnknownDistance))) {
+      return kUnknownDistance;
+    }
+    return static_cast<std::size_t>(distance);
   }
 
   /// Writes the per-candidate estimates once folding is done.
@@ -116,11 +160,28 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
                                            const BottomKSampleOrder* precomputed,
                                            ThreadPool* pool,
                                            std::size_t wave_size) {
+  BottomKRunOptions run;
+  run.precomputed = precomputed;
+  run.pool = pool;
+  run.wave.mode = WaveMode::kFixed;
+  run.wave.fixed_size = wave_size;
+  return RunBottomKSampling(graph, candidates, t, needed, bk, seed, run);
+}
+
+Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
+                                           const std::vector<NodeId>& candidates,
+                                           std::size_t t, std::size_t needed,
+                                           int bk, uint64_t seed,
+                                           const BottomKRunOptions& run) {
   if (bk < 3) {
     return Status::InvalidArgument("bk must be >= 3, got " + std::to_string(bk));
   }
   if (needed == 0) {
     return Status::InvalidArgument("needed must be >= 1");
+  }
+  if (run.candidate_lower_bounds != nullptr &&
+      run.candidate_lower_bounds->size() != candidates.size()) {
+    return Status::InvalidArgument("candidate lower bounds size mismatch");
   }
   BottomKRunStats stats;
   stats.total_samples = t;
@@ -132,6 +193,7 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
   // Hash every sample id without materializing the worlds (O(t)), then
   // process in ascending hash order. A caller that issues many queries with
   // the same (seed, t) passes the order in precomputed once.
+  const BottomKSampleOrder* precomputed = run.precomputed;
   BottomKSampleOrder local;
   if (precomputed == nullptr) {
     local = MakeBottomKSampleOrder(seed, t);
@@ -144,11 +206,14 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
 
   BottomKFolder folder(candidates.size(), needed, bk, hash_of, &stats);
 
+  ThreadPool* pool = run.pool;
   std::size_t workers = pool == nullptr ? 1 : std::min(pool->num_threads(), t);
   const std::size_t per_sampler = kSamplerBytesPerNode * graph.num_nodes() + 1;
   workers = std::min(
       workers, std::max<std::size_t>(1, kMaxSamplerBytes / per_sampler));
   if (workers <= 1) {
+    // The serial loop stops exactly at the stop position: zero waste, no
+    // wave machinery (worlds_wasted == waves_issued == 0 by definition).
     ReverseSampler sampler(graph, candidates);
     std::vector<char> defaulted;
     for (std::size_t pos = 0; pos < t; ++pos) {
@@ -161,29 +226,60 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
     return stats;
   }
 
-  // Wave-parallel: materialize the bitmaps of `wave_size` consecutive
+  // Wave-parallel: materialize the bitmaps of the next wave of consecutive
   // hash-order positions in parallel (one persistent sampler per worker, a
   // contiguous slice of the wave each), then fold serially. SampleWorld's
   // memoization is per-world, so a world's bitmap and touch count are pure
   // in its seed — independent of which sampler materializes it and of what
-  // that sampler processed before.
-  if (wave_size == 0) {
-    wave_size = workers * kWaveWorldsPerWorker;
-    const std::size_t max_wave =
-        std::max(workers, kMaxWaveBytes /
-                              std::max<std::size_t>(1, candidates.size()));
-    wave_size = std::min(wave_size, max_wave);
-  }
+  // that sampler processed before. The wave schedule below only decides how
+  // far past the fold frontier to speculate; the fold itself never sees it.
+  const std::size_t byte_cap = std::max(
+      workers, kMaxWaveBytes / std::max<std::size_t>(1, candidates.size()));
+  const std::size_t cap =
+      std::max<std::size_t>(1,
+                            std::min({workers * kWaveWorldsPerWorker, byte_cap,
+                                      t}));
+  const bool adaptive = run.wave.mode == WaveMode::kAdaptive;
+  std::size_t fixed_size = run.wave.fixed_size;
+  if (fixed_size == 0) fixed_size = workers * kWaveWorldsPerWorker;
+  // A hostile fixed:N must not allocate N wave slots up front; the byte cap
+  // and the budget bound the slot vector for every schedule.
+  fixed_size = std::min({fixed_size, byte_cap, t});
+  const std::size_t ramp = run.wave.ramp == 0 ? kDefaultRamp : run.wave.ramp;
+  // Ramp state: grows geometrically regardless of what the estimate clamps
+  // each issued wave to, so a transient underestimate (noisy early prefix
+  // frequency) costs one small wave, not a permanently stalled ramp.
+  std::size_t ramp_size = run.wave.probe_size == 0
+                              ? workers
+                              : std::min(run.wave.probe_size, cap);
+  ramp_size = std::max<std::size_t>(1, std::min(ramp_size, cap));
+
+  const std::size_t max_slots = adaptive ? cap : std::max(fixed_size, cap);
   std::vector<std::unique_ptr<ReverseSampler>> samplers;
   samplers.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     samplers.push_back(std::make_unique<ReverseSampler>(graph, candidates));
   }
-  std::vector<std::vector<char>> wave_defaulted(wave_size);
-  std::vector<std::size_t> wave_touched(wave_size, 0);
+  std::vector<std::vector<char>> wave_defaulted(max_slots);
+  std::vector<std::size_t> wave_touched(max_slots, 0);
+  std::vector<double> estimate_scratch;
 
-  for (std::size_t wave_begin = 0; wave_begin < t; wave_begin += wave_size) {
-    const std::size_t count = std::min(wave_size, t - wave_begin);
+  std::size_t wave_begin = 0;
+  while (wave_begin < t) {
+    std::size_t wave = fixed_size;
+    if (adaptive) {
+      wave = ramp_size;
+      const std::size_t distance = folder.EstimateRemainingToStop(
+          run.candidate_lower_bounds, &estimate_scratch);
+      if (distance != kUnknownDistance) {
+        // Clamp the wave to the projected distance-to-stop, but never below
+        // one world per worker: a narrower wave idles workers without
+        // saving any work that the stop would not already save.
+        wave = std::min(wave, std::max(workers, distance));
+      }
+      ramp_size = std::min(cap, ramp_size * ramp);
+    }
+    const std::size_t count = std::min(wave, t - wave_begin);
     const std::size_t active = std::min(workers, count);
     const std::size_t chunk = (count + active - 1) / active;
     pool->ParallelFor(active, [&](std::size_t w) {
@@ -194,12 +290,19 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
             WorldSeed(seed, order[wave_begin + i]), &wave_defaulted[i]);
       }
     });
+    ++stats.waves_issued;
     bool stop = false;
+    std::size_t folded = 0;
     for (std::size_t i = 0; i < count && !stop; ++i) {
       stop = folder.Fold(order[wave_begin + i], wave_defaulted[i],
                          wave_touched[i]);
+      ++folded;
     }
-    if (stop) break;
+    if (stop) {
+      stats.worlds_wasted += count - folded;
+      break;
+    }
+    wave_begin += count;
   }
   folder.FinishEstimates(t);
   return stats;

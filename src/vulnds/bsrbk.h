@@ -14,13 +14,29 @@
 //
 // Parallel execution (deterministic): each sampled world is a pure function
 // of WorldSeed(seed, sample_id), so with a ThreadPool the run materializes
-// the `defaulted` bitmaps of a fixed-size wave of consecutive hash-order
-// positions in parallel, then folds the wave's counts serially in ascending
-// hash order. The fold — and therefore the early-stop position, every
-// counter, kth_hash, samples_processed, nodes_touched and every estimate —
-// is bit-identical to the serial loop for any thread count and any wave
-// size; only wasted work (worlds materialized past the stop position inside
-// the final wave) varies.
+// the `defaulted` bitmaps of a wave of consecutive hash-order positions in
+// parallel, then folds the wave's counts serially in ascending hash order.
+// The fold — and therefore the early-stop position, every counter, kth_hash,
+// samples_processed, nodes_touched and every estimate — is bit-identical to
+// the serial loop for any thread count and ANY wave schedule (fixed or
+// adaptive); only wasted work (worlds materialized past the stop position
+// inside the final wave) varies, and is reported as telemetry.
+//
+// Wave scheduling. A fixed schedule issues equal-size waves, so every
+// early-stopping run throws away up to wave_size - 1 fully materialized
+// worlds past the stop. The adaptive schedule instead estimates, before each
+// wave, how many more hash-order positions must fold before the stop fires:
+// each unreached candidate's default rate is bounded below by its prefix
+// frequency (count so far / positions folded — the gap between its current
+// bottom-k hash trajectory and the positions still pending) and, when the
+// caller supplies them, by its analytic lower bound (bounds.cc; the true
+// rate can only exceed a lower bound, so the per-candidate projection
+// (bk - count) / rate only OVERestimates the distance and clamping to it
+// never cuts a wave short of the stop systematically). The wave then ramps
+// geometrically — small probe waves while the estimate is uncertain, up to
+// workers × kWaveWorldsPerWorker once the stop is provably far — and the
+// final wave is clamped to the estimate. Underestimates cost one extra
+// ParallelFor round; they can never change a result.
 
 #ifndef VULNDS_VULNDS_BSRBK_H_
 #define VULNDS_VULNDS_BSRBK_H_
@@ -46,6 +62,39 @@ struct BottomKSampleOrder {
 /// Hashes and sorts the sample ids [0, t) for run seed `seed`.
 BottomKSampleOrder MakeBottomKSampleOrder(uint64_t seed, std::size_t t);
 
+/// How the parallel path sizes its waves. Execution-only: results are
+/// bit-identical for every mode (and never part of a query's identity).
+enum class WaveMode {
+  kAdaptive = 0,  ///< ramp + stop-distance clamp (default)
+  kFixed,         ///< equal-size waves (PR 3 behavior)
+};
+
+/// Wave schedule knobs; all execution-only. Zero always means "default".
+struct BottomKWavePlan {
+  WaveMode mode = WaveMode::kAdaptive;
+  /// kFixed: worlds per wave (0 = workers × kWaveWorldsPerWorker).
+  std::size_t fixed_size = 0;
+  /// kAdaptive: first probe-wave size (0 = one world per worker).
+  std::size_t probe_size = 0;
+  /// kAdaptive: geometric growth factor between waves (0 = 2).
+  std::size_t ramp = 0;
+};
+
+/// Execution inputs of a bottom-k run, none of which may change a result:
+/// they shape wall-clock time and wasted work only.
+struct BottomKRunOptions {
+  /// MakeBottomKSampleOrder(seed, t) when the caller already has it; must
+  /// have been built for exactly that (seed, t) pair.
+  const BottomKSampleOrder* precomputed = nullptr;
+  /// Wave-parallel world materialization (nullptr = serial loop).
+  ThreadPool* pool = nullptr;
+  BottomKWavePlan wave;
+  /// Optional per-candidate lower bounds on default probability, aligned
+  /// with `candidates`. Sharpens the adaptive stop estimate before any
+  /// counts accumulate; ignored by the fixed schedule.
+  const std::vector<double>* candidate_lower_bounds = nullptr;
+};
+
 /// Result of a bottom-k sampling run.
 struct BottomKRunStats {
   /// Score per candidate (candidate order): the raw sketch estimate
@@ -59,18 +108,29 @@ struct BottomKRunStats {
   std::size_t total_samples = 0;      ///< the budget t
   std::size_t nodes_touched = 0;      ///< BFS expansions of folded worlds
   bool early_stopped = false;  ///< true iff `needed` candidates reached bk
+
+  // Schedule telemetry — the only fields that legitimately vary with pool
+  // width and wave plan (everything above is bit-identical across them).
+  std::size_t worlds_wasted = 0;  ///< materialized but never folded
+  std::size_t waves_issued = 0;   ///< ParallelFor rounds (0 for serial)
 };
 
 /// Runs bottom-k early-stopped reverse sampling over `candidates` with a
 /// budget of `t` worlds, stopping once `needed` candidates reach `bk`
-/// defaults. Requires bk >= 3 (sketch estimator) and needed >= 1.
-/// `precomputed` optionally supplies MakeBottomKSampleOrder(seed, t) — it
-/// must have been built for exactly that (seed, t) pair.
-///
-/// `pool` enables wave-parallel world materialization; `wave_size` overrides
-/// the number of hash-order positions materialized per wave (0 picks a
-/// multiple of the pool width). Results are bit-identical across every
-/// combination of pool, thread count and wave size, including serial.
+/// defaults. Requires bk >= 3 (sketch estimator) and needed >= 1. `run`
+/// carries the execution knobs (precomputed order, pool, wave plan, lower
+/// bounds); results are bit-identical across every combination of them,
+/// including serial.
+Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
+                                           const std::vector<NodeId>& candidates,
+                                           std::size_t t, std::size_t needed,
+                                           int bk, uint64_t seed,
+                                           const BottomKRunOptions& run);
+
+/// Legacy fixed-schedule entry point: `wave_size` worlds per wave (0 picks a
+/// multiple of the pool width). Kept for callers that predate the adaptive
+/// scheduler; equivalent to BottomKRunOptions{precomputed, pool,
+/// {WaveMode::kFixed, wave_size}}.
 Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
                                            const std::vector<NodeId>& candidates,
                                            std::size_t t, std::size_t needed,

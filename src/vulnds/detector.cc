@@ -74,6 +74,31 @@ std::size_t DetectionContext::AdoptGraphIndependent(
   return copied;
 }
 
+std::size_t DetectionContext::ApproxBytes() const {
+  // Red-black tree nodes cost roughly three pointers + color + key/value
+  // on top of each payload; an exact figure is allocator-specific and not
+  // worth chasing for a residency report.
+  constexpr std::size_t kMapNodeOverhead = 4 * sizeof(void*);
+  std::size_t bytes = sizeof(DetectionContext);
+  for (const auto& [order, values] : lower_bounds) {
+    bytes += kMapNodeOverhead + values.capacity() * sizeof(double);
+  }
+  for (const auto& [order, values] : upper_bounds) {
+    bytes += kMapNodeOverhead + values.capacity() * sizeof(double);
+  }
+  for (const auto& [key, reduction] : reductions) {
+    bytes += kMapNodeOverhead + sizeof(CandidateReduction) +
+             reduction.verified.capacity() * sizeof(NodeId) +
+             reduction.candidates.capacity() * sizeof(NodeId);
+  }
+  for (const auto& [key, order] : sample_orders) {
+    bytes += kMapNodeOverhead + sizeof(BottomKSampleOrder) +
+             order.order.capacity() * sizeof(uint32_t) +
+             order.hash_of.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
 namespace {
 
 // N / SN: full-graph forward sampling, then a global top-k.
@@ -259,12 +284,32 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
       order = &(ctx->sample_orders[order_key] = MakeBottomKSampleOrder(o.seed, t));
     }
   }
+  BottomKRunOptions exec;
+  exec.precomputed = order;
+  exec.pool = o.pool;
+  exec.wave.mode = o.wave_mode;
+  exec.wave.fixed_size = o.wave_size;
+  // The adaptive scheduler's analytic floor: each candidate defaults at
+  // least as often as its lower bound says, so the bound sharpens the
+  // stop-distance estimate before any counts accumulate. Aligned with the
+  // candidate set; execution-only (the bounds already shaped the candidate
+  // set above — here they only steer wave sizing).
+  std::vector<double> candidate_lower;
+  if (o.wave_mode == WaveMode::kAdaptive) {
+    candidate_lower.reserve(reduced->candidates.size());
+    for (const NodeId v : reduced->candidates) {
+      candidate_lower.push_back((*lower)[v]);
+    }
+    exec.candidate_lower_bounds = &candidate_lower;
+  }
   Result<BottomKRunStats> run = RunBottomKSampling(
-      graph, reduced->candidates, t, needed, o.bk, o.seed, order, o.pool);
+      graph, reduced->candidates, t, needed, o.bk, o.seed, exec);
   if (!run.ok()) return run.status();
   result.samples_processed = run->samples_processed;
   result.nodes_touched = run->nodes_touched;
   result.early_stopped = run->early_stopped;
+  result.worlds_wasted = run->worlds_wasted;
+  result.waves_issued = run->waves_issued;
   AppendRanked(reduced->candidates, run->estimates, needed, &result);
   // Sketch scores can exceed 1; clamp for reporting (ranking is done).
   for (double& score : result.scores) score = std::min(score, 1.0);

@@ -59,6 +59,12 @@ struct DetectorOptions {
   /// bit-identical for every thread count, so neither field is part of a
   /// query's identity (CanonicalizeOptions clears both).
   std::size_t threads = 0;
+  /// BSRBK wave schedule (serve protocol / CLI `wave=adaptive|fixed:N`).
+  /// Execution-only like `threads`: every schedule folds the identical
+  /// hash-order stream, so results are bit-identical and CanonicalizeOptions
+  /// clears both fields out of the result-cache key.
+  WaveMode wave_mode = WaveMode::kAdaptive;
+  std::size_t wave_size = 0;  ///< fixed-mode worlds per wave (0 = auto)
 };
 
 /// Outcome of a detection run.
@@ -76,6 +82,14 @@ struct DetectionResult {
   std::size_t candidate_count = 0;    ///< |B| (SR/BSR/BSRBK only)
   std::size_t nodes_touched = 0;      ///< total BFS expansions
   bool early_stopped = false;         ///< BSRBK stop condition fired
+
+  /// Wave-schedule telemetry of the BSRBK sampling stage (0 for the other
+  /// methods and for serial runs). Unlike every field above, these vary
+  /// with pool width and wave plan — they measure the schedule, not the
+  /// answer — so they are never part of response payloads compared across
+  /// thread counts.
+  std::size_t worlds_wasted = 0;  ///< worlds materialized past the stop
+  std::size_t waves_issued = 0;   ///< parallel waves dispatched
 };
 
 /// Reusable per-graph derived state for repeated detections on the SAME
@@ -104,6 +118,14 @@ struct DetectionContext {
   /// version inherits state from its predecessor. Returns the number of
   /// entries copied (existing keys are kept, not overwritten).
   std::size_t AdoptGraphIndependent(const DetectionContext& other);
+
+  /// Approximate resident bytes of the cached intermediates (vector
+  /// payloads plus per-entry map overhead). The serving layer charges this
+  /// against hot-graph residency reporting: a catalog entry's byte estimate
+  /// covers the immutable graph only, while the context grows with query
+  /// traffic — this is the growing half. Deterministic in the cached keys,
+  /// so tests can pin its behavior.
+  std::size_t ApproxBytes() const;
 };
 
 /// The hard cap on DetectorOptions::threads: a transport-facing sanity bound

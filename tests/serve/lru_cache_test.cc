@@ -41,6 +41,32 @@ TEST(LruCacheTest, PutReplacesInPlace) {
   EXPECT_EQ(*cache.Get("a"), 9);
 }
 
+TEST(LruCacheTest, PutOnResidentKeyRefreshesRecency) {
+  // Regression: a hot re-inserted entry must be spliced to the front, not
+  // left at the tail as the next eviction victim.
+  LruCache<int> cache(2);
+  cache.Put("hot", 1);
+  cache.Put("cold", 2);  // recency: cold > hot
+  cache.Put("hot", 3);   // re-insert must refresh recency: hot > cold
+  cache.Put("new", 4);   // evicts "cold", never "hot"
+  EXPECT_EQ(cache.Peek("cold"), nullptr);
+  ASSERT_NE(cache.Peek("hot"), nullptr);
+  EXPECT_EQ(*cache.Peek("hot"), 3);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, PeekNeitherCountsNorPromotes) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  ASSERT_NE(cache.Peek("a"), nullptr);  // "a" stays LRU despite the peek
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  cache.Put("c", 3);  // evicts "a"
+  EXPECT_EQ(cache.Peek("a"), nullptr);
+  EXPECT_NE(cache.Peek("b"), nullptr);
+}
+
 TEST(LruCacheTest, EvictedEntryStaysValidForHolders) {
   LruCache<int> cache(1);
   cache.Put("a", 7);

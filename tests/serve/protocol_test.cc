@@ -158,6 +158,27 @@ TEST(ProtocolTest, DetectThreadsFlag) {
   EXPECT_FALSE(ParseServeRequest("detect g 2 threads=-1").ok());
 }
 
+TEST(ProtocolTest, DetectWaveFlag) {
+  EXPECT_EQ(ParseServeRequest("detect g 2")->options.wave_mode,
+            WaveMode::kAdaptive);
+  Result<ServeRequest> adaptive =
+      ParseServeRequest("detect g 2 bsrbk wave=adaptive");
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_EQ(adaptive->options.wave_mode, WaveMode::kAdaptive);
+  EXPECT_EQ(adaptive->options.wave_size, 0u);
+  Result<ServeRequest> fixed = ParseServeRequest("detect g 2 wave=fixed");
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(fixed->options.wave_mode, WaveMode::kFixed);
+  EXPECT_EQ(fixed->options.wave_size, 0u);
+  Result<ServeRequest> sized = ParseServeRequest("detect g 2 wave=FIXED:250");
+  ASSERT_TRUE(sized.ok());
+  EXPECT_EQ(sized->options.wave_mode, WaveMode::kFixed);
+  EXPECT_EQ(sized->options.wave_size, 250u);
+  EXPECT_FALSE(ParseServeRequest("detect g 2 wave=maybe").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g 2 wave=fixed:abc").ok());
+  EXPECT_FALSE(ParseServeRequest("detect g 2 wave=fixed:-3").ok());
+}
+
 TEST(ProtocolTest, UnknownVerbRejected) {
   EXPECT_EQ(ParseServeRequest("frobnicate g").status().code(),
             StatusCode::kInvalidArgument);

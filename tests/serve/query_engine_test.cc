@@ -133,6 +133,99 @@ TEST(QueryEngineTest, ThreadsKnobIsExecutionOnly) {
   ExpectSameResult(four->result, one->result);
 }
 
+TEST(QueryEngineTest, WaveKnobIsExecutionOnly) {
+  // wave= selects a schedule, never an answer: a fixed-wave request shares
+  // the cache line of its adaptive twin, and with the cache off both
+  // schedules return bit-identical results.
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.method = Method::kBsrbk;
+  options.k = 3;
+  options.threads = 3;  // a real pool so the wave machinery actually runs
+  options.wave_mode = WaveMode::kAdaptive;
+  Result<DetectResponse> adaptive = engine.Detect("g", options);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_FALSE(adaptive->from_cache);
+  options.wave_mode = WaveMode::kFixed;
+  options.wave_size = 100;
+  Result<DetectResponse> fixed = engine.Detect("g", options);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_TRUE(fixed->from_cache) << "wave schedule must not fragment the cache";
+  ExpectSameResult(adaptive->result, fixed->result);
+  EXPECT_EQ(CanonicalOptionsKey(options),
+            CanonicalOptionsKey(DetectorOptions{.method = Method::kBsrbk,
+                                                .k = 3}));
+
+  QueryEngineOptions no_cache;
+  no_cache.result_cache_capacity = 0;
+  QueryEngine cold_engine(&catalog, no_cache);
+  Result<DetectResponse> cold_fixed = cold_engine.Detect("g", options);
+  options.wave_mode = WaveMode::kAdaptive;
+  options.wave_size = 0;
+  Result<DetectResponse> cold_adaptive = cold_engine.Detect("g", options);
+  ASSERT_TRUE(cold_fixed.ok() && cold_adaptive.ok());
+  EXPECT_FALSE(cold_fixed->from_cache);
+  EXPECT_FALSE(cold_adaptive->from_cache);
+  ExpectSameResult(cold_fixed->result, cold_adaptive->result);
+}
+
+TEST(QueryEngineTest, ShardedCacheKeepsSingleShardSemantics) {
+  // The engine's observable caching behavior must be identical for every
+  // result_cache_shards value; sharding only changes which mutex a lookup
+  // takes. Counters included: same hits, misses, inserts.
+  const UncertainGraph g = testing::RandomSmallGraph(30, 0.15, 5);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    GraphCatalog catalog;
+    ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(30, 0.15, 5)).ok());
+    QueryEngineOptions engine_options;
+    engine_options.result_cache_shards = shards;
+    QueryEngine engine(&catalog, engine_options);
+    DetectorOptions options;
+    options.k = 3;
+    Result<DetectResponse> first = engine.Detect("g", options);
+    ASSERT_TRUE(first.ok());
+    EXPECT_FALSE(first->from_cache);
+    Result<DetectResponse> second = engine.Detect("g", options);
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(second->from_cache) << "shards=" << shards;
+    ExpectSameResult(first->result, second->result);
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.detect_queries, 2u);
+    EXPECT_EQ(stats.result_cache.hits, 1u);
+    EXPECT_EQ(stats.result_cache.misses, 1u);
+    EXPECT_EQ(stats.result_cache.inserts, 1u);
+    EXPECT_EQ(stats.result_cache_shards, shards);
+  }
+}
+
+TEST(QueryEngineTest, WaveTelemetryCountsExecutedRunsOnly) {
+  // worlds_wasted / waves_issued aggregate over executed detects; a cached
+  // replay must not re-book the original run's schedule telemetry.
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(40, 0.2, 7)).ok());
+  QueryEngine engine(&catalog);
+  DetectorOptions options;
+  options.method = Method::kBsrbk;
+  options.k = 2;
+  options.threads = 4;  // wave machinery engaged -> waves_issued > 0
+  Result<DetectResponse> cold = engine.Detect("g", options);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_GT(cold->result.samples_processed, 0u)
+      << "workload drifted: verification answered without sampling";
+  const EngineStats after_cold = engine.stats();
+  EXPECT_EQ(after_cold.waves_issued, cold->result.waves_issued);
+  EXPECT_EQ(after_cold.worlds_wasted, cold->result.worlds_wasted);
+  EXPECT_GT(after_cold.waves_issued, 0u);
+  Result<DetectResponse> cached = engine.Detect("g", options);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->from_cache);
+  const EngineStats after_cached = engine.stats();
+  EXPECT_EQ(after_cached.waves_issued, after_cold.waves_issued);
+  EXPECT_EQ(after_cached.worlds_wasted, after_cold.worlds_wasted);
+}
+
 TEST(QueryEngineTest, ManyDistinctThreadCountsStayBoundedAndCorrect) {
   // Cycling threads= must not accumulate unbounded pools: past the
   // engine's cap the request falls back to the default pool, which is

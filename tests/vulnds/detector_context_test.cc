@@ -93,6 +93,27 @@ TEST(DetectionContextTest, SampleOrderKeyedBySeed) {
   EXPECT_GE(ctx.sample_orders.size(), orders_after_first);
 }
 
+TEST(DetectionContextTest, ApproxBytesTracksWarmIntermediates) {
+  // The serving layer reports context bytes alongside catalog bytes; the
+  // estimate must start small, grow monotonically as intermediates warm,
+  // and not grow when a repeat query reuses everything.
+  const UncertainGraph g = testing::RandomSmallGraph(30, 0.15, 5);
+  DetectionContext ctx;
+  const std::size_t empty = ctx.ApproxBytes();
+  EXPECT_GT(empty, 0u);  // the struct itself is charged
+  DetectorOptions o;
+  o.method = Method::kBsrbk;
+  o.k = 3;
+  ASSERT_TRUE(DetectTopK(g, o, &ctx).ok());
+  const std::size_t warm = ctx.ApproxBytes();
+  EXPECT_GT(warm, empty) << "bounds/reduction/order caches must be charged";
+  ASSERT_TRUE(DetectTopK(g, o, &ctx).ok());
+  EXPECT_EQ(ctx.ApproxBytes(), warm) << "a fully warm repeat adds nothing";
+  o.bound_order = 3;  // new intermediates under a fresh key
+  ASSERT_TRUE(DetectTopK(g, o, &ctx).ok());
+  EXPECT_GT(ctx.ApproxBytes(), warm);
+}
+
 TEST(DetectionContextTest, PrecomputedSampleOrderSizeMismatchRejected) {
   const UncertainGraph g = testing::RandomSmallGraph(10, 0.3, 3);
   const BottomKSampleOrder wrong = MakeBottomKSampleOrder(42, 10);

@@ -12,15 +12,18 @@
 //       Runs top-k detection (method one of N, SN, SR, BSR, BSRBK; default
 //       BSRBK) and prints the ranked nodes with scores. Flags: eps=, delta=,
 //       seed=, samples= (method N budget), order= (bound order z), bk=,
-//       threads= (sampling threads; 0 = one per hardware core). Results are
-//       bit-identical for every thread count.
+//       threads= (sampling threads; 0 = one per hardware core), wave=
+//       (BSRBK wave schedule: adaptive | fixed | fixed:N). Results are
+//       bit-identical for every thread count and wave schedule.
 //   vulnds_cli truth <graph> <k> [samples] [seed]
 //       Prints the Monte-Carlo reference top-k (default 20000 worlds).
 //   vulnds_cli serve [cache_capacity] [threads=N] [shards=N] [catalog_bytes=N]
+//              [cache_shards=N]
 //       Speaks the line-oriented serve protocol on stdin/stdout: graphs are
 //       loaded once into a name-sharded catalog (shards= shard count,
 //       catalog_bytes= resident byte budget, both optional) and repeated
-//       queries hit a result cache.
+//       queries hit a key-hashed sharded result cache (cache_shards= shard
+//       count; 1 reproduces the old single-mutex cache).
 //       Sampling runs on the process-wide pool by default; threads=N pins a
 //       dedicated pool of N workers (requests can override per query with
 //       the detect threads= key). Dynamic updates are enabled:
@@ -71,9 +74,10 @@ int Usage() {
                "  vulnds_cli stats <graph>\n"
                "  vulnds_cli detect <graph> <k> [method] [key=value ...]\n"
                "      keys: eps= delta= seed= samples= order= bk= method= threads=\n"
+               "            wave=adaptive|fixed|fixed:N\n"
                "  vulnds_cli truth <graph> <k> [samples] [seed]\n"
                "  vulnds_cli serve [cache_capacity] [threads=N] [shards=N]\n"
-               "             [catalog_bytes=N]\n"
+               "             [catalog_bytes=N] [cache_shards=N]\n"
                "      serve verbs: load save detect truth stats catalog evict\n"
                "      addedge deledge setprob commit versions quit\n");
   return 2;
@@ -216,6 +220,12 @@ int CmdDetect(int argc, char** argv) {
               result->samples_processed, result->samples_budget,
               result->verified_count, result->candidate_count,
               result->early_stopped ? " (early stop)" : "");
+  if (options.method == Method::kBsrbk && result->waves_issued > 0) {
+    // Schedule telemetry (varies with threads/wave; the ranking does not).
+    std::printf("waves=%zu wasted_worlds=%zu wave_mode=%s\n",
+                result->waves_issued, result->worlds_wasted,
+                options.wave_mode == WaveMode::kAdaptive ? "adaptive" : "fixed");
+  }
   return 0;
 }
 
@@ -248,7 +258,7 @@ int CmdTruth(int argc, char** argv) {
 }
 
 int CmdServe(int argc, char** argv) {
-  if (argc > 6) return Usage();
+  if (argc > 7) return Usage();
   serve::QueryEngineOptions engine_options;
   serve::GraphCatalogOptions catalog_options;
   std::optional<std::size_t> threads;
@@ -283,6 +293,15 @@ int CmdServe(int argc, char** argv) {
       }
       if (!ParseArgOr(ParseUint64, "catalog_bytes", arg.substr(14),
                       &catalog_options.byte_budget)) {
+        return Usage();
+      }
+    } else if (arg.rfind("cache_shards=", 0) == 0) {
+      if (engine_options.result_cache_shards != 0) {
+        std::fprintf(stderr, "duplicate cache_shards= argument\n");
+        return Usage();
+      }
+      if (!ParseArgOr(ParseUint64, "cache_shards", arg.substr(13),
+                      &engine_options.result_cache_shards)) {
         return Usage();
       }
     } else if (capacity_seen) {
