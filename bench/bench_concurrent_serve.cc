@@ -32,6 +32,7 @@
 #include "common/table.h"
 #include "common/timer.h"
 #include "gen/datasets.h"
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 #include "serve/serve_server.h"
 
@@ -57,6 +58,16 @@ struct SessionRun {
   std::vector<double> latencies;  // seconds per request
   std::string output;
 };
+
+// The in-process histogram quantile must agree with the externally timed
+// percentile up to bucket quantization: the latency ladder's widest edge
+// ratio is 2.5x, so interpolation can sit a small factor off the exact
+// sample percentile; a 10us absolute floor absorbs timer noise on
+// single-digit-microsecond cached hits.
+bool QuantilesAgree(double hist_us, double external_us) {
+  return hist_us <= 3.0 * external_us + 10.0 &&
+         external_us <= 3.0 * hist_us + 10.0;
+}
 
 // Drives kStormSessions concurrent sessions of kStormRepeats cached
 // queries each over `engine` (session s hammers graph s % kGraphs), checks
@@ -159,6 +170,7 @@ int main(int argc, char** argv) {
   table.SetHeader({"sessions", "qps", "p50 (us)", "p99 (us)", "scaling"});
   double qps1 = 0.0, qps8 = 0.0;
   bool all_identical = true;
+  std::vector<double> all_latencies;  // every timed request, all phases
   for (const std::size_t sessions : {1u, 2u, 4u, 8u}) {
     std::vector<SessionRun> runs(sessions);
     std::vector<std::thread> threads;
@@ -200,6 +212,8 @@ int main(int argc, char** argv) {
       latencies.insert(latencies.end(), run.latencies.begin(),
                        run.latencies.end());
     }
+    all_latencies.insert(all_latencies.end(), latencies.begin(),
+                         latencies.end());
     const double qps = static_cast<double>(sessions * kRepeats) / elapsed;
     const double p50 = bench::Percentile(latencies, 50);
     const double p99 = bench::Percentile(latencies, 99);
@@ -219,6 +233,27 @@ int main(int argc, char** argv) {
   std::printf("sessions: %zu, requests: %zu, errors: %zu\n",
               stats.sessions_started, stats.requests, stats.errors);
   std::printf("aggregate scaling at 8 sessions: %.2fx\n", scaling);
+
+  // Cross-check the serving stack's own latency histogram against the
+  // externally timed percentiles: the per-verb session histogram observed
+  // exactly the HandleLine calls the WallTimer wrapped, so its in-process
+  // p50/p99 (Histogram::Quantile, the estimator Prometheus applies
+  // server-side) must land within bucket-quantization tolerance of the
+  // exact sample percentiles. Divergence means the instrumentation drifted
+  // from what it claims to measure.
+  obs::Histogram* session_hist = engine.registry()->GetHistogram(
+      "vulnds_server_request_micros", "", obs::LatencyBucketsMicros(),
+      {{"verb", "detect"}});
+  const double hist_p50_us = session_hist->Quantile(0.50);
+  const double hist_p99_us = session_hist->Quantile(0.99);
+  const double ext_p50_us = bench::Percentile(all_latencies, 50) * 1e6;
+  const double ext_p99_us = bench::Percentile(all_latencies, 99) * 1e6;
+  const bool hist_agrees = QuantilesAgree(hist_p50_us, ext_p50_us) &&
+                           QuantilesAgree(hist_p99_us, ext_p99_us);
+  std::printf("in-process histogram: p50 %.1fus (external %.1fus), "
+              "p99 %.1fus (external %.1fus) -> %s\n",
+              hist_p50_us, ext_p50_us, hist_p99_us, ext_p99_us,
+              hist_agrees ? "agree" : "DIVERGED");
 
   // Cached storm: identical traffic against a single-mutex result cache
   // (cache_shards=1, the pre-sharding engine) and the sharded default. The
@@ -245,11 +280,22 @@ int main(int argc, char** argv) {
   json.Add("storm_qps_mutex_s8", storm_mutex_qps);
   json.Add("storm_qps_sharded_s8", storm_sharded_qps);
   json.Add("storm_sharded_vs_mutex_ratio", storm_ratio);
+  json.Add("hist_p50_us", hist_p50_us);
+  json.Add("hist_p99_us", hist_p99_us);
+  json.Add("hist_matches_external", hist_agrees);
   if (!json.Write()) return 1;
 
   if (!all_identical || !storm_identical) {
     std::printf("\nFAIL: concurrent responses diverged from single-session "
                 "transcripts\n");
+    return 1;
+  }
+  // Histogram/external agreement is machine-independent (both sides measure
+  // the same run), so it is enforced even where the throughput gates are
+  // not.
+  if (!hist_agrees) {
+    std::printf("\nFAIL: in-process histogram percentiles diverged from the "
+                "externally timed percentiles\n");
     return 1;
   }
   if (hw < 4 || bench::GateDisabled()) {

@@ -48,6 +48,11 @@ LOWER_BETTER = re.compile(r"(_ms|_s$|latency|time|p50|p99)")
 # Ratio/rate metrics transfer across machines; absolutes (qps, latencies)
 # do not and are only compared with --all-keys.
 PORTABLE = re.compile(r"(speedup|scaling|hit_rate)")
+# Parallel-scaling and contention-storm floors are meaningless when the
+# baseline was recorded on a single hardware thread: every ratio degenerates
+# to ~1.0 there, so enforcing it against a multi-core run (or vice versa)
+# compares physics, not code. Such keys are skipped with a warning.
+PARALLELISM_ONLY = re.compile(r"(scaling|storm|speedup)")
 
 
 def classify(key):
@@ -87,6 +92,12 @@ def compare_record(name, baseline, current, tolerance, portable_only):
         if not isinstance(cur, (int, float)) or isinstance(cur, bool):
             continue
         if portable_only and not PORTABLE.search(key):
+            continue
+        if base_hw == 1 and PARALLELISM_ONLY.search(key):
+            print(f"WARN: {name}: skipping '{key}' — the baseline was "
+                  "recorded on 1 hardware thread, so scaling/storm floors "
+                  "carry no signal; re-record on a multi-core machine to "
+                  "restore this gate.")
             continue
         reg = regression(direction, float(base), float(cur))
         regressions.append(reg)

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Lint the serve stack's Prometheus exposition end to end.
+
+Usage:
+    check_metrics.py [--cli build/vulnds_cli]
+
+Starts a real `vulnds_cli serve` session, loads a synthesized graph, runs a
+cold and a cached detect plus a truth query, scrapes the `metrics` verb, and
+validates the exposition a scraper would see:
+
+  * every series line belongs to a family with exactly one # HELP and one
+    # TYPE line, emitted before the series (no orphan or duplicate families);
+  * family names follow vulnds_<subsystem>_..., counters end in _total,
+    and the TYPE matches the suffix convention;
+  * no duplicate series (same name + label set twice);
+  * histogram buckets are cumulative (monotone in le order, le="+Inf"
+    present) and agree with the family's _count;
+  * the families the serve stack promises are all present: engine requests
+    and per-stage latency histograms, result-cache and catalog families
+    (aggregate + per-shard), and the server session counters.
+
+Exit status: 0 clean, 1 lint failure, 2 environment error (CLI missing).
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+# Families the instrumented serve stack must always export (the acceptance
+# surface: engine, server, catalog shards, cache shards, stage latencies).
+REQUIRED_FAMILIES = [
+    "vulnds_engine_requests_total",
+    "vulnds_engine_request_micros",
+    "vulnds_engine_stage_micros",
+    "vulnds_engine_batched_queries_total",
+    "vulnds_engine_waves_issued_total",
+    "vulnds_engine_worlds_wasted_total",
+    "vulnds_cache_hits_total",
+    "vulnds_cache_misses_total",
+    "vulnds_cache_entries",
+    "vulnds_cache_shard_entries",
+    "vulnds_cache_shard_hits_total",
+    "vulnds_catalog_hits_total",
+    "vulnds_catalog_resident_graphs",
+    "vulnds_catalog_resident_bytes",
+    "vulnds_catalog_shard_entries",
+    "vulnds_catalog_shard_hits_total",
+    "vulnds_server_requests_total",
+    "vulnds_server_sessions_started_total",
+]
+
+NAME_RE = re.compile(r"^vulnds_[a-z0-9_]+$")
+SERIES_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (.+)$")
+
+
+def synthesize_graph(path):
+    """Writes a small vulnds text graph: a 6-node probabilistic ring."""
+    n = 6
+    lines = [f"vulnds-graph 1", f"{n} {n}",
+             " ".join(f"0.{i + 1}" for i in range(n))]
+    for i in range(n):
+        lines.append(f"{i} {(i + 1) % n} 0.5")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def scrape(cli, graph_path):
+    script = (
+        f"load g {graph_path}\n"
+        "detect g 2\n"
+        "detect g 2\n"
+        "truth g 2 50 7\n"
+        "metrics\n"
+        "quit\n"
+    )
+    proc = subprocess.run([cli, "serve"], input=script, text=True,
+                          capture_output=True, timeout=120)
+    if proc.returncode != 0:
+        raise RuntimeError(f"serve session failed rc={proc.returncode}:\n"
+                           f"{proc.stdout}\n{proc.stderr}")
+    out = proc.stdout
+    start = out.find("ok metrics\n")
+    if start == -1:
+        raise RuntimeError(f"no `ok metrics` response in:\n{out}")
+    body = out[start + len("ok metrics\n"):]
+    end = body.find("\n.\n")
+    if end == -1:
+        raise RuntimeError("metrics block is not '.'-terminated")
+    return body[:end + 1]
+
+
+def base_family(name):
+    """Histogram series names map back to their family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(text):
+    errors = []
+    families = {}  # name -> {"help": bool, "type": str}
+    seen_series = set()
+    histogram_buckets = {}  # (family, labels-sans-le) -> [(le, value)]
+    histogram_counts = {}  # (family, labels) -> value
+    current_family = None
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            errors.append(f"line {lineno}: blank line inside exposition")
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            # ['#', 'HELP'|'TYPE', name, text]
+            parts = line.split(" ", 3)
+            kind, name = parts[1], parts[2]
+            meta = families.setdefault(name, {"help": 0, "type": None})
+            if kind == "HELP":
+                meta["help"] += 1
+                if meta["help"] > 1:
+                    errors.append(f"line {lineno}: duplicate HELP for {name}")
+            else:
+                if meta["type"] is not None:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                meta["type"] = parts[3].strip()
+                if not NAME_RE.match(name):
+                    errors.append(
+                        f"line {lineno}: family '{name}' breaks the "
+                        "vulnds_<subsystem>_<name> naming convention")
+                if name.endswith("_total") and meta["type"] != "counter":
+                    errors.append(
+                        f"line {lineno}: '{name}' ends in _total but TYPE "
+                        f"is {meta['type']}")
+                current_family = name
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {lineno}: unexpected comment: {line}")
+            continue
+
+        m = SERIES_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable series line: {line}")
+            continue
+        series_name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        family = base_family(series_name)
+        if family not in families or families[family]["type"] is None:
+            errors.append(
+                f"line {lineno}: series '{series_name}' has no preceding "
+                "HELP/TYPE")
+            continue
+        if family != current_family:
+            errors.append(
+                f"line {lineno}: series '{series_name}' appears outside its "
+                f"family block (current: {current_family})")
+        if (series_name, labels) in seen_series:
+            errors.append(
+                f"line {lineno}: duplicate series {series_name}{labels}")
+        seen_series.add((series_name, labels))
+
+        ftype = families[family]["type"]
+        if ftype == "histogram":
+            if series_name.endswith("_bucket"):
+                le = re.search(r'le="([^"]+)"', labels)
+                if not le:
+                    errors.append(f"line {lineno}: _bucket without le label")
+                    continue
+                key_labels = re.sub(r',?le="[^"]+"', "", labels)
+                histogram_buckets.setdefault((family, key_labels), []).append(
+                    (le.group(1), float(value)))
+            elif series_name.endswith("_count"):
+                histogram_counts[(family, labels)] = float(value)
+        else:
+            try:
+                v = float(value)
+            except ValueError:
+                errors.append(f"line {lineno}: non-numeric value: {line}")
+                continue
+            if ftype == "counter" and v < 0:
+                errors.append(f"line {lineno}: negative counter: {line}")
+
+    # Histogram invariants: buckets monotone, +Inf present and == _count.
+    for (family, labels), buckets in histogram_buckets.items():
+        values = [v for _, v in buckets]
+        if values != sorted(values):
+            errors.append(f"{family}{labels}: buckets are not cumulative")
+        les = [le for le, _ in buckets]
+        if les.count("+Inf") != 1 or les[-1] != "+Inf":
+            errors.append(f"{family}{labels}: le=\"+Inf\" missing or not last")
+            continue
+        count = histogram_counts.get((family, labels))
+        if count is None:
+            errors.append(f"{family}{labels}: histogram without _count")
+        elif count != values[-1]:
+            errors.append(
+                f"{family}{labels}: _count={count} != +Inf bucket "
+                f"{values[-1]}")
+
+    for name in REQUIRED_FAMILIES:
+        if name not in families:
+            errors.append(f"required family '{name}' missing from exposition")
+
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", default="build/vulnds_cli",
+                        help="path to the vulnds_cli binary")
+    args = parser.parse_args()
+
+    cli = pathlib.Path(args.cli)
+    if not cli.exists():
+        print(f"vulnds_cli not found at {cli}", file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory() as tmp:
+        graph = pathlib.Path(tmp) / "ring.graph"
+        synthesize_graph(graph)
+        try:
+            text = scrape(str(cli), graph)
+        except RuntimeError as err:
+            print(f"scrape failed: {err}", file=sys.stderr)
+            return 1
+
+    errors = lint(text)
+    series_lines = sum(1 for line in text.splitlines()
+                       if line and not line.startswith("#"))
+    print(f"check_metrics: {len(text.splitlines())} exposition lines, "
+          f"{series_lines} series")
+    if errors:
+        for err in errors:
+            print(f"FAIL: {err}")
+        return 1
+    print("check_metrics: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,6 @@
 
 #include <utility>
 
-#include "common/timer.h"
-
 namespace vulnds::dyn {
 
 namespace {
@@ -27,8 +25,9 @@ serve::VersionInfo BaseVersion(const std::string& name,
 
 }  // namespace
 
-UpdateManager::UpdateManager(serve::GraphCatalog* catalog)
-    : catalog_(catalog) {}
+UpdateManager::UpdateManager(serve::GraphCatalog* catalog,
+                             obs::ClockMicros clock)
+    : catalog_(catalog), clock_(std::move(clock)) {}
 
 Result<UpdateManager::NameState*> UpdateManager::StateLocked(
     const std::string& name, bool reset_on_reload) {
@@ -141,7 +140,7 @@ Result<serve::UpdateAck> UpdateManager::SetProb(const std::string& name,
 }
 
 Result<serve::CommitInfo> UpdateManager::Commit(const std::string& name) {
-  WallTimer timer;
+  const int64_t start_micros = NowMicros();
   std::lock_guard<std::mutex> lock(mu_);
   if (name.find('@') != std::string::npos) {
     return Status::InvalidArgument(
@@ -220,7 +219,7 @@ Result<serve::CommitInfo> UpdateManager::Commit(const std::string& name) {
   ++stats_.commits;
   stats_.contexts_carried += info.carried;
   stats_.contexts_dropped += info.dropped;
-  info.seconds = timer.Seconds();
+  info.seconds = static_cast<double>(NowMicros() - start_micros) * 1e-6;
   return info;
 }
 

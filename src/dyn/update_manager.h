@@ -33,6 +33,7 @@
 
 #include "common/status.h"
 #include "dyn/dynamic_graph.h"
+#include "obs/query_trace.h"
 #include "serve/graph_catalog.h"
 #include "serve/update_backend.h"
 
@@ -50,8 +51,11 @@ struct UpdateManagerStats {
 class UpdateManager : public serve::UpdateBackend {
  public:
   /// Creates a manager registering committed versions in `catalog` (not
-  /// owned; must outlive the manager).
-  explicit UpdateManager(serve::GraphCatalog* catalog);
+  /// owned; must outlive the manager). `clock` overrides the wall-clock
+  /// micros source behind CommitInfo::seconds (null = steady clock); tests
+  /// inject a fixed clock to make the commit `time=` token deterministic.
+  explicit UpdateManager(serve::GraphCatalog* catalog,
+                         obs::ClockMicros clock = nullptr);
 
   Result<serve::UpdateAck> AddEdge(const std::string& name, NodeId src,
                                    NodeId dst, double prob) override;
@@ -98,7 +102,12 @@ class UpdateManager : public serve::UpdateBackend {
   template <typename Fn>
   Result<serve::UpdateAck> Stage(const std::string& name, Fn&& op);
 
+  int64_t NowMicros() const {
+    return clock_ ? clock_() : obs::SteadyNowMicros();
+  }
+
   serve::GraphCatalog* catalog_;
+  obs::ClockMicros clock_;
   mutable std::mutex mu_;
   std::map<std::string, NameState> states_;
   UpdateManagerStats stats_;

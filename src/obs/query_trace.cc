@@ -1,0 +1,41 @@
+#include "obs/query_trace.h"
+
+#include <chrono>
+
+namespace vulnds::obs {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t QueryTrace::Now() const {
+  return clock_ ? clock_() : SteadyNowMicros();
+}
+
+void QueryTrace::BeginStage(const std::string& name) {
+  if (open_) EndStage();
+  stages_.push_back({name, 0});
+  open_ = true;
+  open_start_ = Now();
+}
+
+void QueryTrace::EndStage() {
+  if (!open_) return;
+  stages_.back().micros = Now() - open_start_;
+  open_ = false;
+}
+
+void QueryTrace::AddStage(const std::string& name, int64_t micros) {
+  if (open_) EndStage();
+  stages_.push_back({name, micros});
+}
+
+int64_t QueryTrace::TotalMicros() const {
+  int64_t total = 0;
+  for (const StageSpan& span : stages_) total += span.micros;
+  return total;
+}
+
+}  // namespace vulnds::obs

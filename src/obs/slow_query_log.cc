@@ -1,0 +1,85 @@
+#include "obs/slow_query_log.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vulnds::obs {
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (unsigned char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatSlowQueryRecord(const SlowQueryRecord& record) {
+  std::ostringstream out;
+  out << "{\"verb\":\"" << JsonEscape(record.verb) << "\","
+      << "\"graph\":\"" << JsonEscape(record.graph) << "\","
+      << "\"options\":\"" << JsonEscape(record.options) << "\","
+      << "\"total_micros\":" << record.total_micros << ","
+      << "\"cached\":" << (record.cached ? "true" : "false");
+  if (record.trace != nullptr) {
+    out << ",\"stages\":[";
+    bool first = true;
+    for (const StageSpan& span : record.trace->stages()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << JsonEscape(span.name)
+          << "\",\"micros\":" << span.micros << "}";
+    }
+    out << "]"
+        << ",\"waves_issued\":" << record.trace->waves_issued
+        << ",\"worlds_wasted\":" << record.trace->worlds_wasted
+        << ",\"early_stop_position\":" << record.trace->early_stop_position
+        << ",\"early_stopped\":"
+        << (record.trace->early_stopped ? "true" : "false");
+  }
+  out << "}";
+  return out.str();
+}
+
+bool SlowQueryLog::MaybeLog(const SlowQueryRecord& record) {
+  if (threshold_micros_ < 0 || record.total_micros < threshold_micros_) {
+    return false;
+  }
+  const std::string line = FormatSlowQueryRecord(record);
+  std::lock_guard<std::mutex> lock(mu_);
+  (*sink_) << line << "\n";
+  sink_->flush();
+  ++logged_;
+  return true;
+}
+
+uint64_t SlowQueryLog::logged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logged_;
+}
+
+}  // namespace vulnds::obs

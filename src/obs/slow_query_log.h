@@ -1,0 +1,68 @@
+// Slow-query log: queries whose total latency exceeds a configured
+// threshold emit one structured JSONL line to a sink (a file opened by the
+// CLI's serve slowlog= flag, or any ostream in tests). The write path is
+// mutex-guarded — slow queries are by definition rare, so a lock here never
+// contends with the metrics hot path.
+
+#ifndef VULNDS_OBS_SLOW_QUERY_LOG_H_
+#define VULNDS_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "obs/query_trace.h"
+
+namespace vulnds::obs {
+
+/// One slow query, ready to serialize.
+struct SlowQueryRecord {
+  std::string verb;     // "detect" | "truth"
+  std::string graph;    // catalog name as requested, incl. @vN when pinned
+  std::string options;  // canonical options key (cache-key grade)
+  int64_t total_micros = 0;
+  bool cached = false;
+  const QueryTrace* trace = nullptr;  // optional per-stage detail
+};
+
+/// Serializes one record as a single-line JSON object (no trailing newline).
+/// Schema (documented in README "Observability"):
+///   {"verb":..., "graph":..., "options":..., "total_micros":N,
+///    "cached":true|false, "stages":[{"name":...,"micros":N},...],
+///    "waves_issued":N, "worlds_wasted":N, "early_stop_position":N,
+///    "early_stopped":true|false}
+/// The stages/wave fields are present only when a trace is attached.
+std::string FormatSlowQueryRecord(const SlowQueryRecord& record);
+
+/// Threshold-gated JSONL sink. Thread-safe.
+class SlowQueryLog {
+ public:
+  /// `sink` must outlive the log. Queries at or above `threshold_micros`
+  /// are logged; a negative threshold disables logging entirely.
+  SlowQueryLog(std::ostream* sink, int64_t threshold_micros)
+      : sink_(sink), threshold_micros_(threshold_micros) {}
+
+  int64_t threshold_micros() const { return threshold_micros_; }
+
+  /// Writes one JSONL line if the record crosses the threshold. Returns
+  /// whether it logged.
+  bool MaybeLog(const SlowQueryRecord& record);
+
+  /// Lines written so far.
+  uint64_t logged() const;
+
+ private:
+  std::ostream* sink_;
+  int64_t threshold_micros_;
+  mutable std::mutex mu_;
+  uint64_t logged_ = 0;
+};
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslash, control characters).
+std::string JsonEscape(const std::string& value);
+
+}  // namespace vulnds::obs
+
+#endif  // VULNDS_OBS_SLOW_QUERY_LOG_H_

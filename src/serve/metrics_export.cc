@@ -1,0 +1,33 @@
+#include "serve/metrics_export.h"
+
+namespace vulnds::serve {
+
+std::string RenderServeMetrics(QueryEngine& engine, const ServerStats* server) {
+  engine.RefreshMetrics();
+  obs::MetricRegistry* registry = engine.registry();
+  if (server != nullptr) {
+    registry
+        ->GetCounter("vulnds_server_sessions_started_total",
+                     "Sessions accepted by the serve front")
+        ->Set(server->sessions_started.load(std::memory_order_relaxed));
+    registry
+        ->GetCounter("vulnds_server_sessions_finished_total",
+                     "Sessions that ran to quit or EOF")
+        ->Set(server->sessions_finished.load(std::memory_order_relaxed));
+    registry
+        ->GetCounter("vulnds_server_requests_total",
+                     "Request lines processed across all sessions")
+        ->Set(server->requests.load(std::memory_order_relaxed));
+    registry
+        ->GetCounter("vulnds_server_errors_total",
+                     "err responses emitted across all sessions")
+        ->Set(server->errors.load(std::memory_order_relaxed));
+    registry
+        ->GetCounter("vulnds_server_updates_total",
+                     "Accepted update verbs (commits included)")
+        ->Set(server->updates.load(std::memory_order_relaxed));
+  }
+  return registry->RenderPrometheus();
+}
+
+}  // namespace vulnds::serve

@@ -55,6 +55,42 @@ Result<double> ParseProb(const std::string& token) {
 
 }  // namespace
 
+const char* ServeCommandName(ServeCommand command) {
+  switch (command) {
+    case ServeCommand::kLoad:
+      return "load";
+    case ServeCommand::kSave:
+      return "save";
+    case ServeCommand::kDetect:
+      return "detect";
+    case ServeCommand::kTruth:
+      return "truth";
+    case ServeCommand::kStats:
+      return "stats";
+    case ServeCommand::kMetrics:
+      return "metrics";
+    case ServeCommand::kCatalog:
+      return "catalog";
+    case ServeCommand::kEvict:
+      return "evict";
+    case ServeCommand::kAddEdge:
+      return "addedge";
+    case ServeCommand::kDelEdge:
+      return "deledge";
+    case ServeCommand::kSetProb:
+      return "setprob";
+    case ServeCommand::kCommit:
+      return "commit";
+    case ServeCommand::kVersions:
+      return "versions";
+    case ServeCommand::kQuit:
+      return "quit";
+    case ServeCommand::kNone:
+      break;
+  }
+  return "none";
+}
+
 Result<Method> ParseMethodToken(const std::string& name) {
   for (const Method m : AllMethods()) {
     if (AsciiLower(MethodName(m)) == AsciiLower(name)) return m;
@@ -188,6 +224,11 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
     if (tokens.size() > 2) return WrongArity("stats [<name>]");
     request.command = ServeCommand::kStats;
     if (tokens.size() == 2) request.name = tokens[1];
+    return request;
+  }
+  if (verb == "metrics") {
+    if (tokens.size() != 1) return WrongArity("metrics");
+    request.command = ServeCommand::kMetrics;
     return request;
   }
   if (verb == "evict") {

@@ -11,6 +11,9 @@
 //                                            adaptive | fixed | fixed:N)
 //   truth <name> <k> [samples] [seed]        Monte-Carlo reference top-k
 //   stats [<name>]                           graph stats / engine counters
+//   metrics                                  Prometheus text exposition of
+//                                            the whole registry (engine,
+//                                            server, catalog + cache shards)
 //   catalog                                  resident graphs, MRU first
 //   evict <name>                             drop a graph (and its state)
 //   addedge <name> <src> <dst> <prob>        stage an edge insertion
@@ -46,6 +49,7 @@ enum class ServeCommand {
   kDetect,
   kTruth,
   kStats,
+  kMetrics,
   kCatalog,
   kEvict,
   kAddEdge,
@@ -56,6 +60,10 @@ enum class ServeCommand {
   kQuit,
   kNone,  ///< blank or comment line; nothing to execute
 };
+
+/// Wire name of a command ("detect", "metrics", ...; "none" for kNone).
+/// The label vocabulary of the per-verb request metrics.
+const char* ServeCommandName(ServeCommand command);
 
 /// A parsed request; only the fields of the active command are meaningful.
 struct ServeRequest {

@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "common/timer.h"
 #include "serve/protocol.h"
 
 namespace vulnds::serve {
@@ -16,6 +15,9 @@ DetectorOptions CanonicalizeOptions(DetectorOptions o) {
   // answered from a cache line computed adaptively (and vice versa).
   o.wave_mode = defaults.wave_mode;
   o.wave_size = 0;
+  // Observability never shapes an answer: a traced query and an untraced
+  // one share a cache line.
+  o.trace = nullptr;
   switch (o.method) {
     case Method::kNaive:
       // Fixed budget: the (eps, delta) machinery and bounds are never read.
@@ -55,15 +57,104 @@ std::string CanonicalOptionsKey(const DetectorOptions& options) {
   return key;
 }
 
+namespace {
+
+constexpr const char* kRequestsHelp =
+    "Requests received per verb (cache hits included)";
+constexpr const char* kRequestMicrosHelp =
+    "End-to-end request latency in microseconds, by verb and cache outcome";
+constexpr const char* kStageMicrosHelp =
+    "Per-stage wall time of executed queries in microseconds";
+
+}  // namespace
+
 QueryEngine::QueryEngine(GraphCatalog* catalog, QueryEngineOptions options)
     : catalog_(catalog),
       pool_(options.pool),
+      owned_registry_(options.registry == nullptr
+                          ? std::make_unique<obs::MetricRegistry>()
+                          : nullptr),
+      registry_(options.registry == nullptr ? owned_registry_.get()
+                                            : options.registry),
+      slowlog_(options.slowlog),
+      clock_(std::move(options.clock)),
       detect_cache_(options.result_cache_capacity, options.result_cache_shards),
-      truth_cache_(options.result_cache_capacity, options.result_cache_shards) {}
+      truth_cache_(options.result_cache_capacity, options.result_cache_shards) {
+  detect_queries_ = registry_->GetCounter("vulnds_engine_requests_total",
+                                          kRequestsHelp, {{"verb", "detect"}});
+  truth_queries_ = registry_->GetCounter("vulnds_engine_requests_total",
+                                         kRequestsHelp, {{"verb", "truth"}});
+  batched_queries_ = registry_->GetCounter(
+      "vulnds_engine_batched_queries_total",
+      "Detect jobs drained inside another request's context-lock acquisition");
+  worlds_wasted_ = registry_->GetCounter(
+      "vulnds_engine_worlds_wasted_total",
+      "Worlds materialized past the bottom-k early stop, executed runs only");
+  waves_issued_ = registry_->GetCounter(
+      "vulnds_engine_waves_issued_total",
+      "Parallel sampling waves dispatched, executed runs only");
+  const std::vector<double>& buckets = obs::LatencyBucketsMicros();
+  const char* verbs[2] = {"detect", "truth"};
+  for (int v = 0; v < 2; ++v) {
+    for (int c = 0; c < 2; ++c) {
+      request_micros_[v][c] = registry_->GetHistogram(
+          "vulnds_engine_request_micros", kRequestMicrosHelp, buckets,
+          {{"verb", verbs[v]}, {"cached", c == 0 ? "0" : "1"}});
+    }
+  }
+  const char* stages[kKnownStages] = {"cache_lookup", "cache_check", "bounds",
+                                      "reduce",       "sampling",    "compute",
+                                      "cache_insert"};
+  for (std::size_t s = 0; s < kKnownStages; ++s) {
+    stage_micros_[s] = {stages[s],
+                        registry_->GetHistogram("vulnds_engine_stage_micros",
+                                                kStageMicrosHelp, buckets,
+                                                {{"stage", stages[s]}})};
+  }
+}
+
+obs::Histogram* QueryEngine::StageHistogram(const std::string& stage) {
+  for (const auto& [name, histogram] : stage_micros_) {
+    if (stage == name) return histogram;
+  }
+  // A stage name the constructor did not anticipate (future pipeline work):
+  // registry get-or-create, off the lock-free path but correct.
+  return registry_->GetHistogram("vulnds_engine_stage_micros", kStageMicrosHelp,
+                                 obs::LatencyBucketsMicros(),
+                                 {{"stage", stage}});
+}
+
+void QueryEngine::FinishQuery(int verb, const std::string& name,
+                              const std::string& cache_key,
+                              const obs::QueryTrace& trace,
+                              int64_t start_micros, bool cached,
+                              double* seconds) {
+  const int64_t total = NowMicros() - start_micros;
+  *seconds = static_cast<double>(total) * 1e-6;
+  request_micros_[verb][cached ? 1 : 0]->Observe(static_cast<double>(total));
+  for (const obs::StageSpan& span : trace.stages()) {
+    StageHistogram(span.name)->Observe(static_cast<double>(span.micros));
+  }
+  if (slowlog_ != nullptr && slowlog_->threshold_micros() >= 0 &&
+      total >= slowlog_->threshold_micros()) {
+    obs::SlowQueryRecord record;
+    record.verb = verb == 0 ? "detect" : "truth";
+    record.graph = name;
+    const std::size_t sep = cache_key.find('|');
+    record.options =
+        sep == std::string::npos ? cache_key : cache_key.substr(sep + 1);
+    record.total_micros = total;
+    record.cached = cached;
+    record.trace = &trace;
+    slowlog_->MaybeLog(record);
+  }
+}
 
 Result<DetectResponse> QueryEngine::Detect(const std::string& name,
                                            DetectorOptions options) {
-  WallTimer timer;
+  const int64_t start = NowMicros();
+  obs::QueryTrace trace(clock_);
+  trace.BeginStage("cache_lookup");
   const std::shared_ptr<CatalogEntry> entry = catalog_->Get(name);
   if (entry == nullptr) {
     return Status::NotFound("graph '" + name + "' is not in the catalog");
@@ -77,9 +168,10 @@ Result<DetectResponse> QueryEngine::Detect(const std::string& name,
   // served for the new one (stale keys age out of the LRU).
   const std::string key = name + "#" + std::to_string(entry->uid) + "|" +
                           CanonicalOptionsKey(options);
-  detect_queries_.fetch_add(1, std::memory_order_relaxed);
+  detect_queries_->Increment();
   const std::shared_ptr<const DetectionResult> cached = detect_cache_.Get(key);
   if (cached != nullptr) {
+    trace.EndStage();
     // Copy outside the shard lock: the cache hands out shared ownership
     // exactly so the hot cached path holds its one shard mutex only for
     // the lookup, not for copying a k-row result — the difference between
@@ -87,11 +179,17 @@ Result<DetectResponse> QueryEngine::Detect(const std::string& name,
     DetectResponse response;
     response.result = *cached;
     response.from_cache = true;
-    response.seconds = timer.Seconds();
+    FinishQuery(0, name, key, trace, start, true, &response.seconds);
     return response;
   }
+  trace.EndStage();
 
   options.pool = PoolFor(options.threads);
+  // The trace rides with the job: whoever executes it (this thread as batch
+  // leader, or another request's leader) records the pipeline stages onto
+  // it. The promise/future handoff orders those writes before the reads
+  // below, so the single-owner trace contract holds across threads.
+  options.trace = &trace;
 
   // Queue the job for this snapshot; the first arrival leads the batch and
   // executes every queued same-graph job under one context-lock
@@ -118,7 +216,8 @@ Result<DetectResponse> QueryEngine::Detect(const std::string& name,
   DetectResponse response;
   response.result = outcome.first.MoveValue();
   response.from_cache = outcome.second;
-  response.seconds = timer.Seconds();
+  FinishQuery(0, name, key, trace, start, response.from_cache,
+              &response.seconds);
   return response;
 }
 
@@ -152,15 +251,12 @@ void QueryEngine::RunDetectBatch(const std::shared_ptr<CatalogEntry>& entry) {
       }
       job = std::move(it->second.queue.front());
       it->second.queue.pop_front();
-      if (++jobs_run > 1) ++batched_queries_;
+      if (++jobs_run > 1) batched_queries_->Increment();
     }
     ExecuteDetectJob(entry, *job);
   }
   for (const std::shared_ptr<DetectJob>& job : handoff) {
-    {
-      std::lock_guard<std::mutex> lock(batch_mu_);
-      ++batched_queries_;
-    }
+    batched_queries_->Increment();
     ExecuteDetectJob(entry, *job);
   }
 }
@@ -176,10 +272,13 @@ void QueryEngine::ExecuteDetectJob(const std::shared_ptr<CatalogEntry>& entry,
   // uncounted Peek: the query already counted its one lookup (the miss in
   // Detect), so counting again would double-book hits+misses against
   // detect_queries and distort the reported hit rate.
+  obs::QueryTrace* trace = job.options.trace;
   try {
     {
+      if (trace != nullptr) trace->BeginStage("cache_check");
       const std::shared_ptr<const DetectionResult> cached =
           detect_cache_.Peek(job.key);
+      if (trace != nullptr) trace->EndStage();
       if (cached != nullptr) {
         job.promise.set_value({Result<DetectionResult>(*cached), true});
         return;
@@ -195,15 +294,17 @@ void QueryEngine::ExecuteDetectJob(const std::shared_ptr<CatalogEntry>& entry,
     if (result.ok()) {
       // Schedule telemetry counts executed runs only: a cached replay
       // re-reports the original run's answer, not its wasted worlds.
-      worlds_wasted_.fetch_add(result->worlds_wasted, std::memory_order_relaxed);
-      waves_issued_.fetch_add(result->waves_issued, std::memory_order_relaxed);
+      worlds_wasted_->Increment(result->worlds_wasted);
+      waves_issued_->Increment(result->waves_issued);
       // The computed result outranks the cache insert: if Put throws
       // (allocation pressure copying a large result), the caller still
       // gets its answer and only the cache line is lost.
+      if (trace != nullptr) trace->BeginStage("cache_insert");
       try {
         detect_cache_.Put(job.key, *result);
       } catch (...) {
       }
+      if (trace != nullptr) trace->EndStage();
     }
     job.promise.set_value({std::move(result), false});
   } catch (...) {
@@ -248,7 +349,9 @@ Result<TruthResponse> QueryEngine::Truth(const std::string& name,
   if (samples == 0) {
     return Status::InvalidArgument("ground truth needs samples >= 1");
   }
-  WallTimer timer;
+  const int64_t start = NowMicros();
+  obs::QueryTrace trace(clock_);
+  trace.BeginStage("cache_lookup");
   const std::shared_ptr<CatalogEntry> entry = catalog_->Get(name);
   if (entry == nullptr) {
     return Status::NotFound("graph '" + name + "' is not in the catalog");
@@ -257,32 +360,35 @@ Result<TruthResponse> QueryEngine::Truth(const std::string& name,
       name + "#" + std::to_string(entry->uid) +
       "|truth samples=" + std::to_string(samples) +
       " seed=" + std::to_string(seed);
-  truth_queries_.fetch_add(1, std::memory_order_relaxed);
+  truth_queries_->Increment();
   if (const auto cached = truth_cache_.Get(key)) {
+    trace.EndStage();
     TruthResponse response;
     response.truth = *cached;
     response.from_cache = true;
-    response.seconds = timer.Seconds();
+    FinishQuery(1, name, key, trace, start, true, &response.seconds);
     return response;
   }
+  trace.EndStage();
 
   TruthResponse response;
+  trace.BeginStage("compute");
   response.truth = ComputeGroundTruth(entry->graph, samples, seed, pool_);
-  response.seconds = timer.Seconds();
+  trace.EndStage();
+  trace.BeginStage("cache_insert");
   truth_cache_.Put(key, response.truth);
+  trace.EndStage();
+  FinishQuery(1, name, key, trace, start, false, &response.seconds);
   return response;
 }
 
 EngineStats QueryEngine::stats() const {
   EngineStats s;
-  {
-    std::lock_guard<std::mutex> lock(batch_mu_);
-    s.batched_queries = batched_queries_;
-  }
-  s.detect_queries = detect_queries_.load(std::memory_order_relaxed);
-  s.truth_queries = truth_queries_.load(std::memory_order_relaxed);
-  s.worlds_wasted = worlds_wasted_.load(std::memory_order_relaxed);
-  s.waves_issued = waves_issued_.load(std::memory_order_relaxed);
+  s.batched_queries = static_cast<std::size_t>(batched_queries_->Value());
+  s.detect_queries = static_cast<std::size_t>(detect_queries_->Value());
+  s.truth_queries = static_cast<std::size_t>(truth_queries_->Value());
+  s.worlds_wasted = static_cast<std::size_t>(worlds_wasted_->Value());
+  s.waves_issued = static_cast<std::size_t>(waves_issued_->Value());
   const CacheStats detect = detect_cache_.stats();
   const CacheStats truth = truth_cache_.stats();
   s.result_cache.hits = detect.hits + truth.hits;
@@ -291,6 +397,112 @@ EngineStats QueryEngine::stats() const {
   s.result_cache.inserts = detect.inserts + truth.inserts;
   s.result_cache_shards = detect_cache_.shard_count();
   return s;
+}
+
+namespace {
+
+// Mirrors one result cache's counters and per-shard detail into the
+// registry. Counter::Set is the documented scrape-time bridge for sources
+// whose truth lives behind shard mutexes.
+template <typename V>
+void MirrorCache(obs::MetricRegistry* registry, const char* which,
+                 const ShardedLruCache<V>& cache) {
+  const CacheStats stats = cache.stats();
+  const obs::LabelSet label{{"cache", which}};
+  registry
+      ->GetCounter("vulnds_cache_hits_total", "Result-cache hits", label)
+      ->Set(stats.hits);
+  registry
+      ->GetCounter("vulnds_cache_misses_total", "Result-cache misses", label)
+      ->Set(stats.misses);
+  registry
+      ->GetCounter("vulnds_cache_evictions_total", "Result-cache evictions",
+                   label)
+      ->Set(stats.evictions);
+  registry
+      ->GetCounter("vulnds_cache_inserts_total", "Result-cache inserts", label)
+      ->Set(stats.inserts);
+  registry
+      ->GetGauge("vulnds_cache_entries", "Resident result-cache entries",
+                 label)
+      ->Set(static_cast<double>(cache.size()));
+  for (const CacheShardInfo& shard : cache.ShardInfos()) {
+    const obs::LabelSet shard_labels{{"cache", which},
+                                     {"shard", std::to_string(shard.index)}};
+    registry
+        ->GetGauge("vulnds_cache_shard_entries",
+                   "Resident entries per result-cache shard", shard_labels)
+        ->Set(static_cast<double>(shard.size));
+    registry
+        ->GetCounter("vulnds_cache_shard_hits_total",
+                     "Hits per result-cache shard", shard_labels)
+        ->Set(shard.stats.hits);
+  }
+}
+
+}  // namespace
+
+void QueryEngine::RefreshMetrics() {
+  MirrorCache(registry_, "detect", detect_cache_);
+  MirrorCache(registry_, "truth", truth_cache_);
+
+  const CatalogStats c = catalog_->stats();
+  registry_
+      ->GetCounter("vulnds_catalog_hits_total", "Catalog lookups that hit")
+      ->Set(c.hits);
+  registry_
+      ->GetCounter("vulnds_catalog_misses_total", "Catalog lookups that missed")
+      ->Set(c.misses);
+  registry_
+      ->GetCounter("vulnds_catalog_evictions_total",
+                   "Catalog evictions (capacity, budget and explicit)")
+      ->Set(c.evictions);
+  registry_
+      ->GetCounter("vulnds_catalog_loads_total", "Successful catalog loads")
+      ->Set(c.loads);
+  registry_
+      ->GetGauge("vulnds_catalog_resident_graphs", "Graphs resident now")
+      ->Set(static_cast<double>(catalog_->size()));
+  registry_
+      ->GetGauge("vulnds_catalog_resident_bytes",
+                 "Approximate bytes of resident graphs")
+      ->Set(static_cast<double>(catalog_->resident_bytes()));
+  for (const CatalogShardInfo& shard : catalog_->ShardInfos()) {
+    const obs::LabelSet labels{{"shard", std::to_string(shard.index)}};
+    registry_
+        ->GetGauge("vulnds_catalog_shard_entries",
+                   "Resident graphs per catalog shard", labels)
+        ->Set(static_cast<double>(shard.size));
+    registry_
+        ->GetGauge("vulnds_catalog_shard_bytes",
+                   "Resident bytes per catalog shard", labels)
+        ->Set(static_cast<double>(shard.bytes));
+    registry_
+        ->GetCounter("vulnds_catalog_shard_hits_total",
+                     "Hits per catalog shard", labels)
+        ->Set(shard.stats.hits);
+  }
+  // Warm-context residency, same try_lock discipline as the stats verb: a
+  // batch leader may hold an entry's context for minutes, and a scrape must
+  // not stall behind it — busy entries are skipped and counted.
+  std::size_t context_bytes = 0;
+  std::size_t context_busy = 0;
+  for (const auto& entry : catalog_->SnapshotEntries()) {
+    std::unique_lock<std::mutex> lock(entry->context_mu, std::try_to_lock);
+    if (lock.owns_lock()) {
+      context_bytes += entry->context.ApproxBytes();
+    } else {
+      ++context_busy;
+    }
+  }
+  registry_
+      ->GetGauge("vulnds_catalog_context_bytes",
+                 "Approximate bytes of warm per-graph detection contexts")
+      ->Set(static_cast<double>(context_bytes));
+  registry_
+      ->GetGauge("vulnds_catalog_context_busy",
+                 "Contexts skipped by the scrape because a query held them")
+      ->Set(static_cast<double>(context_busy));
 }
 
 }  // namespace vulnds::serve

@@ -50,6 +50,9 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
+#include "obs/slow_query_log.h"
 #include "serve/graph_catalog.h"
 #include "serve/lru_cache.h"
 #include "vulnds/detector.h"
@@ -74,6 +77,17 @@ struct QueryEngineOptions {
   /// any shard count — 1 reproduces the old single-mutex cache exactly.
   std::size_t result_cache_shards = 0;
   ThreadPool* pool = nullptr;               ///< sampling parallelism
+  /// Shared metric registry; nullptr makes the engine own a private one
+  /// (exposed via registry()). Pass a shared registry when several engines
+  /// must export through one `metrics` endpoint — but note that two engines
+  /// on one registry share every engine-level series.
+  obs::MetricRegistry* registry = nullptr;
+  /// Slow-query sink; nullptr disables slow-query logging.
+  obs::SlowQueryLog* slowlog = nullptr;
+  /// Clock behind every recorded wall time (response time=, stage spans,
+  /// latency histograms). Null = steady-clock microseconds. Tests inject a
+  /// constant to make the protocol's time= token deterministic.
+  obs::ClockMicros clock;
 };
 
 /// Outcome of QueryEngine::Detect.
@@ -133,6 +147,23 @@ class QueryEngine {
   /// sessions wait on detect fan-out, fan-out waits for pool workers).
   ThreadPool* sampling_pool() const { return pool_; }
 
+  /// The registry every engine metric lives in (never nullptr: either the
+  /// one injected via options or the engine-owned default).
+  obs::MetricRegistry* registry() { return registry_; }
+
+  /// Current time on the engine's clock, in microseconds. The time base of
+  /// every response's time= token and of the session-level histograms, so
+  /// injecting a constant clock makes whole transcripts deterministic.
+  int64_t NowMicros() const {
+    return clock_ ? clock_() : obs::SteadyNowMicros();
+  }
+
+  /// Copies the mutex-guarded structural counters (catalog shards, result
+  /// cache shards, context residency) into their registry mirrors. Called
+  /// by the `metrics` verb before rendering; cheap enough for any scrape
+  /// cadence (one pass over shard infos, try_lock on contexts).
+  void RefreshMetrics();
+
  private:
   /// One queued cache-missing Detect: execution options (pool resolved),
   /// result-cache key, and the promise its issuer blocks on. The bool is
@@ -176,29 +207,57 @@ class QueryEngine {
   /// count up to kMaxExtraPools, and live for the engine's lifetime.
   ThreadPool* PoolFor(std::size_t threads);
 
+  /// Completes a finished detect/truth request: stamps response seconds,
+  /// feeds the latency and per-stage histograms, and offers the query to
+  /// the slow-query log. `verb` indexes request_micros_ (0 = detect,
+  /// 1 = truth); `cache_key` is the full result-cache key (the canonical
+  /// options are its part after '|').
+  void FinishQuery(int verb, const std::string& name,
+                   const std::string& cache_key, const obs::QueryTrace& trace,
+                   int64_t start_micros, bool cached, double* seconds);
+
+  /// Resolves the per-stage histogram for `stage`: the well-known pipeline
+  /// stages are pre-resolved at construction (no registry mutex on the
+  /// request path); anything else falls through to the registry.
+  obs::Histogram* StageHistogram(const std::string& stage);
+
   GraphCatalog* catalog_;
   ThreadPool* pool_;
+
+  // Observability plumbing. Counters/histograms live in the registry and
+  // are resolved once here; recording through them is lock-free.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* registry_;
+  obs::SlowQueryLog* slowlog_;
+  obs::ClockMicros clock_;
 
   std::mutex pools_mu_;  // guards extra_pools_ and extra_pool_threads_
   std::map<std::size_t, std::unique_ptr<ThreadPool>> extra_pools_;
   std::size_t extra_pool_threads_ = 0;  // sum of extra_pools_ widths
 
   // Internally synchronized (per-shard mutexes); no engine-wide cache lock
-  // exists. Request counters and wave telemetry are relaxed atomics — each
-  // individually exact, read as a moment-in-time snapshot by stats().
+  // exists. Request counters and wave telemetry are registry-backed
+  // lock-free counters — each individually exact, read as a moment-in-time
+  // snapshot by stats() (which stays byte-compatible: the counters
+  // increment at exactly the points the former atomics did).
   ShardedLruCache<DetectionResult> detect_cache_;
   ShardedLruCache<GroundTruth> truth_cache_;
-  std::atomic<std::size_t> detect_queries_{0};
-  std::atomic<std::size_t> truth_queries_{0};
-  std::atomic<std::size_t> worlds_wasted_{0};
-  std::atomic<std::size_t> waves_issued_{0};
+  obs::Counter* detect_queries_;
+  obs::Counter* truth_queries_;
+  obs::Counter* worlds_wasted_;
+  obs::Counter* waves_issued_;
+  obs::Counter* batched_queries_;
+  // Latency histograms: [verb][cached], verb 0 = detect, 1 = truth.
+  obs::Histogram* request_micros_[2][2];
+  // Pre-resolved per-stage histograms for the pipeline's own stage names.
+  static constexpr std::size_t kKnownStages = 7;
+  std::pair<const char*, obs::Histogram*> stage_micros_[kKnownStages];
 
   // Same-graph batching state, keyed by snapshot uid. Lock order: an
   // entry's context_mu may be held while taking batch_mu_ or a cache shard
   // mutex (the leader does both); never the reverse.
   mutable std::mutex batch_mu_;
   std::unordered_map<uint64_t, GraphBatch> batches_;
-  std::size_t batched_queries_ = 0;  // guarded by batch_mu_
 };
 
 }  // namespace vulnds::serve

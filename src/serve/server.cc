@@ -9,9 +9,16 @@
 namespace vulnds::serve {
 
 ServeLoopStats RunServeLoop(std::istream& in, std::ostream& out,
-                            QueryEngine& engine, UpdateBackend* updates) {
-  ServeSession session(&engine, updates);
+                            QueryEngine& engine, UpdateBackend* updates,
+                            ServerStats* server) {
+  if (server != nullptr) {
+    server->sessions_started.fetch_add(1, std::memory_order_relaxed);
+  }
+  ServeSession session(&engine, updates, server);
   DriveSession(session, in, out);
+  if (server != nullptr) {
+    server->sessions_finished.fetch_add(1, std::memory_order_relaxed);
+  }
   return session.stats();
 }
 

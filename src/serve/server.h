@@ -26,10 +26,14 @@ namespace vulnds::serve {
 /// counters (the process exit code is the caller's business). `updates`
 /// handles the dynamic-update verbs (addedge/deledge/setprob/commit/
 /// versions); when nullptr those verbs answer with an error and everything
-/// else works as before.
+/// else works as before. `server` (optional) receives the shared server
+/// counters — the CLI passes one so the single-session front's `stats` and
+/// `metrics` verbs export the same vulnds_server_* families a ServeServer
+/// does; session start/finish are counted here, mirroring ServeServer.
 ServeLoopStats RunServeLoop(std::istream& in, std::ostream& out,
                             QueryEngine& engine,
-                            UpdateBackend* updates = nullptr);
+                            UpdateBackend* updates = nullptr,
+                            ServerStats* server = nullptr);
 
 }  // namespace vulnds::serve
 

@@ -6,6 +6,7 @@
 
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "serve/metrics_export.h"
 #include "serve/protocol.h"
 #include "vulnds/ground_truth.h"
 
@@ -91,6 +92,20 @@ void ServeSession::HandleOversizedLine(std::ostream& out) {
                " bytes");
 }
 
+obs::Histogram* ServeSession::VerbHistogram(int command) {
+  const std::size_t index = static_cast<std::size_t>(command);
+  if (index >= kVerbSlots) return nullptr;
+  obs::Histogram*& slot = verb_micros_[index];
+  if (slot == nullptr) {
+    slot = engine_->registry()->GetHistogram(
+        "vulnds_server_request_micros",
+        "Per-verb request handling latency in microseconds",
+        obs::LatencyBucketsMicros(),
+        {{"verb", ServeCommandName(static_cast<ServeCommand>(command))}});
+  }
+  return slot;
+}
+
 bool ServeSession::HandleLine(const std::string& line, std::ostream& out) {
   Result<ServeRequest> request = ParseServeRequest(line);
   if (!request.ok()) {
@@ -100,10 +115,13 @@ bool ServeSession::HandleLine(const std::string& line, std::ostream& out) {
   }
   if (request->command == ServeCommand::kNone) return true;
   CountRequest();
+  const int64_t start = engine_->NowMicros();
+  bool keep_going = true;
   switch (request->command) {
     case ServeCommand::kQuit:
       out << "ok bye\n";
-      return false;
+      keep_going = false;
+      break;
     case ServeCommand::kLoad:
       HandleLoad(*request, out);
       break;
@@ -118,6 +136,9 @@ bool ServeSession::HandleLine(const std::string& line, std::ostream& out) {
       break;
     case ServeCommand::kStats:
       HandleStats(*request, out);
+      break;
+    case ServeCommand::kMetrics:
+      HandleMetrics(out);
       break;
     case ServeCommand::kCatalog:
       HandleCatalog(out);
@@ -139,7 +160,10 @@ bool ServeSession::HandleLine(const std::string& line, std::ostream& out) {
     case ServeCommand::kNone:
       break;
   }
-  return true;
+  if (obs::Histogram* h = VerbHistogram(static_cast<int>(request->command))) {
+    h->Observe(static_cast<double>(engine_->NowMicros() - start));
+  }
+  return keep_going;
 }
 
 void ServeSession::HandleLoad(const ServeRequest& r, std::ostream& out) {
@@ -296,6 +320,14 @@ void ServeSession::HandleStats(const ServeRequest& r, std::ostream& out) {
     out << "context_reuse_misses=" << entry->context.reuse_misses << "\n";
     out << "context_bytes=" << entry->context.ApproxBytes() << "\n";
   }
+  out << ".\n";
+}
+
+void ServeSession::HandleMetrics(std::ostream& out) {
+  // One registry, one renderer: the exposition the `metrics` verb returns
+  // is byte-identical to what a future socket scrape endpoint would serve.
+  out << "ok metrics\n";
+  out << RenderServeMetrics(*engine_, server_);
   out << ".\n";
 }
 

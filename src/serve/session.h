@@ -27,6 +27,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/metrics.h"
 #include "serve/query_engine.h"
 #include "serve/update_backend.h"
 
@@ -110,6 +111,7 @@ class ServeSession {
   void HandleDetect(const ServeRequest& r, std::ostream& out);
   void HandleTruth(const ServeRequest& r, std::ostream& out);
   void HandleStats(const ServeRequest& r, std::ostream& out);
+  void HandleMetrics(std::ostream& out);
   void HandleCatalog(std::ostream& out);
   void HandleEvict(const ServeRequest& r, std::ostream& out);
   bool RequireUpdates(std::ostream& out);
@@ -117,10 +119,20 @@ class ServeSession {
   void HandleCommit(const ServeRequest& r, std::ostream& out);
   void HandleVersions(const ServeRequest& r, std::ostream& out);
 
+  /// Lazily resolves vulnds_server_request_micros{verb=...} for `command`
+  /// and caches the handle, so the per-request observation after the first
+  /// is one lock-free Observe — no registry mutex on the session hot path.
+  obs::Histogram* VerbHistogram(int command);
+
   QueryEngine* engine_;
   UpdateBackend* updates_;
   ServerStats* server_;
   ServeLoopStats stats_;
+
+  /// Cached histogram handles indexed by ServeCommand value (sized past
+  /// kNone; unused slots stay null).
+  static constexpr std::size_t kVerbSlots = 16;
+  obs::Histogram* verb_micros_[kVerbSlots] = {};
 };
 
 /// Feeds `session` from `in` (through the capped reader) until `quit` or

@@ -40,6 +40,17 @@ constexpr std::size_t kSamplerBytesPerNode = 25;
 // Sentinel for "no candidate trajectory supports a stop estimate yet".
 constexpr std::size_t kUnknownDistance = std::numeric_limits<std::size_t>::max();
 
+// Publishes the run's wave-level detail onto the query's trace span. The
+// early-stop position is the count of worlds folded — the hash-order prefix
+// length the estimates are based on.
+void ExportTraceDetail(const BottomKRunStats& stats, obs::QueryTrace* trace) {
+  if (trace == nullptr) return;
+  trace->waves_issued = stats.waves_issued;
+  trace->worlds_wasted = stats.worlds_wasted;
+  trace->early_stop_position = stats.samples_processed;
+  trace->early_stopped = stats.early_stopped;
+}
+
 // The serial count-folding state of the bottom-k run. Folding sample
 // `order[pos]` is the only place counters, kth_hash and the stop decision
 // are touched, so both the serial loop and the wave-parallel path fold
@@ -187,7 +198,10 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
   stats.total_samples = t;
   stats.estimates.assign(candidates.size(), 0.0);
   stats.reached_bk.assign(candidates.size(), 0);
-  if (t == 0 || candidates.empty()) return stats;
+  if (t == 0 || candidates.empty()) {
+    ExportTraceDetail(stats, run.trace);
+    return stats;
+  }
   needed = std::min(needed, candidates.size());
 
   // Hash every sample id without materializing the worlds (O(t)), then
@@ -223,6 +237,7 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
       if (folder.Fold(sample_id, defaulted, touched)) break;
     }
     folder.FinishEstimates(t);
+    ExportTraceDetail(stats, run.trace);
     return stats;
   }
 
@@ -305,6 +320,7 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
     wave_begin += count;
   }
   folder.FinishEstimates(t);
+  ExportTraceDetail(stats, run.trace);
   return stats;
 }
 

@@ -47,6 +47,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/uncertain_graph.h"
+#include "obs/query_trace.h"
 
 namespace vulnds {
 
@@ -93,6 +94,11 @@ struct BottomKRunOptions {
   /// with `candidates`. Sharpens the adaptive stop estimate before any
   /// counts accumulate; ignored by the fixed schedule.
   const std::vector<double>* candidate_lower_bounds = nullptr;
+  /// Observability span for the query carrying this run: on completion the
+  /// runner publishes its wave-level detail (waves_issued, worlds_wasted,
+  /// early-stop position) onto the trace. Execution-only — the trace never
+  /// influences the run.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// Result of a bottom-k sampling run.

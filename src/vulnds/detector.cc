@@ -106,7 +106,9 @@ DetectionResult DetectByBasicSampling(const UncertainGraph& graph,
                                       const DetectorOptions& o, std::size_t t) {
   DetectionResult result;
   result.samples_budget = t;
+  if (o.trace != nullptr) o.trace->BeginStage("sampling");
   const BasicSampleStats stats = RunBasicSampling(graph, t, o.seed, o.pool);
+  if (o.trace != nullptr) o.trace->EndStage();
   result.samples_processed = stats.samples;
   result.nodes_touched = stats.nodes_touched;
   result.topk = TopKByScore(stats.estimates, o.k);
@@ -191,23 +193,29 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
   std::pair<std::vector<double>, std::vector<double>> bound_storage;
   const std::vector<double>* lower = nullptr;
   const std::vector<double>* upper = nullptr;
+  if (o.trace != nullptr) o.trace->BeginStage("bounds");
   VULNDS_RETURN_NOT_OK(GetBounds(graph, o, ctx, &bound_storage, &lower, &upper));
+  if (o.trace != nullptr) o.trace->EndStage();
 
   DetectionResult result;
 
   if (o.method == Method::kSampleReverse) {
     // Rule 2 of Lemma 1 only: prune nodes with pu(v) < Tl; no verification,
     // sample size still Equation 3.
+    if (o.trace != nullptr) o.trace->BeginStage("reduce");
     const double tl = KthLargest(*lower, o.k);
     std::vector<NodeId> candidates;
     for (NodeId v = 0; v < n; ++v) {
       if ((*upper)[v] >= tl) candidates.push_back(v);
     }
+    if (o.trace != nullptr) o.trace->EndStage();
     result.candidate_count = candidates.size();
     const std::size_t t = BasicSampleSize(o.eps, o.delta, o.k, n);
     result.samples_budget = t;
+    if (o.trace != nullptr) o.trace->BeginStage("sampling");
     const ReverseSampleStats stats =
         RunReverseSampling(graph, candidates, t, o.seed, o.pool);
+    if (o.trace != nullptr) o.trace->EndStage();
     result.samples_processed = stats.samples;
     result.nodes_touched = stats.nodes_touched;
     AppendRanked(candidates, stats.estimates, o.k, &result);
@@ -215,6 +223,7 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
   }
 
   // BSR / BSRBK: full Algorithm 4 reduction, cached per (order, k).
+  if (o.trace != nullptr) o.trace->BeginStage("reduce");
   const CandidateReduction* reduced = nullptr;
   CandidateReduction reduction_storage;
   const std::pair<int, std::size_t> reduction_key{o.bound_order, o.k};
@@ -232,6 +241,7 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
       reduced = &reduction_storage;
     }
   }
+  if (o.trace != nullptr) o.trace->EndStage();
   result.verified_count = reduced->num_verified();
   result.candidate_count = reduced->candidates.size();
 
@@ -263,8 +273,10 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
   result.samples_budget = t;
 
   if (o.method == Method::kBsr) {
+    if (o.trace != nullptr) o.trace->BeginStage("sampling");
     const ReverseSampleStats stats =
         RunReverseSampling(graph, reduced->candidates, t, o.seed, o.pool);
+    if (o.trace != nullptr) o.trace->EndStage();
     result.samples_processed = stats.samples;
     result.nodes_touched = stats.nodes_touched;
     AppendRanked(reduced->candidates, stats.estimates, needed, &result);
@@ -272,6 +284,9 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
   }
 
   // BSRBK; the hash-sorted sample order is pure in (seed, t) and cached.
+  // The order build (hash + sort over t ids) is charged to the sampling
+  // stage: on a cold query it is real per-sample work.
+  if (o.trace != nullptr) o.trace->BeginStage("sampling");
   const BottomKSampleOrder* order = nullptr;
   if (ctx != nullptr) {
     const std::pair<uint64_t, std::size_t> order_key{o.seed, t};
@@ -289,6 +304,7 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
   exec.pool = o.pool;
   exec.wave.mode = o.wave_mode;
   exec.wave.fixed_size = o.wave_size;
+  exec.trace = o.trace;
   // The adaptive scheduler's analytic floor: each candidate defaults at
   // least as often as its lower bound says, so the bound sharpens the
   // stop-distance estimate before any counts accumulate. Aligned with the
@@ -304,6 +320,7 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
   }
   Result<BottomKRunStats> run = RunBottomKSampling(
       graph, reduced->candidates, t, needed, o.bk, o.seed, exec);
+  if (o.trace != nullptr) o.trace->EndStage();
   if (!run.ok()) return run.status();
   result.samples_processed = run->samples_processed;
   result.nodes_touched = run->nodes_touched;

@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/uncertain_graph.h"
+#include "obs/query_trace.h"
 #include "vulnds/bsrbk.h"
 #include "vulnds/candidate_reduction.h"
 
@@ -65,6 +66,11 @@ struct DetectorOptions {
   /// clears both fields out of the result-cache key.
   WaveMode wave_mode = WaveMode::kAdaptive;
   std::size_t wave_size = 0;  ///< fixed-mode worlds per wave (0 = auto)
+  /// Optional observability span: when set, DetectTopK records one stage
+  /// per pipeline phase (bounds, reduce, sampling) and the bottom-k runner
+  /// publishes its wave detail onto it. Execution-only like `pool`: never
+  /// part of a query's identity (CanonicalizeOptions clears it).
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// Outcome of a detection run.

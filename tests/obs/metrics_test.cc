@@ -1,0 +1,222 @@
+// Unit tests for the metric registry: exposition escaping, histogram
+// cumulative invariants, quantile estimation, and concurrent
+// read-while-write safety (the TSan job runs this file under
+// -fsanitize=thread, so the "concurrent" tests double as race detectors).
+
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vulnds::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndSet) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Set(7);  // scrape-time mirror hook
+  EXPECT_EQ(c.Value(), 7u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+}
+
+TEST(EscapeTest, LabelValueEscapesBackslashQuoteNewline) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(EscapeTest, HelpEscapesBackslashAndNewlineButNotQuote) {
+  EXPECT_EQ(EscapeHelp("a\\b\nc"), "a\\\\b\\nc");
+  EXPECT_EQ(EscapeHelp("say \"hi\""), "say \"hi\"");
+}
+
+TEST(EscapeTest, EscapedLabelsSurviveTheRenderer) {
+  MetricRegistry registry;
+  registry
+      .GetCounter("esc_total", "help with \"quotes\"\nand newline",
+                  {{"path", "C:\\tmp\n\"x\""}})
+      ->Increment();
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP esc_total help with \"quotes\"\\nand newline\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("esc_total{path=\"C:\\\\tmp\\n\\\"x\\\"\"} 1\n"),
+            std::string::npos);
+  // The rendered body must be one physical line per series: the raw newline
+  // in the label value may never reach the output unescaped.
+  EXPECT_EQ(text.find("C:\\tmp\n"), std::string::npos);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsSameMetric) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "x", {{"verb", "detect"}});
+  Counter* b = registry.GetCounter("x_total", "ignored", {{"verb", "detect"}});
+  EXPECT_EQ(a, b);
+  Counter* other = registry.GetCounter("x_total", "x", {{"verb", "truth"}});
+  EXPECT_NE(a, other);
+  EXPECT_EQ(registry.family_count(), 1u);
+}
+
+TEST(RegistryTest, KindConflictThrows) {
+  MetricRegistry registry;
+  registry.GetCounter("dual", "as counter");
+  EXPECT_THROW(registry.GetGauge("dual", "as gauge"), std::logic_error);
+  EXPECT_THROW(registry.GetHistogram("dual", "as histogram", {1.0}),
+               std::logic_error);
+}
+
+TEST(RegistryTest, RenderOrdersFamiliesByNameAndSeriesByLabels) {
+  MetricRegistry registry;
+  registry.GetCounter("b_total", "b")->Increment(2);
+  registry.GetGauge("a_gauge", "a")->Set(1);
+  registry.GetCounter("c_total", "c", {{"verb", "truth"}})->Increment();
+  registry.GetCounter("c_total", "c", {{"verb", "detect"}})->Increment(3);
+  const std::string text = registry.RenderPrometheus();
+  const auto a = text.find("# HELP a_gauge");
+  const auto b = text.find("# HELP b_total");
+  const auto c = text.find("# HELP c_total");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(c, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  // Series render in label order within the family.
+  EXPECT_LT(text.find("c_total{verb=\"detect\"} 3"),
+            text.find("c_total{verb=\"truth\"} 1"));
+  EXPECT_NE(text.find("# TYPE a_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE b_total counter\n"), std::string::npos);
+}
+
+TEST(HistogramTest, BucketBoundsAreNormalized) {
+  Histogram h({5.0, 1.0, 5.0, std::numeric_limits<double>::infinity(),
+               std::nan(""), 2.0});
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 5.0}));
+}
+
+TEST(HistogramTest, CumulativeCountsAreMonotoneAndEndAtCount) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (const double v : {0.5, 1.0, 5.0, 50.0, 500.0, 1e9}) h.Observe(v);
+  const std::vector<uint64_t> cum = h.CumulativeCounts();
+  ASSERT_EQ(cum.size(), 4u);  // three finite bounds + the +Inf bucket
+  // le="1" includes the value exactly on the edge.
+  EXPECT_EQ(cum[0], 2u);
+  EXPECT_EQ(cum[1], 3u);
+  EXPECT_EQ(cum[2], 4u);
+  EXPECT_EQ(cum[3], 6u);  // +Inf holds everything
+  for (std::size_t i = 1; i < cum.size(); ++i) EXPECT_GE(cum[i], cum[i - 1]);
+  EXPECT_EQ(cum.back(), h.Count());
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 5.0 + 50.0 + 500.0 + 1e9);
+}
+
+TEST(HistogramTest, RenderedSeriesKeepCumulativeInvariants) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_micros", "latency", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(100.0);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE lat_micros histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_micros_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_micros_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_micros_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_micros_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_micros_sum 105.5\n"), std::string::npos);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);   // (0, 10]
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);  // (10, 20]
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);   // rank 1 of 10 in (0, 10]
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);  // rank 10: top of first bucket
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
+  // Rank 15 = 5th of 10 inside (10, 20].
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 15.0);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  Histogram overflow({1.0, 2.0});
+  overflow.Observe(100.0);  // lands in +Inf
+  // +Inf ranks answer the largest finite bound (documented lower bound).
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.99), 2.0);
+
+  Histogram h({10.0});
+  h.Observe(5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));  // q is clamped
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
+TEST(LatencyBucketsTest, LadderIsStrictlyIncreasingAndSpansServeRange) {
+  const std::vector<double>& b = LatencyBucketsMicros();
+  ASSERT_GE(b.size(), 2u);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  EXPECT_LE(b.front(), 1.0);        // cached hits
+  EXPECT_GE(b.back(), 10'000'000);  // ten-second cold detects
+}
+
+// Concurrent registration and recording against one registry while another
+// thread renders: exercised under TSan by the sanitizer CI job. The
+// rendered exposition must keep every histogram's cumulative invariant
+// even mid-Observe.
+TEST(RegistryConcurrencyTest, ReadWhileWriteKeepsInvariants) {
+  MetricRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("conc_micros", "concurrent", {1.0, 2.0, 4.0});
+  Counter* c = registry.GetCounter("conc_total", "concurrent");
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      h->Observe(static_cast<double>(i % 6));
+      c->Increment();
+      ++i;
+    }
+  });
+  std::thread registrar([&] {
+    for (int i = 0; i < 200; ++i) {
+      registry
+          .GetCounter("reg_total", "registered live",
+                      {{"i", std::to_string(i % 8)}})
+          ->Increment();
+    }
+  });
+
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<uint64_t> cum = h->CumulativeCounts();
+    for (std::size_t i = 1; i < cum.size(); ++i) EXPECT_GE(cum[i], cum[i - 1]);
+    const std::string text = registry.RenderPrometheus();
+    EXPECT_NE(text.find("# TYPE conc_micros histogram"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  registrar.join();
+
+  // Quiesced: the final render agrees with the final counts.
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("conc_total " + std::to_string(c->Value()) + "\n"),
+            std::string::npos);
+  EXPECT_EQ(h->CumulativeCounts().back(), h->Count());
+}
+
+}  // namespace
+}  // namespace vulnds::obs

@@ -1,0 +1,88 @@
+// QueryTrace with an injected fake clock: stage spans, auto-close on
+// back-to-back BeginStage, and totals.
+
+#include "obs/query_trace.h"
+
+#include <cstdint>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace vulnds::obs {
+namespace {
+
+// Deterministic clock the tests advance by hand.
+struct FakeClock {
+  std::shared_ptr<int64_t> now = std::make_shared<int64_t>(0);
+  ClockMicros fn() const {
+    auto held = now;
+    return [held] { return *held; };
+  }
+  void Advance(int64_t micros) { *now += micros; }
+};
+
+TEST(QueryTraceTest, RecordsStagesWithInjectedClock) {
+  FakeClock clock;
+  QueryTrace trace(clock.fn());
+  trace.BeginStage("bounds");
+  clock.Advance(100);
+  trace.EndStage();
+  trace.BeginStage("sampling");
+  clock.Advance(250);
+  trace.EndStage();
+
+  ASSERT_EQ(trace.stages().size(), 2u);
+  EXPECT_EQ(trace.stages()[0].name, "bounds");
+  EXPECT_EQ(trace.stages()[0].micros, 100);
+  EXPECT_EQ(trace.stages()[1].name, "sampling");
+  EXPECT_EQ(trace.stages()[1].micros, 250);
+  EXPECT_EQ(trace.TotalMicros(), 350);
+}
+
+TEST(QueryTraceTest, BeginStageClosesAnOpenStage) {
+  FakeClock clock;
+  QueryTrace trace(clock.fn());
+  trace.BeginStage("reduce");
+  clock.Advance(40);
+  trace.BeginStage("sampling");  // implicitly ends "reduce" at 40us
+  clock.Advance(5);
+  trace.EndStage();
+
+  ASSERT_EQ(trace.stages().size(), 2u);
+  EXPECT_EQ(trace.stages()[0].name, "reduce");
+  EXPECT_EQ(trace.stages()[0].micros, 40);
+  EXPECT_EQ(trace.stages()[1].micros, 5);
+}
+
+TEST(QueryTraceTest, EndStageWithoutBeginIsANoOp) {
+  QueryTrace trace;
+  trace.EndStage();
+  EXPECT_TRUE(trace.stages().empty());
+  EXPECT_EQ(trace.TotalMicros(), 0);
+}
+
+TEST(QueryTraceTest, AddStageAppendsPreMeasuredSpan) {
+  QueryTrace trace;
+  trace.AddStage("cache_lookup", 12);
+  ASSERT_EQ(trace.stages().size(), 1u);
+  EXPECT_EQ(trace.stages()[0].micros, 12);
+  EXPECT_EQ(trace.TotalMicros(), 12);
+}
+
+TEST(QueryTraceTest, NullClockFallsBackToSteadyClock) {
+  QueryTrace trace;
+  const int64_t a = trace.Now();
+  const int64_t b = trace.Now();
+  EXPECT_GE(b, a);  // steady clock is monotone
+}
+
+TEST(QueryTraceTest, WaveDetailDefaultsToZero) {
+  QueryTrace trace;
+  EXPECT_EQ(trace.waves_issued, 0u);
+  EXPECT_EQ(trace.worlds_wasted, 0u);
+  EXPECT_EQ(trace.early_stop_position, 0u);
+  EXPECT_FALSE(trace.early_stopped);
+}
+
+}  // namespace
+}  // namespace vulnds::obs

@@ -1,0 +1,103 @@
+// Slow-query log: threshold gating, JSONL shape, and JSON escaping.
+
+#include "obs/slow_query_log.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace vulnds::obs {
+namespace {
+
+SlowQueryRecord BasicRecord(int64_t micros) {
+  SlowQueryRecord r;
+  r.verb = "detect";
+  r.graph = "g@v2";
+  r.options = "method=BSRBK k=5";
+  r.total_micros = micros;
+  r.cached = false;
+  return r;
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesLogging) {
+  std::ostringstream sink;
+  SlowQueryLog log(&sink, 1000);
+  EXPECT_FALSE(log.MaybeLog(BasicRecord(999)));
+  EXPECT_TRUE(log.MaybeLog(BasicRecord(1000)));  // at-threshold logs
+  EXPECT_TRUE(log.MaybeLog(BasicRecord(5000)));
+  EXPECT_EQ(log.logged(), 2u);
+  // One line per logged record.
+  std::istringstream lines(sink.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SlowQueryLogTest, NegativeThresholdDisables) {
+  std::ostringstream sink;
+  SlowQueryLog log(&sink, -1);
+  EXPECT_FALSE(log.MaybeLog(BasicRecord(1'000'000'000)));
+  EXPECT_EQ(log.logged(), 0u);
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(SlowQueryLogTest, ZeroThresholdLogsEverything) {
+  std::ostringstream sink;
+  SlowQueryLog log(&sink, 0);
+  EXPECT_TRUE(log.MaybeLog(BasicRecord(0)));
+  EXPECT_EQ(log.logged(), 1u);
+}
+
+TEST(FormatSlowQueryRecordTest, BasicShape) {
+  const std::string json = FormatSlowQueryRecord(BasicRecord(1234));
+  EXPECT_EQ(json,
+            "{\"verb\":\"detect\",\"graph\":\"g@v2\","
+            "\"options\":\"method=BSRBK k=5\",\"total_micros\":1234,"
+            "\"cached\":false}");
+}
+
+TEST(FormatSlowQueryRecordTest, TraceAddsStagesAndWaveDetail) {
+  QueryTrace trace;
+  trace.AddStage("bounds", 10);
+  trace.AddStage("sampling", 90);
+  trace.waves_issued = 3;
+  trace.worlds_wasted = 7;
+  trace.early_stop_position = 480;
+  trace.early_stopped = true;
+
+  SlowQueryRecord r = BasicRecord(100);
+  r.cached = true;
+  r.trace = &trace;
+  const std::string json = FormatSlowQueryRecord(r);
+  EXPECT_NE(json.find("\"cached\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\":[{\"name\":\"bounds\",\"micros\":10},"
+                      "{\"name\":\"sampling\",\"micros\":90}]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"waves_issued\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"worlds_wasted\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"early_stop_position\":480"), std::string::npos);
+  EXPECT_NE(json.find("\"early_stopped\":true"), std::string::npos);
+  // Single physical line regardless of content.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonEscapeTest, EscapedGraphNameSurvivesTheFormatter) {
+  SlowQueryRecord r = BasicRecord(1);
+  r.graph = "g\"1\"\n";
+  const std::string json = FormatSlowQueryRecord(r);
+  EXPECT_NE(json.find("\"graph\":\"g\\\"1\\\"\\n\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vulnds::obs

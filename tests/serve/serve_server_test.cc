@@ -1,13 +1,16 @@
 // ServeServer: many concurrent sessions over one shared engine must behave
-// like the same sessions run alone — byte-identical responses modulo the
-// wall-clock time= token, which is the only nondeterministic byte in the
-// protocol. These tests run under the TSan CI job like the rest of the
-// suite, so interleavings are also race-checked.
+// like the same sessions run alone — byte-identical responses. The one
+// nondeterministic byte in the protocol, the wall-clock time= token, is
+// pinned by injecting a constant clock into the engine and the update
+// manager, so transcripts compare EXACTLY — no token stripping. These tests
+// run under the TSan CI job like the rest of the suite, so interleavings
+// are also race-checked.
 
 #include "serve/serve_server.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -29,12 +32,24 @@ std::string WriteTempGraph(const UncertainGraph& g, const std::string& name) {
   return path;
 }
 
-std::vector<std::string> StrippedLines(const std::string& text) {
+std::vector<std::string> Lines(const std::string& text) {
   std::vector<std::string> lines;
   std::istringstream in(text);
   std::string line;
-  while (std::getline(in, line)) lines.push_back(StripWallClockTokens(line));
+  while (std::getline(in, line)) lines.push_back(line);
   return lines;
+}
+
+// Constant clock: every time= token renders as time=0, every transcript is
+// bit-deterministic.
+obs::ClockMicros ZeroClock() {
+  return [] { return int64_t{0}; };
+}
+
+QueryEngineOptions FixedClockOptions() {
+  QueryEngineOptions options;
+  options.clock = ZeroClock();
+  return options;
 }
 
 // One disjoint-graph session script: load, cold detect, cached detect,
@@ -59,8 +74,8 @@ TEST(ServeServerTest, ConcurrentDisjointSessionsMatchSerialTranscripts) {
     scripts.push_back(SessionScript(name, paths.back()));
     // Baseline: the same script alone on a fresh engine.
     GraphCatalog catalog;
-    QueryEngine engine(&catalog);
-    dyn::UpdateManager updates(&catalog);
+    QueryEngine engine(&catalog, FixedClockOptions());
+    dyn::UpdateManager updates(&catalog, ZeroClock());
     std::istringstream in(scripts.back());
     std::ostringstream out;
     RunServeLoop(in, out, engine, &updates);
@@ -68,8 +83,8 @@ TEST(ServeServerTest, ConcurrentDisjointSessionsMatchSerialTranscripts) {
   }
 
   GraphCatalog catalog;
-  QueryEngine engine(&catalog);
-  dyn::UpdateManager updates(&catalog);
+  QueryEngine engine(&catalog, FixedClockOptions());
+  dyn::UpdateManager updates(&catalog, ZeroClock());
   ServeServer server(&engine, &updates);
   std::vector<std::istringstream> ins;
   std::vector<std::ostringstream> outs(kSessions);
@@ -78,7 +93,7 @@ TEST(ServeServerTest, ConcurrentDisjointSessionsMatchSerialTranscripts) {
   server.Join();
 
   for (int i = 0; i < kSessions; ++i) {
-    EXPECT_EQ(StrippedLines(outs[i].str()), StrippedLines(baselines[i]))
+    EXPECT_EQ(outs[i].str(), baselines[i])
         << "session " << i << " diverged from its single-session transcript";
   }
   const ServerStatsSnapshot stats = server.stats();
@@ -92,7 +107,7 @@ TEST(ServeServerTest, ConcurrentDisjointSessionsMatchSerialTranscripts) {
 
 TEST(ServeServerTest, SameGraphConcurrentCachedQueriesAreBitIdentical) {
   GraphCatalog catalog;
-  QueryEngine engine(&catalog);
+  QueryEngine engine(&catalog, FixedClockOptions());
   ASSERT_TRUE(catalog.Put("g", testing::RandomSmallGraph(24, 0.2, 11)).ok());
   ServeServer server(&engine);
 
@@ -101,7 +116,7 @@ TEST(ServeServerTest, SameGraphConcurrentCachedQueriesAreBitIdentical) {
   std::istringstream warm_in(query + "quit\n");
   std::ostringstream warm_out;
   server.ServeStream(warm_in, warm_out);
-  std::vector<std::string> baseline = StrippedLines(warm_out.str());
+  std::vector<std::string> baseline = Lines(warm_out.str());
   baseline.pop_back();  // "ok bye"
   // After warm-up every response must be the cached block.
   ASSERT_FALSE(baseline.empty());
@@ -127,7 +142,7 @@ TEST(ServeServerTest, SameGraphConcurrentCachedQueriesAreBitIdentical) {
   }
   expected.push_back("ok bye");
   for (int i = 0; i < kSessions; ++i) {
-    EXPECT_EQ(StrippedLines(outs[i].str()), expected) << "session " << i;
+    EXPECT_EQ(Lines(outs[i].str()), expected) << "session " << i;
   }
 }
 
@@ -195,6 +210,34 @@ TEST(ServeServerTest, StatsVerbReportsServerAndShardDetail) {
             std::string::npos);
 }
 
+TEST(ServeServerTest, MetricsVerbRendersPrometheusExposition) {
+  GraphCatalog catalog;
+  QueryEngine engine(&catalog, FixedClockOptions());
+  ASSERT_TRUE(catalog.Put("g", testing::ChainGraph(0.3, 0.6)).ok());
+  ServeServer server(&engine);
+  std::istringstream in("detect g 2\nmetrics\nquit\n");
+  std::ostringstream out;
+  server.ServeStream(in, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("ok metrics\n"), std::string::npos) << text;
+  // Engine, cache, catalog and server families all flow through the one
+  // registry the verb renders.
+  EXPECT_NE(text.find("# TYPE vulnds_engine_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vulnds_engine_requests_total{verb=\"detect\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE vulnds_engine_stage_micros histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vulnds_cache_misses_total{cache=\"detect\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vulnds_catalog_resident_graphs 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vulnds_server_sessions_started_total 1\n"),
+            std::string::npos);
+  // The block ends with the protocol terminator on its own line.
+  EXPECT_NE(text.find("\n.\n"), std::string::npos);
+}
+
 TEST(ServeServerTest, SessionPoolFallsBackWhenItIsTheSamplingPool) {
   // Running blocking sessions on the engine's sampling pool would deadlock
   // (sessions wait for detect fan-out; fan-out waits for pool workers that
@@ -235,7 +278,7 @@ TEST(ServeServerTest, ConcurrentColdSameGraphQueriesBatchCorrectly) {
     scripts.push_back("detect shared 3 BSRBK seed=" + std::to_string(200 + i) +
                       "\nquit\n");
     GraphCatalog catalog;
-    QueryEngine engine(&catalog);
+    QueryEngine engine(&catalog, FixedClockOptions());
     ASSERT_TRUE(catalog.Load("shared", path).ok());
     std::istringstream in(scripts.back());
     std::ostringstream out;
@@ -244,7 +287,7 @@ TEST(ServeServerTest, ConcurrentColdSameGraphQueriesBatchCorrectly) {
   }
 
   GraphCatalog catalog;
-  QueryEngine engine(&catalog);
+  QueryEngine engine(&catalog, FixedClockOptions());
   ASSERT_TRUE(catalog.Load("shared", path).ok());
   ServeServer server(&engine);
   std::vector<std::istringstream> ins;
@@ -253,8 +296,7 @@ TEST(ServeServerTest, ConcurrentColdSameGraphQueriesBatchCorrectly) {
   for (int i = 0; i < kSessions; ++i) server.Submit(&ins[i], &outs[i]);
   server.Join();
   for (int i = 0; i < kSessions; ++i) {
-    EXPECT_EQ(StrippedLines(outs[i].str()), StrippedLines(baselines[i]))
-        << "session " << i;
+    EXPECT_EQ(outs[i].str(), baselines[i]) << "session " << i;
   }
   EXPECT_EQ(engine.stats().detect_queries,
             static_cast<std::size_t>(kSessions));

@@ -18,7 +18,7 @@
 //   vulnds_cli truth <graph> <k> [samples] [seed]
 //       Prints the Monte-Carlo reference top-k (default 20000 worlds).
 //   vulnds_cli serve [cache_capacity] [threads=N] [shards=N] [catalog_bytes=N]
-//              [cache_shards=N]
+//              [cache_shards=N] [slowlog=path] [slowlog_ms=N]
 //       Speaks the line-oriented serve protocol on stdin/stdout: graphs are
 //       loaded once into a name-sharded catalog (shards= shard count,
 //       catalog_bytes= resident byte budget, both optional) and repeated
@@ -30,11 +30,17 @@
 //       addedge/deledge/setprob stage edge mutations, commit materializes
 //       them as a new immutable version registered under <name>@vN, and
 //       versions lists the history.
+//       Observability: the `metrics` verb renders the whole registry as
+//       Prometheus text exposition; slowlog=path appends one JSON line per
+//       query at or above slowlog_ms= milliseconds (default 0: every query)
+//       with per-stage micros and wave detail. See README "Observability".
 //
 // All numbers are parsed with checked helpers (common/parse.h): a malformed
 // argument is a usage error, never a silent zero.
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -47,6 +53,7 @@
 #include "gen/datasets.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "obs/slow_query_log.h"
 #include "serve/graph_catalog.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
@@ -78,8 +85,10 @@ int Usage() {
                "  vulnds_cli truth <graph> <k> [samples] [seed]\n"
                "  vulnds_cli serve [cache_capacity] [threads=N] [shards=N]\n"
                "             [catalog_bytes=N] [cache_shards=N]\n"
-               "      serve verbs: load save detect truth stats catalog evict\n"
-               "      addedge deledge setprob commit versions quit\n");
+               "             [slowlog=path] [slowlog_ms=N]\n"
+               "      serve verbs: load save detect truth stats metrics\n"
+               "      catalog evict addedge deledge setprob commit versions\n"
+               "      quit\n");
   return 2;
 }
 
@@ -258,10 +267,12 @@ int CmdTruth(int argc, char** argv) {
 }
 
 int CmdServe(int argc, char** argv) {
-  if (argc > 7) return Usage();
+  if (argc > 9) return Usage();
   serve::QueryEngineOptions engine_options;
   serve::GraphCatalogOptions catalog_options;
   std::optional<std::size_t> threads;
+  std::string slowlog_path;
+  std::optional<std::uint64_t> slowlog_ms;
   bool capacity_seen = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -304,6 +315,26 @@ int CmdServe(int argc, char** argv) {
                       &engine_options.result_cache_shards)) {
         return Usage();
       }
+    } else if (arg.rfind("slowlog=", 0) == 0) {
+      if (!slowlog_path.empty()) {
+        std::fprintf(stderr, "duplicate slowlog= argument\n");
+        return Usage();
+      }
+      slowlog_path = arg.substr(8);
+      if (slowlog_path.empty()) {
+        std::fprintf(stderr, "slowlog= needs a path\n");
+        return Usage();
+      }
+    } else if (arg.rfind("slowlog_ms=", 0) == 0) {
+      if (slowlog_ms.has_value()) {
+        std::fprintf(stderr, "duplicate slowlog_ms= argument\n");
+        return Usage();
+      }
+      std::uint64_t ms = 0;
+      if (!ParseArgOr(ParseUint64, "slowlog_ms", arg.substr(11), &ms)) {
+        return Usage();
+      }
+      slowlog_ms = ms;
     } else if (capacity_seen) {
       // A second positional number is a mistake (e.g. `serve 100 4` where
       // `threads=4` was meant); refuse rather than silently overwrite.
@@ -321,11 +352,31 @@ int CmdServe(int argc, char** argv) {
   std::optional<ThreadPool> own_pool;
   if (threads.has_value()) own_pool.emplace(*threads);
   engine_options.pool = own_pool.has_value() ? &*own_pool : &ThreadPool::Global();
+  if (slowlog_ms.has_value() && slowlog_path.empty()) {
+    std::fprintf(stderr, "slowlog_ms= needs slowlog=path\n");
+    return Usage();
+  }
+  std::ofstream slowlog_file;
+  std::optional<obs::SlowQueryLog> slowlog;
+  if (!slowlog_path.empty()) {
+    slowlog_file.open(slowlog_path, std::ios::app);
+    if (!slowlog_file) {
+      std::fprintf(stderr, "cannot open slowlog '%s'\n", slowlog_path.c_str());
+      return 1;
+    }
+    const std::int64_t threshold_micros =
+        static_cast<std::int64_t>(slowlog_ms.value_or(0)) * 1000;
+    slowlog.emplace(&slowlog_file, threshold_micros);
+    engine_options.slowlog = &*slowlog;
+  }
   serve::GraphCatalog catalog(catalog_options);
   serve::QueryEngine engine(&catalog, engine_options);
   dyn::UpdateManager updates(&catalog);
-  const serve::ServeLoopStats stats =
-      serve::RunServeLoop(std::cin, std::cout, engine, &updates);
+  // Server-level counters even for the single-session stdin front, so the
+  // `metrics` verb exports the full vulnds_server_* family set.
+  serve::ServerStats server;
+  const serve::ServeLoopStats stats = serve::RunServeLoop(
+      std::cin, std::cout, engine, &updates, &server);
   std::fprintf(stderr, "serve session: %zu requests, %zu errors, %zu updates\n",
                stats.requests, stats.errors, stats.updates);
   return 0;
