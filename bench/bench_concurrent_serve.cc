@@ -14,6 +14,12 @@
 // default. The only difference between the runs is result-cache lock
 // contention, which is exactly what cache sharding exists to cut.
 //
+// With --socket a third phase drives 8 concurrent TCP connections through
+// the src/net front end against a zero-clock engine: the time= token is
+// pinned to 0, so every socket response is checked byte-exact against the
+// stdin front's cached block — modulo NOTHING — while round-trip qps and
+// p50/p99 are timed from the client side of a real socket.
+//
 // Gates (>=4-core hosts): 8 sessions must aggregate >=3x the
 // single-session throughput, and the sharded-cache storm must reach at
 // least the single-mutex storm's throughput. On narrower hosts the
@@ -23,6 +29,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -32,6 +39,8 @@
 #include "common/table.h"
 #include "common/timer.h"
 #include "gen/datasets.h"
+#include "net/net_server.h"
+#include "net/socket.h"
 #include "obs/metrics.h"
 #include "serve/protocol.h"
 #include "serve/serve_server.h"
@@ -44,6 +53,8 @@ constexpr std::size_t kGraphs = 8;
 constexpr int kRepeats = 1500;       // timed cached queries per session
 constexpr std::size_t kStormSessions = 8;
 constexpr int kStormRepeats = 1500;  // cached queries per storm session
+constexpr std::size_t kSocketClients = 8;
+constexpr int kSocketRepeats = 400;  // round trips per TCP client
 
 std::string StripTimes(const std::string& text) {
   std::istringstream in(text);
@@ -114,12 +125,138 @@ double RunCachedStorm(vulnds::serve::QueryEngine& engine,
   return static_cast<double>(kStormSessions * kStormRepeats) / elapsed;
 }
 
+// Reads exactly `want` more bytes into *out (deadline-bounded).
+bool RecvExact(int fd, std::size_t want, std::string* out) {
+  char buf[4096];
+  while (want > 0) {
+    std::size_t got = 0;
+    if (vulnds::net::RecvSome(fd, buf, std::min(sizeof(buf), want), 30'000,
+                              &got) != vulnds::net::IoStatus::kOk) {
+      return false;
+    }
+    out->append(buf, got);
+    want -= got;
+  }
+  return true;
+}
+
+// The --socket phase: kSocketClients concurrent TCP connections through a
+// real NetServer over a ZERO-CLOCK engine (time= renders as time=0), so
+// every response must be byte-exact against the stdin front's cached block
+// with no stripping at all. Round trips are timed from the client side.
+// Returns false when any transcript diverges.
+bool RunSocketPhase(vulnds::serve::GraphCatalog* catalog,
+                    const std::vector<std::string>& queries,
+                    bench::BenchJson* json) {
+  using namespace vulnds;
+  serve::QueryEngineOptions zero_options;
+  zero_options.clock = [] { return int64_t{0}; };
+  serve::QueryEngine engine(catalog, zero_options);
+
+  // The stdin-front oracle: cold detect per graph, then the cached block
+  // every socket response must reproduce byte for byte.
+  std::vector<std::string> blocks(kGraphs);
+  {
+    serve::ServeSession session(&engine);
+    for (std::size_t g = 0; g < kGraphs; ++g) {
+      std::ostringstream warm;
+      session.HandleLine(queries[g], warm);
+      std::ostringstream cached;
+      session.HandleLine(queries[g], cached);
+      blocks[g] = cached.str();
+    }
+  }
+
+  net::NetServerOptions options;
+  options.tcp_port = 0;  // ephemeral
+  options.max_connections = kSocketClients + 4;
+  net::NetServer server(&engine, nullptr, options);
+  if (const Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "socket phase: %s\n", st.message().c_str());
+    return false;
+  }
+  const int port = server.tcp_port();
+
+  struct ClientRun {
+    std::vector<double> latencies;
+    bool identical = true;
+    bool io_ok = true;
+  };
+  std::vector<ClientRun> runs(kSocketClients);
+  std::vector<std::thread> clients;
+  WallTimer wall;
+  for (std::size_t c = 0; c < kSocketClients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientRun& run = runs[c];
+      Result<net::Socket> sock = net::DialTcp("127.0.0.1", port);
+      if (!sock.ok()) {
+        run.io_ok = false;
+        return;
+      }
+      const std::string request = queries[c % kGraphs] + "\n";
+      const std::string& block = blocks[c % kGraphs];
+      run.latencies.reserve(kSocketRepeats);
+      for (int r = 0; r < kSocketRepeats; ++r) {
+        WallTimer timer;
+        if (net::SendAll(sock->fd(), request.data(), request.size(),
+                         30'000) != net::IoStatus::kOk) {
+          run.io_ok = false;
+          return;
+        }
+        std::string response;
+        if (!RecvExact(sock->fd(), block.size(), &response)) {
+          run.io_ok = false;
+          return;
+        }
+        run.latencies.push_back(timer.Seconds());
+        if (response != block) run.identical = false;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed = wall.Seconds();
+  server.BeginDrain();
+  server.Join();
+
+  bool identical = true;
+  std::vector<double> latencies;
+  for (std::size_t c = 0; c < kSocketClients; ++c) {
+    if (!runs[c].io_ok) {
+      identical = false;
+      std::fprintf(stderr, "FAIL: socket client %zu hit an I/O error\n", c);
+    } else if (!runs[c].identical) {
+      identical = false;
+      std::fprintf(stderr, "FAIL: socket client %zu diverged from the stdin "
+                           "front's transcript\n", c);
+    }
+    latencies.insert(latencies.end(), runs[c].latencies.begin(),
+                     runs[c].latencies.end());
+  }
+  const double qps =
+      static_cast<double>(kSocketClients * kSocketRepeats) / elapsed;
+  const double p50_us = bench::Percentile(latencies, 50) * 1e6;
+  const double p99_us = bench::Percentile(latencies, 99) * 1e6;
+  std::printf("socket phase: %zu TCP clients x %d round trips: %.0f qps, "
+              "p50 %.1fus, p99 %.1fus, byte-exact (modulo nothing): %s\n",
+              kSocketClients, kSocketRepeats, qps, p50_us, p99_us,
+              identical ? "yes" : "NO");
+  json->Add("socket_qps_c8", qps);
+  json->Add("socket_p50_us", p50_us);
+  json->Add("socket_p99_us", p99_us);
+  json->Add("socket_bit_identical", identical);
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchProfile profile = bench::GetProfile();
   bench::PrintProfileBanner(profile, "concurrent serve (sessions over one engine)");
   bench::BenchJson json("concurrent_serve", bench::JsonRequested(argc, argv));
+  bool socket_phase = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0) socket_phase = true;
+  }
 
   serve::GraphCatalog catalog;
   serve::QueryEngine engine(&catalog);
@@ -274,6 +411,13 @@ int main(int argc, char** argv) {
               "sharded %.0f qps (%.2fx)\n",
               kStormSessions, storm_mutex_qps, storm_sharded_qps, storm_ratio);
 
+  // --socket: the same cached traffic through a real TCP front end,
+  // byte-exact against the stdin front (zero clock, no stripping).
+  bool socket_identical = true;
+  if (socket_phase) {
+    socket_identical = RunSocketPhase(&catalog, queries, &json);
+  }
+
   json.Add("hardware_threads", hw);
   json.Add("scaling_x", scaling);
   json.Add("bit_identical", all_identical && storm_identical);
@@ -288,6 +432,12 @@ int main(int argc, char** argv) {
   if (!all_identical || !storm_identical) {
     std::printf("\nFAIL: concurrent responses diverged from single-session "
                 "transcripts\n");
+    return 1;
+  }
+  // Socket byte-exactness is machine-independent: enforced whenever the
+  // phase ran, like the in-process transcript checks above.
+  if (!socket_identical) {
+    std::printf("\nFAIL: socket responses diverged from the stdin front\n");
     return 1;
   }
   // Histogram/external agreement is machine-independent (both sides measure

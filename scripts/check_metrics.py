@@ -4,9 +4,11 @@
 Usage:
     check_metrics.py [--cli build/vulnds_cli]
 
-Starts a real `vulnds_cli serve` session, loads a synthesized graph, runs a
-cold and a cached detect plus a truth query, scrapes the `metrics` verb, and
-validates the exposition a scraper would see:
+Starts a real `vulnds_cli serve unix=...` socket front end, loads a
+synthesized graph over the wire, runs a cold and a cached detect plus a
+truth query, scrapes the `metrics` verb, drains the server with the
+`shutdown` verb (asserting exit 0), and validates the exposition a scraper
+would see:
 
   * every series line belongs to a family with exactly one # HELP and one
     # TYPE line, emitted before the series (no orphan or duplicate families);
@@ -17,7 +19,8 @@ validates the exposition a scraper would see:
     present) and agree with the family's _count;
   * the families the serve stack promises are all present: engine requests
     and per-stage latency histograms, result-cache and catalog families
-    (aggregate + per-shard), and the server session counters.
+    (aggregate + per-shard), the server session counters, and the socket
+    front end's vulnds_net_* connection/timeout families.
 
 Exit status: 0 clean, 1 lint failure, 2 environment error (CLI missing).
 """
@@ -28,6 +31,9 @@ import re
 import subprocess
 import sys
 import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from serve_client import ServeClient  # noqa: E402
 
 # Families the instrumented serve stack must always export (the acceptance
 # surface: engine, server, catalog shards, cache shards, stage latencies).
@@ -50,6 +56,11 @@ REQUIRED_FAMILIES = [
     "vulnds_catalog_shard_hits_total",
     "vulnds_server_requests_total",
     "vulnds_server_sessions_started_total",
+    "vulnds_net_connections",
+    "vulnds_net_accepted_total",
+    "vulnds_net_rejected_total",
+    "vulnds_net_timeouts_total",
+    "vulnds_net_requests_per_connection",
 ]
 
 NAME_RE = re.compile(r"^vulnds_[a-z0-9_]+$")
@@ -66,29 +77,39 @@ def synthesize_graph(path):
     path.write_text("\n".join(lines) + "\n")
 
 
-def scrape(cli, graph_path):
-    script = (
-        f"load g {graph_path}\n"
-        "detect g 2\n"
-        "detect g 2\n"
-        "truth g 2 50 7\n"
-        "metrics\n"
-        "quit\n"
-    )
-    proc = subprocess.run([cli, "serve"], input=script, text=True,
-                          capture_output=True, timeout=120)
-    if proc.returncode != 0:
-        raise RuntimeError(f"serve session failed rc={proc.returncode}:\n"
-                           f"{proc.stdout}\n{proc.stderr}")
-    out = proc.stdout
-    start = out.find("ok metrics\n")
-    if start == -1:
-        raise RuntimeError(f"no `ok metrics` response in:\n{out}")
-    body = out[start + len("ok metrics\n"):]
-    end = body.find("\n.\n")
-    if end == -1:
-        raise RuntimeError("metrics block is not '.'-terminated")
-    return body[:end + 1]
+def scrape(cli, graph_path, socket_path):
+    """Runs the probe script against a real `serve unix=...` front end and
+    returns the metrics exposition; the server is drained via `shutdown`
+    and must exit 0. The vulnds_net_* families only exist on this path —
+    scraping over a socket is what makes them part of the lint surface."""
+    proc = subprocess.Popen([cli, "serve", f"unix={socket_path}"],
+                            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                            text=True)
+    try:
+        listening = proc.stdout.readline()
+        if not listening.startswith("listening unix="):
+            raise RuntimeError(f"no listening line, got: {listening!r}")
+        with ServeClient(unix=socket_path, timeout=120) as client:
+            for line in (f"load g {graph_path}", "detect g 2", "detect g 2",
+                         "truth g 2 50 7"):
+                response = client.request(line)
+                if not response[0].startswith("ok"):
+                    raise RuntimeError(f"{line!r} answered {response[0]!r}")
+            metrics = client.request("metrics")
+            if metrics[0] != "ok metrics" or metrics[-1] != ".":
+                raise RuntimeError("metrics block is not '.'-terminated")
+            drained = client.request("shutdown")
+            if drained != ["ok draining"]:
+                raise RuntimeError(f"shutdown answered {drained!r}")
+        rc = proc.wait(timeout=60)
+        if rc != 0:
+            raise RuntimeError(
+                f"drained server exited {rc}:\n{proc.stderr.read()}")
+        return "\n".join(metrics[1:-1]) + "\n"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
 
 
 def base_family(name):
@@ -166,6 +187,8 @@ def lint(text):
                     errors.append(f"line {lineno}: _bucket without le label")
                     continue
                 key_labels = re.sub(r',?le="[^"]+"', "", labels)
+                if key_labels == "{}":  # le was the only label
+                    key_labels = ""
                 histogram_buckets.setdefault((family, key_labels), []).append(
                     (le.group(1), float(value)))
             elif series_name.endswith("_count"):
@@ -216,10 +239,11 @@ def main():
 
     with tempfile.TemporaryDirectory() as tmp:
         graph = pathlib.Path(tmp) / "ring.graph"
+        socket_path = pathlib.Path(tmp) / "metrics.sock"
         synthesize_graph(graph)
         try:
-            text = scrape(str(cli), graph)
-        except RuntimeError as err:
+            text = scrape(str(cli), graph, str(socket_path))
+        except (RuntimeError, OSError, ConnectionError) as err:
             print(f"scrape failed: {err}", file=sys.stderr)
             return 1
 

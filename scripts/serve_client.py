@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Minimal blocking client for the vulnds line-oriented serve protocol.
+
+Speaks to a `vulnds_cli serve tcp=PORT` / `serve unix=PATH` front end: one
+request per line; responses start with an "ok ..." or "err ..." line, and
+the block verbs (detect, truth, stats, metrics, catalog, versions) follow
+the header with payload lines terminated by a lone "." line.
+
+Library use:
+
+    from serve_client import ServeClient
+    with ServeClient(unix="/tmp/vulnds.sock") as client:
+        lines = client.request("detect g 5")   # full response, header first
+
+CLI use (commands from arguments or stdin, responses to stdout):
+
+    serve_client.py --unix /tmp/vulnds.sock load g a.graph 'detect g 5'
+    echo 'stats' | serve_client.py --tcp 127.0.0.1:7070
+
+Exit status: 0 if every request got a response, 1 on protocol/socket errors,
+2 on usage errors.
+"""
+
+import argparse
+import socket
+import sys
+
+# Verbs whose "ok" response carries a dot-terminated multi-line payload.
+BLOCK_VERBS = {"detect", "truth", "stats", "metrics", "catalog", "versions"}
+
+
+class ServeClient:
+    """One blocking connection to a serve front end."""
+
+    def __init__(self, tcp=None, unix=None, timeout=60.0):
+        """tcp is a (host, port) pair or "host:port" string; unix a path."""
+        if (tcp is None) == (unix is None):
+            raise ValueError("exactly one of tcp= or unix= is required")
+        if unix is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix)
+        else:
+            if isinstance(tcp, str):
+                host, _, port = tcp.rpartition(":")
+                tcp = (host, int(port))
+            self._sock = socket.create_connection(tcp, timeout=timeout)
+        self._recv_buf = b""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def close(self):
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def _read_line(self):
+        """One protocol line, newline stripped. None on server EOF."""
+        while b"\n" not in self._recv_buf:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._recv_buf:
+                    line, self._recv_buf = self._recv_buf, b""
+                    return line.decode()
+                return None
+            self._recv_buf += chunk
+        line, self._recv_buf = self._recv_buf.split(b"\n", 1)
+        return line.decode()
+
+    def request(self, line):
+        """Sends one request line; returns the response as a list of lines
+        (header first, the terminating "." included for block responses).
+        Raises ConnectionError if the server closed before answering."""
+        self._sock.sendall(line.encode() + b"\n")
+        header = self._read_line()
+        if header is None:
+            raise ConnectionError(f"server closed before answering {line!r}")
+        lines = [header]
+        parts = header.split()
+        is_block = (len(parts) >= 2 and parts[0] == "ok"
+                    and parts[1] in BLOCK_VERBS)
+        while is_block and lines[-1] != ".":
+            payload = self._read_line()
+            if payload is None:
+                raise ConnectionError(
+                    f"server closed inside the {parts[1]} block")
+            lines.append(payload)
+        return lines
+
+    def drain_eof(self):
+        """Reads (and discards) until the server closes the connection —
+        what follows `quit`/`shutdown` or precedes a timeout close."""
+        tail = self._recv_buf.decode()
+        self._recv_buf = b""
+        while True:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                return tail
+            tail += chunk.decode()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--tcp", metavar="HOST:PORT",
+                        help="connect over TCP")
+    target.add_argument("--unix", metavar="PATH",
+                        help="connect to a Unix-domain socket")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="socket timeout in seconds (default 60)")
+    parser.add_argument("commands", nargs="*",
+                        help="request lines; stdin is read when omitted")
+    args = parser.parse_args()
+
+    commands = args.commands or [line.rstrip("\n") for line in sys.stdin]
+    try:
+        with ServeClient(tcp=args.tcp, unix=args.unix,
+                         timeout=args.timeout) as client:
+            for command in commands:
+                if not command.strip():
+                    continue
+                for line in client.request(command):
+                    print(line)
+                if command.strip() in ("quit", "exit", "shutdown"):
+                    break
+    except (OSError, ConnectionError) as err:
+        print(f"serve_client: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

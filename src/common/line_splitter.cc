@@ -1,0 +1,60 @@
+#include "common/line_splitter.h"
+
+#include <utility>
+
+namespace vulnds {
+
+LineSplitter::LineSplitter(std::size_t max_line_bytes)
+    : max_line_bytes_(max_line_bytes) {}
+
+void LineSplitter::Feed(const char* data, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    const char c = data[i];
+    if (discarding_) {
+      // The oversized event is queued at the resync newline, so it sits in
+      // stream order relative to the lines around it and fires exactly once.
+      if (c == '\n') {
+        discarding_ = false;
+        ready_.push_back(Pending{true, {}});
+      }
+      continue;
+    }
+    if (c == '\n') {
+      if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+      ready_.push_back(Pending{false, std::move(partial_)});
+      partial_.clear();
+      continue;
+    }
+    if (partial_.size() >= max_line_bytes_) {
+      partial_.clear();
+      partial_.shrink_to_fit();  // drop the cap-sized hostile allocation
+      discarding_ = true;
+      continue;
+    }
+    partial_.push_back(c);
+  }
+}
+
+LineSplitter::Event LineSplitter::Next(std::string* line) {
+  if (ready_.empty()) return Event::kNone;
+  Pending next = std::move(ready_.front());
+  ready_.pop_front();
+  if (next.oversized) return Event::kOversized;
+  *line = std::move(next.line);
+  return Event::kLine;
+}
+
+LineSplitter::Event LineSplitter::Finish(std::string* line) {
+  if (discarding_) {
+    discarding_ = false;
+    return Event::kOversized;
+  }
+  if (!partial_.empty()) {
+    *line = std::move(partial_);
+    partial_.clear();
+    return Event::kLine;
+  }
+  return Event::kNone;
+}
+
+}  // namespace vulnds

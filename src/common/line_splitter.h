@@ -1,0 +1,82 @@
+// LineSplitter: incremental, transport-agnostic request-line framing with a
+// hard per-line byte cap.
+//
+// The serve protocol is one request per newline-terminated line, and every
+// front end — the blocking stdin loop, a non-blocking socket connection, a
+// test feeding hand-built chunks — needs the same two guarantees:
+//   * a hostile client streaming bytes without a newline costs at most the
+//     cap in memory and earns exactly ONE oversized event, after which the
+//     stream resynchronizes at the next newline;
+//   * bytes may arrive in arbitrary fragments (one recv can hold half a
+//     line or twenty lines) without changing what comes out.
+// This class is that shared splitter. Callers Feed() whatever bytes the
+// transport produced and pop framing events with Next() until it returns
+// kNone; at end-of-stream one Finish() call flushes the final unterminated
+// line (getline parity: returned as a line, not discarded).
+//
+// A "\r\n" terminator is treated as "\n" (one trailing CR is stripped), so
+// telnet-style clients work; a CR anywhere else is payload. The cap counts
+// raw bytes before CR stripping.
+//
+// Not thread-safe: one splitter belongs to one stream.
+
+#ifndef VULNDS_COMMON_LINE_SPLITTER_H_
+#define VULNDS_COMMON_LINE_SPLITTER_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+namespace vulnds {
+
+class LineSplitter {
+ public:
+  /// Framing events, in stream order.
+  enum class Event {
+    kNone,       ///< no complete line buffered; Feed more (or Finish)
+    kLine,       ///< *line holds the next complete line, terminator stripped
+    kOversized,  ///< a line exceeded the cap; its bytes were discarded
+  };
+
+  /// `max_line_bytes` is the inclusive cap on one line's payload (the
+  /// terminator is not counted): a line of exactly the cap passes, one more
+  /// byte trips kOversized.
+  explicit LineSplitter(std::size_t max_line_bytes);
+
+  /// Appends one chunk of transport bytes. Complete lines become queued
+  /// events; at most cap + chunk bytes are ever resident.
+  void Feed(const char* data, std::size_t size);
+
+  /// Pops the next framing event. On kLine, *line is overwritten with the
+  /// payload; on kOversized and kNone it is left untouched.
+  Event Next(std::string* line);
+
+  /// End-of-stream: flushes the final unterminated line (kLine), reports a
+  /// final uncapped flood (kOversized), or kNone when nothing was pending.
+  /// Only meaningful after Next() has drained to kNone; resets the partial
+  /// state so the splitter can be reused on a fresh stream.
+  Event Finish(std::string* line);
+
+  /// True while an incomplete line (or an oversized discard) is pending —
+  /// the stream is mid-request, which is what read (vs idle) timeouts key
+  /// on.
+  bool mid_line() const { return !partial_.empty() || discarding_; }
+
+  /// Bytes of the current incomplete line held in memory (<= the cap).
+  std::size_t partial_bytes() const { return partial_.size(); }
+
+ private:
+  struct Pending {
+    bool oversized = false;
+    std::string line;
+  };
+
+  std::size_t max_line_bytes_;
+  std::deque<Pending> ready_;
+  std::string partial_;
+  bool discarding_ = false;  ///< inside an oversized line, seeking '\n'
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_COMMON_LINE_SPLITTER_H_

@@ -83,6 +83,8 @@ const char* ServeCommandName(ServeCommand command) {
       return "commit";
     case ServeCommand::kVersions:
       return "versions";
+    case ServeCommand::kShutdown:
+      return "shutdown";
     case ServeCommand::kQuit:
       return "quit";
     case ServeCommand::kNone:
@@ -186,6 +188,11 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
   if (verb == "quit" || verb == "exit") {
     if (tokens.size() != 1) return WrongArity("quit");
     request.command = ServeCommand::kQuit;
+    return request;
+  }
+  if (verb == "shutdown") {
+    if (tokens.size() != 1) return WrongArity("shutdown");
+    request.command = ServeCommand::kShutdown;
     return request;
   }
   if (verb == "catalog") {

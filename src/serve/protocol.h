@@ -22,6 +22,11 @@
 //   commit <name>                            materialize staged updates as
 //                                            the next version <name>@vN
 //   versions <name>                          version history of <name>
+//   shutdown                                 begin graceful drain: the front
+//                                            end stops accepting, in-flight
+//                                            requests finish, the process
+//                                            exits 0 (stdin front: quit;
+//                                            net front: drains the server)
 //   quit                                     end the session
 //
 // Responses (server.h) are line-oriented too: the first line starts with
@@ -57,6 +62,7 @@ enum class ServeCommand {
   kSetProb,
   kCommit,
   kVersions,
+  kShutdown,
   kQuit,
   kNone,  ///< blank or comment line; nothing to execute
 };

@@ -3,7 +3,9 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <utility>
 
+#include "common/line_splitter.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "serve/metrics_export.h"
@@ -15,32 +17,37 @@ namespace vulnds::serve {
 ReadLineResult ReadRequestLine(std::istream& in, std::string* line,
                                std::size_t max_bytes) {
   line->clear();
-  // Read through the streambuf directly: sbumpc serves from the buffer
-  // without per-byte istream sentry/virtual-dispatch overhead, and unlike
-  // getline the hostile-line memory stays capped at max_bytes.
+  // Framing (cap, resync, CRLF) lives in the shared LineSplitter so the
+  // blocking stdin loop and the socket connection loop (src/net/) cannot
+  // drift apart; this wrapper only pumps streambuf bytes into it. sbumpc
+  // serves from the buffer without per-byte istream sentry overhead, and
+  // the hostile-line memory stays capped at max_bytes either way.
+  LineSplitter splitter(max_bytes);
   std::streambuf* buf = in.rdbuf();
   constexpr int kEofChar = std::char_traits<char>::eof();
   for (;;) {
     const int c = buf->sbumpc();
     if (c == kEofChar) {
       in.setstate(std::ios::eofbit);
-      return line->empty() ? ReadLineResult::kEof : ReadLineResult::kLine;
-    }
-    if (c == '\n') return ReadLineResult::kLine;
-    if (line->size() >= max_bytes) {
-      // Discard the remainder of the hostile line; the stream resumes at
-      // the next newline (or EOF) so the following request parses cleanly.
-      for (;;) {
-        const int d = buf->sbumpc();
-        if (d == kEofChar) {
-          in.setstate(std::ios::eofbit);
-          break;
-        }
-        if (d == '\n') break;
+      switch (splitter.Finish(line)) {
+        case LineSplitter::Event::kLine:
+          return ReadLineResult::kLine;
+        case LineSplitter::Event::kOversized:
+          return ReadLineResult::kOversized;
+        case LineSplitter::Event::kNone:
+          return ReadLineResult::kEof;
       }
-      return ReadLineResult::kOversized;
     }
-    line->push_back(static_cast<char>(c));
+    const char byte = static_cast<char>(c);
+    splitter.Feed(&byte, 1);
+    switch (splitter.Next(line)) {
+      case LineSplitter::Event::kLine:
+        return ReadLineResult::kLine;
+      case LineSplitter::Event::kOversized:
+        return ReadLineResult::kOversized;
+      case LineSplitter::Event::kNone:
+        break;
+    }
   }
 }
 
@@ -120,6 +127,13 @@ bool ServeSession::HandleLine(const std::string& line, std::ostream& out) {
   switch (request->command) {
     case ServeCommand::kQuit:
       out << "ok bye\n";
+      keep_going = false;
+      break;
+    case ServeCommand::kShutdown:
+      // Acknowledge before draining: the issuing client must see its answer
+      // even though the front end stops accepting the moment the hook runs.
+      out << "ok draining\n";
+      if (drain_hook_) drain_hook_();
       keep_going = false;
       break;
     case ServeCommand::kLoad:

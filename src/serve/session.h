@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -99,6 +100,16 @@ class ServeSession {
   /// byte cap (counts as one request and one error).
   void HandleOversizedLine(std::ostream& out);
 
+  /// Installs the `shutdown` verb's action: the front end's graceful-drain
+  /// trigger (NetServer::BeginDrain for sockets; a no-op for the stdin
+  /// front, where ending the one session IS the drain). The session answers
+  /// "ok draining", invokes the hook, and ends like `quit`. Without a hook
+  /// the verb still drains whatever front called DriveSession, because the
+  /// session ends.
+  void set_drain_hook(std::function<void()> hook) {
+    drain_hook_ = std::move(hook);
+  }
+
   const ServeLoopStats& stats() const { return stats_; }
 
  private:
@@ -128,6 +139,7 @@ class ServeSession {
   UpdateBackend* updates_;
   ServerStats* server_;
   ServeLoopStats stats_;
+  std::function<void()> drain_hook_;
 
   /// Cached histogram handles indexed by ServeCommand value (sized past
   /// kNone; unused slots stay null).

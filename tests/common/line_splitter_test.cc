@@ -1,0 +1,124 @@
+// LineSplitter: framing must be invariant to how the transport fragments
+// the byte stream, the cap must bound memory with exactly one oversized
+// event per hostile line, and CRLF terminators must behave like LF.
+
+#include "common/line_splitter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace vulnds {
+namespace {
+
+using Event = LineSplitter::Event;
+
+// Feeds `input` in `chunk`-sized pieces and returns the event sequence
+// ("L:<payload>" / "O"), Finish included.
+std::vector<std::string> Drive(const std::string& input, std::size_t cap,
+                               std::size_t chunk) {
+  LineSplitter splitter(cap);
+  std::vector<std::string> events;
+  std::string line;
+  for (std::size_t i = 0; i < input.size(); i += chunk) {
+    splitter.Feed(input.data() + i, std::min(chunk, input.size() - i));
+    for (;;) {
+      const Event e = splitter.Next(&line);
+      if (e == Event::kNone) break;
+      events.push_back(e == Event::kLine ? "L:" + line : "O");
+    }
+  }
+  switch (splitter.Finish(&line)) {
+    case Event::kLine:
+      events.push_back("F:" + line);
+      break;
+    case Event::kOversized:
+      events.push_back("O");
+      break;
+    case Event::kNone:
+      break;
+  }
+  return events;
+}
+
+TEST(LineSplitterTest, FramingIsChunkingInvariant) {
+  const std::string input = "load g a.graph\ndetect g 3\n\nquit\n";
+  const std::vector<std::string> expected = {"L:load g a.graph", "L:detect g 3",
+                                             "L:", "L:quit"};
+  for (const std::size_t chunk : {1u, 2u, 3u, 7u, 1000u}) {
+    EXPECT_EQ(Drive(input, 64, chunk), expected) << "chunk=" << chunk;
+  }
+}
+
+TEST(LineSplitterTest, FinalUnterminatedLineFlushesOnFinish) {
+  EXPECT_EQ(Drive("a\nb", 64, 1), (std::vector<std::string>{"L:a", "F:b"}));
+  EXPECT_EQ(Drive("", 64, 1), std::vector<std::string>{});
+  EXPECT_EQ(Drive("a\n", 64, 2), std::vector<std::string>{"L:a"});
+}
+
+TEST(LineSplitterTest, CrLfTerminatorsStripOneCarriageReturn) {
+  // "\r\n" frames like "\n"; interior CRs and a CR on the final unterminated
+  // line are payload (getline parity for the flush).
+  const std::vector<std::string> expected = {"L:stats", "L:a\rb", "F:tail\r"};
+  for (const std::size_t chunk : {1u, 4u, 100u}) {
+    EXPECT_EQ(Drive("stats\r\na\rb\r\ntail\r", 64, chunk), expected)
+        << "chunk=" << chunk;
+  }
+  // A line of just "\r\n" is empty, not "\r".
+  EXPECT_EQ(Drive("\r\n", 64, 1), std::vector<std::string>{"L:"});
+}
+
+TEST(LineSplitterTest, CapIsInclusiveAndResyncsAtNewline) {
+  // Exactly cap bytes pass; cap + 1 is oversized, discarded through its
+  // newline, and the next line frames cleanly.
+  EXPECT_EQ(Drive(std::string(8, 'x') + "\nok\n", 8, 3),
+            (std::vector<std::string>{"L:" + std::string(8, 'x'), "L:ok"}));
+  for (const std::size_t chunk : {1u, 5u, 64u}) {
+    EXPECT_EQ(Drive(std::string(9, 'x') + "\nok\n", 8, chunk),
+              (std::vector<std::string>{"O", "L:ok"}))
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(LineSplitterTest, OneOversizedEventPerHostileLine) {
+  // A megabyte-long flood split across many feeds earns exactly one event,
+  // and resident memory stays at the cap while it streams.
+  LineSplitter splitter(16);
+  const std::string flood(1 << 20, 'z');
+  std::string line;
+  for (std::size_t i = 0; i < flood.size(); i += 4096) {
+    splitter.Feed(flood.data() + i, std::min<std::size_t>(4096, flood.size() - i));
+    EXPECT_EQ(splitter.Next(&line), Event::kNone);
+    EXPECT_LE(splitter.partial_bytes(), 16u);
+    EXPECT_TRUE(splitter.mid_line());
+  }
+  splitter.Feed("\nnext\n", 6);
+  EXPECT_EQ(splitter.Next(&line), Event::kOversized);
+  EXPECT_EQ(splitter.Next(&line), Event::kLine);
+  EXPECT_EQ(line, "next");
+  EXPECT_EQ(splitter.Next(&line), Event::kNone);
+  EXPECT_FALSE(splitter.mid_line());
+}
+
+TEST(LineSplitterTest, OversizedFinalLineWithoutNewlineReportsOnFinish) {
+  EXPECT_EQ(Drive(std::string(64, 'y'), 8, 7), std::vector<std::string>{"O"});
+}
+
+TEST(LineSplitterTest, MidLineTracksPartialAndDiscardState) {
+  LineSplitter splitter(4);
+  std::string line;
+  EXPECT_FALSE(splitter.mid_line());
+  splitter.Feed("ab", 2);
+  EXPECT_TRUE(splitter.mid_line());
+  EXPECT_EQ(splitter.partial_bytes(), 2u);
+  splitter.Feed("cdef", 4);  // over the cap: partial dropped, discarding
+  EXPECT_TRUE(splitter.mid_line());
+  EXPECT_EQ(splitter.partial_bytes(), 0u);
+  splitter.Feed("\n", 1);
+  EXPECT_EQ(splitter.Next(&line), Event::kOversized);
+  EXPECT_FALSE(splitter.mid_line());
+}
+
+}  // namespace
+}  // namespace vulnds

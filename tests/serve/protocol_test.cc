@@ -98,6 +98,13 @@ TEST(ProtocolTest, StatsCatalogEvictQuit) {
   EXPECT_EQ(ParseServeRequest("exit")->command, ServeCommand::kQuit);
 }
 
+TEST(ProtocolTest, Shutdown) {
+  EXPECT_EQ(ParseServeRequest("shutdown")->command, ServeCommand::kShutdown);
+  EXPECT_EQ(ServeCommandName(ServeCommand::kShutdown),
+            std::string("shutdown"));
+  EXPECT_FALSE(ParseServeRequest("shutdown now").ok());
+}
+
 TEST(ProtocolTest, UpdateVerbs) {
   Result<ServeRequest> add = ParseServeRequest("addedge g 3 7 0.25");
   ASSERT_TRUE(add.ok());

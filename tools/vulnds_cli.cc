@@ -19,6 +19,8 @@
 //       Prints the Monte-Carlo reference top-k (default 20000 worlds).
 //   vulnds_cli serve [cache_capacity] [threads=N] [shards=N] [catalog_bytes=N]
 //              [cache_shards=N] [slowlog=path] [slowlog_ms=N]
+//              [tcp=PORT] [unix=PATH] [max_conns=N]
+//              [idle_timeout_ms=N] [read_timeout_ms=N] [write_timeout_ms=N]
 //       Speaks the line-oriented serve protocol on stdin/stdout: graphs are
 //       loaded once into a name-sharded catalog (shards= shard count,
 //       catalog_bytes= resident byte budget, both optional) and repeated
@@ -34,10 +36,18 @@
 //       Prometheus text exposition; slowlog=path appends one JSON line per
 //       query at or above slowlog_ms= milliseconds (default 0: every query)
 //       with per-stage micros and wave detail. See README "Observability".
+//       Network serving: tcp=PORT (0 = ephemeral; the bound port is printed
+//       as "listening tcp=HOST:PORT") and/or unix=PATH switch the front end
+//       from stdin to sockets, one session per connection over the shared
+//       engine, with max_conns= admission control and the three *_timeout_ms=
+//       deadlines. SIGTERM/SIGINT (or the `shutdown` verb) drain gracefully:
+//       stop accepting, finish in-flight requests, exit 0. See README
+//       "Network serving".
 //
 // All numbers are parsed with checked helpers (common/parse.h): a malformed
 // argument is a usage error, never a silent zero.
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -53,6 +63,7 @@
 #include "gen/datasets.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "net/net_server.h"
 #include "obs/slow_query_log.h"
 #include "serve/graph_catalog.h"
 #include "serve/protocol.h"
@@ -86,9 +97,12 @@ int Usage() {
                "  vulnds_cli serve [cache_capacity] [threads=N] [shards=N]\n"
                "             [catalog_bytes=N] [cache_shards=N]\n"
                "             [slowlog=path] [slowlog_ms=N]\n"
+               "             [tcp=PORT] [unix=PATH] [max_conns=N]\n"
+               "             [idle_timeout_ms=N] [read_timeout_ms=N]\n"
+               "             [write_timeout_ms=N]\n"
                "      serve verbs: load save detect truth stats metrics\n"
                "      catalog evict addedge deledge setprob commit versions\n"
-               "      quit\n");
+               "      shutdown quit\n");
   return 2;
 }
 
@@ -267,16 +281,91 @@ int CmdTruth(int argc, char** argv) {
 }
 
 int CmdServe(int argc, char** argv) {
-  if (argc > 9) return Usage();
+  if (argc > 16) return Usage();
   serve::QueryEngineOptions engine_options;
   serve::GraphCatalogOptions catalog_options;
+  net::NetServerOptions net_options;
+  bool tcp_seen = false;
+  bool max_conns_seen = false;
   std::optional<std::size_t> threads;
   std::string slowlog_path;
   std::optional<std::uint64_t> slowlog_ms;
   bool capacity_seen = false;
+  // Parses one of the net-layer `<key>_ms=` timeout knobs into *out.
+  const auto parse_timeout = [&](const std::string& arg, const char* key,
+                                 std::size_t key_len, int* out) {
+    if (*out >= 0) {
+      std::fprintf(stderr, "duplicate %s= argument\n", key);
+      return false;
+    }
+    std::uint64_t ms = 0;
+    if (!ParseArgOr(ParseUint64, key, arg.substr(key_len), &ms) ||
+        ms > 86'400'000) {
+      std::fprintf(stderr, "%s= must be a millisecond count (<= 1 day)\n", key);
+      return false;
+    }
+    *out = static_cast<int>(ms);
+    return true;
+  };
+  // Sentinel: -1 = "not set yet" so duplicates are caught; defaults are
+  // restored after parsing.
+  const net::NetServerOptions net_defaults;
+  net_options.idle_timeout_ms = -1;
+  net_options.read_timeout_ms = -1;
+  net_options.write_timeout_ms = -1;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("threads=", 0) == 0) {
+    if (arg.rfind("tcp=", 0) == 0) {
+      if (tcp_seen) {
+        std::fprintf(stderr, "duplicate tcp= argument\n");
+        return Usage();
+      }
+      std::uint64_t port = 0;
+      if (!ParseArgOr(ParseUint64, "tcp", arg.substr(4), &port) ||
+          port > 65535) {
+        std::fprintf(stderr, "tcp= needs a port in [0, 65535] (0 = ephemeral)\n");
+        return Usage();
+      }
+      net_options.tcp_port = static_cast<int>(port);
+      tcp_seen = true;
+    } else if (arg.rfind("unix=", 0) == 0) {
+      if (!net_options.unix_path.empty()) {
+        std::fprintf(stderr, "duplicate unix= argument\n");
+        return Usage();
+      }
+      net_options.unix_path = arg.substr(5);
+      if (net_options.unix_path.empty()) {
+        std::fprintf(stderr, "unix= needs a socket path\n");
+        return Usage();
+      }
+    } else if (arg.rfind("max_conns=", 0) == 0) {
+      if (max_conns_seen) {
+        std::fprintf(stderr, "duplicate max_conns= argument\n");
+        return Usage();
+      }
+      if (!ParseArgOr(ParseUint64, "max_conns", arg.substr(10),
+                      &net_options.max_connections) ||
+          net_options.max_connections == 0) {
+        std::fprintf(stderr, "max_conns= needs a positive count\n");
+        return Usage();
+      }
+      max_conns_seen = true;
+    } else if (arg.rfind("idle_timeout_ms=", 0) == 0) {
+      if (!parse_timeout(arg, "idle_timeout_ms", 16,
+                         &net_options.idle_timeout_ms)) {
+        return Usage();
+      }
+    } else if (arg.rfind("read_timeout_ms=", 0) == 0) {
+      if (!parse_timeout(arg, "read_timeout_ms", 16,
+                         &net_options.read_timeout_ms)) {
+        return Usage();
+      }
+    } else if (arg.rfind("write_timeout_ms=", 0) == 0) {
+      if (!parse_timeout(arg, "write_timeout_ms", 17,
+                         &net_options.write_timeout_ms)) {
+        return Usage();
+      }
+    } else if (arg.rfind("threads=", 0) == 0) {
       if (threads.has_value()) {
         std::fprintf(stderr, "duplicate threads= argument\n");
         return Usage();
@@ -372,6 +461,62 @@ int CmdServe(int argc, char** argv) {
   serve::GraphCatalog catalog(catalog_options);
   serve::QueryEngine engine(&catalog, engine_options);
   dyn::UpdateManager updates(&catalog);
+
+  const bool socket_mode = tcp_seen || !net_options.unix_path.empty();
+  if (net_options.idle_timeout_ms < 0) {
+    net_options.idle_timeout_ms = net_defaults.idle_timeout_ms;
+  }
+  if (net_options.read_timeout_ms < 0) {
+    net_options.read_timeout_ms = net_defaults.read_timeout_ms;
+  }
+  if (net_options.write_timeout_ms < 0) {
+    net_options.write_timeout_ms = net_defaults.write_timeout_ms;
+  }
+  if (!socket_mode &&
+      (max_conns_seen ||
+       net_options.idle_timeout_ms != net_defaults.idle_timeout_ms ||
+       net_options.read_timeout_ms != net_defaults.read_timeout_ms ||
+       net_options.write_timeout_ms != net_defaults.write_timeout_ms)) {
+    std::fprintf(stderr, "net options need tcp= and/or unix=\n");
+    return Usage();
+  }
+
+  if (socket_mode) {
+    net::NetServer server(&engine, &updates, net_options);
+    if (const Status st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "serve: %s\n", st.message().c_str());
+      return 1;
+    }
+    // One "listening ..." line per transport, flushed before any traffic:
+    // scripts parse these to learn the ephemeral TCP port / socket path.
+    if (tcp_seen) {
+      std::printf("listening tcp=%s:%d\n", net_options.tcp_host.c_str(),
+                  server.tcp_port());
+    }
+    if (!net_options.unix_path.empty()) {
+      std::printf("listening unix=%s\n", net_options.unix_path.c_str());
+    }
+    std::fflush(stdout);
+    // SIGTERM/SIGINT write one byte to the drain pipe (async-signal-safe):
+    // stop accepting, finish in-flight requests, flush stats, exit 0.
+    (void)net::InstallDrainOnSignal(&server, SIGTERM);
+    (void)net::InstallDrainOnSignal(&server, SIGINT);
+    server.Join();
+    net::ResetDrainSignal(SIGTERM);
+    net::ResetDrainSignal(SIGINT);
+    const serve::ServerStats& stats = server.server_stats();
+    const net::NetStatsSnapshot net_stats = server.stats();
+    std::fprintf(stderr,
+                 "serve drained: %zu sessions, %zu requests, %zu errors, "
+                 "%zu updates; %zu rejected busy, %zu timeouts\n",
+                 stats.sessions_finished.load(), stats.requests.load(),
+                 stats.errors.load(), stats.updates.load(),
+                 net_stats.rejected_busy,
+                 net_stats.idle_timeouts + net_stats.read_timeouts +
+                     net_stats.write_timeouts);
+    return 0;
+  }
+
   // Server-level counters even for the single-session stdin front, so the
   // `metrics` verb exports the full vulnds_server_* family set.
   serve::ServerStats server;
