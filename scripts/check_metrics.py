@@ -54,6 +54,15 @@ REQUIRED_FAMILIES = [
     "vulnds_catalog_resident_bytes",
     "vulnds_catalog_shard_entries",
     "vulnds_catalog_shard_hits_total",
+    "vulnds_store_budget_bytes",
+    "vulnds_store_resident_bytes",
+    "vulnds_store_charged_bytes",
+    "vulnds_store_spilled_bytes",
+    "vulnds_store_spilled_graphs",
+    "vulnds_store_spills_total",
+    "vulnds_store_page_ins_total",
+    "vulnds_store_page_in_micros",
+    "vulnds_store_rejected_oversize_total",
     "vulnds_server_requests_total",
     "vulnds_server_sessions_started_total",
     "vulnds_net_connections",

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""End-to-end crash-durability smoke test of the vulnds storage hierarchy.
+
+Usage:
+    durability_smoke.py [--cli build/vulnds_cli]
+
+Exercises the journal + spill + byte-budget path the way a crash would:
+
+  1. starts `vulnds_cli serve unix=... journal=... spill_dir=...` with a
+     tiny `mem_bytes=` budget, so cold snapshots spill to disk;
+  2. loads a graph, commits two versions through the update verbs, runs a
+     detect against a committed version, and stages one uncommitted op;
+  3. SIGKILLs the server — no drain, no fsync beyond the commit barriers;
+  4. restarts against the same journal and asserts `versions` still lists
+     every committed version, the recomputed detect matches the pre-crash
+     answer bit for bit, the staged tail survives into the next commit,
+     and the `stats` verb reports the storage-hierarchy gauges;
+  5. truncates the journal tail and restarts once more: startup must
+     succeed, keeping the longest valid prefix.
+
+Exit status: 0 clean, 1 failure, 2 environment error (CLI missing).
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from serve_client import STORE_FIELDS, ServeClient  # noqa: E402
+
+# Small enough that the committed snapshots cannot all stay hot, so the
+# spill path runs; large enough that a pinned in-flight graph always fits.
+MEM_BYTES = 4096
+
+
+def synthesize_graph(path):
+    """A 12-node probabilistic ring + chords, as in socket_smoke.py."""
+    n = 12
+    lines = ["vulnds-graph 1", f"{n} {2 * n}",
+             " ".join(f"0.{(i % 9) + 1}" for i in range(n))]
+    for i in range(n):
+        lines.append(f"{i} {(i + 1) % n} 0.5")
+        lines.append(f"{i} {(i + 3) % n} 0.25")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def start_server(cli, socket_path, journal, spill_dir):
+    proc = subprocess.Popen(
+        [cli, "serve", f"unix={socket_path}", "tcp=0",
+         f"journal={journal}", f"spill_dir={spill_dir}",
+         f"mem_bytes={MEM_BYTES}"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    for _ in range(2):
+        line = proc.stdout.readline().strip()
+        if line.startswith("listening unix="):
+            return proc
+    proc.kill()
+    stderr = proc.stderr.read()
+    raise RuntimeError(f"server never listened on {socket_path}: {stderr}")
+
+
+def expect(condition, message, failures):
+    if not condition:
+        failures.append(message)
+        print(f"FAIL: {message}", file=sys.stderr)
+
+
+def normalized(lines):
+    """A detect response with the run-dependent tokens blanked: wall-clock
+    time and cache attribution may differ across a restart, scores not."""
+    return [re.sub(r"\b(time|cached)=\S+", r"\1=", line) for line in lines]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", default="build/vulnds_cli",
+                        help="path to the vulnds_cli binary")
+    args = parser.parse_args()
+    cli = pathlib.Path(args.cli)
+    if not cli.exists():
+        print(f"vulnds_cli not found at {cli}", file=sys.stderr)
+        return 2
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        graph = tmp / "ring.graph"
+        synthesize_graph(graph)
+        journal = tmp / "updates.journal"
+        spill_dir = tmp / "spill"
+
+        # --- build state worth losing --------------------------------------
+        proc = start_server(str(cli), str(tmp / "a.sock"), journal, spill_dir)
+        try:
+            with ServeClient(unix=str(tmp / "a.sock")) as client:
+                expect(client.request(f"load g {graph}")[0].startswith(
+                    "ok loaded g"), "load failed", failures)
+                client.request("addedge g 0 6 0.9")
+                expect(client.request("commit g")[0].startswith(
+                    "ok committed g@v1"), "first commit failed", failures)
+                client.request("addedge g 1 7 0.8")
+                expect(client.request("commit g")[0].startswith(
+                    "ok committed g@v2"), "second commit failed", failures)
+                before = client.request("detect g@v1 3")
+                expect(before[0].startswith("ok detect g@v1"),
+                       f"pre-crash detect answered {before[0]!r}", failures)
+                # A staged-but-uncommitted tail the journal must also carry.
+                client.request("addedge g 2 8 0.7")
+        finally:
+            proc.kill()  # SIGKILL: the whole point
+            proc.wait()
+
+        # --- restart: replay must reconstruct everything -------------------
+        proc = start_server(str(cli), str(tmp / "b.sock"), journal, spill_dir)
+        try:
+            with ServeClient(unix=str(tmp / "b.sock")) as client:
+                versions = client.request("versions g")
+                expect(versions[0] == "ok versions g count=3",
+                       f"versions answered {versions[0]!r}", failures)
+                body = "\n".join(versions)
+                for name in ("g@v1", "g@v2"):
+                    expect(name in body, f"{name} missing after replay",
+                           failures)
+
+                after = client.request("detect g@v1 3")
+                expect(normalized(after) == normalized(before),
+                       "recomputed detect diverged from the pre-crash "
+                       f"answer: {after!r} vs {before!r}", failures)
+
+                # The staged tail op must be sitting in the overlay: the next
+                # commit carries it into g@v3.
+                commit = client.request("commit g")
+                expect(commit[0].startswith("ok committed g@v3"),
+                       f"post-replay commit answered {commit[0]!r}", failures)
+                expect(" ops=1 " in commit[0] or commit[0].rstrip().endswith(
+                    "ops=1"), f"staged tail lost: {commit[0]!r}", failures)
+
+                fields = client.stats_fields()
+                for key in STORE_FIELDS:
+                    expect(key in fields, f"stats lacks {key}", failures)
+                expect(fields.get("journal_bytes", 0) > 0,
+                       "journal_bytes not positive after replay", failures)
+                expect(fields.get("store_budget_bytes") == MEM_BYTES,
+                       f"store budget gauge is "
+                       f"{fields.get('store_budget_bytes')!r}", failures)
+                client.request("shutdown")
+            rc = proc.wait(timeout=60)
+            expect(rc == 0, f"drained server exited {rc}", failures)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # --- torn tail: chop bytes off the journal, startup must survive ---
+        size = journal.stat().st_size
+        with journal.open("r+b") as fh:
+            fh.truncate(max(size - 5, 0))
+        proc = start_server(str(cli), str(tmp / "c.sock"), journal, spill_dir)
+        try:
+            with ServeClient(unix=str(tmp / "c.sock")) as client:
+                versions = client.request("versions g")
+                expect(versions[0].startswith("ok versions g count="),
+                       f"post-truncation versions answered {versions[0]!r}",
+                       failures)
+                client.request("shutdown")
+            rc = proc.wait(timeout=60)
+            expect(rc == 0, f"post-truncation server exited {rc}", failures)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    if failures:
+        print(f"durability_smoke: {len(failures)} failure(s)")
+        return 1
+    print("durability_smoke: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ CLI use (commands from arguments or stdin, responses to stdout):
 
     serve_client.py --unix /tmp/vulnds.sock load g a.graph 'detect g 5'
     echo 'stats' | serve_client.py --tcp 127.0.0.1:7070
+    serve_client.py --unix /tmp/vulnds.sock --store-stats   # memory hierarchy
 
 Exit status: 0 if every request got a response, 1 on protocol/socket errors,
 2 on usage errors.
@@ -27,6 +28,10 @@ import sys
 
 # Verbs whose "ok" response carries a dot-terminated multi-line payload.
 BLOCK_VERBS = {"detect", "truth", "stats", "metrics", "catalog", "versions"}
+
+# Storage-hierarchy gauges in the `stats` block: hot bytes in RAM, cold
+# snapshot bytes spilled to disk, and the durability journal's size.
+STORE_FIELDS = ("resident_bytes", "spilled_bytes", "journal_bytes")
 
 
 class ServeClient:
@@ -91,6 +96,22 @@ class ServeClient:
             lines.append(payload)
         return lines
 
+    def stats_fields(self):
+        """Runs `stats` and returns its `key=value` payload lines as a dict,
+        values parsed to int where they are integers. The storage-hierarchy
+        gauges (STORE_FIELDS) land here once the server exposes them."""
+        fields = {}
+        for line in self.request("stats"):
+            for token in line.split():
+                key, sep, value = token.partition("=")
+                if not sep or not key:
+                    continue  # header words and the closing "."
+                try:
+                    fields[key] = int(value)
+                except ValueError:
+                    fields[key] = value
+        return fields
+
     def drain_eof(self):
         """Reads (and discards) until the server closes the connection —
         what follows `quit`/`shutdown` or precedes a timeout close."""
@@ -113,9 +134,24 @@ def main():
                         help="connect to a Unix-domain socket")
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="socket timeout in seconds (default 60)")
+    parser.add_argument("--store-stats", action="store_true",
+                        help="print the storage-hierarchy gauges "
+                             "(resident/spilled/journal bytes) and exit")
     parser.add_argument("commands", nargs="*",
                         help="request lines; stdin is read when omitted")
     args = parser.parse_args()
+
+    if args.store_stats:
+        try:
+            with ServeClient(tcp=args.tcp, unix=args.unix,
+                             timeout=args.timeout) as client:
+                fields = client.stats_fields()
+        except (OSError, ConnectionError) as err:
+            print(f"serve_client: {err}", file=sys.stderr)
+            return 1
+        for key in STORE_FIELDS:
+            print(f"{key}={fields.get(key, 'absent')}")
+        return 0 if all(key in fields for key in STORE_FIELDS) else 1
 
     commands = args.commands or [line.rstrip("\n") for line in sys.stdin]
     try:

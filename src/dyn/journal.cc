@@ -1,0 +1,148 @@
+#include "dyn/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace vulnds::dyn {
+
+uint32_t Crc32(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= bytes[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+void PutU32(unsigned char* out, uint32_t v) {
+  out[0] = static_cast<unsigned char>(v);
+  out[1] = static_cast<unsigned char>(v >> 8);
+  out[2] = static_cast<unsigned char>(v >> 16);
+  out[3] = static_cast<unsigned char>(v >> 24);
+}
+
+uint32_t GetU32(const unsigned char* in) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
+// Reads exactly `len` bytes; returns bytes read (< len only at EOF/error).
+std::size_t ReadFull(int fd, void* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, static_cast<char*>(buf) + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DeltaJournal>> DeltaJournal::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open journal '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::unique_ptr<DeltaJournal> journal(new DeltaJournal(path, fd));
+
+  // Scan from the start; `valid_end` trails the last record that framed and
+  // checksummed cleanly. Anything after it is a torn or corrupt tail.
+  const off_t file_size = ::lseek(fd, 0, SEEK_END);
+  if (file_size < 0) {
+    return Status::IOError("cannot size journal '" + path +
+                           "': " + std::strerror(errno));
+  }
+  if (::lseek(fd, 0, SEEK_SET) < 0) {
+    return Status::IOError("cannot rewind journal '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::size_t valid_end = 0;
+  unsigned char header[8];
+  std::string payload;
+  while (true) {
+    if (ReadFull(fd, header, sizeof(header)) != sizeof(header)) break;
+    const uint32_t len = GetU32(header);
+    const uint32_t crc = GetU32(header + 4);
+    if (len > kMaxRecordBytes) break;
+    payload.resize(len);
+    if (ReadFull(fd, payload.data(), len) != len) break;
+    if (Crc32(payload.data(), len) != crc) break;
+    journal->recovered_.push_back(payload);
+    ++journal->records_;
+    valid_end += sizeof(header) + len;
+  }
+  if (static_cast<off_t>(valid_end) < file_size) {
+    journal->dropped_tail_bytes_ =
+        static_cast<std::size_t>(file_size) - valid_end;
+    if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+      return Status::IOError("cannot truncate corrupt tail of journal '" +
+                             path + "': " + std::strerror(errno));
+    }
+  }
+  if (::lseek(fd, static_cast<off_t>(valid_end), SEEK_SET) < 0) {
+    return Status::IOError("cannot seek journal '" + path +
+                           "': " + std::strerror(errno));
+  }
+  journal->bytes_ = valid_end;
+  return journal;
+}
+
+DeltaJournal::~DeltaJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DeltaJournal::Append(const std::string& payload) {
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument("journal record of " +
+                                   std::to_string(payload.size()) +
+                                   " bytes exceeds the 1 MiB record cap");
+  }
+  std::string frame(8 + payload.size(), '\0');
+  PutU32(reinterpret_cast<unsigned char*>(frame.data()),
+         static_cast<uint32_t>(payload.size()));
+  PutU32(reinterpret_cast<unsigned char*>(frame.data()) + 4,
+         Crc32(payload.data(), payload.size()));
+  std::memcpy(frame.data() + 8, payload.data(), payload.size());
+  // One write() per record: a crash leaves at most one torn record at the
+  // tail, which the next Open() truncates away.
+  std::size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("journal append to '" + path_ +
+                             "' failed: " + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  bytes_ += frame.size();
+  ++records_;
+  return Status::OK();
+}
+
+Status DeltaJournal::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("journal fsync of '" + path_ +
+                           "' failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace vulnds::dyn

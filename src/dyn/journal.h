@@ -1,0 +1,101 @@
+// DeltaJournal: append-only on-disk log of staged update operations.
+//
+// The journal makes the dynamic-update write path durable: every staged op
+// and every commit is appended as one length-prefixed, checksummed record,
+// and the file is fsync'd at commit boundaries. After a crash (including
+// kill -9 mid-append) UpdateManager replays the journal at startup and
+// reconstructs every committed `name@vN` version plus the staged-but-
+// uncommitted tail.
+//
+// Record framing, little-endian:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload bytes]
+//
+// The CRC is the standard reflected CRC-32 (polynomial 0xEDB88320, as used
+// by zip/png). A record whose header runs past EOF, whose length exceeds
+// kMaxRecordBytes, or whose checksum mismatches marks the start of a
+// corrupt tail: Open() truncates the file back to the last valid record
+// boundary (recording how many bytes were dropped) and the journal is
+// usable again — a torn append never poisons future appends.
+//
+// Payloads are single-line text in the UpdateManager replay grammar
+// (`open` / `add` / `set` / `del` / `commit`); the journal itself treats
+// them as opaque bytes.
+//
+// Appends go through the raw file descriptor with a single write() per
+// record, so a record is either fully in the kernel or detectably torn —
+// never interleaved with another process' buffering. Sync() fsyncs. The
+// journal is NOT internally synchronized; UpdateManager serializes access
+// under its own mutex.
+
+#ifndef VULNDS_DYN_JOURNAL_H_
+#define VULNDS_DYN_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vulnds::dyn {
+
+/// Reflected CRC-32 (poly 0xEDB88320) over `len` bytes at `data`.
+uint32_t Crc32(const void* data, std::size_t len);
+
+class DeltaJournal {
+ public:
+  /// Longest payload a record may carry; a corrupted length field is almost
+  /// always astronomically large, so the cap turns it into a clean
+  /// truncated-tail detection instead of a giant bogus read.
+  static constexpr std::size_t kMaxRecordBytes = std::size_t{1} << 20;
+
+  /// Opens (creating if absent) the journal at `path`, validates every
+  /// record, truncates any corrupt/torn tail, and positions the write
+  /// cursor at the end. The validated payloads are kept in recovered() for
+  /// the caller to replay.
+  static Result<std::unique_ptr<DeltaJournal>> Open(const std::string& path);
+
+  ~DeltaJournal();
+  DeltaJournal(const DeltaJournal&) = delete;
+  DeltaJournal& operator=(const DeltaJournal&) = delete;
+
+  /// Appends one record (framing + checksum added here). The payload is in
+  /// the kernel when this returns; call Sync() to force it to disk.
+  Status Append(const std::string& payload);
+
+  /// fsync()s the journal file (commit barrier).
+  Status Sync();
+
+  /// Payloads recovered by Open(), in append order. Cleared by
+  /// ReleaseRecovered() once the owner has replayed them.
+  const std::vector<std::string>& recovered() const { return recovered_; }
+  void ReleaseRecovered() {
+    recovered_.clear();
+    recovered_.shrink_to_fit();
+  }
+
+  const std::string& path() const { return path_; }
+  /// Current on-disk size (valid records only).
+  std::size_t bytes() const { return bytes_; }
+  /// Records on disk: recovered at Open plus appended since.
+  std::size_t records() const { return records_; }
+  /// Bytes Open() cut off the tail (0 on a clean file).
+  std::size_t dropped_tail_bytes() const { return dropped_tail_bytes_; }
+
+ private:
+  DeltaJournal(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+  std::size_t bytes_ = 0;
+  std::size_t records_ = 0;
+  std::size_t dropped_tail_bytes_ = 0;
+  std::vector<std::string> recovered_;
+};
+
+}  // namespace vulnds::dyn
+
+#endif  // VULNDS_DYN_JOURNAL_H_

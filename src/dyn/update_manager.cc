@@ -1,5 +1,8 @@
 #include "dyn/update_manager.h"
 
+#include <cstdio>
+#include <sstream>
+#include <unordered_set>
 #include <utility>
 
 namespace vulnds::dyn {
@@ -23,15 +26,33 @@ serve::VersionInfo BaseVersion(const std::string& name,
   return v;
 }
 
+// Probabilities must survive the journal round trip bit-identically —
+// replayed versions are only byte-equal to the originals if every double
+// re-parses to the same bits. 17 significant digits guarantee that.
+std::string FormatProb(double prob) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", prob);
+  return buf;
+}
+
 }  // namespace
 
 UpdateManager::UpdateManager(serve::GraphCatalog* catalog,
                              obs::ClockMicros clock)
     : catalog_(catalog), clock_(std::move(clock)) {}
 
+UpdateManager::UpdateManager(serve::GraphCatalog* catalog,
+                             DeltaJournal* journal, obs::ClockMicros clock)
+    : catalog_(catalog), journal_(journal), clock_(std::move(clock)) {}
+
 Result<UpdateManager::NameState*> UpdateManager::StateLocked(
     const std::string& name, bool reset_on_reload) {
-  const std::shared_ptr<serve::CatalogEntry> entry = catalog_->Get(name);
+  // GetOrLoad, not Get: a spilled base is still a valid lineage root and
+  // pages back in here.
+  Result<std::shared_ptr<serve::CatalogEntry>> resolved =
+      catalog_->GetOrLoad(name);
+  if (!resolved.ok()) return resolved.status();
+  const std::shared_ptr<serve::CatalogEntry> entry = resolved.MoveValue();
   const auto it = states_.find(name);
   if (it == states_.end()) {
     if (entry == nullptr) {
@@ -39,6 +60,7 @@ Result<UpdateManager::NameState*> UpdateManager::StateLocked(
     }
     NameState state;
     state.root_uid = entry->uid;
+    state.root_source = entry->source;
     state.versions.push_back(BaseVersion(name, *entry));
     return &states_.emplace(name, std::move(state)).first->second;
   }
@@ -49,12 +71,17 @@ Result<UpdateManager::NameState*> UpdateManager::StateLocked(
   // validated against the old lineage, so they cannot carry over: with a
   // clean log we silently restart from the reloaded snapshot; otherwise the
   // stale ops are discarded and the caller is told. The version counter
-  // keeps increasing either way, so committed names never collide.
+  // keeps increasing either way, so committed names never collide. A
+  // restart also re-opens the lineage in the journal: the next staged op
+  // writes a fresh `open` record with the new source.
   if (reset_on_reload && entry != nullptr && entry->uid != state.root_uid) {
     const std::size_t pending =
         state.overlay != nullptr ? state.overlay->pending_ops() : 0;
     state.root_uid = entry->uid;
+    state.root_source = entry->source;
+    state.journal_opened = false;
     state.base_entry = nullptr;
+    state.base_pin.Release();
     state.overlay = nullptr;
     state.versions.assign(1, BaseVersion(name, *entry));
     if (pending > 0) {
@@ -70,23 +97,33 @@ Status UpdateManager::EnsureOverlayLocked(const std::string& name,
                                           NameState* state) {
   if (state->overlay != nullptr) return Status::OK();
   // Attach to the lineage tip: the last committed version, or the root when
-  // nothing was committed yet. The tip lives in the catalog between
-  // touches, so an evicted tip means the lineage is gone.
+  // nothing was committed yet. The tip lives in the catalog (resident or
+  // spilled) between touches, so a fully evicted tip means the lineage is
+  // gone.
   const std::string& tip = state->versions.back().catalog_name;
-  std::shared_ptr<serve::CatalogEntry> entry = catalog_->Get(tip);
+  Result<std::shared_ptr<serve::CatalogEntry>> resolved =
+      catalog_->GetOrLoad(tip);
+  if (!resolved.ok()) return resolved.status();
+  std::shared_ptr<serve::CatalogEntry> entry = resolved.MoveValue();
   if (entry == nullptr) {
     return Status::NotFound("version '" + tip + "' of '" + name +
                             "' was evicted; reload the base to restart");
   }
   state->base_entry = entry;
+  state->base_pin = serve::ScopedEntryPin(entry);
   state->overlay = std::make_unique<DynamicGraph>(GraphOf(entry));
   return Status::OK();
 }
 
+void UpdateManager::JournalAppendLocked(const std::string& payload) {
+  if (journal_ == nullptr) return;
+  if (!journal_->Append(payload).ok()) ++stats_.journal_errors;
+}
+
 template <typename Fn>
-Result<serve::UpdateAck> UpdateManager::Stage(const std::string& name,
-                                              Fn&& op) {
-  std::lock_guard<std::mutex> lock(mu_);
+Result<serve::UpdateAck> UpdateManager::StageLocked(const std::string& name,
+                                                    const std::string& record,
+                                                    Fn&& op) {
   Result<NameState*> state_result = [&]() -> Result<NameState*> {
     if (name.find('@') != std::string::npos) {
       return Status::InvalidArgument(
@@ -112,36 +149,71 @@ Result<serve::UpdateAck> UpdateManager::Stage(const std::string& name,
       // Nothing staged: drop the graph pin acquired above.
       state.overlay = nullptr;
       state.base_entry = nullptr;
+      state.base_pin.Release();
     }
     return st;
   }
   ++stats_.staged_ops;
+  if (journal_ != nullptr && !replaying_) {
+    // Lazily open the lineage in the journal: the `open` record carries
+    // everything replay needs to restore the base (its on-disk source) and
+    // to keep minting non-colliding versions (the counter).
+    if (!state.journal_opened) {
+      JournalAppendLocked("open " + name + " " +
+                          std::to_string(state.next_version) + " " +
+                          state.root_source);
+      state.journal_opened = true;
+    }
+    JournalAppendLocked(record);
+  }
   serve::UpdateAck ack;
   ack.pending = state.overlay->pending_ops();
   ack.live_edges = state.overlay->live_edge_count();
   return ack;
 }
 
+template <typename Fn>
+Result<serve::UpdateAck> UpdateManager::Stage(const std::string& name,
+                                              const std::string& record,
+                                              Fn&& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StageLocked(name, record, std::forward<Fn>(op));
+}
+
 Result<serve::UpdateAck> UpdateManager::AddEdge(const std::string& name,
                                                 NodeId src, NodeId dst,
                                                 double prob) {
-  return Stage(name, [&](DynamicGraph& g) { return g.AddEdge(src, dst, prob); });
+  return Stage(name,
+               "add " + name + " " + std::to_string(src) + " " +
+                   std::to_string(dst) + " " + FormatProb(prob),
+               [&](DynamicGraph& g) { return g.AddEdge(src, dst, prob); });
 }
 
 Result<serve::UpdateAck> UpdateManager::DeleteEdge(const std::string& name,
                                                    NodeId src, NodeId dst) {
-  return Stage(name, [&](DynamicGraph& g) { return g.DeleteEdge(src, dst); });
+  return Stage(name,
+               "del " + name + " " + std::to_string(src) + " " +
+                   std::to_string(dst),
+               [&](DynamicGraph& g) { return g.DeleteEdge(src, dst); });
 }
 
 Result<serve::UpdateAck> UpdateManager::SetProb(const std::string& name,
                                                 NodeId src, NodeId dst,
                                                 double prob) {
-  return Stage(name, [&](DynamicGraph& g) { return g.SetProb(src, dst, prob); });
+  return Stage(name,
+               "set " + name + " " + std::to_string(src) + " " +
+                   std::to_string(dst) + " " + FormatProb(prob),
+               [&](DynamicGraph& g) { return g.SetProb(src, dst, prob); });
 }
 
 Result<serve::CommitInfo> UpdateManager::Commit(const std::string& name) {
   const int64_t start_micros = NowMicros();
   std::lock_guard<std::mutex> lock(mu_);
+  return CommitLocked(name, start_micros);
+}
+
+Result<serve::CommitInfo> UpdateManager::CommitLocked(const std::string& name,
+                                                      int64_t start_micros) {
   if (name.find('@') != std::string::npos) {
     return Status::InvalidArgument(
         "updates target the base name; versions ('" + name +
@@ -156,10 +228,11 @@ Result<serve::CommitInfo> UpdateManager::Commit(const std::string& name) {
 
   const std::string versioned_name =
       name + "@v" + std::to_string(state.next_version);
-  // The manager mints each version number exactly once, so a resident entry
-  // under the upcoming name can only be something the operator loaded by
-  // hand — refuse (before paying for the snapshot) rather than clobber it.
-  if (catalog_->Get(versioned_name) != nullptr) {
+  // The manager mints each version number exactly once, so an entry
+  // (resident or spilled — hence Contains, not Get) under the upcoming
+  // name can only be something the operator loaded by hand — refuse
+  // (before paying for the snapshot) rather than clobber it.
+  if (catalog_->Contains(versioned_name)) {
     return Status::AlreadyExists(
         "catalog name '" + versioned_name +
         "' is already taken by an externally loaded graph; evict it before "
@@ -182,7 +255,7 @@ Result<serve::CommitInfo> UpdateManager::Commit(const std::string& name) {
       catalog_->Put(versioned_name, std::move(snapshot.graph), source));
   const std::shared_ptr<serve::CatalogEntry> new_entry =
       catalog_->Get(versioned_name);
-  if (new_entry == nullptr) {
+  if (new_entry == nullptr && !catalog_->Contains(versioned_name)) {
     return Status::Internal("version '" + versioned_name +
                             "' was evicted during commit (catalog capacity "
                             "too small)");
@@ -191,8 +264,10 @@ Result<serve::CommitInfo> UpdateManager::Commit(const std::string& name) {
   // Exact context invalidation: bottom-k sample orders are pure in
   // (seed, budget) and carry to the new version bit-identically; bounds and
   // candidate reductions are functions of the graph the deltas touched and
-  // start cold.
-  {
+  // start cold. Under a tight memory governor the fresh snapshot may have
+  // been spilled cold by its own Put — the commit stands, the contexts
+  // simply start empty when it pages back in.
+  if (new_entry != nullptr) {
     std::scoped_lock context_locks(state.base_entry->context_mu,
                                    new_entry->context_mu);
     const DetectionContext& old_context = state.base_entry->context;
@@ -214,13 +289,144 @@ Result<serve::CommitInfo> UpdateManager::Commit(const std::string& name) {
   // eviction policy stays in charge of memory. The next staged op
   // re-attaches to the lineage tip (the version just committed).
   state.base_entry = nullptr;
+  state.base_pin.Release();
   state.overlay = nullptr;
 
   ++stats_.commits;
   stats_.contexts_carried += info.carried;
   stats_.contexts_dropped += info.dropped;
+
+  if (journal_ != nullptr && !replaying_) {
+    // The commit record plus fsync is the durability barrier: once Sync
+    // returns, a crash at any later point replays this version verbatim.
+    // An append/fsync failure leaves the in-memory commit standing (the
+    // caller was promised the version) and is only counted.
+    JournalAppendLocked("commit " + name + " " + std::to_string(info.version));
+    if (!journal_->Sync().ok()) ++stats_.journal_errors;
+  }
+
   info.seconds = static_cast<double>(NowMicros() - start_micros) * 1e-6;
   return info;
+}
+
+bool UpdateManager::ReplayOpenLocked(const std::string& name,
+                                     uint64_t next_version,
+                                     const std::string& source) {
+  // Restore the base snapshot if it is not already there (the operator's
+  // serve command line usually preloads it; replay fills the gaps). A
+  // graph Put() from memory has no on-disk source to reload from.
+  if (!catalog_->Contains(name)) {
+    if (source.empty() || source == "<memory>" ||
+        source.rfind("commit:", 0) == 0) {
+      return false;
+    }
+    if (!catalog_->Load(name, source).ok()) return false;
+  }
+  Result<NameState*> state_result =
+      StateLocked(name, /*reset_on_reload=*/false);
+  if (!state_result.ok()) return false;
+  NameState& state = **state_result;
+  if (state.overlay != nullptr || state.versions.size() > 1) {
+    // A second `open` for a known lineage means the base was reloaded
+    // between these records: restart from the current snapshot exactly
+    // like the live path did.
+    Result<std::shared_ptr<serve::CatalogEntry>> resolved =
+        catalog_->GetOrLoad(name);
+    if (!resolved.ok() || *resolved == nullptr) return false;
+    const std::shared_ptr<serve::CatalogEntry> entry = resolved.MoveValue();
+    state.root_uid = entry->uid;
+    state.root_source = entry->source;
+    state.base_entry = nullptr;
+    state.base_pin.Release();
+    state.overlay = nullptr;
+    state.versions.assign(1, BaseVersion(name, *entry));
+  }
+  // The recorded counter keeps replayed versions from colliding with ones
+  // committed before this journal existed; never move it backwards.
+  if (next_version > state.next_version) state.next_version = next_version;
+  state.journal_opened = true;
+  return true;
+}
+
+Result<JournalReplayStats> UpdateManager::ReplayJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalReplayStats rs;
+  if (journal_ == nullptr) return rs;
+  rs.dropped_tail_bytes = journal_->dropped_tail_bytes();
+  replaying_ = true;
+  std::unordered_set<std::string> failed;
+  for (const std::string& record : journal_->recovered()) {
+    ++rs.records;
+    std::istringstream in(record);
+    std::string verb, name;
+    if (!(in >> verb >> name)) {
+      ++rs.skipped;
+      continue;
+    }
+    if (failed.count(name) != 0) {
+      ++rs.skipped;
+      continue;
+    }
+    bool ok = false;
+    if (verb == "open") {
+      uint64_t next_version = 0;
+      std::string source;
+      if (in >> next_version) {
+        std::getline(in, source);
+        if (!source.empty() && source.front() == ' ') source.erase(0, 1);
+        ok = ReplayOpenLocked(name, next_version, source);
+        if (ok) ++rs.opens;
+      }
+    } else if (verb == "add" || verb == "set") {
+      uint64_t src = 0, dst = 0;
+      double prob = 0.0;
+      if (in >> src >> dst >> prob) {
+        const NodeId s = static_cast<NodeId>(src);
+        const NodeId d = static_cast<NodeId>(dst);
+        const bool adding = verb == "add";
+        ok = StageLocked(name, record,
+                         [&](DynamicGraph& g) {
+                           return adding ? g.AddEdge(s, d, prob)
+                                         : g.SetProb(s, d, prob);
+                         })
+                 .ok();
+        if (ok) ++rs.ops;
+      }
+    } else if (verb == "del") {
+      uint64_t src = 0, dst = 0;
+      if (in >> src >> dst) {
+        const NodeId s = static_cast<NodeId>(src);
+        const NodeId d = static_cast<NodeId>(dst);
+        ok = StageLocked(name, record,
+                         [&](DynamicGraph& g) { return g.DeleteEdge(s, d); })
+                 .ok();
+        if (ok) ++rs.ops;
+      }
+    } else if (verb == "commit") {
+      uint64_t version = 0;
+      if (in >> version) {
+        // Force the counter to the recorded N so the replayed version gets
+        // the exact committed name even if earlier records were skipped.
+        const auto it = states_.find(name);
+        if (it != states_.end()) it->second.next_version = version;
+        ok = CommitLocked(name, NowMicros()).ok();
+        if (ok) ++rs.commits;
+      }
+    }
+    if (!ok) {
+      ++rs.skipped;
+      failed.insert(name);
+      ++rs.failed_names;
+    }
+  }
+  replaying_ = false;
+  journal_->ReleaseRecovered();
+  return rs;
+}
+
+std::size_t UpdateManager::JournalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_ != nullptr ? journal_->bytes() : 0;
 }
 
 Result<std::vector<serve::VersionInfo>> UpdateManager::Versions(

@@ -18,6 +18,17 @@
 //     and candidate reductions are functions of the graph a delta just
 //     touched and are dropped (recomputed on first use).
 //
+// Durability. When constructed with a DeltaJournal the manager records the
+// write path as it happens: an `open` record the first time a lineage is
+// touched (capturing the base's on-disk source and the version counter),
+// one `add`/`set`/`del` record per accepted op, and a `commit` record —
+// followed by an fsync — per materialized version. ReplayJournal() runs the
+// recovered records back through the same staging/commit code at startup,
+// reconstructing every committed name@vN and the staged-but-uncommitted
+// tail after a crash (the journal tolerates a torn final record). Journal
+// append failures after a successful stage/commit never roll the operation
+// back; they are surfaced through stats().journal_errors.
+//
 // Version names are immutable: update verbs addressed to a name containing
 // '@' are rejected. All methods are thread-safe.
 
@@ -33,6 +44,7 @@
 
 #include "common/status.h"
 #include "dyn/dynamic_graph.h"
+#include "dyn/journal.h"
 #include "obs/query_trace.h"
 #include "serve/graph_catalog.h"
 #include "serve/update_backend.h"
@@ -46,6 +58,18 @@ struct UpdateManagerStats {
   std::size_t commits = 0;
   std::size_t contexts_carried = 0;  ///< sample orders carried forward
   std::size_t contexts_dropped = 0;  ///< bounds/reductions invalidated
+  std::size_t journal_errors = 0;    ///< appends/fsyncs that failed (op stands)
+};
+
+/// What ReplayJournal reconstructed (or had to give up on).
+struct JournalReplayStats {
+  std::size_t records = 0;       ///< journal records processed
+  std::size_t opens = 0;         ///< lineages (re)opened
+  std::size_t ops = 0;           ///< staged ops re-applied
+  std::size_t commits = 0;       ///< versions re-materialized
+  std::size_t skipped = 0;       ///< records dropped (failed lineage/parse)
+  std::size_t failed_names = 0;  ///< lineages abandoned mid-replay
+  std::size_t dropped_tail_bytes = 0;  ///< torn tail truncated at Open()
 };
 
 class UpdateManager : public serve::UpdateBackend {
@@ -57,6 +81,13 @@ class UpdateManager : public serve::UpdateBackend {
   explicit UpdateManager(serve::GraphCatalog* catalog,
                          obs::ClockMicros clock = nullptr);
 
+  /// As above, additionally journaling every staged op and commit to
+  /// `journal` (not owned; may be null = no durability; must outlive the
+  /// manager). Call ReplayJournal() once, before serving traffic, to
+  /// restore the state DeltaJournal::Open recovered.
+  UpdateManager(serve::GraphCatalog* catalog, DeltaJournal* journal,
+                obs::ClockMicros clock = nullptr);
+
   Result<serve::UpdateAck> AddEdge(const std::string& name, NodeId src,
                                    NodeId dst, double prob) override;
   Result<serve::UpdateAck> DeleteEdge(const std::string& name, NodeId src,
@@ -66,6 +97,16 @@ class UpdateManager : public serve::UpdateBackend {
   Result<serve::CommitInfo> Commit(const std::string& name) override;
   Result<std::vector<serve::VersionInfo>> Versions(
       const std::string& name) override;
+  std::size_t JournalBytes() const override;
+
+  /// Replays the records DeltaJournal::Open recovered, re-staging and
+  /// re-committing them through the normal code path (with journaling
+  /// suppressed — the records are already on disk). A lineage whose base
+  /// cannot be restored (source gone, "<memory>" Put) or whose replay hits
+  /// a validation error is abandoned and its remaining records skipped, so
+  /// one bad lineage never poisons the others. Consumes the recovered
+  /// buffer; call once, before serving traffic.
+  Result<JournalReplayStats> ReplayJournal();
 
   UpdateManagerStats stats() const;
 
@@ -73,44 +114,77 @@ class UpdateManager : public serve::UpdateBackend {
   // Per-base-name mutable state. Graph references are held only while ops
   // are staged (base_entry/overlay are released once the log is clean), so
   // an idle manager never blocks catalog eviction from reclaiming memory —
-  // the lineage is re-resolved from the catalog on the next touch.
+  // the lineage is re-resolved from the catalog on the next touch. The pin
+  // keeps the staged-against snapshot from being SPILLED mid-lineage
+  // (holders of the shared_ptr are safe either way; the pin just avoids a
+  // pointless disk round trip for a graph with a dirty overlay).
   struct NameState {
     uint64_t next_version = 1;
     // uid the plain catalog name had when this state was (re)opened; a
     // different uid on a later touch means the operator reloaded the base.
     uint64_t root_uid = 0;
+    // Source the root snapshot was loaded from; written into the journal's
+    // `open` record so replay can restore the base after a restart.
+    std::string root_source;
+    // True once this lineage's `open` record is in the journal; reset when
+    // a reload restarts the lineage (the next op re-opens it).
+    bool journal_opened = false;
     // Entry the overlay builds on — the root at first, then the latest
     // committed version. Null whenever no ops are staged.
     std::shared_ptr<serve::CatalogEntry> base_entry;
+    serve::ScopedEntryPin base_pin;
     std::unique_ptr<DynamicGraph> overlay;
     std::vector<serve::VersionInfo> versions;  // base (v0) first
   };
 
   // Returns the state for `name`, opening it from the catalog on first
-  // touch. When the catalog entry behind `name` was reloaded and
-  // `reset_on_reload` is set (the mutation paths), the lineage restarts
-  // from the new snapshot — rejecting with a notice if staged ops had to be
-  // discarded. Read paths pass false so they never mutate state or consume
-  // the notice.
+  // touch (paging the snapshot back in if it was spilled). When the catalog
+  // entry behind `name` was reloaded and `reset_on_reload` is set (the
+  // mutation paths), the lineage restarts from the new snapshot — rejecting
+  // with a notice if staged ops had to be discarded. Read paths pass false
+  // so they never mutate state or consume the notice.
   Result<NameState*> StateLocked(const std::string& name,
                                  bool reset_on_reload);
 
-  // Resolves the lineage tip from the catalog and attaches an overlay to
-  // it; no-op when one is already attached.
+  // Resolves the lineage tip from the catalog (paging it back in if it was
+  // spilled) and attaches an overlay to it; no-op when one is already
+  // attached.
   Status EnsureOverlayLocked(const std::string& name, NameState* state);
 
+  // Stages one op; `record` is its journal payload (replay grammar line).
   template <typename Fn>
-  Result<serve::UpdateAck> Stage(const std::string& name, Fn&& op);
+  Result<serve::UpdateAck> StageLocked(const std::string& name,
+                                       const std::string& record, Fn&& op);
+
+  template <typename Fn>
+  Result<serve::UpdateAck> Stage(const std::string& name,
+                                 const std::string& record, Fn&& op);
+
+  // The shared commit body; Commit() and replay both land here.
+  Result<serve::CommitInfo> CommitLocked(const std::string& name,
+                                         int64_t start_micros);
+
+  // Appends to the journal, counting (not propagating) failures.
+  void JournalAppendLocked(const std::string& payload);
+
+  // Replay handler for one `open` record; returns false when the lineage
+  // could not be restored (caller abandons the name).
+  bool ReplayOpenLocked(const std::string& name, uint64_t next_version,
+                        const std::string& source);
 
   int64_t NowMicros() const {
     return clock_ ? clock_() : obs::SteadyNowMicros();
   }
 
   serve::GraphCatalog* catalog_;
+  DeltaJournal* journal_ = nullptr;
   obs::ClockMicros clock_;
   mutable std::mutex mu_;
   std::map<std::string, NameState> states_;
   UpdateManagerStats stats_;
+  // True while ReplayJournal runs records back through Stage/Commit:
+  // suppresses journaling (the records are already on disk).
+  bool replaying_ = false;
 };
 
 }  // namespace vulnds::dyn

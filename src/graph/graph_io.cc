@@ -1,7 +1,12 @@
 #include "graph/graph_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -166,12 +171,46 @@ Status WriteGraphBinary(const UncertainGraph& graph, std::ostream& out) {
 
 Status WriteGraphFile(const UncertainGraph& graph, const std::string& path,
                       GraphFileFormat format) {
-  std::ofstream out(path, format == GraphFileFormat::kBinary
-                              ? std::ios::out | std::ios::binary
-                              : std::ios::out);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  return format == GraphFileFormat::kBinary ? WriteGraphBinary(graph, out)
-                                            : WriteGraph(graph, out);
+  // Crash-safe: write a sibling temp file, fsync it, then rename() over the
+  // destination. A reader (or a restart paging a spilled snapshot back in)
+  // therefore only ever sees the complete old file or the complete new one —
+  // never a truncated snapshot that ReadGraphBinary would reject. The temp
+  // name is pid- and serial-qualified so concurrent writers to one path
+  // cannot clobber each other's temp file.
+  static std::atomic<uint64_t> temp_serial{0};
+  const std::string temp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(temp_serial.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(temp_path, format == GraphFileFormat::kBinary
+                                     ? std::ios::out | std::ios::binary
+                                     : std::ios::out);
+    if (!out) {
+      return Status::IOError("cannot open " + temp_path + " for writing");
+    }
+    const Status written = format == GraphFileFormat::kBinary
+                               ? WriteGraphBinary(graph, out)
+                               : WriteGraph(graph, out);
+    if (written.ok()) out.flush();
+    if (!written.ok() || !out) {
+      out.close();
+      std::remove(temp_path.c_str());
+      return written.ok() ? Status::IOError("write to " + temp_path + " failed")
+                          : written;
+    }
+  }
+  // ofstream has no portable fsync; reopen the flushed file by fd to force
+  // its bytes down before the rename publishes it.
+  const int fd = ::open(temp_path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return Status::IOError("cannot rename " + temp_path + " to " + path);
+  }
+  return Status::OK();
 }
 
 Result<UncertainGraph> ReadGraph(std::istream& in) {

@@ -1,6 +1,10 @@
 #include "serve/graph_catalog.h"
 
+#include <sys/stat.h>
+#include <sys/types.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <limits>
 #include <utility>
@@ -29,6 +33,19 @@ GraphCatalogOptions Normalized(GraphCatalogOptions o) {
   return o;
 }
 
+// Spill-file-safe rendering of a catalog name: anything outside
+// [A-Za-z0-9._-] becomes '_' (the uid suffix keeps sanitized collisions
+// like "a/b" vs "a_b" distinct on disk).
+std::string SanitizeForFilename(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
 }  // namespace
 
 std::size_t EstimateGraphBytes(const UncertainGraph& graph) {
@@ -44,9 +61,66 @@ GraphCatalog::GraphCatalog(std::size_t capacity)
     : GraphCatalog(GraphCatalogOptions{capacity, 0, 0}) {}
 
 GraphCatalog::GraphCatalog(const GraphCatalogOptions& options)
-    : options_(Normalized(options)), shards_(options_.shards) {}
+    : options_(Normalized(options)), shards_(options_.shards) {
+  if (options_.governor != nullptr) BindGovernor(options_.governor);
+}
+
+GraphCatalog::~GraphCatalog() {
+  // Settle outstanding governor charges so a governor that outlives the
+  // catalog (tests, shared governors) does not account ghost bytes.
+  auto* gov = governor();
+  if (gov == nullptr) return;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [name, slot] : shard.entries) {
+      CatalogEntry& entry = *slot.entry;
+      entry.detached.store(true, std::memory_order_release);
+      gov->Discharge(store::ChargeClass::kSnapshot,
+                     entry.charged_snapshot_bytes.exchange(0));
+      gov->Discharge(store::ChargeClass::kContext,
+                     entry.charged_context_bytes.exchange(0));
+    }
+  }
+}
+
+void GraphCatalog::BindGovernor(store::MemoryGovernor* governor) {
+  governor_.store(governor, std::memory_order_release);
+  if (governor == nullptr) return;
+  // Shed order is the governor's class order: contexts first (cheap
+  // recompute), snapshots second (spill to disk, page back on demand).
+  governor->RegisterShedder(
+      store::ChargeClass::kContext,
+      [this](std::size_t want) { return ShedContexts(want); });
+  governor->RegisterShedder(
+      store::ChargeClass::kSnapshot,
+      [this](std::size_t want) { return ShedSnapshots(want); });
+}
+
+void GraphCatalog::BindObservability(obs::MetricRegistry* registry,
+                                     obs::ClockMicros clock) {
+  obs_clock_ = std::move(clock);
+  if (registry == nullptr) {
+    page_in_micros_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  page_in_micros_.store(
+      registry->GetHistogram("vulnds_store_page_in_micros",
+                             "Latency of paging a spilled snapshot back from "
+                             "the spill directory, in microseconds.",
+                             obs::LatencyBucketsMicros()),
+      std::memory_order_release);
+}
+
+int64_t GraphCatalog::NowMicros() const {
+  return obs_clock_ ? obs_clock_() : obs::SteadyNowMicros();
+}
 
 GraphCatalog::Shard& GraphCatalog::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) & (shards_.size() - 1)];
+}
+
+const GraphCatalog::Shard& GraphCatalog::ShardFor(
+    const std::string& name) const {
   return shards_[std::hash<std::string>{}(name) & (shards_.size() - 1)];
 }
 
@@ -77,8 +151,17 @@ Status GraphCatalog::Put(const std::string& name, UncertainGraph graph,
 
 void GraphCatalog::Insert(std::shared_ptr<CatalogEntry> entry) {
   entry->uid = next_uid_.fetch_add(1, std::memory_order_relaxed);
+  InsertPrepared(std::move(entry));
+}
+
+void GraphCatalog::InsertPrepared(std::shared_ptr<CatalogEntry> entry) {
   entry->bytes = EstimateGraphBytes(entry->graph);
+  const std::size_t bytes = entry->bytes;
   const std::string name = entry->name;
+  // Keep a reference past the move: the governor-settling tail below works
+  // on the entry after it has been published to (and possibly already
+  // detached from) its shard.
+  std::shared_ptr<CatalogEntry> held = entry;
   Shard& shard = ShardFor(name);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -98,17 +181,68 @@ void GraphCatalog::Insert(std::shared_ptr<CatalogEntry> entry) {
     slot.entry = std::move(entry);
     shard.entries.emplace(name, std::move(slot));
   }
+  // The new resident entry supersedes any spilled generation of the name:
+  // dropped AFTER the insert so a concurrent GetOrLoad always finds the
+  // name in at least one of the two places, and BEFORE the governor charge
+  // so a shed triggered by that charge can re-spill the new entry without
+  // this drop deleting the fresh record.
+  DropSpillRecord(name);
+  auto* gov = governor();
+  if (gov != nullptr) {
+    // Charge before publishing the amount, then re-check detachment: if a
+    // concurrent Evict/replace removed the entry between the publish and
+    // its detach-side settle, exactly one side wins the exchange and
+    // discharges — the balance nets to zero in every interleaving.
+    gov->Charge(store::ChargeClass::kSnapshot, bytes);
+    held->charged_snapshot_bytes.store(bytes, std::memory_order_release);
+    if (held->detached.load(std::memory_order_acquire)) {
+      gov->Discharge(store::ChargeClass::kSnapshot,
+                     held->charged_snapshot_bytes.exchange(0));
+    }
+  }
   EnforceBudgets();
 }
 
 void GraphCatalog::RemoveLocked(
     Shard& shard, std::unordered_map<std::string, Slot>::iterator it) {
-  const std::size_t bytes = it->second.entry->bytes;
+  CatalogEntry& entry = *it->second.entry;
+  const std::size_t bytes = entry.bytes;
+  entry.detached.store(true, std::memory_order_release);
+  auto* gov = governor();
+  if (gov != nullptr) {
+    // Discharge exactly what was charged (the exchange makes each charge
+    // credited back at most once). Discharge never sheds or locks, so it
+    // is safe under shard.mu.
+    gov->Discharge(store::ChargeClass::kSnapshot,
+                   entry.charged_snapshot_bytes.exchange(0));
+    gov->Discharge(store::ChargeClass::kContext,
+                   entry.charged_context_bytes.exchange(0));
+  }
   shard.bytes -= bytes;
   total_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
   total_count_.fetch_sub(1, std::memory_order_relaxed);
   shard.lru.erase(it->second.lru_pos);
   shard.entries.erase(it);
+}
+
+bool GraphCatalog::DropSpillRecord(const std::string& name) {
+  SpillRecord record;
+  {
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    const auto it = spilled_.find(name);
+    if (it == spilled_.end()) return false;
+    record = std::move(it->second);
+    spilled_.erase(it);
+    spilled_bytes_.fetch_sub(record.bytes, std::memory_order_relaxed);
+    spilled_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  std::remove(record.path.c_str());
+  return true;
+}
+
+std::string GraphCatalog::SpillPathFor(const CatalogEntry& entry) const {
+  return options_.spill_dir + "/" + SanitizeForFilename(entry.name) + "." +
+         std::to_string(entry.uid) + ".vg2";
 }
 
 bool GraphCatalog::OverBudget() const {
@@ -160,6 +294,115 @@ void GraphCatalog::EnforceBudgets() {
   }
 }
 
+std::size_t GraphCatalog::ShedContexts(std::size_t want) {
+  // Coldest contexts first: gather (stamp, entry) for every entry carrying
+  // a context charge, oldest stamp first. A context is a pure function of
+  // (graph, query key), so dropping one costs recompute, never
+  // correctness; busy contexts (a batch leader holds context_mu) are
+  // skipped via try_lock rather than waited on — shedding must not block
+  // behind a long detect.
+  std::vector<std::pair<uint64_t, std::shared_ptr<CatalogEntry>>> warm;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, slot] : shard.entries) {
+      if (slot.entry->charged_context_bytes.load(std::memory_order_relaxed) >
+          0) {
+        warm.emplace_back(slot.last_touch, slot.entry);
+      }
+    }
+  }
+  std::sort(warm.begin(), warm.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  auto* gov = governor();
+  std::size_t freed = 0;
+  for (auto& [stamp, entry] : warm) {
+    if (freed >= want) break;
+    std::unique_lock<std::mutex> context_lock(entry->context_mu,
+                                              std::try_to_lock);
+    if (!context_lock.owns_lock()) continue;
+    entry->context = DetectionContext{};
+    const std::size_t bytes = entry->charged_context_bytes.exchange(0);
+    if (gov != nullptr) gov->Discharge(store::ChargeClass::kContext, bytes);
+    freed += bytes;
+  }
+  return freed;
+}
+
+std::size_t GraphCatalog::ShedSnapshots(std::size_t want) {
+  // Spill the globally coldest UNPINNED snapshots to disk until `want`
+  // bytes are freed. Without a spill directory this frees nothing —
+  // snapshots may be the only copy of a committed version, so they are
+  // never silently dropped under governor pressure (the catalog's own
+  // capacity/byte knobs retain their legacy evict-to-source semantics).
+  if (options_.spill_dir.empty()) return 0;
+  if (!spill_dir_ready_.exchange(true, std::memory_order_relaxed)) {
+    ::mkdir(options_.spill_dir.c_str(), 0777);  // best effort; write errors surface below
+  }
+  std::size_t freed = 0;
+  while (freed < want) {
+    // Globally coldest unpinned entry = min over shards of each shard's
+    // coldest unpinned entry (walk the LRU from the tail).
+    std::shared_ptr<CatalogEntry> victim;
+    uint64_t victim_stamp = std::numeric_limits<uint64_t>::max();
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto lru_it = shard.lru.rbegin(); lru_it != shard.lru.rend();
+           ++lru_it) {
+        const Slot& slot = shard.entries.at(*lru_it);
+        if (slot.entry->pins.load(std::memory_order_relaxed) > 0) continue;
+        if (slot.last_touch < victim_stamp) {
+          victim_stamp = slot.last_touch;
+          victim = slot.entry;
+        }
+        break;  // deeper LRU positions in this shard are hotter
+      }
+    }
+    if (victim == nullptr) return freed;  // everything pinned or empty
+    // Write the spill file OUTSIDE every catalog lock (we run under the
+    // governor's shed mutex only). WriteGraphFile is temp+rename atomic,
+    // so a crash mid-spill never leaves a truncated snapshot.
+    const std::string path = SpillPathFor(*victim);
+    const Status written =
+        WriteGraphFile(victim->graph, path, GraphFileFormat::kBinary);
+    if (!written.ok()) return freed;  // never drop a snapshot we failed to park
+    // Record the spill BEFORE detaching the resident entry: a concurrent
+    // GetOrLoad must find the name in at least one of the two places.
+    {
+      std::lock_guard<std::mutex> lock(spill_mu_);
+      spilled_[victim->name] =
+          SpillRecord{path, victim->source, victim->uid, victim->bytes};
+      spilled_bytes_.fetch_add(victim->bytes, std::memory_order_relaxed);
+      spilled_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    bool detached = false;
+    {
+      Shard& shard = ShardFor(victim->name);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.entries.find(victim->name);
+      // The entry may have been replaced, evicted, or pinned since the
+      // scan; spilling it then would park a stale (or in-use) snapshot.
+      if (it != shard.entries.end() && it->second.entry == victim &&
+          victim->pins.load(std::memory_order_relaxed) == 0) {
+        ++shard.stats.spills;
+        const std::size_t context_bytes =
+            victim->charged_context_bytes.load(std::memory_order_relaxed);
+        RemoveLocked(shard, it);
+        freed += victim->bytes + context_bytes;
+        detached = true;
+      }
+    }
+    if (!detached) {
+      // Undo: the resident entry stays authoritative.
+      DropSpillRecord(victim->name);
+      // The victim scan would pick the same entry again only if it is
+      // still coldest AND unpinned — a pinned victim repeats forever, so
+      // stop this round instead; the governor retries on later charges.
+      return freed;
+    }
+  }
+  return freed;
+}
+
 std::shared_ptr<CatalogEntry> GraphCatalog::Get(const std::string& name) {
   Shard& shard = ShardFor(name);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -174,14 +417,82 @@ std::shared_ptr<CatalogEntry> GraphCatalog::Get(const std::string& name) {
   return it->second.entry;
 }
 
+Result<std::shared_ptr<CatalogEntry>> GraphCatalog::GetOrLoad(
+    const std::string& name) {
+  if (auto entry = Get(name)) return entry;
+  {
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    if (spilled_.find(name) == spilled_.end()) {
+      return std::shared_ptr<CatalogEntry>();  // absent, not an error
+    }
+  }
+  // One page-in at a time: racing queries for the same spilled name block
+  // here and find the entry resident on their double-check instead of
+  // each reading the file.
+  std::lock_guard<std::mutex> page_lock(page_in_mu_);
+  if (auto entry = Get(name)) return entry;
+  SpillRecord record;
+  {
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    const auto it = spilled_.find(name);
+    // Paged in and already evicted again between our checks: treat as
+    // absent, exactly as a plain Get after that eviction would.
+    if (it == spilled_.end()) return std::shared_ptr<CatalogEntry>();
+    record = it->second;
+  }
+  const int64_t start = NowMicros();
+  Result<UncertainGraph> graph = ReadGraphFile(record.path);
+  if (!graph.ok()) {
+    return Status::IOError("page-in of '" + name + "' from " + record.path +
+                           " failed: " + graph.status().message());
+  }
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->name = name;
+  entry->source = record.source;
+  entry->graph = graph.MoveValue();
+  // The original uid survives the round trip: result-cache lines keyed on
+  // (name, uid, options) keep answering for the paged-back snapshot, which
+  // is bit-identical to the spilled one by the v2 format's losslessness.
+  entry->uid = record.uid;
+  std::shared_ptr<CatalogEntry> held = entry;
+  // InsertPrepared drops the spill record (and file) once the entry is
+  // resident, and may itself re-spill under pressure — the returned
+  // reference stays valid either way.
+  InsertPrepared(std::move(entry));
+  {
+    Shard& shard = ShardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.stats.page_ins;
+  }
+  if (auto* histogram = page_in_micros_.load(std::memory_order_acquire)) {
+    histogram->Observe(static_cast<double>(NowMicros() - start));
+  }
+  return held;
+}
+
+bool GraphCatalog::Contains(const std::string& name) const {
+  {
+    const Shard& shard = ShardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.find(name) != shard.entries.end()) return true;
+  }
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  return spilled_.find(name) != spilled_.end();
+}
+
 bool GraphCatalog::Evict(const std::string& name) {
-  Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.entries.find(name);
-  if (it == shard.entries.end()) return false;
-  ++shard.stats.evictions;
-  RemoveLocked(shard, it);
-  return true;
+  bool removed = false;
+  {
+    Shard& shard = ShardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(name);
+    if (it != shard.entries.end()) {
+      ++shard.stats.evictions;
+      RemoveLocked(shard, it);
+      removed = true;
+    }
+  }
+  return DropSpillRecord(name) || removed;
 }
 
 std::vector<std::string> GraphCatalog::Names() const {
@@ -199,6 +510,11 @@ std::vector<std::string> GraphCatalog::Names() const {
   std::vector<std::string> names;
   names.reserve(stamped.size());
   for (auto& [stamp, name] : stamped) names.push_back(std::move(name));
+  {
+    // Spilled names are colder than everything resident by construction.
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    for (const auto& [name, record] : spilled_) names.push_back(name);
+  }
   return names;
 }
 
@@ -223,6 +539,8 @@ CatalogStats GraphCatalog::stats() const {
     total.evictions += shard.stats.evictions;
     total.hits += shard.stats.hits;
     total.misses += shard.stats.misses;
+    total.spills += shard.stats.spills;
+    total.page_ins += shard.stats.page_ins;
   }
   return total;
 }

@@ -20,24 +20,44 @@
 // to the former single-shard catalog. Under concurrent touches the victim
 // choice is as precise as any external observer can distinguish.
 //
-// Entries are reference-counted: Evict removes a graph from the catalog, but
-// queries already holding the entry finish safely on the old snapshot.
-// All catalog methods are thread-safe.
+// Byte governance and disk spill. The catalog can charge through a
+// store::MemoryGovernor: every resident graph is charged under
+// ChargeClass::kSnapshot and its warm DetectionContext under
+// ChargeClass::kContext (the query engine recharges the context's
+// ApproxBytes after each batch). When the governor's GLOBAL budget is
+// exceeded it sheds through the catalog's registered shedders: coldest
+// contexts are dropped first (pure recompute, no correctness cost), then —
+// when a spill directory is configured — the coldest UNPINNED snapshots
+// are written to disk in the binary v2 format and paged back on demand
+// inside GetOrLoad. A spilled entry keeps its uid across the round trip,
+// so result-cache lines keyed on (name, uid, options) stay valid and
+// answers after page-back are bit-identical to the always-resident run.
+// Queries pin entries (ScopedEntryPin) for their in-flight duration;
+// pinned snapshots are never spilled or shed.
+//
+// Entries are reference-counted: Evict (or a spill) removes a graph from
+// the catalog, but queries already holding the entry finish safely on the
+// old snapshot. All catalog methods are thread-safe.
 
 #ifndef VULNDS_SERVE_GRAPH_CATALOG_H_
 #define VULNDS_SERVE_GRAPH_CATALOG_H_
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "graph/uncertain_graph.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
+#include "store/memory_governor.h"
 #include "vulnds/detector.h"
 
 namespace vulnds::serve {
@@ -48,18 +68,77 @@ struct CatalogEntry {
   std::string source;     ///< file path, or "<memory>" for Put()
   UncertainGraph graph;   ///< immutable after construction
 
-  /// Catalog-unique id, fresh on every load/reload. Result caches key on it
-  /// so entries cached against a replaced or evicted snapshot can never be
-  /// served for the new one.
+  /// Catalog-unique id, fresh on every load/reload — but PRESERVED across a
+  /// spill/page-back round trip. Result caches key on it so entries cached
+  /// against a replaced or evicted snapshot can never be served for the new
+  /// one, while a paged-back snapshot (bit-identical by construction) keeps
+  /// serving its cached results.
   uint64_t uid = 0;
 
   /// Approximate resident footprint of `graph` (CSR arrays + edge list),
   /// charged against the catalog's byte budget. Fixed at insert time.
   std::size_t bytes = 0;
 
+  /// In-flight reference count (ScopedEntryPin). A pinned entry is never
+  /// spilled or shed; it can still be replaced/evicted by an explicit
+  /// Load/Put/Evict of its name (holders stay safe via their shared_ptr).
+  std::atomic<int> pins{0};
+
+  /// True once the entry has been removed from the catalog (evicted,
+  /// replaced, or spilled). With charged_* below it closes the race between
+  /// a charge in flight and a concurrent detach: whoever runs second sees
+  /// the other's write and settles the governor balance (see .cc).
+  std::atomic<bool> detached{false};
+
+  /// Bytes currently charged to the governor for this entry, by class.
+  /// Exchanged to 0 exactly once per discharge, so charges can never be
+  /// credited back twice or left dangling.
+  std::atomic<std::size_t> charged_snapshot_bytes{0};
+  std::atomic<std::size_t> charged_context_bytes{0};
+
   /// Warm per-graph intermediates; hold `context_mu` while touching it.
   DetectionContext context;
   std::mutex context_mu;
+};
+
+/// RAII in-flight pin on a catalog entry: the snapshot-shedder skips pinned
+/// entries, so the graph a query is running against is never spilled out
+/// from under the name mid-flight. Movable, not copyable.
+class ScopedEntryPin {
+ public:
+  ScopedEntryPin() = default;
+  explicit ScopedEntryPin(std::shared_ptr<CatalogEntry> entry)
+      : entry_(std::move(entry)) {
+    if (entry_) entry_->pins.fetch_add(1, std::memory_order_relaxed);
+  }
+  ScopedEntryPin(ScopedEntryPin&& other) noexcept
+      : entry_(std::move(other.entry_)) {
+    other.entry_.reset();
+  }
+  ScopedEntryPin& operator=(ScopedEntryPin&& other) noexcept {
+    if (this != &other) {
+      Release();
+      entry_ = std::move(other.entry_);
+      other.entry_.reset();
+    }
+    return *this;
+  }
+  ScopedEntryPin(const ScopedEntryPin&) = delete;
+  ScopedEntryPin& operator=(const ScopedEntryPin&) = delete;
+  ~ScopedEntryPin() { Release(); }
+
+  void Release() {
+    if (entry_) {
+      entry_->pins.fetch_sub(1, std::memory_order_relaxed);
+      entry_.reset();
+    }
+  }
+
+  explicit operator bool() const { return entry_ != nullptr; }
+  const std::shared_ptr<CatalogEntry>& entry() const { return entry_; }
+
+ private:
+  std::shared_ptr<CatalogEntry> entry_;
 };
 
 /// Counters exposed through `stats <name>` / benches. Used both as the
@@ -73,6 +152,8 @@ struct CatalogStats {
   std::size_t evictions = 0;  ///< capacity + budget + explicit evictions
   std::size_t hits = 0;       ///< Get() found the name
   std::size_t misses = 0;     ///< Get() did not
+  std::size_t spills = 0;     ///< snapshots written to the spill dir
+  std::size_t page_ins = 0;   ///< spilled snapshots read back on demand
 };
 
 /// Per-shard detail for `stats` / debugging.
@@ -88,15 +169,21 @@ struct GraphCatalogOptions {
   std::size_t capacity = 0;     ///< max resident graphs (global, 0 = unbounded)
   std::size_t byte_budget = 0;  ///< max resident bytes (global, 0 = unbounded)
   std::size_t shards = 0;       ///< rounded up to a power of two; 0 = default
+  /// Directory cold snapshots spill to under governor pressure (created on
+  /// first use; empty = spilling disabled, the snapshot class then frees
+  /// nothing and the governor moves on to the next shed class).
+  std::string spill_dir;
+  /// Global byte governor to charge snapshot/context bytes through; may
+  /// also be bound later (BindGovernor). Must outlive the catalog's use.
+  store::MemoryGovernor* governor = nullptr;
 };
 
 /// Approximate bytes a resident graph occupies (dual CSR + edge list +
 /// self-risks). Deterministic in the graph's shape, so budget tests can
 /// predict eviction behavior exactly. Deliberately excludes the entry's
-/// DetectionContext: its warm intermediates grow with query traffic, and
-/// charging them would make eviction order depend on which queries
-/// happened to run — the byte budget bounds graph residency, not total
-/// process memory (see ROADMAP for context-aware budgeting).
+/// DetectionContext: its warm intermediates grow with query traffic and are
+/// charged separately (ChargeClass::kContext) by the query engine — the
+/// catalog byte budget bounds graph residency, the governor bounds both.
 std::size_t EstimateGraphBytes(const UncertainGraph& graph);
 
 class GraphCatalog {
@@ -110,8 +197,28 @@ class GraphCatalog {
   /// evicted.
   explicit GraphCatalog(std::size_t capacity = 0);
 
-  /// Creates a catalog with explicit capacity / byte budget / shard count.
+  /// Creates a catalog with explicit capacity / byte budget / shard count /
+  /// spill + governor wiring.
   explicit GraphCatalog(const GraphCatalogOptions& options);
+
+  ~GraphCatalog();
+
+  /// Binds (or replaces) the governor and registers this catalog's context
+  /// and snapshot shedders with it. The catalog must stay alive while the
+  /// governor can shed. Call before concurrent traffic.
+  void BindGovernor(store::MemoryGovernor* governor);
+
+  /// Drops the governor binding (the engine unbinds an engine-owned
+  /// governor before it dies). Charges already made are left to the
+  /// governor's own teardown.
+  void UnbindGovernor() {
+    governor_.store(nullptr, std::memory_order_release);
+  }
+
+  /// Resolves the page-in latency histogram (vulnds_store_page_in_micros)
+  /// in `registry` and adopts `clock` for timing it; pass nullptr/null to
+  /// unbind. Call before concurrent traffic.
+  void BindObservability(obs::MetricRegistry* registry, obs::ClockMicros clock);
 
   /// Reads `path` (text or binary snapshot) and registers it as `name`,
   /// replacing any existing entry of that name. Parsing happens outside
@@ -123,14 +230,28 @@ class GraphCatalog {
              const std::string& source = "<memory>");
 
   /// Returns the entry for `name` and marks it most-recently-used, or
-  /// nullptr if the name is not resident. Takes exactly one shard lock.
+  /// nullptr if the name is not RESIDENT (spilled names miss here — use
+  /// GetOrLoad on the query path). Takes exactly one shard lock.
   std::shared_ptr<CatalogEntry> Get(const std::string& name);
 
-  /// Removes `name`; returns whether it was resident. In-flight holders of
-  /// the entry keep it alive until they drop their reference.
+  /// Get, plus demand paging: a name whose snapshot was spilled to disk is
+  /// read back (binary v2), re-registered under its ORIGINAL uid and
+  /// returned. Ok(nullptr) means the name is neither resident nor spilled;
+  /// an error means the spill file could not be read back. Page-ins are
+  /// serialized (one reader does the I/O, racers get the resident entry).
+  Result<std::shared_ptr<CatalogEntry>> GetOrLoad(const std::string& name);
+
+  /// True when `name` is resident or spilled. Touches neither recency nor
+  /// hit counters (existence checks must not perturb LRU order).
+  bool Contains(const std::string& name) const;
+
+  /// Removes `name` — resident or spilled (the spill file is deleted);
+  /// returns whether it existed. In-flight holders of the entry keep it
+  /// alive until they drop their reference.
   bool Evict(const std::string& name);
 
-  /// Resident names, most-recently-used first (exact stamp order).
+  /// Resident names, most-recently-used first (exact stamp order), then
+  /// spilled names (coldest of all, unordered).
   std::vector<std::string> Names() const;
 
   /// Shared references to every resident entry, in no particular order.
@@ -146,6 +267,17 @@ class GraphCatalog {
   /// Approximate resident bytes across all shards.
   std::size_t resident_bytes() const {
     return total_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Bytes / count of snapshots currently parked in the spill directory.
+  std::size_t spilled_bytes() const {
+    return spilled_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t spilled_count() const {
+    return spilled_count_.load(std::memory_order_relaxed);
+  }
+  const std::string& spill_dir() const { return options_.spill_dir; }
+  store::MemoryGovernor* governor() const {
+    return governor_.load(std::memory_order_acquire);
   }
 
   /// Aggregate counters, summed over shards.
@@ -169,16 +301,45 @@ class GraphCatalog {
     CatalogStats stats;          // guarded by mu
   };
 
-  Shard& ShardFor(const std::string& name);
+  /// A snapshot parked on disk: where it is, what loaded it originally,
+  /// and the identity/size it resumes on page-in.
+  struct SpillRecord {
+    std::string path;
+    std::string source;
+    uint64_t uid = 0;
+    std::size_t bytes = 0;
+  };
 
-  // Registers `entry` (replacing any same-name entry), then enforces the
-  // global budgets. Called with no locks held.
+  Shard& ShardFor(const std::string& name);
+  const Shard& ShardFor(const std::string& name) const;
+
+  // Mints a fresh uid for `entry`, then registers it (see InsertPrepared).
   void Insert(std::shared_ptr<CatalogEntry> entry);
 
-  // Removes the slot at `it` from `shard`; caller holds shard.mu and is
-  // responsible for counting the eviction.
+  // Registers `entry` under its ALREADY-SET uid (replacing any same-name
+  // entry and superseding any same-name spill record), charges the
+  // governor, then enforces the catalog's own budgets. Called with no
+  // catalog locks held (page-in calls it under page_in_mu_ only).
+  void InsertPrepared(std::shared_ptr<CatalogEntry> entry);
+
+  // Removes the slot at `it` from `shard`: detaches the entry, settles its
+  // governor charges, and adjusts the byte/count accounting. Caller holds
+  // shard.mu and is responsible for counting the eviction/spill.
   void RemoveLocked(Shard& shard,
                     std::unordered_map<std::string, Slot>::iterator it);
+
+  // Deletes any spill record (and file) for `name`; returns whether one
+  // existed. Takes spill_mu_.
+  bool DropSpillRecord(const std::string& name);
+
+  // The spill file for `entry` inside spill_dir (name sanitized, uid
+  // suffix keeps distinct generations of one name distinct on disk).
+  std::string SpillPathFor(const CatalogEntry& entry) const;
+
+  // Governor shedders (registered by BindGovernor; run under the
+  // governor's shed mutex, so they only ever Discharge, never Charge).
+  std::size_t ShedContexts(std::size_t want);
+  std::size_t ShedSnapshots(std::size_t want);
 
   // True when either global budget is exceeded (with more than one entry
   // resident: a single graph larger than the whole byte budget stays, so an
@@ -188,6 +349,8 @@ class GraphCatalog {
   // Evicts globally least-recently-stamped entries until within budget.
   void EnforceBudgets();
 
+  int64_t NowMicros() const;
+
   const GraphCatalogOptions options_;
   std::vector<Shard> shards_;  // size is a power of two, never resized
   std::mutex evict_mu_;        // serializes EnforceBudgets (see .cc comment)
@@ -195,6 +358,23 @@ class GraphCatalog {
   std::atomic<uint64_t> clock_{1};
   std::atomic<std::size_t> total_count_{0};
   std::atomic<std::size_t> total_bytes_{0};
+
+  // Spill state. Lock order: spill_mu_ is a leaf below shard mutexes and
+  // the governor's shed mutex; page_in_mu_ is taken before everything
+  // (serializes the read-back I/O so racing queries for one spilled name
+  // do the disk read once).
+  mutable std::mutex spill_mu_;
+  std::unordered_map<std::string, SpillRecord> spilled_;
+  std::atomic<std::size_t> spilled_bytes_{0};
+  std::atomic<std::size_t> spilled_count_{0};
+  std::mutex page_in_mu_;
+  std::atomic<bool> spill_dir_ready_{false};
+
+  // Late-bound runtime (engine wires these in its constructor; atomics so
+  // a binding racing early traffic is benign).
+  std::atomic<store::MemoryGovernor*> governor_{nullptr};
+  std::atomic<obs::Histogram*> page_in_micros_{nullptr};
+  obs::ClockMicros obs_clock_;  // written only by BindObservability
 };
 
 }  // namespace vulnds::serve

@@ -13,6 +13,18 @@
 //                        stamp, and the eviction loop removes the globally
 //                        least-recently-stamped entry.
 //
+// Byte awareness: both caches optionally take a SizeOf functor and a byte
+// budget. Each entry is charged its SizeOf at insert; eviction then bounds
+// BOTH the entry count and the resident bytes, so a handful of giant
+// results can no longer hold the memory a thousand small ones were
+// budgeted for. A single entry larger than the whole byte budget is
+// rejected outright (counted in rejected_oversize) rather than evicting
+// the entire cache and inserting anyway. The sharded cache can
+// additionally charge its bytes to a store::MemoryGovernor under
+// ChargeClass::kResult and expose ShedBytes() as that governor's shedder,
+// which evicts globally-coldest entries on demand when OTHER pools
+// (snapshots, contexts) push the process over its global budget.
+//
 // Values are held behind shared_ptr<const V>, so a cached entry handed to a
 // caller stays valid even if it is evicted (or the cache destroyed) while
 // the caller still uses it. Capacity 0 disables caching entirely: every Get
@@ -36,6 +48,8 @@
 #include <utility>
 #include <vector>
 
+#include "store/memory_governor.h"
+
 namespace vulnds::serve {
 
 /// Hit/miss/eviction counters; cheap to copy for reporting.
@@ -44,6 +58,7 @@ struct CacheStats {
   std::size_t misses = 0;
   std::size_t evictions = 0;
   std::size_t inserts = 0;
+  std::size_t rejected_oversize = 0;  ///< Puts refused: entry > byte budget
 
   /// Hits over lookups, 0 when nothing was looked up.
   double HitRate() const {
@@ -56,14 +71,25 @@ struct CacheStats {
 struct CacheShardInfo {
   std::size_t index = 0;  ///< shard number
   std::size_t size = 0;   ///< resident entries in this shard
+  std::size_t bytes = 0;  ///< resident SizeOf bytes in this shard
   CacheStats stats;       ///< this shard's counters
 };
 
 template <typename V>
 class LruCache {
  public:
-  /// Creates a cache holding at most `capacity` entries (0 disables).
-  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+  /// Charged size of a value, in bytes. Must be stable for a given value:
+  /// it is computed once at Put and credited back verbatim at eviction.
+  using SizeOf = std::function<std::size_t(const V&)>;
+
+  /// Creates a cache holding at most `capacity` entries (0 disables) and,
+  /// when `size_of` is provided, at most `byte_budget` charged bytes
+  /// (0 = no byte bound).
+  explicit LruCache(std::size_t capacity, std::size_t byte_budget = 0,
+                    SizeOf size_of = nullptr)
+      : capacity_(capacity),
+        byte_budget_(byte_budget),
+        size_of_(std::move(size_of)) {}
 
   /// Returns the cached value and bumps its recency, or nullptr on miss.
   std::shared_ptr<const V> Get(const std::string& key) {
@@ -74,7 +100,7 @@ class LruCache {
     }
     ++stats_.hits;
     order_.splice(order_.begin(), order_, it->second);
-    return it->second->second;
+    return it->second->value;
   }
 
   /// Returns the cached value without touching counters or recency. For
@@ -82,27 +108,41 @@ class LruCache {
   /// in-batch recheck): counting again would double-book the hit rate.
   std::shared_ptr<const V> Peek(const std::string& key) const {
     const auto it = index_.find(key);
-    return it == index_.end() ? nullptr : it->second->second;
+    return it == index_.end() ? nullptr : it->second->value;
   }
 
   /// Inserts (or replaces) `key`, evicting the least-recently-used entry
-  /// when over capacity. A resident key's recency is refreshed FIRST, then
-  /// its value replaced: a hot re-inserted entry moves to the front and is
-  /// never left at the tail as the next eviction victim.
+  /// while over the entry capacity or the byte budget. A resident key's
+  /// recency is refreshed FIRST, then its value replaced: a hot
+  /// re-inserted entry moves to the front and is never left at the tail as
+  /// the next eviction victim. A value alone bigger than the byte budget
+  /// is rejected (the resident value, if any, is left untouched) — see
+  /// stats().rejected_oversize.
   void Put(const std::string& key, V value) {
     if (capacity_ == 0) return;
+    const std::size_t new_bytes = size_of_ ? size_of_(value) : 0;
+    if (byte_budget_ != 0 && new_bytes > byte_budget_) {
+      ++stats_.rejected_oversize;
+      return;
+    }
     ++stats_.inserts;
     const auto it = index_.find(key);
     if (it != index_.end()) {
       order_.splice(order_.begin(), order_, it->second);
-      it->second->second = std::make_shared<const V>(std::move(value));
-      return;
+      bytes_ = bytes_ - it->second->bytes + new_bytes;
+      it->second->value = std::make_shared<const V>(std::move(value));
+      it->second->bytes = new_bytes;
+    } else {
+      order_.emplace_front(
+          Entry{key, std::make_shared<const V>(std::move(value)), new_bytes});
+      index_[key] = order_.begin();
+      bytes_ += new_bytes;
     }
-    order_.emplace_front(key, std::make_shared<const V>(std::move(value)));
-    index_[key] = order_.begin();
-    if (index_.size() > capacity_) {
+    while (index_.size() > capacity_ ||
+           (byte_budget_ != 0 && bytes_ > byte_budget_)) {
       ++stats_.evictions;
-      index_.erase(order_.back().first);
+      bytes_ -= order_.back().bytes;
+      index_.erase(order_.back().key);
       order_.pop_back();
     }
   }
@@ -111,6 +151,7 @@ class LruCache {
   bool Erase(const std::string& key) {
     const auto it = index_.find(key);
     if (it == index_.end()) return false;
+    bytes_ -= it->second->bytes;
     order_.erase(it->second);
     index_.erase(it);
     return true;
@@ -120,16 +161,26 @@ class LruCache {
   void Clear() {
     order_.clear();
     index_.clear();
+    bytes_ = 0;
   }
 
   std::size_t size() const { return index_.size(); }
   std::size_t capacity() const { return capacity_; }
+  std::size_t byte_budget() const { return byte_budget_; }
+  std::size_t bytes() const { return bytes_; }
   const CacheStats& stats() const { return stats_; }
 
  private:
-  using Entry = std::pair<std::string, std::shared_ptr<const V>>;
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const V> value;
+    std::size_t bytes = 0;
+  };
 
   std::size_t capacity_;
+  std::size_t byte_budget_;
+  SizeOf size_of_;
+  std::size_t bytes_ = 0;
   std::list<Entry> order_;  // front = most recent
   std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
   CacheStats stats_;
@@ -138,22 +189,45 @@ class LruCache {
 /// Thread-safe sharded LRU with exact global-LRU eviction. A Get/Put/Peek
 /// takes exactly one shard mutex, so concurrent sessions whose keys hash to
 /// different shards never contend — the point of sharding the serving
-/// engine's result cache. Capacity is GLOBAL (expected per-shard share
-/// capacity/N, but a skewed key distribution may pack one shard fuller):
-/// enforcing per-shard quotas instead would make eviction order depend on
-/// the hash function, breaking the "behaves exactly like one big LRU"
-/// contract the property tests pin.
+/// engine's result cache. Capacity and the byte budget are GLOBAL (expected
+/// per-shard share capacity/N, but a skewed key distribution may pack one
+/// shard fuller): enforcing per-shard quotas instead would make eviction
+/// order depend on the hash function, breaking the "behaves exactly like
+/// one big LRU" contract the property tests pin.
 template <typename V>
 class ShardedLruCache {
  public:
+  using SizeOf = typename LruCache<V>::SizeOf;
+
   /// Default shard count, matching GraphCatalog: more shards than
   /// concurrently-hot keys is dead weight.
   static constexpr std::size_t kDefaultShards = 8;
 
   /// Creates a cache of `capacity` total entries (0 disables) over
   /// `shards` shards (rounded up to a power of two; 0 = kDefaultShards).
-  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 0)
-      : capacity_(capacity), shards_(NormalizedShards(shards)) {}
+  /// With a `size_of`, resident bytes are additionally bounded by
+  /// `byte_budget` (0 = unbounded) and, when `governor` is non-null,
+  /// charged to it under ChargeClass::kResult — the governor must then
+  /// outlive this cache. Configuration is construction-time only: no
+  /// setters, so the concurrent paths read it without synchronization.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 0,
+                           std::size_t byte_budget = 0,
+                           SizeOf size_of = nullptr,
+                           store::MemoryGovernor* governor = nullptr)
+      : capacity_(capacity),
+        byte_budget_(byte_budget),
+        size_of_(std::move(size_of)),
+        governor_(governor),
+        shards_(NormalizedShards(shards)) {}
+
+  ~ShardedLruCache() {
+    // Give the governor its bytes back; entries still referenced by
+    // callers survive via their shared_ptr but are no longer "cached".
+    if (governor_ != nullptr) {
+      governor_->Discharge(store::ChargeClass::kResult,
+                           total_bytes_.load(std::memory_order_relaxed));
+    }
+  }
 
   /// Returns the cached value and bumps its recency, or nullptr on miss.
   std::shared_ptr<const V> Get(const std::string& key) {
@@ -178,11 +252,24 @@ class ShardedLruCache {
     return it == shard.index.end() ? nullptr : it->second->value;
   }
 
-  /// Inserts (or replaces) `key`, evicting the globally least-recently-used
-  /// entry when over capacity. Resident keys refresh recency first, then
-  /// replace the value (the LruCache::Put discipline).
+  /// Inserts (or replaces) `key`, evicting globally least-recently-used
+  /// entries while over the entry capacity or byte budget. Resident keys
+  /// refresh recency first, then replace the value (the LruCache::Put
+  /// discipline). A value alone bigger than the byte budget — the cache's
+  /// own or the governor's global one — is rejected, leaving any resident
+  /// value untouched, and counted in rejected_oversize.
   void Put(const std::string& key, V value) {
     if (capacity_ == 0) return;
+    const std::size_t new_bytes = size_of_ ? size_of_(value) : 0;
+    if ((byte_budget_ != 0 && new_bytes > byte_budget_) ||
+        (governor_ != nullptr && governor_->Oversize(new_bytes))) {
+      Shard& shard = ShardFor(key);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.stats.rejected_oversize;
+      return;
+    }
+    std::size_t replaced_bytes = 0;
+    bool replaced = false;
     {
       Shard& shard = ShardFor(key);
       std::lock_guard<std::mutex> lock(shard.mu);
@@ -190,14 +277,37 @@ class ShardedLruCache {
       const auto it = shard.index.find(key);
       if (it != shard.index.end()) {
         Touch(shard, it->second);
+        replaced_bytes = it->second->bytes;
         it->second->value = std::make_shared<const V>(std::move(value));
-        return;  // replacement never changes the resident count
+        it->second->bytes = new_bytes;
+        shard.bytes = shard.bytes - replaced_bytes + new_bytes;
+        replaced = true;
+      } else {
+        shard.order.emplace_front(
+            Entry{key, std::make_shared<const V>(std::move(value)), new_bytes,
+                  clock_.fetch_add(1, std::memory_order_relaxed)});
+        shard.index[key] = shard.order.begin();
+        shard.bytes += new_bytes;
+        total_size_.fetch_add(1, std::memory_order_relaxed);
       }
-      shard.order.emplace_front(
-          Entry{key, std::make_shared<const V>(std::move(value)),
-                clock_.fetch_add(1, std::memory_order_relaxed)});
-      shard.index[key] = shard.order.begin();
-      total_size_.fetch_add(1, std::memory_order_relaxed);
+      if (new_bytes >= replaced_bytes) {
+        total_bytes_.fetch_add(new_bytes - replaced_bytes,
+                               std::memory_order_relaxed);
+      } else {
+        total_bytes_.fetch_sub(replaced_bytes - new_bytes,
+                               std::memory_order_relaxed);
+      }
+    }
+    // Governor charging happens strictly OUTSIDE the shard lock: Charge may
+    // shed, shedding may call our own ShedBytes, and ShedBytes takes shard
+    // locks. (Discharge never sheds and is safe anywhere.)
+    if (governor_ != nullptr) {
+      if (replaced) {
+        governor_->Recharge(store::ChargeClass::kResult, replaced_bytes,
+                            new_bytes);
+      } else {
+        governor_->Charge(store::ChargeClass::kResult, new_bytes);
+      }
     }
     EnforceCapacity();
   }
@@ -208,9 +318,15 @@ class ShardedLruCache {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.index.find(key);
     if (it == shard.index.end()) return false;
+    const std::size_t bytes = it->second->bytes;
+    shard.bytes -= bytes;
     shard.order.erase(it->second);
     shard.index.erase(it);
     total_size_.fetch_sub(1, std::memory_order_relaxed);
+    total_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    if (governor_ != nullptr) {
+      governor_->Discharge(store::ChargeClass::kResult, bytes);
+    }
     return true;
   }
 
@@ -219,15 +335,40 @@ class ShardedLruCache {
     for (Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
       total_size_.fetch_sub(shard.index.size(), std::memory_order_relaxed);
+      total_bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+      if (governor_ != nullptr) {
+        governor_->Discharge(store::ChargeClass::kResult, shard.bytes);
+      }
+      shard.bytes = 0;
       shard.order.clear();
       shard.index.clear();
     }
+  }
+
+  /// Evicts globally-coldest entries until at least `want` charged bytes
+  /// are freed (or the cache is empty); returns the bytes actually freed.
+  /// This is the cache's store::MemoryGovernor shedder: freed bytes are
+  /// discharged from the governor here, so the registered lambda just
+  /// forwards the return value. Safe to call concurrently with everything.
+  std::size_t ShedBytes(std::size_t want) {
+    std::size_t freed = 0;
+    std::lock_guard<std::mutex> evict_lock(evict_mu_);
+    while (freed < want) {
+      const std::size_t got = EvictColdestLocked();
+      if (got == kNothingEvicted) break;
+      freed += got;
+    }
+    return freed;
   }
 
   std::size_t size() const {
     return total_size_.load(std::memory_order_relaxed);
   }
   std::size_t capacity() const { return capacity_; }
+  std::size_t byte_budget() const { return byte_budget_; }
+  std::size_t resident_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
   std::size_t shard_count() const { return shards_.size(); }
 
   /// Aggregate counters, summed shard by shard under each shard's mutex:
@@ -241,6 +382,7 @@ class ShardedLruCache {
       total.misses += shard.stats.misses;
       total.evictions += shard.stats.evictions;
       total.inserts += shard.stats.inserts;
+      total.rejected_oversize += shard.stats.rejected_oversize;
     }
     return total;
   }
@@ -254,6 +396,7 @@ class ShardedLruCache {
       CacheShardInfo info;
       info.index = s;
       info.size = shards_[s].index.size();
+      info.bytes = shards_[s].bytes;
       info.stats = shards_[s].stats;
       infos.push_back(info);
     }
@@ -264,19 +407,26 @@ class ShardedLruCache {
   struct Entry {
     std::string key;
     std::shared_ptr<const V> value;
-    uint64_t stamp = 0;  ///< global clock value of the latest touch
+    std::size_t bytes = 0;  ///< SizeOf charge, credited back at eviction
+    uint64_t stamp = 0;     ///< global clock value of the latest touch
   };
 
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> order;  // front = most recent within this shard
     std::unordered_map<std::string, typename std::list<Entry>::iterator> index;
-    CacheStats stats;  // guarded by mu
+    std::size_t bytes = 0;  // guarded by mu
+    CacheStats stats;       // guarded by mu
   };
 
   // Bounds mirror GraphCatalog's: shards beyond the hot-key count buy
   // nothing, and the round-up must not overflow.
   static constexpr std::size_t kMaxShards = 256;
+
+  // EvictColdestLocked() sentinel for "nothing resident". Distinct from a
+  // real 0-byte eviction (entries are 0 bytes when no SizeOf is set).
+  static constexpr std::size_t kNothingEvicted =
+      std::numeric_limits<std::size_t>::max();
 
   static std::size_t NormalizedShards(std::size_t shards) {
     if (shards == 0) shards = kDefaultShards;
@@ -300,16 +450,15 @@ class ShardedLruCache {
     it->stamp = clock_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Evicts globally least-recently-stamped entries until within capacity.
-  // Serialized by evict_mu_ (two concurrent over-capacity Puts must not
-  // both evict where one sufficed); takes one shard lock at a time, never
-  // two, so no lock-order cycle with the per-shard operations. Between the
-  // tail scan and the removal a Get may promote the chosen victim; the
-  // stamp re-check skips the stale choice and rescans, exactly as
-  // GraphCatalog::EnforceBudgets does.
-  void EnforceCapacity() {
-    std::lock_guard<std::mutex> evict_lock(evict_mu_);
-    while (total_size_.load(std::memory_order_relaxed) > capacity_) {
+  // Evicts the globally least-recently-stamped entry; returns its byte
+  // charge, or kNothingEvicted when the cache is empty. Caller holds
+  // evict_mu_ (serializing eviction); takes one shard lock at a time,
+  // never two, so no lock-order cycle with the per-shard operations.
+  // Between the tail scan and the removal a Get may promote the chosen
+  // victim; the stamp re-check skips the stale choice and rescans, exactly
+  // as GraphCatalog::EnforceBudgets does.
+  std::size_t EvictColdestLocked() {
+    while (true) {
       std::size_t victim = shards_.size();
       uint64_t victim_stamp = std::numeric_limits<uint64_t>::max();
       for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -321,26 +470,47 @@ class ShardedLruCache {
           victim = s;
         }
       }
-      if (victim == shards_.size()) return;  // nothing resident
+      if (victim == shards_.size()) return kNothingEvicted;
       Shard& shard = shards_[victim];
       std::lock_guard<std::mutex> lock(shard.mu);
-      if (shard.order.empty() ||
-          total_size_.load(std::memory_order_relaxed) <= capacity_) {
-        continue;
-      }
+      if (shard.order.empty()) continue;
       if (shard.order.back().stamp != victim_stamp) continue;
+      const std::size_t bytes = shard.order.back().bytes;
       ++shard.stats.evictions;
+      shard.bytes -= bytes;
       shard.index.erase(shard.order.back().key);
       shard.order.pop_back();
       total_size_.fetch_sub(1, std::memory_order_relaxed);
+      total_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+      // Discharge never sheds or locks, so it is safe under shard.mu.
+      if (governor_ != nullptr) {
+        governor_->Discharge(store::ChargeClass::kResult, bytes);
+      }
+      return bytes;
+    }
+  }
+
+  // Evicts until within the entry capacity AND the byte budget. Serialized
+  // by evict_mu_: two concurrent over-budget Puts must not both evict
+  // where one sufficed.
+  void EnforceCapacity() {
+    std::lock_guard<std::mutex> evict_lock(evict_mu_);
+    while (total_size_.load(std::memory_order_relaxed) > capacity_ ||
+           (byte_budget_ != 0 &&
+            total_bytes_.load(std::memory_order_relaxed) > byte_budget_)) {
+      if (EvictColdestLocked() == kNothingEvicted) return;
     }
   }
 
   const std::size_t capacity_;
+  const std::size_t byte_budget_;
+  const SizeOf size_of_;
+  store::MemoryGovernor* const governor_;
   std::vector<Shard> shards_;  // size is a power of two, never resized
   std::mutex evict_mu_;
   std::atomic<uint64_t> clock_{1};
   std::atomic<std::size_t> total_size_{0};
+  std::atomic<std::size_t> total_bytes_{0};
 };
 
 }  // namespace vulnds::serve

@@ -66,6 +66,31 @@ constexpr const char* kRequestMicrosHelp =
 constexpr const char* kStageMicrosHelp =
     "Per-stage wall time of executed queries in microseconds";
 
+// Charged size of one cached detection result: the struct plus its ranking
+// and score payloads. Deterministic in the result's shape, so byte-budget
+// tests can predict cache behavior exactly.
+std::size_t ApproxDetectionResultBytes(const DetectionResult& result) {
+  return sizeof(DetectionResult) + result.topk.size() * sizeof(result.topk[0]) +
+         result.scores.size() * sizeof(double);
+}
+
+// Charged size of one cached ground truth: per-node probability vector —
+// this is the payload that differs by orders of magnitude across graphs and
+// motivated byte-charging the result cache in the first place.
+std::size_t ApproxGroundTruthBytes(const GroundTruth& truth) {
+  return sizeof(GroundTruth) + truth.probabilities.size() * sizeof(double);
+}
+
+// Resolves the governor an engine will charge through (see
+// QueryEngineOptions::governor for the order).
+store::MemoryGovernor* ResolveGovernor(GraphCatalog* catalog,
+                                       const QueryEngineOptions& options,
+                                       store::MemoryGovernor* owned) {
+  if (options.governor != nullptr) return options.governor;
+  if (catalog->governor() != nullptr) return catalog->governor();
+  return owned;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(GraphCatalog* catalog, QueryEngineOptions options)
@@ -78,8 +103,31 @@ QueryEngine::QueryEngine(GraphCatalog* catalog, QueryEngineOptions options)
                                             : options.registry),
       slowlog_(options.slowlog),
       clock_(std::move(options.clock)),
-      detect_cache_(options.result_cache_capacity, options.result_cache_shards),
-      truth_cache_(options.result_cache_capacity, options.result_cache_shards) {
+      owned_governor_(options.governor == nullptr &&
+                              catalog->governor() == nullptr
+                          ? std::make_unique<store::MemoryGovernor>()
+                          : nullptr),
+      governor_(ResolveGovernor(catalog, options, owned_governor_.get())),
+      detect_cache_(options.result_cache_capacity, options.result_cache_shards,
+                    0, ApproxDetectionResultBytes, governor_),
+      truth_cache_(options.result_cache_capacity, options.result_cache_shards,
+                   0, ApproxGroundTruthBytes, governor_) {
+  // Complete the memory hierarchy: the catalog charges snapshots/contexts
+  // through the same governor the result caches charge through, and the
+  // governor can shed result bytes when OTHER classes overflow the budget.
+  if (catalog_->governor() == nullptr) {
+    catalog_->BindGovernor(governor_);
+    bound_catalog_governor_ = true;
+  }
+  governor_->RegisterShedder(
+      store::ChargeClass::kResult,
+      [this](std::size_t want) { return detect_cache_.ShedBytes(want); });
+  governor_->RegisterShedder(
+      store::ChargeClass::kResult,
+      [this](std::size_t want) { return truth_cache_.ShedBytes(want); });
+  // Page-in latency lands in this engine's registry on this engine's clock
+  // (a constant injected clock keeps transcripts deterministic).
+  catalog_->BindObservability(registry_, clock_);
   detect_queries_ = registry_->GetCounter("vulnds_engine_requests_total",
                                           kRequestsHelp, {{"verb", "detect"}});
   truth_queries_ = registry_->GetCounter("vulnds_engine_requests_total",
@@ -111,6 +159,14 @@ QueryEngine::QueryEngine(GraphCatalog* catalog, QueryEngineOptions options)
                                                 kStageMicrosHelp, buckets,
                                                 {{"stage", stages[s]}})};
   }
+}
+
+QueryEngine::~QueryEngine() {
+  // The catalog may outlive this engine; take back the runtime we lent it.
+  // (The governor's registered shedders keep pointing at dying pools, but
+  // nothing charges — hence nothing sheds — once serving stops.)
+  if (bound_catalog_governor_) catalog_->UnbindGovernor();
+  catalog_->BindObservability(nullptr, nullptr);
 }
 
 obs::Histogram* QueryEngine::StageHistogram(const std::string& stage) {
@@ -155,10 +211,16 @@ Result<DetectResponse> QueryEngine::Detect(const std::string& name,
   const int64_t start = NowMicros();
   obs::QueryTrace trace(clock_);
   trace.BeginStage("cache_lookup");
-  const std::shared_ptr<CatalogEntry> entry = catalog_->Get(name);
+  // GetOrLoad pages a spilled snapshot back in transparently; the pin then
+  // keeps it resident (never re-spilled) for this query's whole flight,
+  // including the wait on a batch leader.
+  Result<std::shared_ptr<CatalogEntry>> resolved = catalog_->GetOrLoad(name);
+  if (!resolved.ok()) return resolved.status();
+  const std::shared_ptr<CatalogEntry> entry = resolved.MoveValue();
   if (entry == nullptr) {
     return Status::NotFound("graph '" + name + "' is not in the catalog");
   }
+  ScopedEntryPin pin(entry);
   // Validate before the cache lookup so an invalid request fails the same
   // way whether or not a canonically-equal valid query is already cached.
   VULNDS_RETURN_NOT_OK(ValidateDetectorOptions(entry->graph, options));
@@ -259,6 +321,27 @@ void QueryEngine::RunDetectBatch(const std::shared_ptr<CatalogEntry>& entry) {
     batched_queries_->Increment();
     ExecuteDetectJob(entry, *job);
   }
+  // One recharge per batch, still under context_mu: the jobs above may
+  // have grown the context's intermediates by megabytes.
+  RechargeContext(entry);
+}
+
+void QueryEngine::RechargeContext(const std::shared_ptr<CatalogEntry>& entry) {
+  auto* gov = governor_;
+  if (gov == nullptr) return;
+  const std::size_t new_bytes = entry->context.ApproxBytes();
+  // Charge-then-settle: the fresh charge lands first, the previously
+  // published amount is credited back, and the detached double-check
+  // settles against a concurrent evict/replace/spill. Every interleaving
+  // nets to "exactly the published amount is charged" and no discharge
+  // ever precedes its matching charge (which would underflow the class).
+  gov->Charge(store::ChargeClass::kContext, new_bytes);
+  gov->Discharge(store::ChargeClass::kContext,
+                 entry->charged_context_bytes.exchange(new_bytes));
+  if (entry->detached.load(std::memory_order_acquire)) {
+    gov->Discharge(store::ChargeClass::kContext,
+                   entry->charged_context_bytes.exchange(0));
+  }
 }
 
 void QueryEngine::ExecuteDetectJob(const std::shared_ptr<CatalogEntry>& entry,
@@ -352,10 +435,13 @@ Result<TruthResponse> QueryEngine::Truth(const std::string& name,
   const int64_t start = NowMicros();
   obs::QueryTrace trace(clock_);
   trace.BeginStage("cache_lookup");
-  const std::shared_ptr<CatalogEntry> entry = catalog_->Get(name);
+  Result<std::shared_ptr<CatalogEntry>> resolved = catalog_->GetOrLoad(name);
+  if (!resolved.ok()) return resolved.status();
+  const std::shared_ptr<CatalogEntry> entry = resolved.MoveValue();
   if (entry == nullptr) {
     return Status::NotFound("graph '" + name + "' is not in the catalog");
   }
+  ScopedEntryPin pin(entry);
   const std::string key =
       name + "#" + std::to_string(entry->uid) +
       "|truth samples=" + std::to_string(samples) +
@@ -395,6 +481,8 @@ EngineStats QueryEngine::stats() const {
   s.result_cache.misses = detect.misses + truth.misses;
   s.result_cache.evictions = detect.evictions + truth.evictions;
   s.result_cache.inserts = detect.inserts + truth.inserts;
+  s.result_cache.rejected_oversize =
+      detect.rejected_oversize + truth.rejected_oversize;
   s.result_cache_shards = detect_cache_.shard_count();
   return s;
 }
@@ -503,6 +591,59 @@ void QueryEngine::RefreshMetrics() {
       ->GetGauge("vulnds_catalog_context_busy",
                  "Contexts skipped by the scrape because a query held them")
       ->Set(static_cast<double>(context_busy));
+
+  // The byte-governed memory hierarchy (vulnds_store_*): one budget over
+  // snapshots + contexts + cached results, spill residency, shed activity.
+  // The governor is never null, so these families render on every serve.
+  registry_
+      ->GetGauge("vulnds_store_budget_bytes",
+                 "Global memory-hierarchy byte budget (0 = accounting only)")
+      ->Set(static_cast<double>(governor_->budget()));
+  registry_
+      ->GetGauge("vulnds_store_resident_bytes",
+                 "Bytes charged against the global budget, all classes")
+      ->Set(static_cast<double>(governor_->total_charged()));
+  for (const auto cls :
+       {store::ChargeClass::kSnapshot, store::ChargeClass::kContext,
+        store::ChargeClass::kResult}) {
+    const obs::LabelSet labels{{"class", store::ChargeClassName(cls)}};
+    registry_
+        ->GetGauge("vulnds_store_charged_bytes",
+                   "Bytes charged against the global budget, by class",
+                   labels)
+        ->Set(static_cast<double>(governor_->charged(cls)));
+    registry_
+        ->GetCounter("vulnds_store_sheds_total",
+                     "Shedder invocations that freed bytes, by class", labels)
+        ->Set(governor_->sheds(cls));
+    registry_
+        ->GetCounter("vulnds_store_shed_bytes_total",
+                     "Bytes freed by shedding, by class", labels)
+        ->Set(governor_->shed_bytes(cls));
+  }
+  registry_
+      ->GetGauge("vulnds_store_spilled_bytes",
+                 "Bytes of snapshots parked in the spill directory")
+      ->Set(static_cast<double>(catalog_->spilled_bytes()));
+  registry_
+      ->GetGauge("vulnds_store_spilled_graphs",
+                 "Snapshots parked in the spill directory")
+      ->Set(static_cast<double>(catalog_->spilled_count()));
+  registry_
+      ->GetCounter("vulnds_store_spills_total",
+                   "Snapshots written to the spill directory")
+      ->Set(c.spills);
+  registry_
+      ->GetCounter("vulnds_store_page_ins_total",
+                   "Spilled snapshots paged back in on demand")
+      ->Set(c.page_ins);
+  const CacheStats detect_stats = detect_cache_.stats();
+  const CacheStats truth_stats = truth_cache_.stats();
+  registry_
+      ->GetCounter("vulnds_store_rejected_oversize_total",
+                   "Cache inserts refused because one entry exceeded the "
+                   "whole byte budget")
+      ->Set(detect_stats.rejected_oversize + truth_stats.rejected_oversize);
 }
 
 }  // namespace vulnds::serve

@@ -55,6 +55,7 @@
 #include "obs/slow_query_log.h"
 #include "serve/graph_catalog.h"
 #include "serve/lru_cache.h"
+#include "store/memory_governor.h"
 #include "vulnds/detector.h"
 #include "vulnds/ground_truth.h"
 
@@ -88,6 +89,15 @@ struct QueryEngineOptions {
   /// latency histograms). Null = steady-clock microseconds. Tests inject a
   /// constant to make the protocol's time= token deterministic.
   obs::ClockMicros clock;
+  /// Global byte governor for the memory hierarchy. Resolution order: this
+  /// pointer, else the catalog's already-bound governor, else an
+  /// engine-owned accounting-only governor (budget 0, so `vulnds_store_*`
+  /// metrics render on an unconfigured serve). The engine registers its
+  /// result caches as ChargeClass::kResult shedders and, when the catalog
+  /// has no governor yet, binds the resolved one (with its context and
+  /// snapshot shedders) there too. An externally supplied governor must not
+  /// shed after the engine is destroyed.
+  store::MemoryGovernor* governor = nullptr;
 };
 
 /// Outcome of QueryEngine::Detect.
@@ -126,6 +136,10 @@ class QueryEngine {
  public:
   explicit QueryEngine(GraphCatalog* catalog, QueryEngineOptions options = {});
 
+  /// Unbinds engine-owned runtime (governor, page-in observability) from
+  /// the catalog, which may outlive the engine.
+  ~QueryEngine();
+
   /// Runs (or serves from cache) a detection query against graph `name`.
   /// `options.pool` is overridden: with the engine's pool by default, or —
   /// when the request carries `options.threads > 0` — with a pool of that
@@ -150,6 +164,9 @@ class QueryEngine {
   /// The registry every engine metric lives in (never nullptr: either the
   /// one injected via options or the engine-owned default).
   obs::MetricRegistry* registry() { return registry_; }
+
+  /// The resolved byte governor (never nullptr; see QueryEngineOptions).
+  store::MemoryGovernor* governor() { return governor_; }
 
   /// Current time on the engine's clock, in microseconds. The time base of
   /// every response's time= token and of the session-level histograms, so
@@ -187,6 +204,12 @@ class QueryEngine {
 
   /// Drains the batch for `entry` under one context-lock acquisition.
   void RunDetectBatch(const std::shared_ptr<CatalogEntry>& entry);
+
+  /// Re-publishes the entry's context byte charge to the governor after a
+  /// batch mutated the context. Must run under the entry's context_mu (it
+  /// excludes the context shedder); the detached double-check settles the
+  /// race against a concurrent evict/replace/spill of the entry.
+  void RechargeContext(const std::shared_ptr<CatalogEntry>& entry);
 
   /// Executes one job (cache re-check, detection, cache fill) and always
   /// resolves its promise, exceptions included.
@@ -230,6 +253,15 @@ class QueryEngine {
   obs::MetricRegistry* registry_;
   obs::SlowQueryLog* slowlog_;
   obs::ClockMicros clock_;
+
+  // Byte-governance plumbing. Declared before the caches: the caches hold
+  // the governor pointer and discharge through it on destruction, so the
+  // governor must be constructed first and destroyed last. The flag
+  // records whether this engine bound the governor into the catalog (and
+  // must unbind it before dying).
+  std::unique_ptr<store::MemoryGovernor> owned_governor_;
+  store::MemoryGovernor* governor_;
+  bool bound_catalog_governor_ = false;
 
   std::mutex pools_mu_;  // guards extra_pools_ and extra_pool_threads_
   std::map<std::size_t, std::unique_ptr<ThreadPool>> extra_pools_;

@@ -266,6 +266,20 @@ void ServeSession::HandleStats(const ServeRequest& r, std::ostream& out) {
     out << "cache_shards=" << s.result_cache_shards << "\n";
     out << "catalog_size=" << catalog.size() << "\n";
     out << "catalog_bytes=" << catalog.resident_bytes() << "\n";
+    // Storage hierarchy: what is resident, what the governor allows, what
+    // was spilled cold to disk, and how large the durability journal has
+    // grown. resident_bytes repeats catalog_bytes under the storage
+    // vocabulary so monitoring reads one consistent key set.
+    out << "resident_bytes=" << catalog.resident_bytes() << "\n";
+    out << "spilled_bytes=" << catalog.spilled_bytes() << "\n";
+    out << "spilled_graphs=" << catalog.spilled_count() << "\n";
+    {
+      const store::MemoryGovernor* governor = catalog.governor();
+      out << "store_budget_bytes="
+          << (governor != nullptr ? governor->budget() : 0) << "\n";
+    }
+    out << "journal_bytes="
+        << (updates_ != nullptr ? updates_->JournalBytes() : 0) << "\n";
     // Warm DetectionContext intermediates grow with query traffic and are
     // deliberately NOT charged to the catalog byte budget; reported
     // separately so catalog_bytes= does not understate hot-graph residency.

@@ -64,6 +64,10 @@ class UpdateBackend {
   virtual Result<CommitInfo> Commit(const std::string& name) = 0;
   /// The version history of `name`, base first.
   virtual Result<std::vector<VersionInfo>> Versions(const std::string& name) = 0;
+
+  /// Bytes the durable delta journal currently occupies on disk; 0 when the
+  /// backend runs without one.
+  virtual std::size_t JournalBytes() const { return 0; }
 };
 
 }  // namespace vulnds::serve

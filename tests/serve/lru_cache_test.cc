@@ -96,6 +96,57 @@ TEST(LruCacheTest, EraseAndClear) {
   EXPECT_EQ(cache.Get("b"), nullptr);
 }
 
+// The byte-aware tests charge each int its own value as its size, so the
+// arithmetic is visible in the test body.
+LruCache<int>::SizeOf ValueAsBytes() {
+  return [](const int& v) { return static_cast<std::size_t>(v); };
+}
+
+TEST(LruCacheTest, ByteBudgetEvictsEvenUnderEntryCapacity) {
+  LruCache<int> cache(10, 100, ValueAsBytes());
+  cache.Put("a", 40);
+  cache.Put("b", 40);
+  EXPECT_EQ(cache.bytes(), 80u);
+  cache.Put("c", 40);  // 120 > 100: evict "a" (LRU), leaving 80
+  EXPECT_EQ(cache.bytes(), 80u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Peek("a"), nullptr);
+  EXPECT_NE(cache.Peek("b"), nullptr);
+  EXPECT_NE(cache.Peek("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, OversizePutRejectedAndResidentValueUntouched) {
+  LruCache<int> cache(10, 100, ValueAsBytes());
+  cache.Put("a", 50);
+  cache.Put("b", 30);
+  // A value alone above the whole budget must not wipe the cache to fit.
+  cache.Put("huge", 101);
+  EXPECT_EQ(cache.stats().rejected_oversize, 1u);
+  EXPECT_EQ(cache.Peek("huge"), nullptr);
+  // Rejected replacement leaves the resident value as it was.
+  cache.Put("a", 500);
+  EXPECT_EQ(cache.stats().rejected_oversize, 2u);
+  const auto a = cache.Peek("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, 50);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 80u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(LruCacheTest, ReplacementRebooksBytesExactly) {
+  LruCache<int> cache(10, 100, ValueAsBytes());
+  cache.Put("a", 60);
+  cache.Put("a", 10);  // shrink: 60 credited back, 10 charged
+  EXPECT_EQ(cache.bytes(), 10u);
+  cache.Put("a", 90);  // grow back within budget
+  EXPECT_EQ(cache.bytes(), 90u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.Erase("a");
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
 TEST(LruCacheTest, HitRate) {
   LruCache<int> cache(2);
   EXPECT_EQ(cache.stats().HitRate(), 0.0);

@@ -160,6 +160,84 @@ TEST(ShardedLruCacheTest, ClearAndEraseMaintainGlobalSize) {
   }
 }
 
+// Charge each int its own value as its size (the LruCache tests' idiom).
+ShardedLruCache<int>::SizeOf ValueAsBytes() {
+  return [](const int& v) { return static_cast<std::size_t>(v); };
+}
+
+TEST(ShardedLruCacheTest, ByteBudgetBoundsResidentBytesGlobally) {
+  // The byte budget is global, not per shard: 8 shards, but three 40-byte
+  // entries anywhere must still trip the 100-byte bound.
+  ShardedLruCache<int> cache(10, 8, 100, ValueAsBytes());
+  cache.Put("a", 40);
+  cache.Put("b", 40);
+  EXPECT_EQ(cache.resident_bytes(), 80u);
+  cache.Put("c", 40);  // 120 > 100: the globally-coldest entry goes
+  EXPECT_LE(cache.resident_bytes(), 100u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Peek("a"), nullptr);  // "a" was oldest
+  EXPECT_NE(cache.Peek("b"), nullptr);
+  EXPECT_NE(cache.Peek("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ShardedLruCacheTest, OversizePutRejectedAndResidentValueUntouched) {
+  ShardedLruCache<int> cache(10, 4, 100, ValueAsBytes());
+  cache.Put("a", 50);
+  cache.Put("b", 30);
+  cache.Put("huge", 101);  // bigger than the whole budget
+  EXPECT_EQ(cache.stats().rejected_oversize, 1u);
+  EXPECT_EQ(cache.Peek("huge"), nullptr);
+  cache.Put("a", 500);  // rejected replacement: resident value survives
+  EXPECT_EQ(cache.stats().rejected_oversize, 2u);
+  const auto a = cache.Peek("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, 50);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.resident_bytes(), 80u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, ShedBytesEvictsColdestFirstAndReportsFreed) {
+  ShardedLruCache<int> cache(10, 4, 0, ValueAsBytes());
+  cache.Put("cold", 30);
+  cache.Put("warm", 30);
+  cache.Put("hot", 30);
+  ASSERT_NE(cache.Get("cold"), nullptr);  // now "warm" is coldest
+  EXPECT_EQ(cache.ShedBytes(1), 30u);     // one eviction satisfies want=1
+  EXPECT_EQ(cache.Peek("warm"), nullptr);
+  EXPECT_NE(cache.Peek("cold"), nullptr);
+  EXPECT_NE(cache.Peek("hot"), nullptr);
+  // Asking for more than resident frees what exists and stops.
+  EXPECT_EQ(cache.ShedBytes(1000), 60u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.ShedBytes(1), 0u);  // empty cache: nothing to free
+}
+
+TEST(ShardedLruCacheTest, GovernorBooksMatchResidentBytes) {
+  store::MemoryGovernorOptions options;
+  options.budget_bytes = 0;  // accounting only; interplay is covered by the
+                             // store spill tests
+  store::MemoryGovernor governor(options);
+  {
+    ShardedLruCache<int> cache(10, 4, 0, ValueAsBytes(), &governor);
+    cache.Put("a", 40);
+    cache.Put("b", 25);
+    EXPECT_EQ(governor.charged(store::ChargeClass::kResult), 65u);
+    cache.Put("a", 10);  // replacement recharges, never double-counts
+    EXPECT_EQ(governor.charged(store::ChargeClass::kResult), 35u);
+    cache.Erase("b");
+    EXPECT_EQ(governor.charged(store::ChargeClass::kResult), 10u);
+    cache.Put("c", 20);
+    cache.Clear();
+    EXPECT_EQ(governor.charged(store::ChargeClass::kResult), 0u);
+    cache.Put("d", 15);
+    EXPECT_EQ(governor.charged(store::ChargeClass::kResult), 15u);
+  }
+  // Destruction gives every outstanding byte back.
+  EXPECT_EQ(governor.charged(store::ChargeClass::kResult), 0u);
+}
+
 TEST(ShardedLruCacheTest, ConcurrentMixedTrafficStaysWithinCapacity) {
   // TSan-covered hammer: concurrent Get/Put/Erase over overlapping keys.
   // The invariant checked here is bounded residency and internal

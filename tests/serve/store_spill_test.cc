@@ -1,0 +1,290 @@
+// Disk spill + byte governance through GraphCatalog and QueryEngine:
+// budget ceilings, shed ordering, pins, and the bit-identity of results
+// across a spill / page-back round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph_io.h"
+#include "serve/graph_catalog.h"
+#include "serve/query_engine.h"
+#include "store/memory_governor.h"
+#include "testing/test_graphs.h"
+
+namespace vulnds::serve {
+namespace {
+
+std::string WriteTempGraph(const UncertainGraph& g, const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(WriteGraphFile(g, path, GraphFileFormat::kBinary).ok());
+  return path;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(StoreSpillTest, ColdSnapshotSpillsAndPagesBackBitIdentical) {
+  const UncertainGraph g1 = testing::RandomSmallGraph(60, 0.2, 11);
+  const UncertainGraph g2 = testing::RandomSmallGraph(60, 0.2, 22);
+  const std::string p1 = WriteTempGraph(g1, "spill_a.snap");
+  const std::string p2 = WriteTempGraph(g2, "spill_b.snap");
+  const std::size_t b1 = EstimateGraphBytes(g1);
+  const std::size_t b2 = EstimateGraphBytes(g2);
+
+  // Budget fits either graph alone but never both: the second load must
+  // push the first (colder) one out to disk.
+  store::MemoryGovernorOptions governor_options;
+  governor_options.budget_bytes = std::max(b1, b2) + 512;
+  store::MemoryGovernor governor(governor_options);
+  GraphCatalogOptions options;
+  options.spill_dir = ::testing::TempDir() + "/spill_dir_a";
+  options.governor = &governor;
+  GraphCatalog catalog(options);
+
+  ASSERT_TRUE(catalog.Load("g1", p1).ok());
+  const auto before = catalog.Get("g1");
+  ASSERT_NE(before, nullptr);
+  const uint64_t uid_before = before->uid;
+
+  ASSERT_TRUE(catalog.Load("g2", p2).ok());
+  EXPECT_LE(governor.total_charged(), governor_options.budget_bytes);
+  EXPECT_EQ(catalog.spilled_count(), 1u);
+  EXPECT_GT(catalog.spilled_bytes(), 0u);
+  EXPECT_EQ(catalog.Get("g1"), nullptr);  // not resident...
+  EXPECT_TRUE(catalog.Contains("g1"));    // ...but not gone either
+  EXPECT_EQ(catalog.stats().spills, 1u);
+
+  // Page back on demand; identity (uid) and content must survive.
+  Result<std::shared_ptr<CatalogEntry>> paged = catalog.GetOrLoad("g1");
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  ASSERT_NE(*paged, nullptr);
+  EXPECT_EQ((*paged)->uid, uid_before);
+  EXPECT_EQ(catalog.stats().page_ins, 1u);
+  const std::string round_trip =
+      ::testing::TempDir() + "/spill_round_trip.snap";
+  ASSERT_TRUE(
+      WriteGraphFile((*paged)->graph, round_trip, GraphFileFormat::kBinary)
+          .ok());
+  EXPECT_EQ(FileBytes(round_trip), FileBytes(p1));  // bit-identical
+}
+
+TEST(StoreSpillTest, ContextsShedBeforeSnapshots) {
+  const UncertainGraph g1 = testing::RandomSmallGraph(50, 0.2, 33);
+  const UncertainGraph g2 = testing::RandomSmallGraph(50, 0.2, 44);
+  const std::size_t total =
+      EstimateGraphBytes(g1) + EstimateGraphBytes(g2);
+
+  store::MemoryGovernorOptions governor_options;
+  governor_options.budget_bytes = total + 256;
+  store::MemoryGovernor governor(governor_options);
+  GraphCatalogOptions options;
+  options.spill_dir = ::testing::TempDir() + "/spill_dir_b";
+  options.governor = &governor;
+  GraphCatalog catalog(options);
+  ASSERT_TRUE(
+      catalog.Load("g1", WriteTempGraph(g1, "spill_ctx_a.snap")).ok());
+  ASSERT_TRUE(
+      catalog.Load("g2", WriteTempGraph(g2, "spill_ctx_b.snap")).ok());
+
+  // Charge 1000 context bytes against g1, overflowing the budget by ~744:
+  // the shed loop must reclaim them from the context class and leave both
+  // snapshots resident.
+  const auto entry = catalog.Get("g1");
+  ASSERT_NE(entry, nullptr);
+  entry->charged_context_bytes.store(1000);
+  governor.Charge(store::ChargeClass::kContext, 1000);
+
+  EXPECT_LE(governor.total_charged(), governor_options.budget_bytes);
+  EXPECT_EQ(governor.charged(store::ChargeClass::kContext), 0u);
+  EXPECT_EQ(entry->charged_context_bytes.load(), 0u);
+  EXPECT_EQ(catalog.spilled_count(), 0u);
+  EXPECT_EQ(catalog.stats().spills, 0u);
+  EXPECT_NE(catalog.Get("g1"), nullptr);
+  EXPECT_NE(catalog.Get("g2"), nullptr);
+  EXPECT_GE(governor.sheds(store::ChargeClass::kContext), 1u);
+}
+
+TEST(StoreSpillTest, PinnedSnapshotsAreNeverSpilled) {
+  const UncertainGraph g1 = testing::RandomSmallGraph(60, 0.2, 55);
+  const UncertainGraph g2 = testing::RandomSmallGraph(60, 0.2, 66);
+  const std::size_t b1 = EstimateGraphBytes(g1);
+  const std::size_t b2 = EstimateGraphBytes(g2);
+
+  store::MemoryGovernorOptions governor_options;
+  governor_options.budget_bytes = b1 + b2 + 512;  // both fit, barely
+  store::MemoryGovernor governor(governor_options);
+  GraphCatalogOptions options;
+  options.spill_dir = ::testing::TempDir() + "/spill_dir_c";
+  options.governor = &governor;
+  GraphCatalog catalog(options);
+
+  ASSERT_TRUE(
+      catalog.Load("g1", WriteTempGraph(g1, "spill_pin_a.snap")).ok());
+  ASSERT_TRUE(
+      catalog.Load("g2", WriteTempGraph(g2, "spill_pin_b.snap")).ok());
+  ScopedEntryPin pin1(catalog.Get("g1"));
+  ScopedEntryPin pin2(catalog.Get("g2"));
+  ASSERT_TRUE(pin1);
+  ASSERT_TRUE(pin2);
+
+  // Synthetic pressure with every snapshot pinned: the budget is a target,
+  // not a fence — the shed loop must give up cleanly, spilling nothing.
+  governor.Charge(store::ChargeClass::kSnapshot, 1024);
+  EXPECT_EQ(catalog.spilled_count(), 0u);
+  EXPECT_EQ(catalog.stats().spills, 0u);
+  EXPECT_NE(catalog.Get("g1"), nullptr);
+  EXPECT_NE(catalog.Get("g2"), nullptr);
+  EXPECT_GT(governor.total_charged(), governor_options.budget_bytes);
+
+  // Releasing one pin gives the shedder a victim: exactly the unpinned
+  // snapshot goes; the still-pinned one stays resident.
+  pin1.Release();
+  governor.MaybeShed();
+  EXPECT_LE(governor.total_charged(), governor_options.budget_bytes);
+  EXPECT_EQ(catalog.spilled_count(), 1u);
+  EXPECT_EQ(catalog.Get("g1"), nullptr);
+  EXPECT_TRUE(catalog.Contains("g1"));
+  EXPECT_NE(catalog.Get("g2"), nullptr);
+  governor.Discharge(store::ChargeClass::kSnapshot, 1024);
+}
+
+TEST(StoreSpillTest, DetectIsBitIdenticalAndStaysCachedAcrossSpill) {
+  const UncertainGraph g1 = testing::RandomSmallGraph(40, 0.15, 77);
+  const UncertainGraph g2 = testing::RandomSmallGraph(40, 0.15, 88);
+  const std::string p1 = WriteTempGraph(g1, "spill_eng_a.snap");
+  const std::string p2 = WriteTempGraph(g2, "spill_eng_b.snap");
+
+  store::MemoryGovernorOptions governor_options;
+  // Room for one graph plus its warm context and cached results, never two
+  // graphs — loading the second must spill the first.
+  governor_options.budget_bytes =
+      std::max(EstimateGraphBytes(g1), EstimateGraphBytes(g2)) +
+      EstimateGraphBytes(g1) / 2;
+  store::MemoryGovernor governor(governor_options);
+  GraphCatalogOptions catalog_options;
+  catalog_options.spill_dir = ::testing::TempDir() + "/spill_dir_d";
+  catalog_options.governor = &governor;
+  GraphCatalog catalog(catalog_options);
+  QueryEngine engine(&catalog);
+
+  ASSERT_TRUE(catalog.Load("g1", p1).ok());
+  DetectorOptions options;
+  options.k = 3;
+  Result<DetectResponse> first = engine.Detect("g1", options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->from_cache);
+
+  ASSERT_TRUE(catalog.Load("g2", p2).ok());
+  ASSERT_TRUE(engine.Detect("g2", options).ok());
+  governor.MaybeShed();
+  EXPECT_EQ(catalog.Get("g1"), nullptr) << "g1 should have been spilled";
+
+  // The uid survives the round trip, so this both pages the snapshot back
+  // AND hits the result cache; the answer is the cached (hence bit-equal)
+  // original.
+  Result<DetectResponse> second = engine.Detect("g1", options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(first->result.topk, second->result.topk);
+  ASSERT_EQ(first->result.scores.size(), second->result.scores.size());
+  for (std::size_t i = 0; i < first->result.scores.size(); ++i) {
+    EXPECT_EQ(first->result.scores[i], second->result.scores[i]);
+  }
+  EXPECT_GE(catalog.stats().page_ins, 1u);
+}
+
+// Budget ceiling property through the full catalog stack: random touches
+// over more graphs than fit keep paging in and spilling out; after every
+// operation the governor's books balance under the budget (everything is
+// unpinned, so the shed loop can always make room).
+TEST(StoreSpillTest, ChargedBytesStayUnderBudgetAcrossRandomTraffic) {
+  store::MemoryGovernorOptions governor_options;
+  GraphCatalogOptions options;
+  options.spill_dir = ::testing::TempDir() + "/spill_dir_e";
+
+  std::vector<std::string> names;
+  std::vector<std::string> paths;
+  std::size_t max_bytes = 0;
+  for (int i = 0; i < 6; ++i) {
+    const UncertainGraph g =
+        testing::RandomSmallGraph(40 + 5 * i, 0.2, 100 + i);
+    max_bytes = std::max(max_bytes, EstimateGraphBytes(g));
+    names.push_back("g" + std::to_string(i));
+    paths.push_back(
+        WriteTempGraph(g, "spill_rand_" + std::to_string(i) + ".snap"));
+  }
+  // Roughly two graphs fit at a time.
+  governor_options.budget_bytes = 2 * max_bytes + 1024;
+  store::MemoryGovernor governor(governor_options);
+  options.governor = &governor;
+  GraphCatalog catalog(options);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ASSERT_TRUE(catalog.Load(names[i], paths[i]).ok());
+    ASSERT_LE(governor.total_charged(), governor_options.budget_bytes);
+  }
+
+  Rng rng(7);
+  for (int step = 0; step < 300; ++step) {
+    const std::string& name = names[rng.NextBounded(names.size())];
+    Result<std::shared_ptr<CatalogEntry>> entry = catalog.GetOrLoad(name);
+    ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+    ASSERT_NE(*entry, nullptr) << name << " vanished at step " << step;
+    ASSERT_LE(governor.total_charged(), governor_options.budget_bytes)
+        << "step " << step;
+  }
+  // Every name is still reachable (resident or spilled) — shedding parks
+  // graphs, it never loses them.
+  for (const std::string& name : names) EXPECT_TRUE(catalog.Contains(name));
+}
+
+// Races spill/page-back against concurrent readers; run under TSan this
+// checks the catalog/governor locking discipline.
+TEST(StoreSpillTest, ConcurrentGetOrLoadUnderPressureIsSafe) {
+  const UncertainGraph g1 = testing::RandomSmallGraph(50, 0.2, 201);
+  const UncertainGraph g2 = testing::RandomSmallGraph(50, 0.2, 202);
+  const UncertainGraph g3 = testing::RandomSmallGraph(50, 0.2, 203);
+  store::MemoryGovernorOptions governor_options;
+  governor_options.budget_bytes = EstimateGraphBytes(g1) +
+                                  EstimateGraphBytes(g2) / 2;  // ~1.5 graphs
+  store::MemoryGovernor governor(governor_options);
+  GraphCatalogOptions options;
+  options.spill_dir = ::testing::TempDir() + "/spill_dir_f";
+  options.governor = &governor;
+  GraphCatalog catalog(options);
+  ASSERT_TRUE(catalog.Load("c1", WriteTempGraph(g1, "spill_mt_a.snap")).ok());
+  ASSERT_TRUE(catalog.Load("c2", WriteTempGraph(g2, "spill_mt_b.snap")).ok());
+  ASSERT_TRUE(catalog.Load("c3", WriteTempGraph(g3, "spill_mt_c.snap")).ok());
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string mine = "c" + std::to_string(1 + t % 3);
+      for (int i = 0; i < 50; ++i) {
+        Result<std::shared_ptr<CatalogEntry>> entry = catalog.GetOrLoad(mine);
+        ASSERT_TRUE(entry.ok());
+        ASSERT_NE(*entry, nullptr);
+        ScopedEntryPin pin(*entry);
+        // Touch the graph while pinned; a spill must never yank it.
+        ASSERT_GT((*entry)->graph.num_edges(), 0u);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_TRUE(catalog.Contains("c1"));
+  EXPECT_TRUE(catalog.Contains("c2"));
+  EXPECT_TRUE(catalog.Contains("c3"));
+}
+
+}  // namespace
+}  // namespace vulnds::serve

@@ -18,7 +18,8 @@
 //   vulnds_cli truth <graph> <k> [samples] [seed]
 //       Prints the Monte-Carlo reference top-k (default 20000 worlds).
 //   vulnds_cli serve [cache_capacity] [threads=N] [shards=N] [catalog_bytes=N]
-//              [cache_shards=N] [slowlog=path] [slowlog_ms=N]
+//              [cache_shards=N] [mem_bytes=N] [spill_dir=DIR] [journal=PATH]
+//              [slowlog=path] [slowlog_ms=N]
 //              [tcp=PORT] [unix=PATH] [max_conns=N]
 //              [idle_timeout_ms=N] [read_timeout_ms=N] [write_timeout_ms=N]
 //       Speaks the line-oriented serve protocol on stdin/stdout: graphs are
@@ -26,6 +27,15 @@
 //       catalog_bytes= resident byte budget, both optional) and repeated
 //       queries hit a key-hashed sharded result cache (cache_shards= shard
 //       count; 1 reproduces the old single-mutex cache).
+//       Storage hierarchy: mem_bytes=N puts the whole memory hierarchy
+//       (snapshots + warm detection contexts + cached results) under one
+//       global byte budget; under pressure the coldest contexts are dropped
+//       first, then — with spill_dir=DIR — the coldest unpinned snapshots
+//       are parked on disk in the binary format and paged back on demand.
+//       journal=PATH makes updates durable: every staged op and commit is
+//       appended to a checksummed delta log (fsync'd at commits) and
+//       replayed at startup, so committed name@vN versions survive a crash.
+//       See README "Storage & durability".
 //       Sampling runs on the process-wide pool by default; threads=N pins a
 //       dedicated pool of N workers (requests can override per query with
 //       the detect threads= key). Dynamic updates are enabled:
@@ -52,6 +62,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -59,6 +70,7 @@
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "dyn/journal.h"
 #include "dyn/update_manager.h"
 #include "gen/datasets.h"
 #include "graph/graph_io.h"
@@ -69,6 +81,7 @@
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
+#include "store/memory_governor.h"
 #include "vulnds/detector.h"
 #include "vulnds/ground_truth.h"
 
@@ -96,6 +109,7 @@ int Usage() {
                "  vulnds_cli truth <graph> <k> [samples] [seed]\n"
                "  vulnds_cli serve [cache_capacity] [threads=N] [shards=N]\n"
                "             [catalog_bytes=N] [cache_shards=N]\n"
+               "             [mem_bytes=N] [spill_dir=DIR] [journal=PATH]\n"
                "             [slowlog=path] [slowlog_ms=N]\n"
                "             [tcp=PORT] [unix=PATH] [max_conns=N]\n"
                "             [idle_timeout_ms=N] [read_timeout_ms=N]\n"
@@ -281,7 +295,7 @@ int CmdTruth(int argc, char** argv) {
 }
 
 int CmdServe(int argc, char** argv) {
-  if (argc > 16) return Usage();
+  if (argc > 20) return Usage();
   serve::QueryEngineOptions engine_options;
   serve::GraphCatalogOptions catalog_options;
   net::NetServerOptions net_options;
@@ -290,6 +304,8 @@ int CmdServe(int argc, char** argv) {
   std::optional<std::size_t> threads;
   std::string slowlog_path;
   std::optional<std::uint64_t> slowlog_ms;
+  std::size_t mem_bytes = 0;
+  std::string journal_path;
   bool capacity_seen = false;
   // Parses one of the net-layer `<key>_ms=` timeout knobs into *out.
   const auto parse_timeout = [&](const std::string& arg, const char* key,
@@ -395,6 +411,36 @@ int CmdServe(int argc, char** argv) {
                       &catalog_options.byte_budget)) {
         return Usage();
       }
+    } else if (arg.rfind("mem_bytes=", 0) == 0) {
+      if (mem_bytes != 0) {
+        std::fprintf(stderr, "duplicate mem_bytes= argument\n");
+        return Usage();
+      }
+      if (!ParseArgOr(ParseUint64, "mem_bytes", arg.substr(10), &mem_bytes) ||
+          mem_bytes == 0) {
+        std::fprintf(stderr, "mem_bytes= needs a positive byte budget\n");
+        return Usage();
+      }
+    } else if (arg.rfind("spill_dir=", 0) == 0) {
+      if (!catalog_options.spill_dir.empty()) {
+        std::fprintf(stderr, "duplicate spill_dir= argument\n");
+        return Usage();
+      }
+      catalog_options.spill_dir = arg.substr(10);
+      if (catalog_options.spill_dir.empty()) {
+        std::fprintf(stderr, "spill_dir= needs a directory path\n");
+        return Usage();
+      }
+    } else if (arg.rfind("journal=", 0) == 0) {
+      if (!journal_path.empty()) {
+        std::fprintf(stderr, "duplicate journal= argument\n");
+        return Usage();
+      }
+      journal_path = arg.substr(8);
+      if (journal_path.empty()) {
+        std::fprintf(stderr, "journal= needs a file path\n");
+        return Usage();
+      }
     } else if (arg.rfind("cache_shards=", 0) == 0) {
       if (engine_options.result_cache_shards != 0) {
         std::fprintf(stderr, "duplicate cache_shards= argument\n");
@@ -458,9 +504,43 @@ int CmdServe(int argc, char** argv) {
     slowlog.emplace(&slowlog_file, threshold_micros);
     engine_options.slowlog = &*slowlog;
   }
+  // Construction (and thus destruction) order matters: the governor must
+  // outlive the catalog that charges through it, the catalog must outlive
+  // the engine and the update manager, and the journal must outlive the
+  // update manager that appends to it.
+  std::optional<store::MemoryGovernor> governor;
+  if (mem_bytes != 0) {
+    store::MemoryGovernorOptions governor_options;
+    governor_options.budget_bytes = mem_bytes;
+    governor.emplace(governor_options);
+    catalog_options.governor = &*governor;
+  }
   serve::GraphCatalog catalog(catalog_options);
+  std::unique_ptr<dyn::DeltaJournal> journal;
+  if (!journal_path.empty()) {
+    Result<std::unique_ptr<dyn::DeltaJournal>> opened =
+        dyn::DeltaJournal::Open(journal_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "serve: %s\n", opened.status().message().c_str());
+      return 1;
+    }
+    journal = opened.MoveValue();
+  }
   serve::QueryEngine engine(&catalog, engine_options);
-  dyn::UpdateManager updates(&catalog);
+  dyn::UpdateManager updates(&catalog, journal.get());
+  if (journal != nullptr) {
+    const Result<dyn::JournalReplayStats> replayed = updates.ReplayJournal();
+    if (!replayed.ok()) {
+      std::fprintf(stderr, "serve: journal replay failed: %s\n",
+                   replayed.status().message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "journal replayed: %zu records, %zu commits, %zu staged ops, "
+                 "%zu skipped, %zu torn-tail bytes dropped\n",
+                 replayed->records, replayed->commits, replayed->ops,
+                 replayed->skipped, replayed->dropped_tail_bytes);
+  }
 
   const bool socket_mode = tcp_seen || !net_options.unix_path.empty();
   if (net_options.idle_timeout_ms < 0) {
