@@ -51,8 +51,11 @@ PORTABLE = re.compile(r"(speedup|scaling|hit_rate)")
 # Parallel-scaling and contention-storm floors are meaningless when the
 # baseline was recorded on a single hardware thread: every ratio degenerates
 # to ~1.0 there, so enforcing it against a multi-core run (or vice versa)
-# compares physics, not code. Such keys are skipped with a warning.
+# compares physics, not code. Such keys are skipped with a warning. SIMD
+# speedups are exempt: kernel-tier ratios compare scalar vs avx2 on ONE
+# thread, so a 1-core baseline carries full signal for them.
 PARALLELISM_ONLY = re.compile(r"(scaling|storm|speedup)")
+THREAD_INDEPENDENT = re.compile(r"simd")
 
 
 def classify(key):
@@ -93,7 +96,8 @@ def compare_record(name, baseline, current, tolerance, portable_only):
             continue
         if portable_only and not PORTABLE.search(key):
             continue
-        if base_hw == 1 and PARALLELISM_ONLY.search(key):
+        if (base_hw == 1 and PARALLELISM_ONLY.search(key)
+                and not THREAD_INDEPENDENT.search(key)):
             print(f"WARN: {name}: skipping '{key}' — the baseline was "
                   "recorded on 1 hardware thread, so scaling/storm floors "
                   "carry no signal; re-record on a multi-core machine to "

@@ -44,6 +44,9 @@ REQUIRED_FAMILIES = [
     "vulnds_engine_batched_queries_total",
     "vulnds_engine_waves_issued_total",
     "vulnds_engine_worlds_wasted_total",
+    "vulnds_simd_tier",
+    "vulnds_simd_batched_coins_total",
+    "vulnds_simd_scalar_tail_coins_total",
     "vulnds_cache_hits_total",
     "vulnds_cache_misses_total",
     "vulnds_cache_entries",

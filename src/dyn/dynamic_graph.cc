@@ -1,7 +1,10 @@
 #include "dyn/dynamic_graph.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
+
+#include "vulnds/coin_columns.h"
 
 namespace vulnds::dyn {
 
@@ -159,6 +162,19 @@ CommitSnapshot DynamicGraph::Commit() const {
   snapshot.graph = UncertainGraph::FromParts(
       std::move(self_risk), std::move(out_offsets), std::move(out_arcs),
       std::move(in_offsets), std::move(in_arcs), std::move(edge_list));
+
+  // Carry the sampling kernels' coin columns across the version boundary:
+  // BuildFrom copies every arc the delta did not touch instead of rehashing
+  // it, and seeding the new graph's derived cache here means the first
+  // query after a commit pays no O(m) column build. Only when the base ever
+  // built them (a never-queried lineage stays lazy) and the new version is
+  // still above the density gate (samplers ignore columns below it).
+  if (CoinColumns::Worthwhile(snapshot.graph)) {
+    if (const auto base_cols = base.derived().Peek<CoinColumns>()) {
+      snapshot.graph.derived().Put(std::make_shared<const CoinColumns>(
+          CoinColumns::BuildFrom(snapshot.graph, base, *base_cols, deleted)));
+    }
+  }
   return snapshot;
 }
 

@@ -1,0 +1,95 @@
+// A lazy, type-erased slot for immutable structures derived from a graph.
+//
+// Higher layers precompute graph-shaped acceleration structures (e.g. the
+// sampling kernels' CoinColumns) that are pure functions of the graph's
+// content. Rebuilding one per query is measurable overhead on small graphs,
+// and caching it in per-session state re-charges graph-sized bytes to
+// every session that touches the graph. The natural owner is the graph
+// itself: derived data lives exactly as long as the structure it is derived
+// from, and every reader of the same graph shares one copy.
+//
+// graph/ must not depend on those higher layers, so the slot is type-erased:
+// the caller supplies the type and the build function, the cache supplies
+// identity and thread safety. The build runs under the slot's mutex —
+// concurrent first readers wait for one build instead of racing duplicate
+// O(m) passes.
+//
+// Copied graphs start with a cold slot: the copy shares no state with the
+// original, which keeps the copy semantics of UncertainGraph value-like.
+// Moves transfer the slot — the moved-from graph's identity (and anything
+// derived from it) moves with it, so e.g. columns seeded on a commit
+// snapshot survive the move into the serving catalog.
+
+#ifndef VULNDS_GRAPH_DERIVED_CACHE_H_
+#define VULNDS_GRAPH_DERIVED_CACHE_H_
+
+#include <memory>
+#include <mutex>
+#include <typeindex>
+#include <utility>
+
+namespace vulnds {
+
+class DerivedCache {
+ public:
+  DerivedCache() = default;
+  DerivedCache(const DerivedCache&) {}
+  DerivedCache& operator=(const DerivedCache&) { return *this; }
+  DerivedCache(DerivedCache&& other) noexcept {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    slot_ = std::move(other.slot_);
+    type_ = std::exchange(other.type_, std::type_index(typeid(void)));
+  }
+  DerivedCache& operator=(DerivedCache&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mu_, other.mu_);
+      slot_ = std::move(other.slot_);
+      type_ = std::exchange(other.type_, std::type_index(typeid(void)));
+    }
+    return *this;
+  }
+
+  /// Returns the cached T, building it with `build` (a callable returning
+  /// T by value) on first use. The slot holds one type at a time; asking
+  /// for a different T replaces the previous occupant.
+  template <typename T, typename Build>
+  std::shared_ptr<const T> GetOrBuild(Build&& build) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot_ != nullptr && type_ == std::type_index(typeid(T))) {
+      return std::static_pointer_cast<const T>(slot_);
+    }
+    auto built = std::make_shared<const T>(std::forward<Build>(build)());
+    slot_ = built;
+    type_ = std::type_index(typeid(T));
+    return built;
+  }
+
+  /// The cached T if one is present, nullptr otherwise. Never builds.
+  template <typename T>
+  std::shared_ptr<const T> Peek() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot_ != nullptr && type_ == std::type_index(typeid(T))) {
+      return std::static_pointer_cast<const T>(slot_);
+    }
+    return nullptr;
+  }
+
+  /// Seeds the slot, replacing any occupant. For producers that can derive
+  /// the structure cheaper than a fresh build (e.g. a dynamic-update commit
+  /// patching the previous version's instance forward).
+  template <typename T>
+  void Put(std::shared_ptr<const T> value) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot_ = std::move(value);
+    type_ = std::type_index(typeid(T));
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const void> slot_;
+  mutable std::type_index type_{typeid(void)};
+};
+
+}  // namespace vulnds
+
+#endif  // VULNDS_GRAPH_DERIVED_CACHE_H_

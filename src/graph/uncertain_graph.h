@@ -15,6 +15,8 @@
 #include <span>
 #include <vector>
 
+#include "graph/derived_cache.h"
+
 namespace vulnds {
 
 /// Node identifier; dense in [0, num_nodes).
@@ -102,6 +104,12 @@ class UncertainGraph {
                                   std::vector<Arc> in_arcs,
                                   std::vector<UncertainEdge> edge_list);
 
+  /// Lazily-built immutable structures derived from this graph (e.g. the
+  /// sampling kernels' coin columns). Safe to use from concurrent readers;
+  /// content is a pure function of the graph, so sharing it never changes
+  /// results. See graph/derived_cache.h.
+  DerivedCache& derived() const { return derived_; }
+
  private:
   friend class UncertainGraphBuilder;
 
@@ -111,6 +119,7 @@ class UncertainGraph {
   std::vector<std::size_t> in_offsets_;   // size n + 1
   std::vector<Arc> in_arcs_;              // size m, grouped by dst
   std::vector<UncertainEdge> edge_list_;  // size m, insertion order
+  mutable DerivedCache derived_;          // lazy derived data, copies cold
 };
 
 }  // namespace vulnds

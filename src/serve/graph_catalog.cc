@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "graph/graph_io.h"
+#include "vulnds/coin_columns.h"
 
 namespace vulnds::serve {
 
@@ -54,7 +55,15 @@ std::size_t EstimateGraphBytes(const UncertainGraph& graph) {
   return sizeof(UncertainGraph) + n * sizeof(double)          // self-risks
          + 2 * (n + 1) * sizeof(std::size_t)                  // dual offsets
          + 2 * m * sizeof(Arc)                                // dual arc arrays
-         + m * sizeof(UncertainEdge);                         // edge list
+         + m * sizeof(UncertainEdge)                          // edge list
+         // The sampling kernels' coin columns live in the graph's derived
+         // cache (built on the first detect, resident until eviction), so a
+         // served graph's true footprint includes them; charging up front
+         // keeps the estimate deterministic in the graph's shape. Sparse
+         // graphs below the density gate never build columns, so they are
+         // not charged for them.
+         + (CoinColumns::Worthwhile(graph) ? CoinColumns::EstimateBytes(graph)
+                                           : 0);
 }
 
 GraphCatalog::GraphCatalog(std::size_t capacity)

@@ -179,7 +179,8 @@ struct GraphCatalogOptions {
 };
 
 /// Approximate bytes a resident graph occupies (dual CSR + edge list +
-/// self-risks). Deterministic in the graph's shape, so budget tests can
+/// self-risks, plus the sampling kernels' lazily-built coin columns).
+/// Deterministic in the graph's shape, so budget tests can
 /// predict eviction behavior exactly. Deliberately excludes the entry's
 /// DetectionContext: its warm intermediates grow with query traffic and are
 /// charged separately (ChargeClass::kContext) by the query engine — the

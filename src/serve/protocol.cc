@@ -163,6 +163,15 @@ Status ApplyDetectFlag(const std::string& token, DetectorOptions* options) {
     return Status::InvalidArgument(
         "wave must be adaptive, fixed or fixed:N, got '" + value + "'");
   }
+  if (key == "simd") {
+    // Execution knob like threads= and wave=: every kernel tier computes
+    // bit-identical results (simd/coin_kernels.h contract), so this never
+    // fragments the result cache either.
+    Result<simd::SimdMode> m = simd::ParseSimdMode(value);
+    if (!m.ok()) return m.status();
+    options->simd_mode = *m;
+    return Status::OK();
+  }
   if (key == "order" || key == "bk") {
     // ParseInt32 rejects values outside int range instead of truncating.
     Result<int> v = ParseInt32(value);

@@ -8,7 +8,9 @@
 //                                            method, threads (sampling
 //                                            parallelism; 0 = session pool),
 //                                            wave (BSRBK wave schedule:
-//                                            adaptive | fixed | fixed:N)
+//                                            adaptive | fixed | fixed:N),
+//                                            simd (kernel tier: auto |
+//                                            avx2 | scalar; execution-only)
 //   truth <name> <k> [samples] [seed]        Monte-Carlo reference top-k
 //   stats [<name>]                           graph stats / engine counters
 //   metrics                                  Prometheus text exposition of

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "serve/protocol.h"
+#include "simd/dispatch.h"
 
 namespace vulnds::serve {
 
@@ -15,6 +16,10 @@ DetectorOptions CanonicalizeOptions(DetectorOptions o) {
   // answered from a cache line computed adaptively (and vice versa).
   o.wave_mode = defaults.wave_mode;
   o.wave_size = 0;
+  // The kernel tier too: every tier computes bit-identical results (the
+  // simd/coin_kernels.h contract), so `simd=scalar` may be answered from a
+  // cache line computed with AVX2 (and vice versa).
+  o.simd_mode = defaults.simd_mode;
   // Observability never shapes an answer: a traced query and an untraced
   // one share a cache line.
   o.trace = nullptr;
@@ -141,6 +146,23 @@ QueryEngine::QueryEngine(GraphCatalog* catalog, QueryEngineOptions options)
   waves_issued_ = registry_->GetCounter(
       "vulnds_engine_waves_issued_total",
       "Parallel sampling waves dispatched, executed runs only");
+  simd_batched_coins_ = registry_->GetCounter(
+      "vulnds_simd_batched_coins_total",
+      "Coin slots evaluated in full vector lanes (padding included), "
+      "executed runs only");
+  simd_tail_coins_ = registry_->GetCounter(
+      "vulnds_simd_scalar_tail_coins_total",
+      "Coin slots evaluated one at a time outside a full lane, "
+      "executed runs only");
+  // The process-default kernel tier as a numeric gauge (0 = scalar,
+  // 1 = avx2): scrape-friendly, and the label carries the name. Set once —
+  // the default is resolved once per process (VULNDS_SIMD env, else CPUID)
+  // and per-query overrides never change it.
+  registry_
+      ->GetGauge("vulnds_simd_tier",
+                 "Process-default SIMD kernel tier (0=scalar, 1=avx2)",
+                 {{"tier", simd::SimdTierName(simd::DefaultTier())}})
+      ->Set(static_cast<double>(simd::DefaultTier()));
   const std::vector<double>& buckets = obs::LatencyBucketsMicros();
   const char* verbs[2] = {"detect", "truth"};
   for (int v = 0; v < 2; ++v) {
@@ -379,6 +401,8 @@ void QueryEngine::ExecuteDetectJob(const std::shared_ptr<CatalogEntry>& entry,
       // re-reports the original run's answer, not its wasted worlds.
       worlds_wasted_->Increment(result->worlds_wasted);
       waves_issued_->Increment(result->waves_issued);
+      simd_batched_coins_->Increment(result->simd_batched_coins);
+      simd_tail_coins_->Increment(result->simd_tail_coins);
       // The computed result outranks the cache insert: if Put throws
       // (allocation pressure copying a large result), the caller still
       // gets its answer and only the cache line is lost.
@@ -475,6 +499,9 @@ EngineStats QueryEngine::stats() const {
   s.truth_queries = static_cast<std::size_t>(truth_queries_->Value());
   s.worlds_wasted = static_cast<std::size_t>(worlds_wasted_->Value());
   s.waves_issued = static_cast<std::size_t>(waves_issued_->Value());
+  s.simd_batched_coins =
+      static_cast<std::size_t>(simd_batched_coins_->Value());
+  s.simd_tail_coins = static_cast<std::size_t>(simd_tail_coins_->Value());
   const CacheStats detect = detect_cache_.stats();
   const CacheStats truth = truth_cache_.stats();
   s.result_cache.hits = detect.hits + truth.hits;

@@ -127,6 +127,11 @@ struct EngineStats {
   /// scheduler exists to cut.
   std::size_t worlds_wasted = 0;
   std::size_t waves_issued = 0;
+  /// Coin-kernel telemetry summed over executed detects: coin slots
+  /// evaluated in full vector lanes (padding included) vs one at a time.
+  /// Like the wave telemetry, this measures cost, never answers.
+  std::size_t simd_batched_coins = 0;
+  std::size_t simd_tail_coins = 0;
   CacheStats result_cache;  ///< combined detect + truth cache counters,
                             ///< aggregated across every cache shard
   std::size_t result_cache_shards = 0;  ///< shard count of each cache
@@ -278,6 +283,8 @@ class QueryEngine {
   obs::Counter* truth_queries_;
   obs::Counter* worlds_wasted_;
   obs::Counter* waves_issued_;
+  obs::Counter* simd_batched_coins_;
+  obs::Counter* simd_tail_coins_;
   obs::Counter* batched_queries_;
   // Latency histograms: [verb][cached], verb 0 = detect, 1 = truth.
   obs::Histogram* request_micros_[2][2];

@@ -10,6 +10,7 @@
 #include "graph/graph_stats.h"
 #include "serve/metrics_export.h"
 #include "serve/protocol.h"
+#include "simd/dispatch.h"
 #include "vulnds/ground_truth.h"
 
 namespace vulnds::serve {
@@ -260,6 +261,12 @@ void ServeSession::HandleStats(const ServeRequest& r, std::ostream& out) {
     out << "batched_queries=" << s.batched_queries << "\n";
     out << "worlds_wasted=" << s.worlds_wasted << "\n";
     out << "waves_issued=" << s.waves_issued << "\n";
+    // The process-default kernel tier plus the coin-kernel cost split.
+    // Like the wave telemetry these vary with hardware and the simd= knob,
+    // never with a query's answer.
+    out << "simd_tier=" << simd::SimdTierName(simd::DefaultTier()) << "\n";
+    out << "simd_batched_coins=" << s.simd_batched_coins << "\n";
+    out << "simd_tail_coins=" << s.simd_tail_coins << "\n";
     out << "cache_hits=" << s.result_cache.hits << "\n";
     out << "cache_misses=" << s.result_cache.misses << "\n";
     out << "cache_hit_rate=" << FormatRoundTrip(s.result_cache.HitRate()) << "\n";

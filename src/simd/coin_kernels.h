@@ -1,0 +1,123 @@
+// Batched possible-world kernels: the three hot loops of the BSRBK pipeline
+// (world-coin evaluation, bottom-k hash precompute, candidate-bitmap folds)
+// behind a tier-dispatched, bit-identical-by-contract interface.
+//
+// The determinism contract. A world coin is the predicate
+//
+//   UniformHash(seed).HashUnit(id) < prob
+//     where Hash64(id)  = Mix64(Mix64(id + 0x9E3779B97F4A7C15) ^ seed)
+//           HashUnit(id) = (double(Hash64(id) >> 11) + 0.5) * 2^-53
+//
+// (reverse_sampler.cc's WorldEdgeSurvives / WorldNodeSelfDefaults modulo
+// their 0/1 early-outs). The kernels never evaluate the double comparison:
+// CoinThreshold(prob) precomputes the exact integer T such that
+//
+//   HashUnit < prob  ⟺  (Hash64 >> 11) < T        for every hash value,
+//
+// which holds because x ↦ (double(x) + 0.5) * 2^-53 is non-decreasing over
+// x ∈ [0, 2^53) — the survivor set of any prob is a down-set {x < T}. The
+// early-outs fold in exactly: prob <= 0 (and NaN, where `HashUnit < prob`
+// is false) maps to T = 0, prob >= 1 to T = 2^53 > every hash. Likewise the
+// seed-independent inner round Mix64(id + C) is precomputed per entity
+// (CoinInnerHash), so a per-world coin is one Mix64 and one integer compare
+// in every tier. The AVX2 tier evaluates the identical integer arithmetic
+// four lanes at a time; tests/simd/ proves tier-for-tier bit-identity.
+//
+// Evaluating a coin is free of side effects (worlds are pure functions), so
+// batched callers may evaluate MORE coins than the scalar code would have —
+// e.g. for already-visited BFS neighbors, or for alignment padding slots
+// whose threshold is 0 (never survive) — without changing any result.
+
+#ifndef VULNDS_SIMD_COIN_KERNELS_H_
+#define VULNDS_SIMD_COIN_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "simd/dispatch.h"
+
+namespace vulnds::simd {
+
+/// The u64 lane width of the widest vector tier (AVX2: 4 × u64). Callers
+/// that pad coin columns pad runs to a multiple of this.
+inline constexpr std::size_t kCoinLanes = 4;
+
+/// One past the largest value Hash64(id) >> 11 can take; the threshold of
+/// prob >= 1 ("always survives").
+inline constexpr uint64_t kCoinAlways = uint64_t{1} << 53;
+
+/// Per-run kernel telemetry, accumulated by the caller with plain integers
+/// (no atomics on the hot path) and published once per run. Batched counts
+/// coin slots evaluated inside full vector lanes — including alignment
+/// padding slots, which is why it can exceed the true coin count — and tail
+/// counts coins evaluated one at a time (the scalar tier counts everything
+/// here). Telemetry only: totals vary with the tier like worlds_wasted
+/// varies with the schedule, and are never part of a result payload.
+struct CoinKernelStats {
+  std::uint64_t batched_coins = 0;
+  std::uint64_t tail_coins = 0;
+
+  void Add(const CoinKernelStats& other) {
+    batched_coins += other.batched_coins;
+    tail_coins += other.tail_coins;
+  }
+};
+
+/// The exact integer threshold of `prob`: the unique T ∈ [0, 2^53] with
+///   (double(x) + 0.5) * 2^-53 < prob  ⟺  x < T   for all x ∈ [0, 2^53).
+/// prob <= 0 and NaN yield 0 (never), prob >= 1 yields kCoinAlways.
+uint64_t CoinThreshold(double prob);
+
+/// The seed-independent inner hash round of entity `id`:
+/// Mix64(id + 0x9E3779B97F4A7C15), so that
+/// UniformHash(seed).Hash64(id) == Mix64(CoinInnerHash(id) ^ seed).
+inline uint64_t CoinInnerHash(uint64_t id) {
+  return Mix64(id + 0x9E3779B97F4A7C15ULL);
+}
+
+/// One precomputed coin, scalar: does the entity survive under `seed`?
+inline bool CoinHits(uint64_t seed, uint64_t inner, uint64_t threshold) {
+  return (Mix64(inner ^ seed) >> 11) < threshold;
+}
+
+/// Evaluates `n` precomputed coins under `seed` and writes the indices of
+/// the survivors into `out` (capacity >= n) in ascending order; returns the
+/// survivor count. Handles any n: vector-width blocks plus a scalar tail.
+std::size_t CoinSurvivors(SimdTier tier, uint64_t seed, const uint64_t* inner,
+                          const uint64_t* threshold, std::size_t n,
+                          uint32_t* out, CoinKernelStats* stats);
+
+/// Same contract and results as CoinSurvivors, but requires the columns to
+/// be readable (and the thresholds zero — never survive) through the next
+/// multiple of kCoinLanes past n, as CoinColumns guarantees per adjacency
+/// run. The AVX2 tier then runs pure full-width blocks with no scalar tail,
+/// which is the difference between winning and losing on low-degree graphs.
+std::size_t CoinSurvivorsPadded(SimdTier tier, uint64_t seed,
+                                const uint64_t* inner,
+                                const uint64_t* threshold, std::size_t n,
+                                uint32_t* out, CoinKernelStats* stats);
+
+/// out[i] = UniformHash(seed).Hash64(base + i) for i in [0, n): the bulk
+/// half of the bottom-k HashUnit precompute (the >>11 / +0.5 / *2^-53
+/// conversion stays scalar at the call site — it is exact, cheap, and AVX2
+/// has no u64→f64 convert to get wrong). `stats` may be null.
+void HashBatch(SimdTier tier, uint64_t seed, uint64_t base, std::size_t n,
+               uint64_t* out, CoinKernelStats* stats);
+
+/// Writes the ascending indices i ∈ [0, n) with flags[i] != 0 and
+/// (veto == nullptr || veto[i] == 0) into `out` (capacity >= n); returns the
+/// count. The vectorized form of the bottom-k fold's per-candidate scan
+/// `if (!defaulted[c] || reached_bk[c]) continue;`.
+std::size_t FindActive(SimdTier tier, const unsigned char* flags,
+                       const unsigned char* veto, std::size_t n,
+                       uint32_t* out);
+
+/// counts[i] += flags[i] for i in [0, n); flags must be 0/1 (the defaulted
+/// bitmaps are). The plain reverse-sampling count fold.
+void AccumulateCounts(SimdTier tier, uint32_t* counts,
+                      const unsigned char* flags, std::size_t n);
+
+}  // namespace vulnds::simd
+
+#endif  // VULNDS_SIMD_COIN_KERNELS_H_

@@ -1,0 +1,86 @@
+#include "simd/dispatch.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/env.h"
+#include "simd/kernels_internal.h"
+
+namespace vulnds::simd {
+
+bool Avx2KernelsCompiled() { return internal::Avx2Compiled(); }
+
+bool Avx2Available() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports caches the CPUID result after the first call.
+  return internal::Avx2Compiled() && __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+SimdTier BestSupportedTier() {
+  return Avx2Available() ? SimdTier::kAvx2 : SimdTier::kScalar;
+}
+
+SimdTier DefaultTier() {
+  // Resolved once: serving threads can race to first use, so the init must
+  // be the magic-static kind, and the env var is deliberately not re-read —
+  // a process has exactly one default tier for its lifetime (the
+  // vulnds_simd_tier gauge reports this value).
+  static const SimdTier kDefault = [] {
+    const std::string raw = GetEnvString("VULNDS_SIMD", "auto");
+    std::string mode(raw);
+    std::transform(mode.begin(), mode.end(), mode.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (mode == "scalar") return SimdTier::kScalar;
+    if (mode == "avx2") {
+      // Forcing a tier the host cannot run would SIGILL; degrade instead
+      // (results are bit-identical, so this is invisible to callers).
+      return Avx2Available() ? SimdTier::kAvx2 : SimdTier::kScalar;
+    }
+    return BestSupportedTier();  // "auto" and anything unrecognized
+  }();
+  return kDefault;
+}
+
+SimdTier ResolveTier(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kScalar:
+      return SimdTier::kScalar;
+    case SimdMode::kAvx2:
+      return Avx2Available() ? SimdTier::kAvx2 : SimdTier::kScalar;
+    case SimdMode::kAuto:
+      break;
+  }
+  return DefaultTier();
+}
+
+const char* SimdTierName(SimdTier tier) {
+  return tier == SimdTier::kAvx2 ? "avx2" : "scalar";
+}
+
+const char* SimdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kScalar:
+      return "scalar";
+    case SimdMode::kAvx2:
+      return "avx2";
+    case SimdMode::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+Result<SimdMode> ParseSimdMode(const std::string& text) {
+  std::string mode(text);
+  std::transform(mode.begin(), mode.end(), mode.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (mode == "auto") return SimdMode::kAuto;
+  if (mode == "scalar") return SimdMode::kScalar;
+  if (mode == "avx2") return SimdMode::kAvx2;
+  return Status::InvalidArgument("simd must be auto, avx2 or scalar, got '" +
+                                 text + "'");
+}
+
+}  // namespace vulnds::simd

@@ -1,0 +1,75 @@
+// Runtime SIMD dispatch for the possible-world kernels.
+//
+// The kernel layer (coin_kernels.h) ships two implementations of every entry
+// point: a portable scalar reference and an AVX2 build compiled in its own
+// translation unit with -mavx2 (the rest of the tree stays baseline-ISA).
+// Which one runs is a pure execution decision — every kernel is bit-identical
+// across tiers by contract (property-tested in tests/simd/) — so the tier can
+// be chosen per request, per process, or per CI run without ever touching a
+// result or a cache key.
+//
+// Resolution order:
+//   * a request-level `simd=auto|avx2|scalar` knob maps to SimdMode;
+//   * SimdMode::kAuto resolves to the process default, which is read ONCE
+//     from the VULNDS_SIMD environment variable (same vocabulary) and falls
+//     back to CPUID detection;
+//   * asking for AVX2 on a host (or build) without it degrades to scalar —
+//     never an error, because the answer is the same bits either way.
+
+#ifndef VULNDS_SIMD_DISPATCH_H_
+#define VULNDS_SIMD_DISPATCH_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace vulnds::simd {
+
+/// The implementation actually executing: what DispatchTier() resolved to.
+enum class SimdTier {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// What a caller asked for (knob vocabulary). kAuto defers to the process
+/// default; the explicit tiers force it (AVX2 degrades to scalar when the
+/// host or build cannot honor it).
+enum class SimdMode {
+  kAuto = 0,
+  kScalar,
+  kAvx2,
+};
+
+/// True iff the AVX2 kernels were compiled in AND the CPU reports AVX2.
+bool Avx2Available();
+
+/// True iff kernels_avx2.cc was built with AVX2 enabled (compile-time half
+/// of Avx2Available; exposed so tests can tell "old CPU" from "old build").
+bool Avx2KernelsCompiled();
+
+/// The tier the best supported implementation resolves to (CPUID only; no
+/// environment consultation).
+SimdTier BestSupportedTier();
+
+/// The process-default tier: VULNDS_SIMD=auto|avx2|scalar when set (invalid
+/// values fall back to auto), else BestSupportedTier(). Resolved once at
+/// first use and cached for the process lifetime.
+SimdTier DefaultTier();
+
+/// Resolves a request's mode to the tier that will execute: kAuto maps to
+/// DefaultTier(), explicit tiers are honored when available and degrade to
+/// scalar otherwise.
+SimdTier ResolveTier(SimdMode mode);
+
+/// Wire/telemetry name of a tier ("scalar", "avx2").
+const char* SimdTierName(SimdTier tier);
+
+/// Knob name of a mode ("auto", "scalar", "avx2").
+const char* SimdModeName(SimdMode mode);
+
+/// Parses the knob vocabulary ("auto" | "avx2" | "scalar", case-insensitive).
+Result<SimdMode> ParseSimdMode(const std::string& text);
+
+}  // namespace vulnds::simd
+
+#endif  // VULNDS_SIMD_DISPATCH_H_

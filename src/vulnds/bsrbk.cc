@@ -9,6 +9,7 @@
 
 #include "common/hash.h"
 #include "common/rng.h"
+#include "vulnds/coin_columns.h"
 #include "vulnds/reverse_sampler.h"
 
 namespace vulnds {
@@ -58,13 +59,16 @@ void ExportTraceDetail(const BottomKRunStats& stats, obs::QueryTrace* trace) {
 class BottomKFolder {
  public:
   BottomKFolder(std::size_t num_candidates, std::size_t needed, int bk,
-                const std::vector<double>& hash_of, BottomKRunStats* stats)
+                const std::vector<double>& hash_of, simd::SimdTier tier,
+                BottomKRunStats* stats)
       : needed_(needed),
         bk_(static_cast<uint32_t>(bk)),
+        tier_(tier),
         hash_of_(hash_of),
         stats_(stats),
         counts_(num_candidates, 0),
-        kth_hash_(num_candidates, 0.0) {}
+        kth_hash_(num_candidates, 0.0),
+        active_scratch_(num_candidates) {}
 
   /// Folds one materialized world into the counters; returns true when the
   /// early-stop condition fired and no further position may be folded.
@@ -72,8 +76,16 @@ class BottomKFolder {
             std::size_t touched) {
     stats_->nodes_touched += touched;
     ++stats_->samples_processed;
-    for (std::size_t c = 0; c < counts_.size(); ++c) {
-      if (!defaulted[c] || stats_->reached_bk[c]) continue;
+    // The batched form of `if (!defaulted[c] || reached_bk[c]) continue`.
+    // Snapshotting the active set up front is exact: folding candidate c can
+    // only set reached_bk[c] for c itself, which the loop below re-checks
+    // by construction (each c appears once, and was unreached when scanned).
+    const std::size_t active = simd::FindActive(
+        tier_, reinterpret_cast<const unsigned char*>(defaulted.data()),
+        reinterpret_cast<const unsigned char*>(stats_->reached_bk.data()),
+        counts_.size(), active_scratch_.data());
+    for (std::size_t i = 0; i < active; ++i) {
+      const std::size_t c = active_scratch_[i];
       if (++counts_[c] == bk_) {
         stats_->reached_bk[c] = 1;
         kth_hash_[c] = hash_of_[sample_id];
@@ -142,22 +154,34 @@ class BottomKFolder {
  private:
   std::size_t needed_;
   uint32_t bk_;
+  simd::SimdTier tier_;
   std::size_t reached_ = 0;
   const std::vector<double>& hash_of_;
   BottomKRunStats* stats_;
   std::vector<uint32_t> counts_;
   std::vector<double> kth_hash_;
+  std::vector<uint32_t> active_scratch_;
 };
 
 }  // namespace
 
-BottomKSampleOrder MakeBottomKSampleOrder(uint64_t seed, std::size_t t) {
+BottomKSampleOrder MakeBottomKSampleOrder(uint64_t seed, std::size_t t,
+                                          simd::SimdTier tier) {
   BottomKSampleOrder out;
-  const UniformHash sample_hash(Mix64(seed ^ kSampleHashSalt));
+  const uint64_t sample_seed = Mix64(seed ^ kSampleHashSalt);
   out.order.resize(t);
   std::iota(out.order.begin(), out.order.end(), 0);
+  // Batched Hash64 over the contiguous id range; the HashUnit conversion
+  // (>> 11, + 0.5, * 2^-53) stays scalar — it is exact double arithmetic
+  // either way, so hash_of is bit-identical to UniformHash::HashUnit for
+  // every tier.
+  std::vector<uint64_t> raw(t);
+  simd::HashBatch(tier, sample_seed, 0, t, raw.data(), nullptr);
   out.hash_of.resize(t);
-  for (std::size_t i = 0; i < t; ++i) out.hash_of[i] = sample_hash.HashUnit(i);
+  for (std::size_t i = 0; i < t; ++i) {
+    out.hash_of[i] =
+        (static_cast<double>(raw[i] >> 11) + 0.5) * 0x1.0p-53;
+  }
   std::sort(out.order.begin(), out.order.end(), [&](uint32_t a, uint32_t b) {
     return out.hash_of[a] < out.hash_of[b];
   });
@@ -210,7 +234,7 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
   const BottomKSampleOrder* precomputed = run.precomputed;
   BottomKSampleOrder local;
   if (precomputed == nullptr) {
-    local = MakeBottomKSampleOrder(seed, t);
+    local = MakeBottomKSampleOrder(seed, t, run.simd_tier);
     precomputed = &local;
   } else if (precomputed->order.size() != t || precomputed->hash_of.size() != t) {
     return Status::InvalidArgument("precomputed sample order size mismatch");
@@ -218,7 +242,17 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
   const std::vector<uint32_t>& order = precomputed->order;
   const std::vector<double>& hash_of = precomputed->hash_of;
 
-  BottomKFolder folder(candidates.size(), needed, bk, hash_of, &stats);
+  const simd::SimdTier tier = run.simd_tier;
+  BottomKFolder folder(candidates.size(), needed, bk, hash_of, tier, &stats);
+
+  // The graph's cached columns when the caller has none; every sampler
+  // (serial or worker) reads the same immutable columns.
+  const CoinColumns* columns = run.coin_columns;
+  std::shared_ptr<const CoinColumns> shared_columns;
+  if (columns == nullptr && CoinColumns::Worthwhile(graph)) {
+    shared_columns = CoinColumns::Shared(graph);
+    columns = shared_columns.get();
+  }
 
   ThreadPool* pool = run.pool;
   std::size_t workers = pool == nullptr ? 1 : std::min(pool->num_threads(), t);
@@ -228,7 +262,7 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
   if (workers <= 1) {
     // The serial loop stops exactly at the stop position: zero waste, no
     // wave machinery (worlds_wasted == waves_issued == 0 by definition).
-    ReverseSampler sampler(graph, candidates);
+    ReverseSampler sampler(graph, candidates, columns, tier);
     std::vector<char> defaulted;
     for (std::size_t pos = 0; pos < t; ++pos) {
       const uint32_t sample_id = order[pos];
@@ -236,6 +270,7 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
           sampler.SampleWorld(WorldSeed(seed, sample_id), &defaulted);
       if (folder.Fold(sample_id, defaulted, touched)) break;
     }
+    stats.coin_stats.Add(sampler.coin_stats());
     folder.FinishEstimates(t);
     ExportTraceDetail(stats, run.trace);
     return stats;
@@ -273,7 +308,8 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
   std::vector<std::unique_ptr<ReverseSampler>> samplers;
   samplers.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    samplers.push_back(std::make_unique<ReverseSampler>(graph, candidates));
+    samplers.push_back(
+        std::make_unique<ReverseSampler>(graph, candidates, columns, tier));
   }
   std::vector<std::vector<char>> wave_defaulted(max_slots);
   std::vector<std::size_t> wave_touched(max_slots, 0);
@@ -318,6 +354,11 @@ Result<BottomKRunStats> RunBottomKSampling(const UncertainGraph& graph,
       break;
     }
     wave_begin += count;
+  }
+  // Worker-order sum, like nodes_touched: coin telemetry covers every
+  // materialized world, wasted ones included (it measures cost).
+  for (const auto& sampler : samplers) {
+    stats.coin_stats.Add(sampler->coin_stats());
   }
   folder.FinishEstimates(t);
   ExportTraceDetail(stats, run.trace);

@@ -48,8 +48,11 @@
 #include "common/thread_pool.h"
 #include "graph/uncertain_graph.h"
 #include "obs/query_trace.h"
+#include "simd/coin_kernels.h"
 
 namespace vulnds {
+
+struct CoinColumns;
 
 /// The hash-sorted processing order of the sample ids [0, t): order[i] is the
 /// id of the i-th smallest hash, hash_of[id] its hash value. Pure in
@@ -60,8 +63,13 @@ struct BottomKSampleOrder {
   std::vector<double> hash_of;
 };
 
-/// Hashes and sorts the sample ids [0, t) for run seed `seed`.
-BottomKSampleOrder MakeBottomKSampleOrder(uint64_t seed, std::size_t t);
+/// Hashes and sorts the sample ids [0, t) for run seed `seed`. The bulk
+/// Hash64 work runs on the batched kernel of `tier`; the exact HashUnit
+/// double conversion stays scalar, so the result is bit-identical for every
+/// tier (and cacheable across requests that force different tiers).
+BottomKSampleOrder MakeBottomKSampleOrder(
+    uint64_t seed, std::size_t t,
+    simd::SimdTier tier = simd::DefaultTier());
 
 /// How the parallel path sizes its waves. Execution-only: results are
 /// bit-identical for every mode (and never part of a query's identity).
@@ -99,6 +107,13 @@ struct BottomKRunOptions {
   /// early-stop position) onto the trace. Execution-only — the trace never
   /// influences the run.
   obs::QueryTrace* trace = nullptr;
+  /// The graph's columns when the caller already holds them; nullptr uses
+  /// the graph's cached CoinColumns::Shared. Must match `graph` exactly.
+  const CoinColumns* coin_columns = nullptr;
+  /// Kernel tier for coin batches and count folds. Execution-only like the
+  /// wave plan: every tier computes bit-identical results by the kernel
+  /// contract (property-tested in tests/simd/).
+  simd::SimdTier simd_tier = simd::DefaultTier();
 };
 
 /// Result of a bottom-k sampling run.
@@ -116,9 +131,12 @@ struct BottomKRunStats {
   bool early_stopped = false;  ///< true iff `needed` candidates reached bk
 
   // Schedule telemetry — the only fields that legitimately vary with pool
-  // width and wave plan (everything above is bit-identical across them).
+  // width, wave plan and simd tier (everything above is bit-identical
+  // across them).
   std::size_t worlds_wasted = 0;  ///< materialized but never folded
   std::size_t waves_issued = 0;   ///< ParallelFor rounds (0 for serial)
+  /// Coin-kernel telemetry over every materialized world (wasted included).
+  simd::CoinKernelStats coin_stats;
 };
 
 /// Runs bottom-k early-stopped reverse sampling over `candidates` with a

@@ -190,6 +190,16 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
   }
 
   // SR / BSR / BSRBK all start from the order-z bounds.
+  // The kernel tier is resolved once per query from the request knob (kAuto
+  // = process default). Coin columns are NOT resolved here: the sampling
+  // runners pull the graph's cached CoinColumns::Shared and hand them to
+  // every worker. They deliberately do not live in the warm
+  // DetectionContext — they are graph-sized, so charging them to every
+  // session's governed context bytes would overflow tight budgets with a
+  // copy per session of what is one immutable per-graph structure; the
+  // graph's derived cache holds the single copy, accounted once by
+  // EstimateGraphBytes.
+  const simd::SimdTier simd_tier = simd::ResolveTier(o.simd_mode);
   std::pair<std::vector<double>, std::vector<double>> bound_storage;
   const std::vector<double>* lower = nullptr;
   const std::vector<double>* upper = nullptr;
@@ -213,11 +223,13 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
     const std::size_t t = BasicSampleSize(o.eps, o.delta, o.k, n);
     result.samples_budget = t;
     if (o.trace != nullptr) o.trace->BeginStage("sampling");
-    const ReverseSampleStats stats =
-        RunReverseSampling(graph, candidates, t, o.seed, o.pool);
+    const ReverseSampleStats stats = RunReverseSampling(
+        graph, candidates, t, o.seed, o.pool, nullptr, simd_tier);
     if (o.trace != nullptr) o.trace->EndStage();
     result.samples_processed = stats.samples;
     result.nodes_touched = stats.nodes_touched;
+    result.simd_batched_coins = stats.coin_stats.batched_coins;
+    result.simd_tail_coins = stats.coin_stats.tail_coins;
     AppendRanked(candidates, stats.estimates, o.k, &result);
     return result;
   }
@@ -274,11 +286,13 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
 
   if (o.method == Method::kBsr) {
     if (o.trace != nullptr) o.trace->BeginStage("sampling");
-    const ReverseSampleStats stats =
-        RunReverseSampling(graph, reduced->candidates, t, o.seed, o.pool);
+    const ReverseSampleStats stats = RunReverseSampling(
+        graph, reduced->candidates, t, o.seed, o.pool, nullptr, simd_tier);
     if (o.trace != nullptr) o.trace->EndStage();
     result.samples_processed = stats.samples;
     result.nodes_touched = stats.nodes_touched;
+    result.simd_batched_coins = stats.coin_stats.batched_coins;
+    result.simd_tail_coins = stats.coin_stats.tail_coins;
     AppendRanked(reduced->candidates, stats.estimates, needed, &result);
     return result;
   }
@@ -296,7 +310,8 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
       order = &it->second;
     } else {
       ++ctx->reuse_misses;
-      order = &(ctx->sample_orders[order_key] = MakeBottomKSampleOrder(o.seed, t));
+      order = &(ctx->sample_orders[order_key] =
+                    MakeBottomKSampleOrder(o.seed, t, simd_tier));
     }
   }
   BottomKRunOptions exec;
@@ -305,6 +320,7 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
   exec.wave.mode = o.wave_mode;
   exec.wave.fixed_size = o.wave_size;
   exec.trace = o.trace;
+  exec.simd_tier = simd_tier;
   // The adaptive scheduler's analytic floor: each candidate defaults at
   // least as often as its lower bound says, so the bound sharpens the
   // stop-distance estimate before any counts accumulate. Aligned with the
@@ -327,6 +343,8 @@ Result<DetectionResult> DetectTopK(const UncertainGraph& graph,
   result.early_stopped = run->early_stopped;
   result.worlds_wasted = run->worlds_wasted;
   result.waves_issued = run->waves_issued;
+  result.simd_batched_coins = run->coin_stats.batched_coins;
+  result.simd_tail_coins = run->coin_stats.tail_coins;
   AppendRanked(reduced->candidates, run->estimates, needed, &result);
   // Sketch scores can exceed 1; clamp for reporting (ranking is done).
   for (double& score : result.scores) score = std::min(score, 1.0);

@@ -22,6 +22,7 @@
 #include "common/thread_pool.h"
 #include "graph/uncertain_graph.h"
 #include "obs/query_trace.h"
+#include "simd/dispatch.h"
 #include "vulnds/bsrbk.h"
 #include "vulnds/candidate_reduction.h"
 
@@ -66,6 +67,13 @@ struct DetectorOptions {
   /// clears both fields out of the result-cache key.
   WaveMode wave_mode = WaveMode::kAdaptive;
   std::size_t wave_size = 0;  ///< fixed-mode worlds per wave (0 = auto)
+  /// Kernel tier request (serve protocol / CLI `simd=auto|avx2|scalar`).
+  /// Execution-only like `threads` and `wave`: every tier computes
+  /// bit-identical results (simd/coin_kernels.h contract), kAuto defers to
+  /// the process default (VULNDS_SIMD env, else CPUID), and an unavailable
+  /// tier degrades to scalar. CanonicalizeOptions clears it out of the
+  /// result-cache key.
+  simd::SimdMode simd_mode = simd::SimdMode::kAuto;
   /// Optional observability span: when set, DetectTopK records one stage
   /// per pipeline phase (bounds, reduce, sampling) and the bottom-k runner
   /// publishes its wave detail onto it. Execution-only like `pool`: never
@@ -96,6 +104,13 @@ struct DetectionResult {
   /// thread counts.
   std::size_t worlds_wasted = 0;  ///< worlds materialized past the stop
   std::size_t waves_issued = 0;   ///< parallel waves dispatched
+
+  /// Coin-kernel telemetry of the sampling stage (SR/BSR/BSRBK): coin slots
+  /// evaluated in full vector lanes vs one at a time. Varies with the simd
+  /// tier (and, through wasted worlds, the schedule) exactly like the wave
+  /// telemetry above — cost measurements, never part of response payloads.
+  std::uint64_t simd_batched_coins = 0;
+  std::uint64_t simd_tail_coins = 0;
 };
 
 /// Reusable per-graph derived state for repeated detections on the SAME

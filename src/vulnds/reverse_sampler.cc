@@ -31,22 +31,38 @@ bool WorldEdgeSurvives(uint64_t world_seed, EdgeId e, double prob) {
 }
 
 ReverseSampler::ReverseSampler(const UncertainGraph& graph,
-                               std::vector<NodeId> candidates)
+                               std::vector<NodeId> candidates,
+                               const CoinColumns* columns,
+                               simd::SimdTier tier)
     : graph_(graph),
       candidates_(std::move(candidates)),
+      columns_(columns),
+      tier_(tier),
       conclusion_stamp_(graph.num_nodes(), 0),
       conclusion_(graph.num_nodes(), 0),
       visited_stamp_(graph.num_nodes(), 0) {
+  if (columns_ == nullptr && CoinColumns::Worthwhile(graph)) {
+    owned_columns_ = CoinColumns::Shared(graph);
+    columns_ = owned_columns_.get();
+  }
   queue_.reserve(graph.num_nodes());
   explored_.reserve(graph.num_nodes());
-}
-
-bool ReverseSampler::EdgeSurvives(EdgeId e) {
-  return WorldEdgeSurvives(world_seed_, e, graph_.edges()[e].prob);
+  // columns_ may stay null on sparse graphs (below the density gate): the
+  // sampler then evaluates coins directly off the arcs — same inner hash,
+  // same exact threshold, so bit-identical — with no column build at all.
+  if (columns_ != nullptr) survivor_scratch_.resize(columns_->max_run);
 }
 
 bool ReverseSampler::NodeSelfDefaults(NodeId v) {
-  return WorldNodeSelfDefaults(world_seed_, v, graph_.self_risk(v));
+  // The integer form of WorldNodeSelfDefaults (CoinThreshold folds the
+  // 0/1 early-outs in); bit-identical by the kernel contract.
+  ++coin_stats_.tail_coins;
+  if (columns_ == nullptr) {
+    return simd::CoinHits(node_seed_, simd::CoinInnerHash(v),
+                          simd::CoinThreshold(graph_.self_risk(v)));
+  }
+  return simd::CoinHits(node_seed_, columns_->node_inner[v],
+                        columns_->node_threshold[v]);
 }
 
 ReverseSampler::Conclusion ReverseSampler::GetConclusion(NodeId v) const {
@@ -93,12 +109,38 @@ bool ReverseSampler::EvaluateCandidate(NodeId v, std::size_t* touched) {
       found_default = true;
       break;
     }
-    // Lines 14-20: expand along surviving in-edges.
-    for (const Arc& arc : graph_.InArcs(u)) {
-      if (visited_stamp_[arc.neighbor] == visit_stamp_) continue;
-      if (!EdgeSurvives(arc.edge)) continue;
-      visited_stamp_[arc.neighbor] = visit_stamp_;
-      queue_.push_back(arc.neighbor);
+    // Lines 14-20: expand along surviving in-edges. The whole adjacency
+    // run's coins are evaluated in one batched-kernel call (worlds are pure,
+    // so testing a coin for an already-visited neighbor changes nothing);
+    // survivors come back in ascending arc order, and the visited check +
+    // push below runs in that order — the queue is byte-identical to the
+    // scalar loop's.
+    if (columns_ == nullptr) {
+      // Sparse graph below the density gate: direct per-arc coins, in the
+      // same ascending arc order as the padded kernel's survivor list.
+      for (const Arc& arc : graph_.InArcs(u)) {
+        ++coin_stats_.tail_coins;
+        if (!simd::CoinHits(edge_seed_, simd::CoinInnerHash(arc.edge),
+                            simd::CoinThreshold(arc.prob))) {
+          continue;
+        }
+        if (visited_stamp_[arc.neighbor] == visit_stamp_) continue;
+        visited_stamp_[arc.neighbor] = visit_stamp_;
+        queue_.push_back(arc.neighbor);
+      }
+    } else {
+      const std::size_t run_begin = columns_->pad_offsets[u];
+      const std::size_t survivors = simd::CoinSurvivorsPadded(
+          tier_, edge_seed_, columns_->edge_inner.data() + run_begin,
+          columns_->edge_threshold.data() + run_begin, graph_.InDegree(u),
+          survivor_scratch_.data(), &coin_stats_);
+      for (std::size_t s = 0; s < survivors; ++s) {
+        const NodeId neighbor =
+            columns_->edge_neighbor[run_begin + survivor_scratch_[s]];
+        if (visited_stamp_[neighbor] == visit_stamp_) continue;
+        visited_stamp_[neighbor] = visit_stamp_;
+        queue_.push_back(neighbor);
+      }
     }
   }
 
@@ -115,7 +157,8 @@ bool ReverseSampler::EvaluateCandidate(NodeId v, std::size_t* touched) {
 
 std::size_t ReverseSampler::SampleWorld(uint64_t world_seed,
                                         std::vector<char>* defaulted) {
-  world_seed_ = world_seed;
+  edge_seed_ = world_seed ^ kEdgeSalt;
+  node_seed_ = world_seed ^ kNodeSalt;
   ++sample_stamp_;
   defaulted->assign(candidates_.size(), 0);
   std::size_t touched = 0;
@@ -128,16 +171,19 @@ std::size_t ReverseSampler::SampleWorld(uint64_t world_seed,
 namespace {
 
 void RunChunk(const UncertainGraph& graph, const std::vector<NodeId>& candidates,
-              uint64_t seed, std::size_t begin, std::size_t end,
-              std::vector<uint32_t>* counts, std::size_t* touched) {
-  ReverseSampler sampler(graph, candidates);
+              const CoinColumns* columns, simd::SimdTier tier, uint64_t seed,
+              std::size_t begin, std::size_t end, std::vector<uint32_t>* counts,
+              std::size_t* touched, simd::CoinKernelStats* coin_stats) {
+  ReverseSampler sampler(graph, candidates, columns, tier);
   std::vector<char> defaulted;
   for (std::size_t i = begin; i < end; ++i) {
     *touched += sampler.SampleWorld(WorldSeed(seed, i), &defaulted);
-    for (std::size_t c = 0; c < defaulted.size(); ++c) {
-      (*counts)[c] += defaulted[c];
-    }
+    simd::AccumulateCounts(
+        tier, counts->data(),
+        reinterpret_cast<const unsigned char*>(defaulted.data()),
+        defaulted.size());
   }
+  coin_stats->Add(sampler.coin_stats());
 }
 
 }  // namespace
@@ -145,31 +191,46 @@ void RunChunk(const UncertainGraph& graph, const std::vector<NodeId>& candidates
 ReverseSampleStats RunReverseSampling(const UncertainGraph& graph,
                                       const std::vector<NodeId>& candidates,
                                       std::size_t t, uint64_t seed,
-                                      ThreadPool* pool) {
+                                      ThreadPool* pool,
+                                      const CoinColumns* columns,
+                                      simd::SimdTier tier) {
   ReverseSampleStats stats;
   stats.samples = t;
   stats.estimates.assign(candidates.size(), 0.0);
   if (t == 0 || candidates.empty()) return stats;
 
+  // The graph's cached columns when the caller has none (and the graph is
+  // dense enough for them to pay — below the gate the samplers evaluate
+  // coins directly off the arcs, bit-identically); every worker
+  // sampler shares them read-only.
+  std::shared_ptr<const CoinColumns> shared_columns;
+  if (columns == nullptr && CoinColumns::Worthwhile(graph)) {
+    shared_columns = CoinColumns::Shared(graph);
+    columns = shared_columns.get();
+  }
+
   std::vector<uint32_t> counts(candidates.size(), 0);
   if (pool == nullptr || pool->num_threads() <= 1 || t < 16) {
-    RunChunk(graph, candidates, seed, 0, t, &counts, &stats.nodes_touched);
+    RunChunk(graph, candidates, columns, tier, seed, 0, t, &counts,
+             &stats.nodes_touched, &stats.coin_stats);
   } else {
     const std::size_t workers = std::min<std::size_t>(pool->num_threads(), t);
     std::vector<std::vector<uint32_t>> partial(
         workers, std::vector<uint32_t>(candidates.size(), 0));
     std::vector<std::size_t> partial_touched(workers, 0);
+    std::vector<simd::CoinKernelStats> partial_coins(workers);
     const std::size_t chunk = (t + workers - 1) / workers;
     pool->ParallelFor(workers, [&](std::size_t w) {
       const std::size_t begin = w * chunk;
       const std::size_t end = std::min(t, begin + chunk);
       if (begin < end) {
-        RunChunk(graph, candidates, seed, begin, end, &partial[w],
-                 &partial_touched[w]);
+        RunChunk(graph, candidates, columns, tier, seed, begin, end,
+                 &partial[w], &partial_touched[w], &partial_coins[w]);
       }
     });
     for (std::size_t w = 0; w < workers; ++w) {
       stats.nodes_touched += partial_touched[w];
+      stats.coin_stats.Add(partial_coins[w]);
       for (std::size_t c = 0; c < candidates.size(); ++c) counts[c] += partial[w][c];
     }
   }

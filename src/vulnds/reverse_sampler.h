@@ -25,10 +25,13 @@
 #define VULNDS_VULNDS_REVERSE_SAMPLER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "graph/uncertain_graph.h"
+#include "simd/coin_kernels.h"
+#include "vulnds/coin_columns.h"
 
 namespace vulnds {
 
@@ -43,10 +46,22 @@ bool WorldEdgeSurvives(uint64_t world_seed, EdgeId e, double prob);
 
 /// Evaluates candidate default indicators world-by-world. One instance per
 /// thread; reusable across samples.
+///
+/// Coins run through the batched kernel layer (simd/coin_kernels.h): the
+/// whole in-arc run of a BFS node is tested per iteration against the
+/// precomputed CoinColumns, survivors pushed in ascending arc order, so the
+/// visitation order — and every result — is bit-identical to the scalar
+/// WorldEdgeSurvives loop for every tier.
 class ReverseSampler {
  public:
   /// Prepares a sampler for the given candidate set (node ids into `graph`).
-  ReverseSampler(const UncertainGraph& graph, std::vector<NodeId> candidates);
+  /// `columns` must be the graph's columns when supplied (worker samplers
+  /// share the run's instance); passing nullptr uses the graph's cached
+  /// CoinColumns::Shared. `tier` picks the kernel implementation —
+  /// execution-only, results are identical.
+  ReverseSampler(const UncertainGraph& graph, std::vector<NodeId> candidates,
+                 const CoinColumns* columns = nullptr,
+                 simd::SimdTier tier = simd::DefaultTier());
 
   /// The candidate set, in the order `defaulted` entries are reported.
   const std::vector<NodeId>& candidates() const { return candidates_; }
@@ -56,21 +71,28 @@ class ReverseSampler {
   /// candidate count) and returns the number of node expansions performed.
   std::size_t SampleWorld(uint64_t world_seed, std::vector<char>* defaulted);
 
+  /// Kernel telemetry accumulated across every SampleWorld call so far.
+  const simd::CoinKernelStats& coin_stats() const { return coin_stats_; }
+
  private:
   enum class Conclusion : char { kUnknown = 0, kDefaulted, kSafe };
 
   // Evaluates one candidate in the current sample; assumes stamps are set.
   bool EvaluateCandidate(NodeId v, std::size_t* touched);
 
-  bool EdgeSurvives(EdgeId e);
   bool NodeSelfDefaults(NodeId v);
   Conclusion GetConclusion(NodeId v) const;
   void SetConclusion(NodeId v, Conclusion c);
 
   const UncertainGraph& graph_;
   std::vector<NodeId> candidates_;
+  // Keeps the graph's shared columns alive when none were passed in.
+  std::shared_ptr<const CoinColumns> owned_columns_;
+  const CoinColumns* columns_;
+  simd::SimdTier tier_;
 
-  uint64_t world_seed_ = 0;
+  uint64_t edge_seed_ = 0;     // world_seed_ ^ kEdgeSalt, set per world
+  uint64_t node_seed_ = 0;     // world_seed_ ^ kNodeSalt, set per world
   uint64_t sample_stamp_ = 0;  // bumped per SampleWorld
   uint64_t visit_stamp_ = 0;   // bumped per candidate BFS
 
@@ -79,6 +101,8 @@ class ReverseSampler {
   std::vector<uint64_t> visited_stamp_;
   std::vector<NodeId> queue_;
   std::vector<NodeId> explored_;
+  std::vector<uint32_t> survivor_scratch_;
+  simd::CoinKernelStats coin_stats_;
 };
 
 /// Aggregate estimates from `t` reverse samples.
@@ -86,15 +110,23 @@ struct ReverseSampleStats {
   std::vector<double> estimates;  ///< p̂(v) per candidate (candidate order)
   std::size_t samples = 0;
   std::size_t nodes_touched = 0;
+  /// Kernel telemetry (batched vs tail coin evaluations). Like
+  /// nodes_touched it measures cost, not answers: totals vary with the
+  /// simd tier, never the estimates.
+  simd::CoinKernelStats coin_stats;
 };
 
 /// Runs Algorithm 5 for `t` samples; parallel over samples when `pool` is
 /// provided (deterministic: worlds are indexed, partial counts are reduced
-/// in worker order).
+/// in worker order). `columns` may carry the graph's columns when the caller
+/// already holds them; nullptr uses the graph's cached CoinColumns::Shared.
+/// `tier` is execution-only: results are bit-identical for every tier.
 ReverseSampleStats RunReverseSampling(const UncertainGraph& graph,
                                       const std::vector<NodeId>& candidates,
                                       std::size_t t, uint64_t seed,
-                                      ThreadPool* pool = nullptr);
+                                      ThreadPool* pool = nullptr,
+                                      const CoinColumns* columns = nullptr,
+                                      simd::SimdTier tier = simd::DefaultTier());
 
 }  // namespace vulnds
 

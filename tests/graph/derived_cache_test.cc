@@ -1,0 +1,78 @@
+// DerivedCache semantics: lazy single build, Peek never builds, Put
+// replaces, copies start cold, and moves transfer the slot (a commit
+// snapshot's seeded columns must survive std::move into the catalog).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "graph/derived_cache.h"
+#include "graph/uncertain_graph.h"
+#include "testing/test_graphs.h"
+
+namespace vulnds {
+namespace {
+
+struct Payload {
+  int value = 0;
+};
+
+TEST(DerivedCacheTest, GetOrBuildBuildsOnceAndPeekNeverBuilds) {
+  DerivedCache cache;
+  EXPECT_EQ(cache.Peek<Payload>(), nullptr);
+
+  int builds = 0;
+  const auto first = cache.GetOrBuild<Payload>([&] {
+    ++builds;
+    return Payload{41};
+  });
+  const auto second = cache.GetOrBuild<Payload>([&] {
+    ++builds;
+    return Payload{999};
+  });
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(second->value, 41);
+  EXPECT_EQ(cache.Peek<Payload>().get(), first.get());
+}
+
+TEST(DerivedCacheTest, PutReplacesTheOccupant) {
+  DerivedCache cache;
+  cache.GetOrBuild<Payload>([] { return Payload{1}; });
+  cache.Put<Payload>(std::make_shared<const Payload>(Payload{2}));
+  EXPECT_EQ(cache.Peek<Payload>()->value, 2);
+}
+
+TEST(DerivedCacheTest, CopiesStartColdMovesTransfer) {
+  DerivedCache cache;
+  cache.GetOrBuild<Payload>([] { return Payload{7}; });
+
+  const DerivedCache copy(cache);
+  EXPECT_EQ(copy.Peek<Payload>(), nullptr);
+  EXPECT_NE(cache.Peek<Payload>(), nullptr);
+
+  DerivedCache moved(std::move(cache));
+  ASSERT_NE(moved.Peek<Payload>(), nullptr);
+  EXPECT_EQ(moved.Peek<Payload>()->value, 7);
+
+  DerivedCache assigned;
+  assigned = std::move(moved);
+  ASSERT_NE(assigned.Peek<Payload>(), nullptr);
+  EXPECT_EQ(assigned.Peek<Payload>()->value, 7);
+}
+
+TEST(DerivedCacheTest, GraphMovesCarryTheCacheCopiesDoNot) {
+  UncertainGraph g = testing::RandomSmallGraph(10, 0.3, 21);
+  g.derived().Put<Payload>(std::make_shared<const Payload>(Payload{5}));
+
+  const UncertainGraph copy(g);
+  EXPECT_EQ(copy.derived().Peek<Payload>(), nullptr);
+
+  const UncertainGraph moved(std::move(g));
+  ASSERT_NE(moved.derived().Peek<Payload>(), nullptr);
+  EXPECT_EQ(moved.derived().Peek<Payload>()->value, 5);
+}
+
+}  // namespace
+}  // namespace vulnds

@@ -1,0 +1,287 @@
+// Property tests of the tier-for-tier bit-identity contract: every kernel,
+// compared lane against the scalar reference (and against the pre-existing
+// double-comparison coin semantics) across lane alignments, tail lengths and
+// degenerate probabilities. When the host lacks AVX2 only the scalar tier is
+// exercised — the loops below iterate the AVAILABLE tiers, so the suite
+// passes (rather than vacuously skips) everywhere.
+
+#include "simd/coin_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "simd/dispatch.h"
+
+namespace vulnds::simd {
+namespace {
+
+std::vector<SimdTier> AvailableTiers() {
+  std::vector<SimdTier> tiers{SimdTier::kScalar};
+  if (Avx2Available()) tiers.push_back(SimdTier::kAvx2);
+  return tiers;
+}
+
+// (double(x) + 0.5) * 2^-53: the exact HashUnit conversion of a 53-bit hash.
+double UnitOf(uint64_t x) {
+  return (static_cast<double>(x) + 0.5) * 0x1.0p-53;
+}
+
+// The probabilities most likely to break an integer-threshold conversion:
+// the 0/1 early-outs, NaN, values straddling representability boundaries,
+// and exact HashUnit outputs (where < must stay strict).
+std::vector<double> AdversarialProbs() {
+  std::vector<double> probs = {
+      0.0,
+      -0.0,
+      -1.0,
+      1.0,
+      1.5,
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::nextafter(0.0, 1.0),
+      std::nextafter(1.0, 0.0),
+      std::nextafter(1.0, 2.0),
+      0x1.0p-53,
+      0x1.0p-54,
+      0.5,
+      std::nextafter(0.5, 0.0),
+      std::nextafter(0.5, 1.0),
+  };
+  // Exact HashUnit values and their neighbors, across the magnitude range
+  // (including x >= 2^52 where double(x) + 0.5 rounds to even).
+  for (const uint64_t x :
+       {uint64_t{0}, uint64_t{1}, uint64_t{12345}, uint64_t{1} << 32,
+        (uint64_t{1} << 52) - 1, uint64_t{1} << 52, (uint64_t{1} << 52) + 1,
+        (uint64_t{1} << 53) - 2, (uint64_t{1} << 53) - 1}) {
+    const double u = UnitOf(x);
+    probs.push_back(u);
+    probs.push_back(std::nextafter(u, 0.0));
+    probs.push_back(std::nextafter(u, 2.0));
+  }
+  Rng rng(0xC01Fu);
+  for (int i = 0; i < 200; ++i) probs.push_back(rng.NextDouble());
+  return probs;
+}
+
+TEST(CoinThresholdTest, ExactlyCharacterizesTheDoublePredicate) {
+  for (const double prob : AdversarialProbs()) {
+    const uint64_t t = CoinThreshold(prob);
+    ASSERT_LE(t, kCoinAlways);
+    if (std::isnan(prob) || prob <= 0.0) {
+      EXPECT_EQ(t, 0u) << prob;
+      continue;
+    }
+    if (prob >= 1.0) {
+      EXPECT_EQ(t, kCoinAlways) << prob;
+      continue;
+    }
+    // T is the unique boundary of the down-set {x : UnitOf(x) < prob}.
+    if (t > 0) EXPECT_LT(UnitOf(t - 1), prob) << prob;
+    if (t < kCoinAlways) EXPECT_FALSE(UnitOf(t) < prob) << prob;
+  }
+}
+
+TEST(CoinHitsTest, MatchesTheUniformHashDoubleComparison) {
+  Rng rng(0x5EEDu);
+  const std::vector<double> probs = AdversarialProbs();
+  for (int round = 0; round < 50; ++round) {
+    const uint64_t seed = rng.NextU64();
+    const UniformHash hash(seed);
+    for (const double prob : probs) {
+      const uint64_t threshold = CoinThreshold(prob);
+      const uint64_t id = rng.NextU64();
+      const bool reference =
+          !std::isnan(prob) && hash.HashUnit(id) < prob;
+      EXPECT_EQ(CoinHits(seed, CoinInnerHash(id), threshold), reference)
+          << "seed=" << seed << " id=" << id << " prob=" << prob;
+    }
+  }
+}
+
+// Every run length from empty through two full vector blocks plus every
+// possible tail, and a couple of longer ones.
+std::vector<std::size_t> RunLengths() {
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n <= 2 * kCoinLanes + 1; ++n) lengths.push_back(n);
+  lengths.push_back(3 * kCoinLanes);
+  lengths.push_back(37);
+  lengths.push_back(100);
+  return lengths;
+}
+
+struct CoinRun {
+  std::vector<uint64_t> inner;
+  std::vector<uint64_t> threshold;
+};
+
+CoinRun MakeRun(Rng* rng, std::size_t n, std::size_t padded_capacity) {
+  CoinRun run;
+  run.inner.assign(padded_capacity, 0);
+  run.threshold.assign(padded_capacity, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    run.inner[i] = CoinInnerHash(rng->NextU64());
+    // Mix degenerate thresholds (never / always) in with real ones.
+    const uint64_t kind = rng->NextBounded(4);
+    if (kind == 0) {
+      run.threshold[i] = 0;
+    } else if (kind == 1) {
+      run.threshold[i] = kCoinAlways;
+    } else {
+      run.threshold[i] = CoinThreshold(rng->NextDouble());
+    }
+  }
+  return run;
+}
+
+TEST(CoinSurvivorsTest, EveryTierMatchesScalarOnEveryTailLength) {
+  Rng rng(0xFACEu);
+  const std::vector<SimdTier> tiers = AvailableTiers();
+  for (const std::size_t n : RunLengths()) {
+    for (int round = 0; round < 20; ++round) {
+      const CoinRun run = MakeRun(&rng, n, n);
+      const uint64_t seed = rng.NextU64();
+      std::vector<uint32_t> reference(n + 1, 0xDEAD);
+      CoinKernelStats reference_stats;
+      const std::size_t reference_count =
+          CoinSurvivors(SimdTier::kScalar, seed, run.inner.data(),
+                        run.threshold.data(), n, reference.data(),
+                        &reference_stats);
+      ASSERT_LE(reference_count, n);
+      for (const SimdTier tier : tiers) {
+        std::vector<uint32_t> out(n + 1, 0xBEEF);
+        CoinKernelStats stats;
+        const std::size_t count =
+            CoinSurvivors(tier, seed, run.inner.data(), run.threshold.data(),
+                          n, out.data(), &stats);
+        ASSERT_EQ(count, reference_count) << "tier=" << SimdTierName(tier)
+                                          << " n=" << n;
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(out[i], reference[i]) << "tier=" << SimdTierName(tier)
+                                          << " n=" << n << " i=" << i;
+        }
+        // Telemetry accounts every coin exactly once in some bucket.
+        EXPECT_EQ(stats.batched_coins + stats.tail_coins, n);
+      }
+    }
+  }
+}
+
+TEST(CoinSurvivorsPaddedTest, MatchesUnpaddedOnTheTrueLength) {
+  Rng rng(0xBA5Eu);
+  const std::vector<SimdTier> tiers = AvailableTiers();
+  for (const std::size_t n : RunLengths()) {
+    const std::size_t padded = ((n + kCoinLanes - 1) / kCoinLanes) * kCoinLanes;
+    for (int round = 0; round < 20; ++round) {
+      const CoinRun run = MakeRun(&rng, n, padded);
+      const uint64_t seed = rng.NextU64();
+      std::vector<uint32_t> reference(n + 1, 0);
+      CoinKernelStats reference_stats;
+      const std::size_t reference_count =
+          CoinSurvivors(SimdTier::kScalar, seed, run.inner.data(),
+                        run.threshold.data(), n, reference.data(),
+                        &reference_stats);
+      for (const SimdTier tier : tiers) {
+        std::vector<uint32_t> out(padded + 1, 0);
+        CoinKernelStats stats;
+        const std::size_t count =
+            CoinSurvivorsPadded(tier, seed, run.inner.data(),
+                                run.threshold.data(), n, out.data(), &stats);
+        ASSERT_EQ(count, reference_count) << "tier=" << SimdTierName(tier)
+                                          << " n=" << n;
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(out[i], reference[i]);
+          // Padding slots (threshold 0) must never leak into the survivors.
+          EXPECT_LT(out[i], n);
+        }
+      }
+    }
+  }
+}
+
+TEST(HashBatchTest, MatchesUniformHashElementwise) {
+  Rng rng(0x4A5Bu);
+  const std::vector<SimdTier> tiers = AvailableTiers();
+  for (const std::size_t n : RunLengths()) {
+    const uint64_t seed = rng.NextU64();
+    const uint64_t base = rng.NextU64() >> 1;  // room for base + n
+    const UniformHash hash(seed);
+    for (const SimdTier tier : tiers) {
+      std::vector<uint64_t> out(n + 1, 0xABAD1DEA);
+      HashBatch(tier, seed, base, n, out.data(), nullptr);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], hash.Hash64(base + i))
+            << "tier=" << SimdTierName(tier) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(FindActiveTest, MatchesScalarWithAndWithoutVeto) {
+  Rng rng(0xF1A6u);
+  const std::vector<SimdTier> tiers = AvailableTiers();
+  // Lengths straddling the 32-byte AVX2 block width and its tails.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{31},
+                              std::size_t{32}, std::size_t{33}, std::size_t{64},
+                              std::size_t{70}, std::size_t{100}}) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<unsigned char> flags(n), veto(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        flags[i] = static_cast<unsigned char>(rng.NextBounded(2));
+        veto[i] = static_cast<unsigned char>(rng.NextBounded(2));
+      }
+      const unsigned char* veto_cases[] = {nullptr, veto.data()};
+      for (const unsigned char* v : veto_cases) {
+        std::vector<uint32_t> reference(n + 1, 0);
+        const std::size_t reference_count = FindActive(
+            SimdTier::kScalar, flags.data(), v, n, reference.data());
+        for (const SimdTier tier : tiers) {
+          std::vector<uint32_t> out(n + 1, 0);
+          const std::size_t count =
+              FindActive(tier, flags.data(), v, n, out.data());
+          ASSERT_EQ(count, reference_count)
+              << "tier=" << SimdTierName(tier) << " n=" << n
+              << " veto=" << (v != nullptr);
+          for (std::size_t i = 0; i < count; ++i) {
+            EXPECT_EQ(out[i], reference[i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AccumulateCountsTest, MatchesScalarAdd) {
+  Rng rng(0xACC0u);
+  const std::vector<SimdTier> tiers = AvailableTiers();
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{8}, std::size_t{9}, std::size_t{16},
+                              std::size_t{33}, std::size_t{100}}) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<unsigned char> flags(n);
+      std::vector<uint32_t> base(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        flags[i] = static_cast<unsigned char>(rng.NextBounded(2));
+        base[i] = static_cast<uint32_t>(rng.NextBounded(1000));
+      }
+      std::vector<uint32_t> reference = base;
+      AccumulateCounts(SimdTier::kScalar, reference.data(), flags.data(), n);
+      for (const SimdTier tier : tiers) {
+        std::vector<uint32_t> counts = base;
+        AccumulateCounts(tier, counts.data(), flags.data(), n);
+        EXPECT_EQ(counts, reference) << "tier=" << SimdTierName(tier)
+                                     << " n=" << n;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vulnds::simd

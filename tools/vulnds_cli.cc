@@ -13,8 +13,10 @@
 //       BSRBK) and prints the ranked nodes with scores. Flags: eps=, delta=,
 //       seed=, samples= (method N budget), order= (bound order z), bk=,
 //       threads= (sampling threads; 0 = one per hardware core), wave=
-//       (BSRBK wave schedule: adaptive | fixed | fixed:N). Results are
-//       bit-identical for every thread count and wave schedule.
+//       (BSRBK wave schedule: adaptive | fixed | fixed:N), simd= (kernel
+//       tier: auto | avx2 | scalar; VULNDS_SIMD sets the process default).
+//       Results are bit-identical for every thread count, wave schedule
+//       and kernel tier.
 //   vulnds_cli truth <graph> <k> [samples] [seed]
 //       Prints the Monte-Carlo reference top-k (default 20000 worlds).
 //   vulnds_cli serve [cache_capacity] [threads=N] [shards=N] [catalog_bytes=N]
@@ -105,7 +107,7 @@ int Usage() {
                "  vulnds_cli stats <graph>\n"
                "  vulnds_cli detect <graph> <k> [method] [key=value ...]\n"
                "      keys: eps= delta= seed= samples= order= bk= method= threads=\n"
-               "            wave=adaptive|fixed|fixed:N\n"
+               "            wave=adaptive|fixed|fixed:N simd=auto|avx2|scalar\n"
                "  vulnds_cli truth <graph> <k> [samples] [seed]\n"
                "  vulnds_cli serve [cache_capacity] [threads=N] [shards=N]\n"
                "             [catalog_bytes=N] [cache_shards=N]\n"
