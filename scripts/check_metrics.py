@@ -66,6 +66,8 @@ REQUIRED_FAMILIES = [
     "vulnds_store_page_ins_total",
     "vulnds_store_page_in_micros",
     "vulnds_store_rejected_oversize_total",
+    "vulnds_store_io_errors_total",
+    "vulnds_store_spill_orphans_reclaimed_total",
     "vulnds_server_requests_total",
     "vulnds_server_sessions_started_total",
     "vulnds_net_connections",

@@ -16,7 +16,10 @@ Exercises the journal + spill + byte-budget path the way a crash would:
      answer bit for bit, the staged tail survives into the next commit,
      and the `stats` verb reports the storage-hierarchy gauges;
   5. truncates the journal tail and restarts once more: startup must
-     succeed, keeping the longest valid prefix.
+     succeed, keeping the longest valid prefix;
+  6. runs commit/kill/restart cycles against a `journal_compact_bytes=`
+     server and asserts the journal stays bounded across all of them while
+     every committed version still replays.
 
 Exit status: 0 clean, 1 failure, 2 environment error (CLI missing).
 """
@@ -47,11 +50,11 @@ def synthesize_graph(path):
     path.write_text("\n".join(lines) + "\n")
 
 
-def start_server(cli, socket_path, journal, spill_dir):
+def start_server(cli, socket_path, journal, spill_dir, extra=()):
     proc = subprocess.Popen(
         [cli, "serve", f"unix={socket_path}", "tcp=0",
          f"journal={journal}", f"spill_dir={spill_dir}",
-         f"mem_bytes={MEM_BYTES}"],
+         f"mem_bytes={MEM_BYTES}", *extra],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
     for _ in range(2):
         line = proc.stdout.readline().strip()
@@ -168,6 +171,69 @@ def main():
                 client.request("shutdown")
             rc = proc.wait(timeout=60)
             expect(rc == 0, f"post-truncation server exited {rc}", failures)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # --- bounded journal: commit/kill/restart cycles must not grow it ---
+        # With journal_compact_bytes= armed, every commit that leaves the
+        # journal over the threshold triggers a compaction, so the journal
+        # stays bounded no matter how many commit cycles (and crashes)
+        # accumulate — and the compacted journal still replays every version.
+        compact_threshold = 2048
+        journal2 = tmp / "bounded.journal"
+        cycles, commits_per_cycle = 6, 3
+        max_journal_bytes = 0
+        for cycle in range(cycles):
+            sock = tmp / f"bound{cycle}.sock"
+            proc = start_server(
+                str(cli), str(sock), journal2, spill_dir,
+                extra=[f"journal_compact_bytes={compact_threshold}"])
+            try:
+                with ServeClient(unix=str(sock)) as client:
+                    if cycle == 0:
+                        expect(client.request(f"load g2 {graph}")[0]
+                               .startswith("ok loaded g2"),
+                               "bounded-phase load failed", failures)
+                    for c in range(commits_per_cycle):
+                        client.request("addedge g2 0 6 0.9")
+                        client.request("deledge g2 0 6")
+                        version = cycle * commits_per_cycle + c + 1
+                        commit = client.request("commit g2")
+                        expect(commit[0].startswith(
+                            f"ok committed g2@v{version}"),
+                            f"cycle {cycle} commit answered {commit[0]!r}",
+                            failures)
+            finally:
+                proc.kill()  # crash mid-lifetime, never a clean drain
+                proc.wait()
+            max_journal_bytes = max(max_journal_bytes,
+                                    journal2.stat().st_size)
+
+        # Generous slack: threshold + one uncompacted commit burst.
+        bound = compact_threshold + 4096
+        expect(max_journal_bytes <= bound,
+               f"journal grew to {max_journal_bytes} bytes across "
+               f"{cycles} crash cycles (bound {bound})", failures)
+
+        # Every version from every cycle replays out of the bounded journal.
+        sock = tmp / "bound_final.sock"
+        proc = start_server(str(cli), str(sock), journal2, spill_dir,
+                            extra=[f"journal_compact_bytes={compact_threshold}"])
+        try:
+            with ServeClient(unix=str(sock)) as client:
+                total = cycles * commits_per_cycle
+                versions = client.request("versions g2")
+                expect(versions[0] == f"ok versions g2 count={total + 1}",
+                       f"bounded-journal replay answered {versions[0]!r} "
+                       f"(wanted count={total + 1})", failures)
+                expect(client.request(f"detect g2@v{total} 3")[0].startswith(
+                    f"ok detect g2@v{total}"),
+                    "detect on last bounded-journal version failed", failures)
+                client.request("shutdown")
+            rc = proc.wait(timeout=60)
+            expect(rc == 0, f"bounded-journal server exited {rc}", failures)
         finally:
             if proc.poll() is None:
                 proc.kill()

@@ -1,0 +1,18 @@
+// Reflected CRC-32 (polynomial 0xEDB88320, as used by zip/png): the
+// checksum shared by the delta journal's record frames and the spill files'
+// corruption check.
+
+#ifndef VULNDS_COMMON_CRC32_H_
+#define VULNDS_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vulnds {
+
+/// CRC-32 over `len` bytes at `data`.
+uint32_t Crc32(const void* data, std::size_t len);
+
+}  // namespace vulnds
+
+#endif  // VULNDS_COMMON_CRC32_H_

@@ -4,22 +4,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
-namespace vulnds::dyn {
+#include "common/failpoint.h"
 
-uint32_t Crc32(const void* data, std::size_t len) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < len; ++i) {
-    crc ^= bytes[i];
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
-    }
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+namespace vulnds::dyn {
 
 namespace {
 
@@ -51,10 +42,26 @@ std::size_t ReadFull(int fd, void* buf, std::size_t len) {
   return done;
 }
 
+// Appends the [len][crc][payload] frame for `payload` to `out`.
+void AppendFrame(std::string* out, const std::string& payload) {
+  const std::size_t base = out->size();
+  out->resize(base + 8 + payload.size());
+  auto* head = reinterpret_cast<unsigned char*>(out->data() + base);
+  PutU32(head, static_cast<uint32_t>(payload.size()));
+  PutU32(head + 4, Crc32(payload.data(), payload.size()));
+  std::memcpy(out->data() + base + 8, payload.data(), payload.size());
+}
+
 }  // namespace
 
 Result<std::unique_ptr<DeltaJournal>> DeltaJournal::Open(
     const std::string& path) {
+  if (const auto o = fail::Check(fail::points::kJournalOpen);
+      o != fail::Outcome::kNone) {
+    return Status::IOError("cannot open journal '" + path + "': " +
+                           std::strerror(fail::InjectedErrno(o)) +
+                           " (injected)");
+  }
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) {
     return Status::IOError("cannot open journal '" + path +
@@ -109,28 +116,68 @@ DeltaJournal::~DeltaJournal() {
 }
 
 Status DeltaJournal::Append(const std::string& payload) {
+  if (wedged_) {
+    return Status::IOError("journal '" + path_ +
+                           "' is wedged after an unrecoverable write error");
+  }
   if (payload.size() > kMaxRecordBytes) {
     return Status::InvalidArgument("journal record of " +
                                    std::to_string(payload.size()) +
                                    " bytes exceeds the 1 MiB record cap");
   }
-  std::string frame(8 + payload.size(), '\0');
-  PutU32(reinterpret_cast<unsigned char*>(frame.data()),
-         static_cast<uint32_t>(payload.size()));
-  PutU32(reinterpret_cast<unsigned char*>(frame.data()) + 4,
-         Crc32(payload.data(), payload.size()));
-  std::memcpy(frame.data() + 8, payload.data(), payload.size());
-  // One write() per record: a crash leaves at most one torn record at the
-  // tail, which the next Open() truncates away.
-  std::size_t done = 0;
-  while (done < frame.size()) {
-    const ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("journal append to '" + path_ +
-                             "' failed: " + std::strerror(errno));
+  std::string frame;
+  AppendFrame(&frame, payload);
+
+  int failed_errno = 0;
+  const fail::Outcome injected =
+      fail::Check(fail::points::kJournalAppendWrite);
+  if (injected == fail::Outcome::kShortWrite) {
+    // Model a torn write: half the frame really lands, then the "syscall"
+    // fails. The boundary rollback below must peel the partial record off.
+    std::size_t done = 0;
+    const std::size_t half = frame.size() / 2;
+    while (done < half) {
+      const ssize_t n = ::write(fd_, frame.data() + done, half - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      done += static_cast<std::size_t>(n);
     }
-    done += static_cast<std::size_t>(n);
+    failed_errno = EIO;
+  } else if (injected != fail::Outcome::kNone) {
+    failed_errno = fail::InjectedErrno(injected);
+  } else {
+    // One write() per record: a crash leaves at most one torn record at the
+    // tail, which the next Open() truncates away.
+    std::size_t done = 0;
+    while (done < frame.size()) {
+      const ssize_t n =
+          ::write(fd_, frame.data() + done, frame.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        failed_errno = errno;
+        break;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+  }
+  if (failed_errno != 0) {
+    // Roll the file back to the last good record boundary so a retried
+    // append never lands after torn bytes (replay stops at the first torn
+    // record, which would silently drop everything written after it).
+    if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET) < 0) {
+      wedged_ = true;
+      return Status::IOError("journal append to '" + path_ + "' failed (" +
+                             std::strerror(failed_errno) +
+                             ") and the partial record could not be rolled "
+                             "back; journal wedged");
+    }
+    return Status::IOError(
+        std::string("journal append to '") + path_ +
+        "' failed: " + std::strerror(failed_errno) +
+        (injected != fail::Outcome::kNone ? " (injected)" : ""));
   }
   bytes_ += frame.size();
   ++records_;
@@ -138,9 +185,108 @@ Status DeltaJournal::Append(const std::string& payload) {
 }
 
 Status DeltaJournal::Sync() {
+  if (wedged_) {
+    return Status::IOError("journal '" + path_ +
+                           "' is wedged after an unrecoverable write error");
+  }
+  if (const auto o = fail::Check(fail::points::kJournalSyncFsync);
+      o != fail::Outcome::kNone) {
+    return Status::IOError("journal fsync of '" + path_ + "' failed: " +
+                           std::strerror(fail::InjectedErrno(o)) +
+                           " (injected)");
+  }
   if (::fsync(fd_) != 0) {
     return Status::IOError("journal fsync of '" + path_ +
                            "' failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status DeltaJournal::ReplaceWith(const std::vector<std::string>& payloads) {
+  for (const std::string& payload : payloads) {
+    if (payload.size() > kMaxRecordBytes) {
+      return Status::InvalidArgument("journal record of " +
+                                     std::to_string(payload.size()) +
+                                     " bytes exceeds the 1 MiB record cap");
+    }
+  }
+  const std::string tmp_path =
+      path_ + ".compact.tmp." + std::to_string(::getpid());
+  const int tmp_fd =
+      ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    return Status::IOError("cannot open compaction temp '" + tmp_path +
+                           "': " + std::strerror(errno));
+  }
+  auto fail_with = [&](std::string msg) {
+    ::close(tmp_fd);
+    ::unlink(tmp_path.c_str());
+    return Status::IOError(std::move(msg));
+  };
+
+  std::string body;
+  for (const std::string& payload : payloads) AppendFrame(&body, payload);
+
+  const fail::Outcome write_fault =
+      fail::Check(fail::points::kJournalCompactWrite);
+  if (write_fault == fail::Outcome::kShortWrite) {
+    // A prefix really lands in the temp file, then the write "fails"; the
+    // temp is discarded so the live journal is untouched either way.
+    (void)!::write(tmp_fd, body.data(), body.size() / 2);
+    return fail_with("journal compaction write to '" + tmp_path +
+                     "' failed: " + std::strerror(EIO) + " (injected)");
+  }
+  if (write_fault != fail::Outcome::kNone) {
+    return fail_with("journal compaction write to '" + tmp_path +
+                     "' failed: " +
+                     std::strerror(fail::InjectedErrno(write_fault)) +
+                     " (injected)");
+  }
+  std::size_t done = 0;
+  while (done < body.size()) {
+    const ssize_t n = ::write(tmp_fd, body.data() + done, body.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail_with("journal compaction write to '" + tmp_path +
+                       "' failed: " + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+
+  if (const auto o = fail::Check(fail::points::kJournalCompactFsync);
+      o != fail::Outcome::kNone) {
+    return fail_with("journal compaction fsync of '" + tmp_path +
+                     "' failed: " + std::strerror(fail::InjectedErrno(o)) +
+                     " (injected)");
+  }
+  if (::fsync(tmp_fd) != 0) {
+    return fail_with("journal compaction fsync of '" + tmp_path +
+                     "' failed: " + std::strerror(errno));
+  }
+
+  if (const auto o = fail::Check(fail::points::kJournalCompactRename);
+      o != fail::Outcome::kNone) {
+    return fail_with("journal compaction rename to '" + path_ +
+                     "' failed: " + std::strerror(fail::InjectedErrno(o)) +
+                     " (injected)");
+  }
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return fail_with("journal compaction rename to '" + path_ +
+                     "' failed: " + std::strerror(errno));
+  }
+
+  // rename() moved the inode we already hold open as tmp_fd under the
+  // journal path, so adopting tmp_fd — not reopening by name — leaves no
+  // window where appends could go to a stale file.
+  ::close(fd_);
+  fd_ = tmp_fd;
+  wedged_ = false;
+  bytes_ = body.size();
+  records_ = payloads.size();
+  if (::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET) < 0) {
+    wedged_ = true;
+    return Status::IOError("cannot seek compacted journal '" + path_ +
+                           "': " + std::strerror(errno));
   }
   return Status::OK();
 }

@@ -37,12 +37,14 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/status.h"
 
 namespace vulnds::dyn {
 
-/// Reflected CRC-32 (poly 0xEDB88320) over `len` bytes at `data`.
-uint32_t Crc32(const void* data, std::size_t len);
+/// The journal's frame checksum — the shared reflected CRC-32 from
+/// common/crc32.h, re-exported under the historical dyn:: name.
+using vulnds::Crc32;
 
 class DeltaJournal {
  public:
@@ -63,10 +65,24 @@ class DeltaJournal {
 
   /// Appends one record (framing + checksum added here). The payload is in
   /// the kernel when this returns; call Sync() to force it to disk.
+  ///
+  /// On a failed or partial write the file is rolled back to the last good
+  /// record boundary, so a later Append never lands after torn bytes. If
+  /// that rollback itself fails the journal is wedged: every further
+  /// Append/Sync fails fast rather than risk committing records that replay
+  /// would silently drop at the torn point.
   Status Append(const std::string& payload);
 
   /// fsync()s the journal file (commit barrier).
   Status Sync();
+
+  /// Atomically replaces the journal contents with `payloads` (compaction):
+  /// writes a fully framed temp file next to the journal, fsyncs it, and
+  /// rename()s it over the journal path. A crash at any step leaves either
+  /// the complete old journal or the complete new one. On success the
+  /// journal continues appending to the new file; on failure the old file
+  /// and write cursor are untouched.
+  Status ReplaceWith(const std::vector<std::string>& payloads);
 
   /// Payloads recovered by Open(), in append order. Cleared by
   /// ReleaseRecovered() once the owner has replayed them.
@@ -90,6 +106,7 @@ class DeltaJournal {
 
   std::string path_;
   int fd_ = -1;
+  bool wedged_ = false;
   std::size_t bytes_ = 0;
   std::size_t records_ = 0;
   std::size_t dropped_tail_bytes_ = 0;

@@ -1,13 +1,36 @@
 #include "dyn/update_manager.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
 
+#include "graph/graph_io.h"
+#include "serve/io_metrics.h"
+
 namespace vulnds::dyn {
 
 namespace {
+
+// Attempts per journal syscall before the failure is surfaced: transient
+// errors are absorbed, persistent ones fail fast with no sleeps.
+constexpr int kJournalIoAttempts = 3;
+
+// Filesystem-safe rendition of a catalog name for snapshot side files
+// ("g@v3" -> "g_v3"), mirroring the spill path convention.
+std::string SanitizeForPath(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
+}
 
 // The base graph of a catalog entry, kept alive by the entry itself.
 std::shared_ptr<const UncertainGraph> GraphOf(
@@ -115,9 +138,66 @@ Status UpdateManager::EnsureOverlayLocked(const std::string& name,
   return Status::OK();
 }
 
-void UpdateManager::JournalAppendLocked(const std::string& payload) {
-  if (journal_ == nullptr) return;
-  if (!journal_->Append(payload).ok()) ++stats_.journal_errors;
+Status UpdateManager::JournalAppendRetryLocked(const std::string& payload) {
+  Status st;
+  for (int attempt = 0; attempt < kJournalIoAttempts; ++attempt) {
+    st = journal_->Append(payload);
+    if (st.ok()) {
+      if (attempt > 0) {
+        serve::CountIoError(registry_, "journal_append", "retried");
+      }
+      return st;
+    }
+  }
+  ++stats_.journal_errors;
+  serve::CountIoError(registry_, "journal_append", "error");
+  return st;
+}
+
+Status UpdateManager::JournalSyncRetryLocked() {
+  Status st;
+  for (int attempt = 0; attempt < kJournalIoAttempts; ++attempt) {
+    st = journal_->Sync();
+    if (st.ok()) {
+      if (attempt > 0) {
+        serve::CountIoError(registry_, "journal_fsync", "retried");
+      }
+      return st;
+    }
+  }
+  ++stats_.journal_errors;
+  serve::CountIoError(registry_, "journal_fsync", "error");
+  return st;
+}
+
+void UpdateManager::RollbackLastStagedLocked(NameState* state) {
+  const std::vector<DeltaRecord> records = state->overlay->log().records();
+  auto fresh = std::make_unique<DynamicGraph>(GraphOf(state->base_entry));
+  // Re-apply everything but the last record. Each was validated against
+  // exactly this base + prefix when first staged, so the replays succeed
+  // and resolve to the same edges.
+  for (std::size_t i = 0; i + 1 < records.size(); ++i) {
+    const DeltaRecord& r = records[i];
+    switch (r.op) {
+      case DeltaOp::kAddEdge:
+        (void)fresh->AddEdge(r.src, r.dst, r.prob);
+        break;
+      case DeltaOp::kDeleteEdge:
+        (void)fresh->DeleteEdge(r.src, r.dst);
+        break;
+      case DeltaOp::kSetProb:
+        (void)fresh->SetProb(r.src, r.dst, r.prob);
+        break;
+    }
+  }
+  state->overlay = std::move(fresh);
+  ++stats_.journal_rollbacks;
+  if (stats_.staged_ops > 0) --stats_.staged_ops;
+  if (state->overlay->pending_ops() == 0) {
+    state->overlay = nullptr;
+    state->base_entry = nullptr;
+    state->base_pin.Release();
+  }
 }
 
 template <typename Fn>
@@ -130,7 +210,14 @@ Result<serve::UpdateAck> UpdateManager::StageLocked(const std::string& name,
           "updates target the base name; versions ('" + name +
           "') are immutable");
     }
-    return StateLocked(name, /*reset_on_reload=*/true);
+    // Live staging treats a base-uid change as an operator reload and
+    // restarts the lineage. During replay that heuristic is wrong: a uid
+    // can only drift mid-replay through a degraded page-in fallback
+    // (transient spill failure), and resetting there would wipe versions
+    // the journal still holds and regress the version counter into
+    // collisions. Replayed reloads are represented by their own second
+    // `open` record instead.
+    return StateLocked(name, /*reset_on_reload=*/!replaying_);
   }();
   if (!state_result.ok()) {
     ++stats_.rejected_ops;
@@ -158,13 +245,23 @@ Result<serve::UpdateAck> UpdateManager::StageLocked(const std::string& name,
     // Lazily open the lineage in the journal: the `open` record carries
     // everything replay needs to restore the base (its on-disk source) and
     // to keep minting non-colliding versions (the counter).
+    Status journaled = Status::OK();
     if (!state.journal_opened) {
-      JournalAppendLocked("open " + name + " " +
-                          std::to_string(state.next_version) + " " +
-                          state.root_source);
-      state.journal_opened = true;
+      journaled = JournalAppendRetryLocked(
+          "open " + name + " " + std::to_string(state.next_version) + " " +
+          state.root_source);
+      if (journaled.ok()) state.journal_opened = true;
     }
-    JournalAppendLocked(record);
+    if (journaled.ok()) journaled = JournalAppendRetryLocked(record);
+    if (!journaled.ok()) {
+      // The op is in memory but not on disk: served results would vanish
+      // at the next restart. Roll it back so the `err` the client sees is
+      // the whole truth — the op neither serves nor survives.
+      RollbackLastStagedLocked(&state);
+      return Status::IOError("update to '" + name +
+                             "' could not be journaled (" +
+                             journaled.message() + "); op rolled back");
+    }
   }
   serve::UpdateAck ack;
   ack.pending = state.overlay->pending_ops();
@@ -261,6 +358,26 @@ Result<serve::CommitInfo> UpdateManager::CommitLocked(const std::string& name,
                             "too small)");
   }
 
+  if (journal_ != nullptr && !replaying_) {
+    // Durability barrier, *before* the in-memory version list advances: the
+    // commit record plus fsync. If the barrier fails after retries the
+    // commit is unwound — the snapshot leaves the catalog, the staged ops
+    // stay in the overlay, and the caller may retry — so an `ok committed`
+    // line always names a version that survives a crash. (fsync is
+    // inherently ambiguous on failure: the record may still reach disk, so
+    // replay tolerates re-seeing a version it already restored.)
+    Status barrier =
+        JournalAppendRetryLocked("commit " + name + " " +
+                                 std::to_string(info.version));
+    if (barrier.ok()) barrier = JournalSyncRetryLocked();
+    if (!barrier.ok()) {
+      catalog_->Evict(versioned_name);
+      return Status::IOError("commit of '" + name + "' is not durable (" +
+                             barrier.message() +
+                             "); staged updates kept, retry commit");
+    }
+  }
+
   // Exact context invalidation: bottom-k sample orders are pure in
   // (seed, budget) and carry to the new version bit-identically; bounds and
   // candidate reductions are functions of the graph the deltas touched and
@@ -296,17 +413,136 @@ Result<serve::CommitInfo> UpdateManager::CommitLocked(const std::string& name,
   stats_.contexts_carried += info.carried;
   stats_.contexts_dropped += info.dropped;
 
-  if (journal_ != nullptr && !replaying_) {
-    // The commit record plus fsync is the durability barrier: once Sync
-    // returns, a crash at any later point replays this version verbatim.
-    // An append/fsync failure leaves the in-memory commit standing (the
-    // caller was promised the version) and is only counted.
-    JournalAppendLocked("commit " + name + " " + std::to_string(info.version));
-    if (!journal_->Sync().ok()) ++stats_.journal_errors;
-  }
+  if (!replaying_) MaybeCompactLocked();
 
   info.seconds = static_cast<double>(NowMicros() - start_micros) * 1e-6;
   return info;
+}
+
+void UpdateManager::SetJournalCompactThreshold(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  compact_threshold_bytes_ = bytes;
+}
+
+void UpdateManager::BindObservability(obs::MetricRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+}
+
+void UpdateManager::MaybeCompactLocked() {
+  if (journal_ == nullptr || compact_threshold_bytes_ == 0) return;
+  if (journal_->bytes() <= compact_threshold_bytes_) return;
+  if (!CompactNowLocked().ok()) {
+    // The journal just stays long; every record in it is still valid and
+    // the next commit retries the compaction.
+    serve::CountIoError(registry_, "journal_compact", "error");
+  }
+}
+
+Status UpdateManager::CompactJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_ == nullptr) return Status::OK();
+  Status st = CompactNowLocked();
+  if (!st.ok()) serve::CountIoError(registry_, "journal_compact", "error");
+  return st;
+}
+
+Status UpdateManager::CompactNowLocked() {
+  // Rewrite the journal as the minimal set of records that reconstructs
+  // today's state: per lineage one `open` (version counter + base source),
+  // one `version` record per committed version pointing at a crash-safely
+  // written binary snapshot side file, and the staged-but-uncommitted tail
+  // re-synthesized from the overlay. Everything is prepared beside the live
+  // journal first; the swap itself is ReplaceWith's single rename().
+  if (replay_incomplete_) {
+    ++stats_.compactions_refused;
+    return Status::Internal(
+        "journal replay was incomplete; compacting would drop the records "
+        "replay could not reconstruct — restart with readable side files "
+        "first");
+  }
+  std::vector<std::string> payloads;
+  std::unordered_set<std::string> referenced_side_files;
+  for (auto& [name, state] : states_) {
+    const bool has_versions = state.versions.size() > 1;
+    const bool has_staged =
+        state.overlay != nullptr && state.overlay->pending_ops() > 0;
+    if (!state.journal_opened && !has_versions && !has_staged) continue;
+    payloads.push_back("open " + name + " " +
+                       std::to_string(state.next_version) + " " +
+                       state.root_source);
+    for (std::size_t i = 1; i < state.versions.size(); ++i) {
+      const serve::VersionInfo& v = state.versions[i];
+      Result<std::shared_ptr<serve::CatalogEntry>> resolved =
+          catalog_->GetOrLoad(v.catalog_name);
+      if (!resolved.ok() || *resolved == nullptr) {
+        // The version is in the journal (op chain or side file) but cannot
+        // be materialized right now — possibly a transient spill/page-in
+        // failure. Abort: the uncompacted journal can still restore it on a
+        // healthier day, while dropping its record here would be permanent.
+        return Status::IOError("cannot resolve " + v.catalog_name +
+                               " for compaction: " +
+                               resolved.status().message());
+      }
+      const std::string side_path = journal_->path() + ".v." +
+                                    SanitizeForPath(v.catalog_name) + ".vg2";
+      VULNDS_RETURN_NOT_OK(WriteGraphFile((*resolved)->graph, side_path,
+                                          GraphFileFormat::kBinary));
+      referenced_side_files.insert(side_path);
+      payloads.push_back("version " + name + " " +
+                         std::to_string(v.version) + " " +
+                         std::to_string(v.ops) + " " + side_path);
+    }
+    if (has_staged) {
+      for (const DeltaRecord& r : state.overlay->log().records()) {
+        switch (r.op) {
+          case DeltaOp::kAddEdge:
+            payloads.push_back("add " + name + " " + std::to_string(r.src) +
+                               " " + std::to_string(r.dst) + " " +
+                               FormatProb(r.prob));
+            break;
+          case DeltaOp::kDeleteEdge:
+            payloads.push_back("del " + name + " " + std::to_string(r.src) +
+                               " " + std::to_string(r.dst));
+            break;
+          case DeltaOp::kSetProb:
+            payloads.push_back("set " + name + " " + std::to_string(r.src) +
+                               " " + std::to_string(r.dst) + " " +
+                               FormatProb(r.prob));
+            break;
+        }
+      }
+    }
+  }
+  VULNDS_RETURN_NOT_OK(journal_->ReplaceWith(payloads));
+  ++stats_.journal_compactions;
+
+  // Reclaim side files no longer referenced (dropped lineages, reloaded
+  // bases): everything matching "<journal>.v.*" that the rewrite did not
+  // emit. Best effort — an orphan costs disk, not correctness.
+  const std::string& jpath = journal_->path();
+  const std::size_t slash = jpath.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : jpath.substr(0, slash);
+  const std::string file_prefix =
+      (slash == std::string::npos ? jpath : jpath.substr(slash + 1)) + ".v.";
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (const dirent* ent = ::readdir(d)) {
+      const std::string fname = ent->d_name;
+      if (fname.rfind(file_prefix, 0) != 0) continue;
+      // Reconstruct the path exactly as the rewrite spelled it (no "./"
+      // prefix for a relative journal path) so the referenced-set lookup
+      // compares like with like.
+      const std::string full =
+          slash == std::string::npos ? fname : dir + "/" + fname;
+      if (referenced_side_files.count(full) == 0) {
+        (void)std::remove(full.c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  return Status::OK();
 }
 
 bool UpdateManager::ReplayOpenLocked(const std::string& name,
@@ -345,6 +581,48 @@ bool UpdateManager::ReplayOpenLocked(const std::string& name,
   // committed before this journal existed; never move it backwards.
   if (next_version > state.next_version) state.next_version = next_version;
   state.journal_opened = true;
+  return true;
+}
+
+bool UpdateManager::ReplayVersionLocked(const std::string& name,
+                                        uint64_t version, uint64_t ops,
+                                        const std::string& path) {
+  Result<NameState*> state_result =
+      StateLocked(name, /*reset_on_reload=*/false);
+  if (!state_result.ok()) return false;
+  NameState& state = **state_result;
+  for (const serve::VersionInfo& v : state.versions) {
+    if (v.version == version) return true;  // already restored
+  }
+  const std::string versioned_name =
+      name + "@v" + std::to_string(version);
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  if (catalog_->Contains(versioned_name)) {
+    Result<std::shared_ptr<serve::CatalogEntry>> resolved =
+        catalog_->GetOrLoad(versioned_name);
+    if (!resolved.ok() || *resolved == nullptr) return false;
+    nodes = (*resolved)->graph.num_nodes();
+    edges = (*resolved)->graph.num_edges();
+  } else {
+    Result<UncertainGraph> loaded = ReadGraphFile(path);
+    if (!loaded.ok()) return false;
+    nodes = (*loaded).num_nodes();
+    edges = (*loaded).num_edges();
+    // The side file is the entry's source, so a later spill of this version
+    // can fall back to reloading it if the spill page breaks.
+    if (!catalog_->Put(versioned_name, loaded.MoveValue(), path).ok()) {
+      return false;
+    }
+  }
+  serve::VersionInfo v;
+  v.version = version;
+  v.catalog_name = versioned_name;
+  v.nodes = nodes;
+  v.edges = edges;
+  v.ops = ops;
+  state.versions.push_back(v);
+  if (version >= state.next_version) state.next_version = version + 1;
   return true;
 }
 
@@ -402,15 +680,39 @@ Result<JournalReplayStats> UpdateManager::ReplayJournal() {
                  .ok();
         if (ok) ++rs.ops;
       }
+    } else if (verb == "version") {
+      // Compaction record: a committed version whose contents live in a
+      // binary snapshot side file instead of an op chain.
+      uint64_t version = 0, ops = 0;
+      if (in >> version >> ops) {
+        std::string path;
+        std::getline(in, path);
+        if (!path.empty() && path.front() == ' ') path.erase(0, 1);
+        ok = ReplayVersionLocked(name, version, ops, path);
+        if (ok) ++rs.commits;
+      }
     } else if (verb == "commit") {
       uint64_t version = 0;
       if (in >> version) {
-        // Force the counter to the recorded N so the replayed version gets
-        // the exact committed name even if earlier records were skipped.
         const auto it = states_.find(name);
-        if (it != states_.end()) it->second.next_version = version;
-        ok = CommitLocked(name, NowMicros()).ok();
-        if (ok) ++rs.commits;
+        bool already = false;
+        if (it != states_.end()) {
+          for (const serve::VersionInfo& v : it->second.versions) {
+            if (v.version == version) already = true;
+          }
+        }
+        if (already) {
+          // A barrier that "failed" but still reached disk re-records a
+          // version the retry also recorded: replay is idempotent there.
+          ok = true;
+        } else {
+          // Force the counter to the recorded N so the replayed version
+          // gets the exact committed name even if earlier records were
+          // skipped.
+          if (it != states_.end()) it->second.next_version = version;
+          ok = CommitLocked(name, NowMicros()).ok();
+          if (ok) ++rs.commits;
+        }
       }
     }
     if (!ok) {
@@ -421,6 +723,12 @@ Result<JournalReplayStats> UpdateManager::ReplayJournal() {
   }
   replaying_ = false;
   journal_->ReleaseRecovered();
+  // An incomplete replay (transient EIO on a side file, abandoned lineage,
+  // unparseable record) leaves the in-memory state missing things the
+  // journal still holds. Compacting from that state would rewrite the
+  // journal without them — turning a transient read failure into permanent
+  // loss — so compaction stays blocked until a fully clean replay.
+  replay_incomplete_ = rs.skipped > 0 || rs.failed_names > 0;
   return rs;
 }
 

@@ -25,9 +25,30 @@
 // followed by an fsync — per materialized version. ReplayJournal() runs the
 // recovered records back through the same staging/commit code at startup,
 // reconstructing every committed name@vN and the staged-but-uncommitted
-// tail after a crash (the journal tolerates a torn final record). Journal
-// append failures after a successful stage/commit never roll the operation
-// back; they are surfaced through stats().journal_errors.
+// tail after a crash (the journal tolerates a torn final record).
+//
+// IO failures never leave memory and disk disagreeing about what was
+// promised. A journal append that still fails after 3 immediate retries
+// rolls the just-staged op back out of the overlay and returns IOError (the
+// client's `err` line is the truth: the op neither serves nor survives). A
+// commit whose journal record or fsync fails after retries is unwound — the
+// fresh snapshot is evicted, the staged ops stay in the overlay, and the
+// caller gets IOError and may retry; the in-memory version list only
+// advances after the durability barrier holds. (One ambiguity is inherent
+// to fsync: a failed barrier may still reach disk, so replay tolerates a
+// version it already has.) Failures are counted in stats().journal_errors
+// and, when BindObservability was called, in
+// vulnds_store_io_errors_total{site,outcome}.
+//
+// Compaction. The journal otherwise grows without bound; when a compaction
+// threshold is set (SetJournalCompactThreshold, `serve
+// journal_compact_bytes=N`) a commit that leaves the journal above the
+// threshold rewrites it as: one `open` per live lineage, one `version`
+// record per committed version pointing at a binary snapshot side file
+// (`<journal>.v.<name>.vg2`, written crash-safely), and the staged-but-
+// uncommitted ops re-synthesized from the overlay. The swap is a single
+// rename() — a crash at any step of compaction leaves either the complete
+// old journal or the complete new one, never a mix.
 //
 // Version names are immutable: update verbs addressed to a name containing
 // '@' are rejected. All methods are thread-safe.
@@ -45,6 +66,7 @@
 #include "common/status.h"
 #include "dyn/dynamic_graph.h"
 #include "dyn/journal.h"
+#include "obs/metrics.h"
 #include "obs/query_trace.h"
 #include "serve/graph_catalog.h"
 #include "serve/update_backend.h"
@@ -58,7 +80,10 @@ struct UpdateManagerStats {
   std::size_t commits = 0;
   std::size_t contexts_carried = 0;  ///< sample orders carried forward
   std::size_t contexts_dropped = 0;  ///< bounds/reductions invalidated
-  std::size_t journal_errors = 0;    ///< appends/fsyncs that failed (op stands)
+  std::size_t journal_errors = 0;    ///< appends/fsyncs failed after retries
+  std::size_t journal_rollbacks = 0;   ///< staged ops rolled back (unjournaled)
+  std::size_t journal_compactions = 0; ///< successful journal rewrites
+  std::size_t compactions_refused = 0; ///< rewrites blocked by a damaged replay
 };
 
 /// What ReplayJournal reconstructed (or had to give up on).
@@ -107,6 +132,18 @@ class UpdateManager : public serve::UpdateBackend {
   /// one bad lineage never poisons the others. Consumes the recovered
   /// buffer; call once, before serving traffic.
   Result<JournalReplayStats> ReplayJournal();
+
+  /// Compacts the journal once it exceeds `bytes` after a commit (0 = never,
+  /// the default). See the class comment for the rewrite's shape.
+  void SetJournalCompactThreshold(std::size_t bytes);
+
+  /// Rewrites the journal now regardless of the threshold (tests and
+  /// operator tooling). No-op OK when there is no journal.
+  Status CompactJournal();
+
+  /// Routes IO-failure counters (vulnds_store_io_errors_total) through
+  /// `registry` (not owned; may be null to unbind). Call before traffic.
+  void BindObservability(obs::MetricRegistry* registry);
 
   UpdateManagerStats stats() const;
 
@@ -164,13 +201,31 @@ class UpdateManager : public serve::UpdateBackend {
   Result<serve::CommitInfo> CommitLocked(const std::string& name,
                                          int64_t start_micros);
 
-  // Appends to the journal, counting (not propagating) failures.
-  void JournalAppendLocked(const std::string& payload);
+  // Appends to the journal with up to 3 immediate attempts; counts the
+  // failure (stats + metrics) when all attempts fail.
+  Status JournalAppendRetryLocked(const std::string& payload);
+  // fsync with the same bounded-retry discipline.
+  Status JournalSyncRetryLocked();
+
+  // Rebuilds the overlay without its most recent record — the undo path
+  // when that record could not be journaled. The surviving records were
+  // validated at staging time, so the rebuild cannot fail.
+  void RollbackLastStagedLocked(NameState* state);
+
+  // Runs compaction when a threshold is set and the journal is above it;
+  // failures are counted and swallowed (the journal just stays long).
+  void MaybeCompactLocked();
+  Status CompactNowLocked();
 
   // Replay handler for one `open` record; returns false when the lineage
   // could not be restored (caller abandons the name).
   bool ReplayOpenLocked(const std::string& name, uint64_t next_version,
                         const std::string& source);
+
+  // Replay handler for one compaction `version` record: restores the
+  // committed name@vN from its snapshot side file.
+  bool ReplayVersionLocked(const std::string& name, uint64_t version,
+                           uint64_t ops, const std::string& path);
 
   int64_t NowMicros() const {
     return clock_ ? clock_() : obs::SteadyNowMicros();
@@ -179,12 +234,20 @@ class UpdateManager : public serve::UpdateBackend {
   serve::GraphCatalog* catalog_;
   DeltaJournal* journal_ = nullptr;
   obs::ClockMicros clock_;
+  obs::MetricRegistry* registry_ = nullptr;
+  std::size_t compact_threshold_bytes_ = 0;
   mutable std::mutex mu_;
   std::map<std::string, NameState> states_;
   UpdateManagerStats stats_;
   // True while ReplayJournal runs records back through Stage/Commit:
   // suppresses journaling (the records are already on disk).
   bool replaying_ = false;
+  // True when ReplayJournal could not reconstruct every record (unreadable
+  // side file, abandoned lineage, unparseable record). Compaction rewrites
+  // the journal from in-memory state, so rewriting from an incomplete
+  // replay would permanently destroy the records replay failed on — every
+  // compaction is refused until a fully clean replay clears the flag.
+  bool replay_incomplete_ = false;
 };
 
 }  // namespace vulnds::dyn

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "graph/builder.h"
 
 namespace vulnds {
@@ -181,6 +182,12 @@ Status WriteGraphFile(const UncertainGraph& graph, const std::string& path,
   const std::string temp_path =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
       std::to_string(temp_serial.fetch_add(1, std::memory_order_relaxed));
+  if (const auto o = fail::Check(fail::points::kSnapshotWriteOpen);
+      o != fail::Outcome::kNone) {
+    return Status::IOError("cannot open " + temp_path + " for writing: " +
+                           std::strerror(fail::InjectedErrno(o)) +
+                           " (injected)");
+  }
   {
     std::ofstream out(temp_path, format == GraphFileFormat::kBinary
                                      ? std::ios::out | std::ios::binary
@@ -188,9 +195,21 @@ Status WriteGraphFile(const UncertainGraph& graph, const std::string& path,
     if (!out) {
       return Status::IOError("cannot open " + temp_path + " for writing");
     }
-    const Status written = format == GraphFileFormat::kBinary
-                               ? WriteGraphBinary(graph, out)
-                               : WriteGraph(graph, out);
+    Status written = format == GraphFileFormat::kBinary
+                         ? WriteGraphBinary(graph, out)
+                         : WriteGraph(graph, out);
+    if (written.ok()) {
+      if (const auto o = fail::Check(fail::points::kSnapshotWriteData);
+          o != fail::Outcome::kNone) {
+        // kShortWrite leaves the truncated temp behind the error so callers
+        // see the same world a crashed writer leaves: a temp file that never
+        // got renamed over the destination.
+        written =
+            Status::IOError("write to " + temp_path + " failed: " +
+                            std::strerror(fail::InjectedErrno(o)) +
+                            " (injected)");
+      }
+    }
     if (written.ok()) out.flush();
     if (!written.ok() || !out) {
       out.close();
@@ -201,10 +220,24 @@ Status WriteGraphFile(const UncertainGraph& graph, const std::string& path,
   }
   // ofstream has no portable fsync; reopen the flushed file by fd to force
   // its bytes down before the rename publishes it.
+  if (const auto o = fail::Check(fail::points::kSnapshotWriteFsync);
+      o != fail::Outcome::kNone) {
+    std::remove(temp_path.c_str());
+    return Status::IOError("cannot fsync " + temp_path + ": " +
+                           std::strerror(fail::InjectedErrno(o)) +
+                           " (injected)");
+  }
   const int fd = ::open(temp_path.c_str(), O_RDONLY);
   if (fd >= 0) {
     ::fsync(fd);
     ::close(fd);
+  }
+  if (const auto o = fail::Check(fail::points::kSnapshotWriteRename);
+      o != fail::Outcome::kNone) {
+    std::remove(temp_path.c_str());
+    return Status::IOError("cannot rename " + temp_path + " to " + path +
+                           ": " + std::strerror(fail::InjectedErrno(o)) +
+                           " (injected)");
   }
   if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
     std::remove(temp_path.c_str());
@@ -384,6 +417,12 @@ Result<UncertainGraph> ReadGraphBinary(std::istream& in) {
 }
 
 Result<UncertainGraph> ReadGraphFile(const std::string& path) {
+  if (const auto o = fail::Check(fail::points::kSnapshotRead);
+      o != fail::Outcome::kNone) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(fail::InjectedErrno(o)) +
+                           " (injected)");
+  }
   std::ifstream in(path, std::ios::in | std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   char magic[sizeof(kBinaryMagic)] = {};

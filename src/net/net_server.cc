@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/line_splitter.h"
+#include "serve/io_metrics.h"
 
 namespace vulnds::net {
 
@@ -246,6 +247,11 @@ void NetServer::RunConnection(Conn* conn) {
     const IoStatus st =
         SendAll(fd, text.data(), text.size(), options_.write_timeout_ms);
     if (st == IoStatus::kTimeout) write_timeouts_->Increment();
+    if (st == IoStatus::kError) {
+      // A hard send failure (real or injected) drops only this connection;
+      // the session's committed state is untouched.
+      serve::CountIoError(engine_->registry(), "net_send", "error");
+    }
     return st == IoStatus::kOk;
   };
   // Runs every complete line the splitter holds. Returns false when the

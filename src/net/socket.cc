@@ -15,6 +15,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace vulnds::net {
 
 namespace {
@@ -209,6 +211,12 @@ IoStatus RecvSome(int fd, char* buf, std::size_t cap, int timeout_ms,
 }
 
 IoStatus SendAll(int fd, const char* data, std::size_t size, int timeout_ms) {
+  // Injected send failure: the connection layer must drop the stream
+  // exactly as it would on a real mid-response EIO (the response may be
+  // partially delivered; the stream is poisoned either way).
+  if (fail::Check(fail::points::kNetSendWrite) != fail::Outcome::kNone) {
+    return IoStatus::kError;
+  }
   const int64_t deadline = SteadyMillis() + timeout_ms;
   std::size_t sent = 0;
   while (sent < size) {

@@ -1,15 +1,27 @@
 #include "serve/graph_catalog.h"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <limits>
+#include <sstream>
+#include <unordered_set>
 #include <utility>
 
+#include "common/crc32.h"
+#include "common/failpoint.h"
 #include "graph/graph_io.h"
+#include "serve/io_metrics.h"
 #include "vulnds/coin_columns.h"
 
 namespace vulnds::serve {
@@ -47,6 +59,89 @@ std::string SanitizeForFilename(const std::string& name) {
   return out;
 }
 
+// IO attempts per spill/page-in seam before the failure is surfaced.
+constexpr int kSpillIoAttempts = 3;
+
+// Writes `data` to `path` crash-safely (sibling temp + fsync + rename),
+// with `failpoint` injected at the data write. A reader only ever sees the
+// complete old file or the complete new one.
+Status WriteFileAtomic(const std::string& data, const std::string& path,
+                       const char* failpoint) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  auto fail_with = [&](std::string msg) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError(std::move(msg));
+  };
+  const fail::Outcome injected = fail::Check(failpoint);
+  if (injected == fail::Outcome::kShortWrite) {
+    // A prefix really lands (the torn-temp world a crash leaves), then the
+    // "syscall" fails; the temp is discarded, the destination untouched.
+    (void)!::write(fd, data.data(), data.size() / 2);
+    return fail_with("write to " + tmp + " failed: " + std::strerror(EIO) +
+                     " (injected)");
+  }
+  if (injected != fail::Outcome::kNone) {
+    return fail_with("write to " + tmp + " failed: " +
+                     std::strerror(fail::InjectedErrno(injected)) +
+                     " (injected)");
+  }
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail_with("write to " + tmp + " failed: " +
+                       std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    return fail_with("fsync of " + tmp + " failed: " + std::strerror(errno));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+// Reads all of `path` into `out`; false on any IO error.
+bool ReadFileAll(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  out->clear();
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+// True when the entry's source is a real on-disk file a degraded page-in
+// can reload (as opposed to "<memory>" Puts and "commit:" materializations
+// that only ever existed in RAM / the journal).
+bool SourceIsReloadable(const std::string& source) {
+  return !source.empty() && source != "<memory>" &&
+         source.rfind("commit:", 0) != 0;
+}
+
 }  // namespace
 
 std::size_t EstimateGraphBytes(const UncertainGraph& graph) {
@@ -72,9 +167,22 @@ GraphCatalog::GraphCatalog(std::size_t capacity)
 GraphCatalog::GraphCatalog(const GraphCatalogOptions& options)
     : options_(Normalized(options)), shards_(options_.shards) {
   if (options_.governor != nullptr) BindGovernor(options_.governor);
+  if (!options_.spill_dir.empty()) ReclaimOrphanSpills();
 }
 
 GraphCatalog::~GraphCatalog() {
+  // Spill files are process-private (their contents are re-derivable from
+  // the entries' sources or the journal), so a clean shutdown removes them
+  // and this process' manifest; kill -9 leaves both for the next process'
+  // startup GC.
+  {
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    for (const auto& [name, record] : spilled_) {
+      std::remove(record.path.c_str());
+    }
+    spilled_.clear();
+    if (!options_.spill_dir.empty()) std::remove(ManifestPath().c_str());
+  }
   // Settle outstanding governor charges so a governor that outlives the
   // catalog (tests, shared governors) does not account ghost bytes.
   auto* gov = governor();
@@ -108,10 +216,12 @@ void GraphCatalog::BindGovernor(store::MemoryGovernor* governor) {
 void GraphCatalog::BindObservability(obs::MetricRegistry* registry,
                                      obs::ClockMicros clock) {
   obs_clock_ = std::move(clock);
+  registry_.store(registry, std::memory_order_release);
   if (registry == nullptr) {
     page_in_micros_.store(nullptr, std::memory_order_release);
     return;
   }
+  RegisterIoErrorSeries(registry);
   page_in_micros_.store(
       registry->GetHistogram("vulnds_store_page_in_micros",
                              "Latency of paging a spilled snapshot back from "
@@ -244,6 +354,7 @@ bool GraphCatalog::DropSpillRecord(const std::string& name) {
     spilled_.erase(it);
     spilled_bytes_.fetch_sub(record.bytes, std::memory_order_relaxed);
     spilled_count_.fetch_sub(1, std::memory_order_relaxed);
+    RewriteManifestLocked();
   }
   std::remove(record.path.c_str());
   return true;
@@ -252,6 +363,93 @@ bool GraphCatalog::DropSpillRecord(const std::string& name) {
 std::string GraphCatalog::SpillPathFor(const CatalogEntry& entry) const {
   return options_.spill_dir + "/" + SanitizeForFilename(entry.name) + "." +
          std::to_string(entry.uid) + ".vg2";
+}
+
+std::string GraphCatalog::ManifestPath() const {
+  return options_.spill_dir + "/MANIFEST." + std::to_string(::getpid());
+}
+
+void GraphCatalog::RewriteManifestLocked() {
+  if (options_.spill_dir.empty()) return;
+  // One spill-file basename per line. The manifest only has to keep another
+  // process' startup GC away from this process' live files, so basenames
+  // (what that GC sees in its directory scan) are the natural key.
+  std::string body;
+  for (const auto& [name, record] : spilled_) {
+    const std::size_t slash = record.path.find_last_of('/');
+    body.append(slash == std::string::npos ? record.path
+                                           : record.path.substr(slash + 1));
+    body.push_back('\n');
+  }
+  const Status written = WriteFileAtomic(body, ManifestPath(),
+                                         fail::points::kSpillManifestWrite);
+  if (!written.ok()) {
+    // In-memory records stay authoritative for this process; a stale
+    // manifest risks only that a concurrently-starting process reclaims a
+    // file we would then re-derive from source — degraded, not wrong.
+    CountIoError(registry_.load(std::memory_order_acquire), "spill_manifest",
+                 "error");
+  }
+}
+
+void GraphCatalog::ReclaimOrphanSpills() {
+  DIR* dir = ::opendir(options_.spill_dir.c_str());
+  if (dir == nullptr) return;  // directory not created yet: nothing to do
+  std::vector<std::string> manifests;
+  std::vector<std::string> spill_files;
+  while (dirent* ent = ::readdir(dir)) {
+    const std::string fname = ent->d_name;
+    if (fname == "." || fname == "..") continue;
+    if (fname.rfind("MANIFEST.", 0) == 0) {
+      manifests.push_back(fname);
+    } else if (fname.find(".vg2") != std::string::npos) {
+      // Catches both finished spill files (*.vg2) and torn atomic-write
+      // temps (*.vg2.tmp.<pid>) a crash left behind.
+      spill_files.push_back(fname);
+    }
+  }
+  ::closedir(dir);
+
+  // A spill file is live iff a LIVE process' manifest references it. A
+  // manifest whose pid is dead — or equals ours, which at construction time
+  // can only mean pid reuse — is itself debris.
+  std::unordered_set<std::string> referenced;
+  for (const std::string& mname : manifests) {
+    const std::string mpath = options_.spill_dir + "/" + mname;
+    const char* pid_str = mname.c_str() + sizeof("MANIFEST.") - 1;
+    char* end = nullptr;
+    const long pid = std::strtol(pid_str, &end, 10);
+    // kill(pid, 0) probes liveness without signaling; EPERM still means the
+    // pid exists. Our own pid counts as live: a manifest at our own path is
+    // either a same-process sibling catalog's (must be protected) or stale
+    // pid-reuse debris that our first spill overwrites anyway — never worth
+    // deleting possibly-live files over.
+    const bool live = end != nullptr && *end == '\0' && pid > 0 &&
+                      (::kill(static_cast<pid_t>(pid), 0) == 0 ||
+                       errno == EPERM);
+    if (!live) {
+      std::remove(mpath.c_str());
+      continue;
+    }
+    std::string body;
+    if (!ReadFileAll(mpath, &body)) {
+      // Unreadable manifest of a live process: we cannot tell its files
+      // apart from orphans, so skip the sweep rather than risk deleting a
+      // live spill out from under it.
+      return;
+    }
+    std::istringstream lines(body);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (!line.empty()) referenced.insert(line);
+    }
+  }
+  for (const std::string& fname : spill_files) {
+    if (referenced.count(fname) != 0) continue;
+    if (std::remove((options_.spill_dir + "/" + fname).c_str()) == 0) {
+      spill_orphans_reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 bool GraphCatalog::OverBudget() const {
@@ -367,21 +565,42 @@ std::size_t GraphCatalog::ShedSnapshots(std::size_t want) {
       }
     }
     if (victim == nullptr) return freed;  // everything pinned or empty
-    // Write the spill file OUTSIDE every catalog lock (we run under the
-    // governor's shed mutex only). WriteGraphFile is temp+rename atomic,
-    // so a crash mid-spill never leaves a truncated snapshot.
+    // Serialize and write the spill file OUTSIDE every catalog lock (we run
+    // under the governor's shed mutex only). The CRC over the serialized
+    // bytes travels in the spill record so page-in can prove the file came
+    // back intact before deserializing it; the atomic temp+fsync+rename
+    // write means a crash mid-spill never leaves a truncated snapshot under
+    // the final name.
     const std::string path = SpillPathFor(*victim);
-    const Status written =
-        WriteGraphFile(victim->graph, path, GraphFileFormat::kBinary);
-    if (!written.ok()) return freed;  // never drop a snapshot we failed to park
+    std::ostringstream serialized;
+    if (!WriteGraphBinary(victim->graph, serialized).ok()) return freed;
+    const std::string payload = serialized.str();
+    const uint32_t crc = Crc32(payload.data(), payload.size());
+    auto* reg = registry_.load(std::memory_order_acquire);
+    Status written = Status::OK();
+    for (int attempt = 0; attempt < kSpillIoAttempts; ++attempt) {
+      written = WriteFileAtomic(payload, path, fail::points::kSpillWrite);
+      if (written.ok()) {
+        if (attempt > 0) CountIoError(reg, "spill_write", "retried");
+        break;
+      }
+    }
+    if (!written.ok()) {
+      // Never drop a snapshot we failed to park: the entry stays resident
+      // (the governor simply frees less this round) — degraded memory
+      // pressure, never a lost graph.
+      CountIoError(reg, "spill_write", "error");
+      return freed;
+    }
     // Record the spill BEFORE detaching the resident entry: a concurrent
     // GetOrLoad must find the name in at least one of the two places.
     {
       std::lock_guard<std::mutex> lock(spill_mu_);
       spilled_[victim->name] =
-          SpillRecord{path, victim->source, victim->uid, victim->bytes};
+          SpillRecord{path, victim->source, victim->uid, victim->bytes, crc};
       spilled_bytes_.fetch_add(victim->bytes, std::memory_order_relaxed);
       spilled_count_.fetch_add(1, std::memory_order_relaxed);
+      RewriteManifestLocked();
     }
     bool detached = false;
     {
@@ -450,11 +669,104 @@ Result<std::shared_ptr<CatalogEntry>> GraphCatalog::GetOrLoad(
     record = it->second;
   }
   const int64_t start = NowMicros();
-  Result<UncertainGraph> graph = ReadGraphFile(record.path);
-  if (!graph.ok()) {
-    return Status::IOError("page-in of '" + name + "' from " + record.path +
-                           " failed: " + graph.status().message());
+  auto* reg = registry_.load(std::memory_order_acquire);
+
+  // Read the whole spill file (bounded retries), then verify the CRC taken
+  // at spill time BEFORE deserializing: a corrupted page is detected here
+  // and can never become a servable — but wrong — graph.
+  std::string blob;
+  Status page = Status::OK();
+  for (int attempt = 0; attempt < kSpillIoAttempts; ++attempt) {
+    if (const auto o = fail::Check(fail::points::kSpillPageIn);
+        o != fail::Outcome::kNone) {
+      page = Status::IOError("read of " + record.path + " failed: " +
+                             std::strerror(fail::InjectedErrno(o)) +
+                             " (injected)");
+      continue;
+    }
+    if (!ReadFileAll(record.path, &blob)) {
+      page = Status::IOError("read of " + record.path +
+                             " failed: " + std::strerror(errno));
+      continue;
+    }
+    if (attempt > 0) CountIoError(reg, "spill_page_in", "retried");
+    page = Status::OK();
+    break;
   }
+  Result<UncertainGraph> graph = Status::IOError("spill file not read");
+  if (page.ok()) {
+    if (Crc32(blob.data(), blob.size()) != record.crc) {
+      page = Status::IOError("spill file " + record.path +
+                             " failed its CRC check (corrupted on disk)");
+    } else {
+      std::istringstream in(blob);
+      graph = ReadGraphBinary(in);
+      if (!graph.ok()) page = graph.status();
+    }
+  }
+
+  if (!page.ok()) {
+    // Degraded path: the spilled copy is gone or corrupt. When the entry
+    // originally came from a real snapshot file, reload that source and
+    // keep serving. Entries that only ever lived in memory have nothing to
+    // fall back to.
+    if (!SourceIsReloadable(record.source)) {
+      CountIoError(reg, "spill_page_in", "error");
+      return Status::IOError("page-in of '" + name + "' from " + record.path +
+                             " failed (" + page.message() +
+                             ") and the snapshot has no on-disk source; "
+                             "graph unavailable");
+    }
+    Result<UncertainGraph> reloaded = ReadGraphFile(record.source);
+    if (!reloaded.ok()) {
+      CountIoError(reg, "spill_page_in", "error");
+      return Status::IOError("page-in of '" + name + "' from " + record.path +
+                             " failed (" + page.message() +
+                             ") and reloading its source " + record.source +
+                             " failed: " + reloaded.status().message() +
+                             "; graph unavailable");
+    }
+    CountIoError(reg, "spill_page_in", "degraded");
+    auto entry = std::make_shared<CatalogEntry>();
+    entry->name = name;
+    entry->source = record.source;
+    entry->graph = reloaded.MoveValue();
+    // Did the reload reconstruct the exact snapshot we lost? Re-serialize
+    // and compare against the CRC taken at spill time: serialization is
+    // deterministic, so a match proves the source file is unchanged and
+    // the reloaded graph is bit-identical to the spilled one. Then the
+    // original uid survives — result-cache lines stay valid and update
+    // lineages rooted on this snapshot do NOT see a base reload (which
+    // would restart them and discard their committed-version listing).
+    // A mismatch means the source really changed on disk: mint a fresh
+    // uid so stale cached results become unreachable and lineage code can
+    // apply its reload semantics.
+    bool bit_identical = false;
+    std::ostringstream reserialized;
+    if (WriteGraphBinary(entry->graph, reserialized).ok()) {
+      const std::string bytes = reserialized.str();
+      bit_identical = Crc32(bytes.data(), bytes.size()) == record.crc;
+    }
+    std::shared_ptr<CatalogEntry> held = entry;
+    if (bit_identical) {
+      entry->uid = record.uid;
+      InsertPrepared(std::move(entry));
+    } else {
+      // Insert mints the fresh uid; both paths drop the broken spill
+      // record and file.
+      Insert(std::move(entry));
+    }
+    {
+      Shard& shard = ShardFor(name);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.stats.page_ins;
+    }
+    if (auto* histogram = page_in_micros_.load(std::memory_order_acquire)) {
+      histogram->Observe(static_cast<double>(NowMicros() - start));
+    }
+    return held;
+  }
+
   auto entry = std::make_shared<CatalogEntry>();
   entry->name = name;
   entry->source = record.source;

@@ -35,6 +35,19 @@
 // Queries pin entries (ScopedEntryPin) for their in-flight duration;
 // pinned snapshots are never spilled or shed.
 //
+// Spill integrity and crash consistency. Spill files carry a CRC-32 over
+// the serialized snapshot, verified on page-in: a corrupted page is never
+// deserialized into a servable graph — the catalog falls back to reloading
+// the entry's original on-disk source (fresh uid: cached results against
+// the lost snapshot are unreachable, never wrong) or surfaces an error
+// while everything else keeps serving. Spill files are process-private; a
+// per-process manifest (`MANIFEST.<pid>`, rewritten atomically under the
+// spill lock) names the live ones, and construction reclaims any *.vg2
+// debris in the spill directory that no live process' manifest references —
+// before this GC, files orphaned by kill -9 persisted until path reuse.
+// IO failures at the spill seams are retried (3 attempts, no sleeps) and
+// counted in vulnds_store_io_errors_total{site,outcome}.
+//
 // Entries are reference-counted: Evict (or a spill) removes a graph from
 // the catalog, but queries already holding the entry finish safely on the
 // old snapshot. All catalog methods are thread-safe.
@@ -276,6 +289,11 @@ class GraphCatalog {
   std::size_t spilled_count() const {
     return spilled_count_.load(std::memory_order_relaxed);
   }
+  /// Orphaned spill files (debris of killed processes) reclaimed by this
+  /// catalog's construction-time GC.
+  std::size_t spill_orphans_reclaimed() const {
+    return spill_orphans_reclaimed_.load(std::memory_order_relaxed);
+  }
   const std::string& spill_dir() const { return options_.spill_dir; }
   store::MemoryGovernor* governor() const {
     return governor_.load(std::memory_order_acquire);
@@ -309,6 +327,7 @@ class GraphCatalog {
     std::string source;
     uint64_t uid = 0;
     std::size_t bytes = 0;
+    uint32_t crc = 0;  ///< CRC-32 of the serialized bytes on disk
   };
 
   Shard& ShardFor(const std::string& name);
@@ -336,6 +355,20 @@ class GraphCatalog {
   // The spill file for `entry` inside spill_dir (name sanitized, uid
   // suffix keeps distinct generations of one name distinct on disk).
   std::string SpillPathFor(const CatalogEntry& entry) const;
+
+  // This process' spill manifest path (spill_dir/MANIFEST.<pid>).
+  std::string ManifestPath() const;
+
+  // Atomically rewrites the manifest from spilled_. Caller holds spill_mu_.
+  // Failures are counted (site=spill_manifest) and swallowed: the in-memory
+  // records stay authoritative for this process, the manifest only protects
+  // the files from another process' startup GC.
+  void RewriteManifestLocked();
+
+  // Construction-time GC: deletes *.vg2 spill debris (and dead processes'
+  // manifests) in spill_dir that no live process' manifest references,
+  // counting reclaimed files in spill_orphans_reclaimed_.
+  void ReclaimOrphanSpills();
 
   // Governor shedders (registered by BindGovernor; run under the
   // governor's shed mutex, so they only ever Discharge, never Charge).
@@ -370,11 +403,13 @@ class GraphCatalog {
   std::atomic<std::size_t> spilled_count_{0};
   std::mutex page_in_mu_;
   std::atomic<bool> spill_dir_ready_{false};
+  std::atomic<std::size_t> spill_orphans_reclaimed_{0};
 
   // Late-bound runtime (engine wires these in its constructor; atomics so
   // a binding racing early traffic is benign).
   std::atomic<store::MemoryGovernor*> governor_{nullptr};
   std::atomic<obs::Histogram*> page_in_micros_{nullptr};
+  std::atomic<obs::MetricRegistry*> registry_{nullptr};
   obs::ClockMicros obs_clock_;  // written only by BindObservability
 };
 

@@ -664,6 +664,11 @@ void QueryEngine::RefreshMetrics() {
       ->GetCounter("vulnds_store_page_ins_total",
                    "Spilled snapshots paged back in on demand")
       ->Set(c.page_ins);
+  registry_
+      ->GetCounter("vulnds_store_spill_orphans_reclaimed_total",
+                   "Orphaned spill files (debris of killed processes) "
+                   "reclaimed by startup GC")
+      ->Set(catalog_->spill_orphans_reclaimed());
   const CacheStats detect_stats = detect_cache_.stats();
   const CacheStats truth_stats = truth_cache_.stats();
   registry_

@@ -1,0 +1,341 @@
+// Spill-directory crash consistency: startup GC of orphaned spill files
+// (the pre-manifest leak), manifest protection of live processes' files,
+// CRC detection of corrupted spill pages, and the degraded reload-from-
+// source fallback when a spill copy cannot be trusted.
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "graph/graph_io.h"
+#include "serve/graph_catalog.h"
+#include "store/memory_governor.h"
+#include "testing/test_graphs.h"
+
+namespace vulnds::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string WriteTempGraph(const UncertainGraph& g, const std::string& name) {
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(WriteGraphFile(g, path, GraphFileFormat::kBinary).ok());
+  return path;
+}
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Builds a catalog whose governor budget fits one graph, loads g1 then g2
+// so g1 spills. Returns the catalog; out params expose the pieces.
+struct SpillRig {
+  std::unique_ptr<store::MemoryGovernor> governor;
+  std::unique_ptr<GraphCatalog> catalog;
+  std::string source_path;  // g1's on-disk source
+  uint64_t g1_uid = 0;      // g1's uid before it spilled
+};
+
+SpillRig SpillOne(const std::string& spill_dir, const std::string& tag) {
+  SpillRig rig;
+  const UncertainGraph g1 = testing::RandomSmallGraph(60, 0.2, 311);
+  const UncertainGraph g2 = testing::RandomSmallGraph(60, 0.2, 322);
+  rig.source_path = WriteTempGraph(g1, tag + "_src1.snap");
+  const std::string p2 = WriteTempGraph(g2, tag + "_src2.snap");
+
+  store::MemoryGovernorOptions governor_options;
+  governor_options.budget_bytes =
+      std::max(EstimateGraphBytes(g1), EstimateGraphBytes(g2)) + 512;
+  rig.governor = std::make_unique<store::MemoryGovernor>(governor_options);
+  GraphCatalogOptions options;
+  options.spill_dir = spill_dir;
+  options.governor = rig.governor.get();
+  rig.catalog = std::make_unique<GraphCatalog>(options);
+  EXPECT_TRUE(rig.catalog->Load("g1", rig.source_path).ok());
+  if (const auto entry = rig.catalog->Get("g1")) rig.g1_uid = entry->uid;
+  EXPECT_TRUE(rig.catalog->Load("g2", p2).ok());
+  EXPECT_EQ(rig.catalog->spilled_count(), 1u);
+  return rig;
+}
+
+class SpillFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::DisarmAll(); }
+  void TearDown() override { fail::DisarmAll(); }
+};
+
+// Regression: spill files orphaned by kill -9 used to persist until the
+// same sanitized-name+uid path happened to be reused. Startup GC now
+// reclaims any *.vg2 debris no live process' manifest references —
+// including torn atomic-write temps — and counts what it deleted.
+TEST_F(SpillFaultTest, StartupGcReclaimsOrphansAndDeadManifests) {
+  const std::string dir = TempPath("spill_gc_a");
+  ::mkdir(dir.c_str(), 0777);
+  WriteFile(dir + "/ghost.17.vg2", "stale spill payload");
+  WriteFile(dir + "/ghost.18.vg2.tmp.99999", "torn temp payload");
+  // A manifest from a pid that cannot be alive (pid_max is far below this)
+  // referencing one of the orphans: a dead owner protects nothing.
+  WriteFile(dir + "/MANIFEST.999999999", "ghost.17.vg2\n");
+
+  GraphCatalogOptions options;
+  options.spill_dir = dir;
+  GraphCatalog catalog(options);
+
+  EXPECT_EQ(catalog.spill_orphans_reclaimed(), 2u);
+  const std::vector<std::string> left = ListDir(dir);
+  EXPECT_TRUE(left.empty()) << left.size() << " files left";
+}
+
+TEST_F(SpillFaultTest, LiveManifestsProtectTheirFiles) {
+  const std::string dir = TempPath("spill_gc_b");
+  ::mkdir(dir.c_str(), 0777);
+  WriteFile(dir + "/kept.5.vg2", "live spill payload");
+  WriteFile(dir + "/orphan.6.vg2", "dead spill payload");
+  // pid 1 is always alive (kill(1,0) answers EPERM for us): its manifest
+  // shields kept.5.vg2, while orphan.6.vg2 has no living owner.
+  WriteFile(dir + "/MANIFEST.1", "kept.5.vg2\n");
+
+  GraphCatalogOptions options;
+  options.spill_dir = dir;
+  GraphCatalog catalog(options);
+
+  EXPECT_EQ(catalog.spill_orphans_reclaimed(), 1u);
+  std::ifstream kept(dir + "/kept.5.vg2");
+  EXPECT_TRUE(kept.good()) << "live process' spill file was reclaimed";
+  std::ifstream orphan(dir + "/orphan.6.vg2");
+  EXPECT_FALSE(orphan.good()) << "orphan survived the GC";
+  // A foreign live manifest is not ours to delete.
+  std::ifstream manifest(dir + "/MANIFEST.1");
+  EXPECT_TRUE(manifest.good());
+  std::remove((dir + "/MANIFEST.1").c_str());
+  std::remove((dir + "/kept.5.vg2").c_str());
+}
+
+// Clean shutdown leaves no debris at all: spill files and the manifest go
+// with the catalog.
+TEST_F(SpillFaultTest, DestructorRemovesSpillFilesAndManifest) {
+  const std::string dir = TempPath("spill_gc_c");
+  {
+    SpillRig rig = SpillOne(dir, "gc_c");
+    EXPECT_FALSE(ListDir(dir).empty());  // spill file + manifest exist
+  }
+  EXPECT_TRUE(ListDir(dir).empty());
+}
+
+// While spilled, this process' manifest names the file, so a concurrently
+// constructed catalog over the same directory must not reclaim it.
+TEST_F(SpillFaultTest, OwnLiveSpillSurvivesAnotherCatalogsGc) {
+  const std::string dir = TempPath("spill_gc_d");
+  SpillRig rig = SpillOne(dir, "gc_d");
+
+  GraphCatalogOptions options;
+  options.spill_dir = dir;
+  GraphCatalog other(options);
+  EXPECT_EQ(other.spill_orphans_reclaimed(), 0u);
+
+  // The spilled graph still pages back fine.
+  Result<std::shared_ptr<CatalogEntry>> paged = rig.catalog->GetOrLoad("g1");
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  ASSERT_NE(*paged, nullptr);
+}
+
+// Bit-flip every 64th byte of the spill file: the CRC check must catch the
+// corruption and the catalog must fall back to reloading the source under a
+// fresh uid — a corrupted page is never deserialized into a served graph.
+TEST_F(SpillFaultTest, CorruptedSpillPageFallsBackToSource) {
+  const std::string dir = TempPath("spill_crc_a");
+  SpillRig rig = SpillOne(dir, "crc_a");
+
+  // Find the spill file and flip every 64th byte.
+  std::string spill_file;
+  for (const std::string& name : ListDir(dir)) {
+    if (name.rfind("MANIFEST.", 0) != 0) spill_file = dir + "/" + name;
+  }
+  ASSERT_FALSE(spill_file.empty());
+  std::string blob;
+  {
+    std::ifstream in(spill_file, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    blob = buf.str();
+  }
+  ASSERT_FALSE(blob.empty());
+  for (std::size_t i = 0; i < blob.size(); i += 64) blob[i] ^= 0x41;
+  WriteFile(spill_file, blob);
+
+  Result<std::shared_ptr<CatalogEntry>> paged = rig.catalog->GetOrLoad("g1");
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  ASSERT_NE(*paged, nullptr);
+
+  // The fallback reloaded the original source: content matches the source
+  // snapshot bit-exactly.
+  const std::string out = TempPath("crc_a_roundtrip.snap");
+  ASSERT_TRUE(
+      WriteGraphFile((*paged)->graph, out, GraphFileFormat::kBinary).ok());
+  std::ifstream a(out, std::ios::binary), b(rig.source_path, std::ios::binary);
+  std::ostringstream abuf, bbuf;
+  abuf << a.rdbuf();
+  bbuf << b.rdbuf();
+  EXPECT_EQ(abuf.str(), bbuf.str());
+
+  // The reload reconstructed the exact snapshot that spilled (the source
+  // never changed), so the original uid survives: result caches stay valid
+  // and update lineages rooted here do not see a spurious base reload.
+  EXPECT_EQ((*paged)->uid, rig.g1_uid);
+}
+
+// Same corruption, but the SOURCE was also replaced with different content
+// since the spill. The fallback still serves (the newest source truth), but
+// under a fresh uid: results cached against the lost snapshot must become
+// unreachable rather than answer for different content.
+TEST_F(SpillFaultTest, ChangedSourceAfterSpillGetsAFreshUid) {
+  const std::string dir = TempPath("spill_crc_c");
+  SpillRig rig = SpillOne(dir, "crc_c");
+
+  std::string spill_file;
+  for (const std::string& name : ListDir(dir)) {
+    if (name.rfind("MANIFEST.", 0) != 0) spill_file = dir + "/" + name;
+  }
+  ASSERT_FALSE(spill_file.empty());
+  std::string blob;
+  {
+    std::ifstream in(spill_file, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    blob = buf.str();
+  }
+  for (std::size_t i = 0; i < blob.size(); i += 64) blob[i] ^= 0x41;
+  WriteFile(spill_file, blob);
+  // Replace the source with a different graph (same path).
+  const UncertainGraph replacement = testing::RandomSmallGraph(60, 0.2, 999);
+  ASSERT_TRUE(WriteGraphFile(replacement, rig.source_path,
+                             GraphFileFormat::kBinary)
+                  .ok());
+
+  Result<std::shared_ptr<CatalogEntry>> paged = rig.catalog->GetOrLoad("g1");
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  ASSERT_NE(*paged, nullptr);
+  EXPECT_NE((*paged)->uid, rig.g1_uid);
+  EXPECT_EQ((*paged)->graph.num_edges(), replacement.num_edges());
+}
+
+// Same corruption, but the source snapshot is gone too: the page-in fails
+// with a "graph unavailable" error — it must NOT serve a wrong graph — and
+// every other name keeps serving.
+TEST_F(SpillFaultTest, CorruptedSpillWithoutSourceIsUnavailableNotWrong) {
+  const std::string dir = TempPath("spill_crc_b");
+  SpillRig rig = SpillOne(dir, "crc_b");
+
+  std::string spill_file;
+  for (const std::string& name : ListDir(dir)) {
+    if (name.rfind("MANIFEST.", 0) != 0) spill_file = dir + "/" + name;
+  }
+  ASSERT_FALSE(spill_file.empty());
+  std::string blob;
+  {
+    std::ifstream in(spill_file, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    blob = buf.str();
+  }
+  for (std::size_t i = 0; i < blob.size(); i += 64) blob[i] ^= 0x41;
+  WriteFile(spill_file, blob);
+  std::remove(rig.source_path.c_str());  // no fallback source either
+
+  Result<std::shared_ptr<CatalogEntry>> paged = rig.catalog->GetOrLoad("g1");
+  EXPECT_FALSE(paged.ok());
+  EXPECT_NE(paged.status().message().find("unavailable"), std::string::npos)
+      << paged.status().ToString();
+
+  // The healthy resident graph is untouched by the neighbor's corruption.
+  EXPECT_NE(rig.catalog->Get("g2"), nullptr);
+}
+
+// Injected EIO on every page-in read attempt exhausts the bounded retries,
+// then the source fallback answers.
+TEST_F(SpillFaultTest, PageInEioFallsBackToSourceAfterRetries) {
+  const std::string dir = TempPath("spill_eio_a");
+  SpillRig rig = SpillOne(dir, "eio_a");
+
+  ASSERT_TRUE(fail::Arm(fail::points::kSpillPageIn, "every:1:eio").ok());
+  Result<std::shared_ptr<CatalogEntry>> paged = rig.catalog->GetOrLoad("g1");
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  ASSERT_NE(*paged, nullptr);
+  EXPECT_GE(fail::Hits(fail::points::kSpillPageIn), 3u);  // retries exhausted
+  EXPECT_EQ((*paged)->uid, rig.g1_uid);  // unchanged source: same snapshot
+}
+
+// A transient page-in failure (fail-once) is absorbed by the retry loop and
+// the ORIGINAL spilled bytes come back — uid preserved, no fallback.
+TEST_F(SpillFaultTest, TransientPageInFailureIsRetried) {
+  const std::string dir = TempPath("spill_eio_b");
+  SpillRig rig = SpillOne(dir, "eio_b");
+
+  ASSERT_TRUE(fail::Arm(fail::points::kSpillPageIn, "once:eio").ok());
+  Result<std::shared_ptr<CatalogEntry>> paged = rig.catalog->GetOrLoad("g1");
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  ASSERT_NE(*paged, nullptr);
+  EXPECT_EQ(fail::Hits(fail::points::kSpillPageIn), 1u);
+}
+
+// Spill-write failures must never lose the snapshot: with the write path
+// failing, the shed frees nothing, the graph stays resident, and once the
+// fault clears a later shed succeeds.
+TEST_F(SpillFaultTest, FailedSpillWriteKeepsSnapshotResident) {
+  const std::string dir = TempPath("spill_wfail_a");
+  const UncertainGraph g1 = testing::RandomSmallGraph(60, 0.2, 411);
+  const UncertainGraph g2 = testing::RandomSmallGraph(60, 0.2, 422);
+  const std::string p1 = WriteTempGraph(g1, "wfail_src1.snap");
+  const std::string p2 = WriteTempGraph(g2, "wfail_src2.snap");
+
+  store::MemoryGovernorOptions governor_options;
+  governor_options.budget_bytes =
+      std::max(EstimateGraphBytes(g1), EstimateGraphBytes(g2)) + 512;
+  store::MemoryGovernor governor(governor_options);
+  GraphCatalogOptions options;
+  options.spill_dir = dir;
+  options.governor = &governor;
+  GraphCatalog catalog(options);
+  ASSERT_TRUE(catalog.Load("g1", p1).ok());
+
+  // All spill writes fail (every attempt of the bounded retry).
+  ASSERT_TRUE(fail::Arm(fail::points::kSpillWrite, "every:1:enospc").ok());
+  ASSERT_TRUE(catalog.Load("g2", p2).ok());
+  EXPECT_EQ(catalog.spilled_count(), 0u);
+  EXPECT_NE(catalog.Get("g1"), nullptr) << "snapshot dropped on failed spill";
+  EXPECT_NE(catalog.Get("g2"), nullptr);
+  EXPECT_GE(fail::Hits(fail::points::kSpillWrite), 3u);
+
+  // Fault clears: the next pressure wave parks the cold snapshot normally.
+  fail::DisarmAll();
+  governor.MaybeShed();
+  EXPECT_EQ(catalog.spilled_count(), 1u);
+}
+
+}  // namespace
+}  // namespace vulnds::serve

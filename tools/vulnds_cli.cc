@@ -21,7 +21,7 @@
 //       Prints the Monte-Carlo reference top-k (default 20000 worlds).
 //   vulnds_cli serve [cache_capacity] [threads=N] [shards=N] [catalog_bytes=N]
 //              [cache_shards=N] [mem_bytes=N] [spill_dir=DIR] [journal=PATH]
-//              [slowlog=path] [slowlog_ms=N]
+//              [journal_compact_bytes=N] [slowlog=path] [slowlog_ms=N]
 //              [tcp=PORT] [unix=PATH] [max_conns=N]
 //              [idle_timeout_ms=N] [read_timeout_ms=N] [write_timeout_ms=N]
 //       Speaks the line-oriented serve protocol on stdin/stdout: graphs are
@@ -37,6 +37,10 @@
 //       journal=PATH makes updates durable: every staged op and commit is
 //       appended to a checksummed delta log (fsync'd at commits) and
 //       replayed at startup, so committed name@vN versions survive a crash.
+//       journal_compact_bytes=N bounds the journal: once a commit leaves it
+//       above N bytes it is rewritten around binary snapshots of the
+//       committed versions (crash-safe at every step). VULNDS_FAILPOINTS
+//       arms IO fault injection (see README "Fault injection & recovery").
 //       See README "Storage & durability".
 //       Sampling runs on the process-wide pool by default; threads=N pins a
 //       dedicated pool of N workers (requests can override per query with
@@ -68,6 +72,7 @@
 #include <optional>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/parse.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
@@ -112,6 +117,7 @@ int Usage() {
                "  vulnds_cli serve [cache_capacity] [threads=N] [shards=N]\n"
                "             [catalog_bytes=N] [cache_shards=N]\n"
                "             [mem_bytes=N] [spill_dir=DIR] [journal=PATH]\n"
+               "             [journal_compact_bytes=N]\n"
                "             [slowlog=path] [slowlog_ms=N]\n"
                "             [tcp=PORT] [unix=PATH] [max_conns=N]\n"
                "             [idle_timeout_ms=N] [read_timeout_ms=N]\n"
@@ -308,7 +314,18 @@ int CmdServe(int argc, char** argv) {
   std::optional<std::uint64_t> slowlog_ms;
   std::size_t mem_bytes = 0;
   std::string journal_path;
+  std::size_t journal_compact_bytes = 0;
   bool capacity_seen = false;
+  // Fault injection (tests / chaos tooling): arm failpoints named in
+  // VULNDS_FAILPOINTS before any IO the knobs below can trigger, and echo
+  // the armed set to stderr so a chaos run is reproducible from its log.
+  if (const Status armed = fail::ArmFromEnv(); !armed.ok()) {
+    std::fprintf(stderr, "serve: %s\n", armed.message().c_str());
+    return 1;
+  }
+  for (const std::string& point : fail::ArmedPoints()) {
+    std::fprintf(stderr, "failpoint armed: %s\n", point.c_str());
+  }
   // Parses one of the net-layer `<key>_ms=` timeout knobs into *out.
   const auto parse_timeout = [&](const std::string& arg, const char* key,
                                  std::size_t key_len, int* out) {
@@ -443,6 +460,19 @@ int CmdServe(int argc, char** argv) {
         std::fprintf(stderr, "journal= needs a file path\n");
         return Usage();
       }
+    } else if (arg.rfind("journal_compact_bytes=", 0) == 0) {
+      if (journal_compact_bytes != 0) {
+        std::fprintf(stderr, "duplicate journal_compact_bytes= argument\n");
+        return Usage();
+      }
+      if (!ParseArgOr(ParseUint64, "journal_compact_bytes", arg.substr(22),
+                      &journal_compact_bytes) ||
+          journal_compact_bytes == 0) {
+        std::fprintf(stderr,
+                     "journal_compact_bytes= needs a positive byte "
+                     "threshold\n");
+        return Usage();
+      }
     } else if (arg.rfind("cache_shards=", 0) == 0) {
       if (engine_options.result_cache_shards != 0) {
         std::fprintf(stderr, "duplicate cache_shards= argument\n");
@@ -517,6 +547,10 @@ int CmdServe(int argc, char** argv) {
     governor.emplace(governor_options);
     catalog_options.governor = &*governor;
   }
+  if (journal_compact_bytes != 0 && journal_path.empty()) {
+    std::fprintf(stderr, "journal_compact_bytes= needs journal=\n");
+    return Usage();
+  }
   serve::GraphCatalog catalog(catalog_options);
   std::unique_ptr<dyn::DeltaJournal> journal;
   if (!journal_path.empty()) {
@@ -530,6 +564,8 @@ int CmdServe(int argc, char** argv) {
   }
   serve::QueryEngine engine(&catalog, engine_options);
   dyn::UpdateManager updates(&catalog, journal.get());
+  updates.BindObservability(engine.registry());
+  updates.SetJournalCompactThreshold(journal_compact_bytes);
   if (journal != nullptr) {
     const Result<dyn::JournalReplayStats> replayed = updates.ReplayJournal();
     if (!replayed.ok()) {
